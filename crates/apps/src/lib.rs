@@ -1,0 +1,16 @@
+#![warn(missing_docs)]
+
+//! FHE application workloads for the MAD reproduction: HELR
+//! logistic-regression training and ResNet-20 CKKS inference, with
+//! plaintext reference implementations, synthetic datasets of the paper's
+//! shapes, and the simulator schedules behind Figure 6.
+
+pub mod datasets;
+pub mod figure6;
+pub mod lr;
+pub mod resnet;
+
+pub use datasets::{synthetic_cifar_like, synthetic_mnist_like, BinaryDataset, Image};
+pub use figure6::{design_bars, figure6_groups, Fig6Bar, Fig6Workload};
+pub use lr::{helr_workload, HelrShape, PlainLr};
+pub use resnet::{resnet20_layers, resnet20_workload, ConvLayer, PlainConv};

@@ -1,0 +1,254 @@
+//! HELR logistic-regression training (Han et al., AAAI'19), as evaluated
+//! by the MAD paper (Figure 6a–e).
+//!
+//! Two artifacts live here:
+//!
+//! - [`PlainLr`], a plaintext reference implementation using HELR's
+//!   degree-3 sigmoid approximation — the ground truth the encrypted
+//!   example is validated against, and evidence that the synthetic data is
+//!   learnable.
+//! - [`helr_workload`], the simulator schedule: per iteration, the
+//!   slot-packed matrix–vector products, the polynomial sigmoid, and the
+//!   gradient update; a bootstrap every `iters_per_bootstrap` iterations
+//!   (3 at the paper's parameters).
+
+use crate::datasets::BinaryDataset;
+use simfhe::bootstrap::EVAL_MOD_DEPTH;
+use simfhe::params::SchemeParams;
+use simfhe::workload::{Workload, WorkloadOp};
+
+/// HELR-style degree-3 least-squares approximation of the sigmoid on
+/// `[-4, 4]`: `σ(x) ≈ 0.5 + 0.197x − 0.004x³`.
+pub fn sigmoid_deg3(x: f64) -> f64 {
+    0.5 + 0.197 * x - 0.004 * x * x * x
+}
+
+/// Plaintext logistic-regression trainer using the HELR update rule
+/// (full-batch gradient descent with the polynomial sigmoid).
+#[derive(Clone, Debug)]
+pub struct PlainLr {
+    /// Current weights (including no bias term, as in HELR's packing).
+    pub weights: Vec<f64>,
+    /// Learning rate.
+    pub learning_rate: f64,
+}
+
+impl PlainLr {
+    /// Zero-initialized model of the given dimension.
+    pub fn new(dim: usize, learning_rate: f64) -> Self {
+        Self {
+            weights: vec![0.0; dim],
+            learning_rate,
+        }
+    }
+
+    /// One full-batch gradient step; returns the mean squared gradient
+    /// magnitude (a convergence diagnostic).
+    pub fn step(&mut self, data: &BinaryDataset) -> f64 {
+        let n = data.len() as f64;
+        let dim = self.weights.len();
+        let mut grad = vec![0.0f64; dim];
+        for (x, &y) in data.features.iter().zip(&data.labels) {
+            let z: f64 = x.iter().zip(&self.weights).map(|(a, b)| a * b).sum();
+            // HELR minimizes Σ log(1 + e^{-y·z}); with the polynomial
+            // sigmoid the per-sample gradient is −σ(−y·z)·y·x.
+            let s = sigmoid_deg3(-y * z);
+            for (g, &xi) in grad.iter_mut().zip(x) {
+                *g -= s * y * xi / n;
+            }
+        }
+        for (w, g) in self.weights.iter_mut().zip(&grad) {
+            *w -= self.learning_rate * g;
+        }
+        grad.iter().map(|g| g * g).sum::<f64>() / dim as f64
+    }
+
+    /// Runs `iterations` full-batch steps, returning the gradient-norm
+    /// trajectory (a simple convergence curve).
+    pub fn train(&mut self, data: &BinaryDataset, iterations: usize) -> Vec<f64> {
+        (0..iterations).map(|_| self.step(data)).collect()
+    }
+
+    /// Classification accuracy on a dataset.
+    pub fn accuracy(&self, data: &BinaryDataset) -> f64 {
+        let correct = data
+            .features
+            .iter()
+            .zip(&data.labels)
+            .filter(|(x, &y)| {
+                let z: f64 = x.iter().zip(&self.weights).map(|(a, b)| a * b).sum();
+                (z >= 0.0) == (y > 0.0)
+            })
+            .count();
+        correct as f64 / data.len() as f64
+    }
+}
+
+/// Shape of the HELR encrypted-training schedule.
+#[derive(Clone, Copy, Debug)]
+pub struct HelrShape {
+    /// Training iterations.
+    pub iterations: usize,
+    /// Feature count (196 for the paper's MNIST-like task).
+    pub features: usize,
+    /// Batch size (1024).
+    pub batch: usize,
+}
+
+impl Default for HelrShape {
+    fn default() -> Self {
+        Self {
+            iterations: 30,
+            features: 196,
+            batch: 1024,
+        }
+    }
+}
+
+/// Multiplicative depth of one HELR iteration: `X·w` (1), degree-3 sigmoid
+/// (2), gradient re-aggregation (1).
+pub const HELR_ITERATION_DEPTH: usize = 4;
+
+/// Builds the simulator workload for HELR training at the given
+/// parameters. The bootstrap cadence is derived from the post-bootstrap
+/// level budget — 3 iterations at both the baseline and MAD-optimal
+/// parameter sets, matching §4.3.
+pub fn helr_workload(params: &SchemeParams, shape: HelrShape) -> Workload {
+    let consumed = 2 * params.fft_iter + 2 + EVAL_MOD_DEPTH;
+    assert!(
+        params.limbs > consumed + HELR_ITERATION_DEPTH,
+        "parameters too shallow for HELR"
+    );
+    let budget = params.limbs - consumed;
+    let iters_per_bootstrap = (budget.saturating_sub(1) / HELR_ITERATION_DEPTH)
+        .clamp(1, 3);
+
+    // Rotations per slot-packed inner product: log2 of the replicated
+    // feature block (Halevi–Shoup style fold).
+    let fold_rots = (shape.features.next_power_of_two().trailing_zeros()) as u64;
+
+    let mut w = Workload::new(format!(
+        "HELR {}x{} ({} iters, bootstrap every {})",
+        shape.batch, shape.features, shape.iterations, iters_per_bootstrap
+    ));
+    let mut ell = budget;
+    for it in 0..shape.iterations {
+        if it > 0 && it % iters_per_bootstrap == 0 {
+            w.push(
+                WorkloadOp::Bootstrap {
+                    from_limbs: ell.clamp(2, 3),
+                },
+                1,
+            );
+            ell = budget;
+        }
+        assert!(ell > HELR_ITERATION_DEPTH, "level budget exhausted");
+        // z = X·w: replicate weights, multiply, fold-rotate-add.
+        w.push(WorkloadOp::Mult { ell }, 1);
+        w.push(WorkloadOp::Rotate { ell: ell - 1 }, fold_rots);
+        w.push(WorkloadOp::Add { ell: ell - 1 }, fold_rots);
+        // Degree-3 sigmoid: two Mult levels plus scalar terms.
+        w.push(WorkloadOp::Mult { ell: ell - 1 }, 1);
+        w.push(WorkloadOp::Mult { ell: ell - 2 }, 1);
+        w.push(WorkloadOp::PtAdd { ell: ell - 3 }, 1);
+        // Gradient: X^T · σ — transpose fold plus masking PtMult.
+        w.push(WorkloadOp::Rotate { ell: ell - 3 }, fold_rots);
+        w.push(WorkloadOp::Add { ell: ell - 3 }, fold_rots);
+        w.push(WorkloadOp::PtMult { ell: ell - 3 }, 1);
+        // Weight update.
+        w.push(WorkloadOp::Add { ell: ell - 4 }, 1);
+        ell -= HELR_ITERATION_DEPTH;
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::synthetic_mnist_like;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use simfhe::opts::MadConfig;
+    use simfhe::primitives::CostModel;
+
+    #[test]
+    fn sigmoid_approximation_is_close_on_core_range() {
+        for i in -40..=40 {
+            let x = i as f64 / 10.0;
+            let exact = 1.0 / (1.0 + (-x).exp());
+            assert!(
+                (sigmoid_deg3(x) - exact).abs() < 0.08,
+                "x={x}: {} vs {exact}",
+                sigmoid_deg3(x)
+            );
+        }
+    }
+
+    #[test]
+    fn plaintext_lr_learns_synthetic_task() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let data = synthetic_mnist_like(&mut rng, 512, 32);
+        let mut model = PlainLr::new(32, 1.0);
+        let initial = model.accuracy(&data);
+        for _ in 0..30 {
+            model.step(&data);
+        }
+        let trained = model.accuracy(&data);
+        assert!(
+            trained > 0.85 && trained > initial,
+            "accuracy {initial} -> {trained}"
+        );
+    }
+
+    #[test]
+    fn workload_bootstrap_cadence_matches_paper() {
+        // §4.3: "with our optimal parameter set we need to perform
+        // bootstrapping after every three training iterations".
+        let w = helr_workload(&SchemeParams::mad_optimal(), HelrShape::default());
+        // 30 iterations, bootstrap before iterations 3,6,…,27 → 9.
+        assert_eq!(w.bootstrap_count(), 9);
+        let w2 = helr_workload(&SchemeParams::baseline(), HelrShape::default());
+        assert_eq!(w2.bootstrap_count(), 9);
+    }
+
+    #[test]
+    fn workload_cost_is_bootstrap_dominated() {
+        // The paper: bootstrapping consumes ~80% of ML application time.
+        let params = SchemeParams::baseline();
+        let model = CostModel::new(params, MadConfig::baseline());
+        let w = helr_workload(&params, HelrShape::default());
+        let total = model.workload_cost(&w);
+        let boots = model.bootstrap_from(2).cost * w.bootstrap_count();
+        let frac = boots.dram_total() as f64 / total.dram_total() as f64;
+        assert!(frac > 0.6, "bootstrap fraction {frac}");
+    }
+
+    #[test]
+    #[should_panic(expected = "too shallow")]
+    fn shallow_params_rejected() {
+        let p = SchemeParams {
+            limbs: 16,
+            ..SchemeParams::baseline()
+        };
+        let _ = helr_workload(&p, HelrShape::default());
+    }
+}
+#[cfg(test)]
+mod train_tests {
+    use super::*;
+    use crate::datasets::synthetic_mnist_like;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn gradient_norm_decays_over_training() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let data = synthetic_mnist_like(&mut rng, 256, 16);
+        let mut model = PlainLr::new(16, 1.0);
+        let curve = model.train(&data, 25);
+        assert_eq!(curve.len(), 25);
+        let early: f64 = curve[..5].iter().sum();
+        let late: f64 = curve[20..].iter().sum();
+        assert!(late < early, "gradient norm should decay: {early} -> {late}");
+    }
+}

@@ -1,0 +1,13 @@
+//! Criterion bench for the Figure-2 generator: the caching-optimization
+//! ladder over one simulated bootstrap.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mad_bench::fig2().render());
+    c.bench_function("fig2/caching_ladder", |b| {
+        b.iter(|| std::hint::black_box(mad_bench::fig2_ladder()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! Criterion bench for the Figure-3 generator: the algorithmic-
+//! optimization ladder over one simulated bootstrap.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mad_bench::fig3().render());
+    c.bench_function("fig3/algorithmic_ladder", |b| {
+        b.iter(|| std::hint::black_box(mad_bench::fig3_ladder()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the limb-wise and slot-wise kernels
+//! (Table 3 of the paper): negacyclic NTT/iNTT and the fast basis
+//! extension, measured on real data.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
+use fhe_math::rns::{BasisExtender, RnsBasis};
+use fhe_math::NttTable;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_ntt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ntt");
+    for log_n in [10u32, 12, 14] {
+        let n = 1usize << log_n;
+        let q = generate_ntt_primes(1, 50, n)[0];
+        let table = NttTable::new(q, n).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("forward", n), &n, |b, _| {
+            b.iter_batched(
+                || data.clone(),
+                |mut d| {
+                    table.forward(&mut d);
+                    d
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+        group.bench_with_input(BenchmarkId::new("inverse", n), &n, |b, _| {
+            b.iter_batched(
+                || {
+                    let mut d = data.clone();
+                    table.forward(&mut d);
+                    d
+                },
+                |mut d| {
+                    table.inverse(&mut d);
+                    d
+                },
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_basis_extension(c: &mut Criterion) {
+    let mut group = c.benchmark_group("basis_extension");
+    let n = 1usize << 12;
+    for src_limbs in [4usize, 8, 12] {
+        let src_primes = generate_ntt_primes(src_limbs, 45, n);
+        let dst_primes = generate_ntt_primes_excluding(4, 46, n, &src_primes);
+        let src = RnsBasis::new(&src_primes, n).unwrap();
+        let dst = RnsBasis::new(&dst_primes, n).unwrap();
+        let ext = BasisExtender::new(&src, &dst);
+        let mut rng = StdRng::seed_from_u64(2);
+        let limbs: Vec<Vec<u64>> = src_primes
+            .iter()
+            .map(|&q| (0..n).map(|_| rng.gen_range(0..q)).collect())
+            .collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(
+            BenchmarkId::new("extend_polys", src_limbs),
+            &src_limbs,
+            |b, _| {
+                let refs: Vec<&[u64]> = limbs.iter().map(|l| l.as_slice()).collect();
+                b.iter(|| {
+                    let mut out = vec![vec![0u64; n]; 4];
+                    ext.extend_polys(&refs, &mut out);
+                    out
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ntt, bench_basis_extension);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Criterion bench for the Table-4 generator: times the per-primitive
+//! cost-model evaluation and prints the regenerated table once.
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mad_bench::table4().render());
+    let model = mad_bench::table4_model();
+    c.bench_function("table4/mult_cost", |b| {
+        b.iter(|| std::hint::black_box(model.mult(35)))
+    });
+    c.bench_function("table4/bootstrap_cost", |b| {
+        b.iter(|| std::hint::black_box(model.bootstrap()))
+    });
+    c.bench_function("table4/full_table", |b| {
+        b.iter(|| std::hint::black_box(mad_bench::table4()))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench for the Table-5 parameter search (reduced space so a
+//! bench iteration stays sub-second).
+use criterion::{criterion_group, criterion_main, Criterion};
+use simfhe::search::SearchSpace;
+
+fn reduced_space() -> SearchSpace {
+    SearchSpace {
+        log_q: vec![50, 54, 60],
+        limbs: (30..=46).step_by(2).collect(),
+        dnum: vec![2, 3, 4],
+        fft_iter: vec![3, 6],
+        ..SearchSpace::default()
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mad_bench::table5(&reduced_space()).render());
+    c.bench_function("table5/search_reduced", |b| {
+        let space = reduced_space();
+        let hw = simfhe::HardwareConfig::gpu().with_cache_mb(32.0);
+        b.iter(|| std::hint::black_box(simfhe::search::search(&space, &hw)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

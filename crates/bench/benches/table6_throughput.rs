@@ -1,0 +1,19 @@
+//! Criterion bench for the Table-6 generator: MAD bootstrapping on the
+//! five published hardware designs.
+use criterion::{criterion_group, criterion_main, Criterion};
+use simfhe::throughput::run_mad_bootstrap;
+use simfhe::{HardwareConfig, SchemeParams};
+
+fn bench(c: &mut Criterion) {
+    println!("{}", mad_bench::table6(false).render());
+    c.bench_function("table6/mad_run_gpu32", |b| {
+        let hw = HardwareConfig::gpu().with_cache_mb(32.0);
+        b.iter(|| std::hint::black_box(run_mad_bootstrap(SchemeParams::mad_practical(), &hw)))
+    });
+    c.bench_function("table6/full_table", |b| {
+        b.iter(|| std::hint::black_box(mad_bench::table6(false)))
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,10 @@
+//! Regenerates Figure 2: cumulative impact of the caching optimizations
+//! on bootstrapping DRAM transfers.
+fn main() {
+    println!("{}", mad_bench::fig2().render());
+    let (before, after) = mad_bench::ai_improvement();
+    println!(
+        "bootstrapping AI with caching + algorithmic MAD: {before:.2} -> {after:.2} ({:.1}x; paper: 3x)",
+        after / before
+    );
+}

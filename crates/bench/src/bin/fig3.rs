@@ -1,0 +1,5 @@
+//! Regenerates Figure 3: cumulative impact of the algorithmic
+//! optimizations on bootstrapping compute and DRAM transfers.
+fn main() {
+    println!("{}", mad_bench::fig3().render());
+}

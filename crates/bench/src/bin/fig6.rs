@@ -1,0 +1,14 @@
+//! Regenerates Figure 6: HELR LR-training and ResNet-20 inference times,
+//! original designs vs +MAD at several cache sizes. Pass `lr`, `resnet`,
+//! or nothing for both.
+use fhe_apps::Fig6Workload;
+
+fn main() {
+    let arg = std::env::args().nth(1).unwrap_or_default();
+    if arg.is_empty() || arg == "lr" {
+        println!("{}", mad_bench::fig6(Fig6Workload::LrTraining).render());
+    }
+    if arg.is_empty() || arg == "resnet" {
+        println!("{}", mad_bench::fig6(Fig6Workload::ResNetInference).render());
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 4: per-primitive operation counts, DRAM transfers,
+//! and arithmetic intensity, against the paper's published values.
+fn main() {
+    println!("{}", mad_bench::table4().render());
+}

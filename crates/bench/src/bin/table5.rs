@@ -1,0 +1,21 @@
+//! Regenerates Table 5: the brute-force memory-aware parameter search at
+//! 32 MB. Pass `--fast` to search a reduced space (seconds instead of
+//! minutes in debug builds).
+use simfhe::search::SearchSpace;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let space = if fast {
+        SearchSpace {
+            log_q: vec![50, 54, 60],
+            limbs: (30..=46).step_by(2).collect(),
+            dnum: vec![2, 3, 4],
+            fft_iter: vec![3, 6],
+            ..SearchSpace::default()
+        }
+    } else {
+        SearchSpace::default()
+    };
+    println!("searching {} candidates...", space.candidate_count());
+    println!("{}", mad_bench::table5(&space).render());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table 6: bootstrapping throughput of the five published
+//! accelerator designs vs the same hardware with MAD at 32 MB. Pass
+//! `--search` to re-optimize parameters per design.
+fn main() {
+    let searched = std::env::args().any(|a| a == "--search");
+    println!("{}", mad_bench::table6(searched).render());
+}

@@ -1,0 +1,57 @@
+//! Per-operation cost breakdown of the application workloads (HELR LR
+//! training and ResNet-20 inference), backing the paper's claim that
+//! bootstrapping consumes the lion's share of ML application time.
+//!
+//! Run with: `cargo run --release -p mad-bench --bin workloads`
+
+use fhe_apps::{helr_workload, resnet20_workload, HelrShape};
+use simfhe::report::Table;
+use simfhe::workload::Workload;
+use simfhe::{CostModel, HardwareConfig, MadConfig, SchemeParams};
+
+fn print_breakdown(name: &str, w: &Workload, model: &CostModel, hw: &HardwareConfig) {
+    let total = model.workload_cost(w);
+    let mut t = Table::new(
+        format!("{name} — {w}"),
+        &["op kind", "Gops", "GB", "share%", "time ms"],
+    );
+    for (kind, c) in model.workload_breakdown(w) {
+        t.row(&[
+            kind.to_string(),
+            format!("{:.1}", c.ops() as f64 / 1e9),
+            format!("{:.1}", c.dram_total() as f64 / 1e9),
+            format!("{:.1}", 100.0 * c.dram_total() as f64 / total.dram_total() as f64),
+            format!("{:.1}", hw.runtime_seconds(&c) * 1e3),
+        ]);
+    }
+    t.row(&[
+        "total".to_string(),
+        format!("{:.1}", total.ops() as f64 / 1e9),
+        format!("{:.1}", total.dram_total() as f64 / 1e9),
+        "100.0".to_string(),
+        format!("{:.1}", hw.runtime_seconds(&total) * 1e3),
+    ]);
+    println!("{}", t.render());
+}
+
+fn main() {
+    let hw = HardwareConfig::gpu().with_cache_mb(32.0);
+    for (label, params, config) in [
+        ("baseline", SchemeParams::baseline(), MadConfig::baseline()),
+        ("MAD", SchemeParams::mad_practical(), MadConfig::all()),
+    ] {
+        let model = CostModel::new(params, config);
+        print_breakdown(
+            &format!("HELR LR training [{label}]"),
+            &helr_workload(&params, HelrShape::default()),
+            &model,
+            &hw,
+        );
+        print_breakdown(
+            &format!("ResNet-20 inference [{label}]"),
+            &resnet20_workload(&params),
+            &model,
+            &hw,
+        );
+    }
+}

@@ -1,0 +1,167 @@
+//! Noise diagnostics: measuring how much of a ciphertext's modulus budget
+//! the accumulated error has consumed, and how much computation headroom
+//! remains.
+//!
+//! CKKS is approximate, so "noise" here means the deviation of the
+//! decrypted ring element from a reference encoding. The budget view is
+//! the one the paper's level accounting relies on: each rescale spends
+//! one limb (`log q` bits), and bootstrapping refunds `log Q₁` bits.
+
+use crate::encoding::Encoder;
+use crate::keys::SecretKey;
+use crate::plaintext::{Ciphertext, Plaintext};
+use fhe_math::cfft::Complex;
+
+/// A snapshot of a ciphertext's error and remaining headroom.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseReport {
+    /// `log2` of the largest slot-domain deviation from the reference
+    /// (`-inf` if the ciphertext is exact, which never happens in
+    /// practice).
+    pub log2_slot_error: f64,
+    /// `log2` of the ciphertext's current total modulus.
+    pub log2_modulus: f64,
+    /// `log2` of the scaling factor.
+    pub log2_scale: f64,
+    /// Bits of modulus above the scale: the number of additional
+    /// `log q`-sized rescales the ciphertext can still absorb, in bits.
+    pub budget_bits: f64,
+}
+
+impl NoiseReport {
+    /// Fractional decimal digits of precision still intact in the slots.
+    pub fn decimal_precision(&self) -> f64 {
+        (-self.log2_slot_error) * std::f64::consts::LOG10_2
+    }
+}
+
+/// Measures a ciphertext's noise against the reference slot values it is
+/// supposed to hold. Requires the secret key — this is a *debugging*
+/// facility (the whole point of FHE is that the server cannot do this).
+///
+/// # Panics
+///
+/// Panics if `reference` has more entries than there are slots.
+pub fn measure(
+    ct: &Ciphertext,
+    sk: &SecretKey,
+    reference: &[Complex],
+    encoder: &Encoder,
+) -> NoiseReport {
+    assert!(
+        reference.len() <= encoder.slots(),
+        "reference longer than the slot count"
+    );
+    let decrypted = decrypt_raw(ct, sk);
+    let slots = encoder.decode(&decrypted);
+    let mut max_err = 0.0f64;
+    for (i, want) in reference.iter().enumerate() {
+        max_err = max_err.max((slots[i] - *want).abs());
+    }
+    for got in slots.iter().skip(reference.len()) {
+        max_err = max_err.max(got.abs());
+    }
+    let log2_modulus = ct.c0().basis().log2_product();
+    let log2_scale = ct.scale().log2();
+    NoiseReport {
+        log2_slot_error: max_err.log2(),
+        log2_modulus,
+        log2_scale,
+        budget_bits: log2_modulus - log2_scale,
+    }
+}
+
+fn decrypt_raw(ct: &Ciphertext, sk: &SecretKey) -> Plaintext {
+    let mut m = ct.c1().clone();
+    m.mul_assign_pointwise(&sk.at_level(ct.limb_count()));
+    m.add_assign(ct.c0());
+    Plaintext {
+        poly: m,
+        scale: ct.scale(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::CkksContext;
+    use crate::encrypt::Encryptor;
+    use crate::keys::KeyGenerator;
+    use crate::ops::Evaluator;
+    use crate::params::CkksParams;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::sync::Arc;
+
+    fn setup() -> (
+        Arc<CkksContext>,
+        Encoder,
+        Encryptor,
+        Evaluator,
+        KeyGenerator,
+        StdRng,
+    ) {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_degree(6)
+                .levels(4)
+                .scale_bits(32)
+                .first_modulus_bits(40)
+                .dnum(2)
+                .build()
+                .unwrap(),
+        );
+        (
+            ctx.clone(),
+            Encoder::new(ctx.clone()),
+            Encryptor::new(ctx.clone()),
+            Evaluator::new(ctx.clone()),
+            KeyGenerator::new(ctx),
+            StdRng::seed_from_u64(606),
+        )
+    }
+
+    #[test]
+    fn fresh_ciphertext_has_small_error_and_full_budget() {
+        let (ctx, encoder, encryptor, _ev, keygen, mut rng) = setup();
+        let sk = keygen.secret_key(&mut rng);
+        let values = vec![Complex::new(0.5, -0.25); 16];
+        let pt = encoder.encode(&values, 4, ctx.params().scale()).unwrap();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+        let report = measure(&ct, &sk, &values, &encoder);
+        assert!(report.log2_slot_error < -20.0, "{report:?}");
+        assert!(report.decimal_precision() > 6.0);
+        // 40 + 3·32 bits of modulus over a 32-bit scale.
+        assert!((report.budget_bits - 104.0).abs() < 2.0, "{report:?}");
+    }
+
+    #[test]
+    fn multiplication_consumes_budget_and_adds_noise() {
+        let (ctx, encoder, encryptor, ev, keygen, mut rng) = setup();
+        let sk = keygen.secret_key(&mut rng);
+        let rlk = keygen.relin_key(&mut rng, &sk);
+        let values = vec![Complex::new(0.9, 0.0); 16];
+        let pt = encoder.encode(&values, 4, ctx.params().scale()).unwrap();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+        let fresh = measure(&ct, &sk, &values, &encoder);
+        let sq = ev.mul(&ct, &ct, &rlk);
+        let want: Vec<Complex> = values.iter().map(|&v| v * v).collect();
+        let after = measure(&sq, &sk, &want, &encoder);
+        assert!(after.budget_bits < fresh.budget_bits - 25.0, "one limb spent");
+        assert!(after.log2_slot_error > fresh.log2_slot_error, "noise grew");
+        assert!(after.log2_slot_error < -10.0, "but stayed usable");
+    }
+
+    #[test]
+    fn zero_padding_counts_as_reference_zero() {
+        let (ctx, encoder, encryptor, _ev, keygen, mut rng) = setup();
+        let sk = keygen.secret_key(&mut rng);
+        let values = [Complex::new(1.0, 0.0)];
+        let pt = encoder.encode(&values, 2, ctx.params().scale()).unwrap();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+        // Measuring against the 1-entry reference also checks the padded
+        // slots stay ≈ 0.
+        let report = measure(&ct, &sk, &values, &encoder);
+        assert!(report.log2_slot_error < -20.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! The homomorphic operations of Table 2: `Add`, `PtAdd`, `PtMult`, `Mult`,
+//! `Rotate`, `Conjugate`, plus `Rescale` and scalar conveniences.
+//!
+//! Two implementations of `Mult` are provided: [`Evaluator::mul`] follows
+//! the standard sequence (KeySwitch with its internal `ModDown`, then
+//! `Rescale` — Figure 4a), while [`Evaluator::mul_merged`] applies the
+//! paper's **ModDown merge** (Figure 4c): the additions happen in the
+//! raised basis via `PModUp` and a *single* `ModDown` drops `P` and the
+//! rescaling prime together. Both compute the same function; the test suite
+//! checks they agree to within rounding noise.
+
+use crate::context::CkksContext;
+use crate::keys::{GaloisKeys, RelinKey, SwitchingKey};
+use crate::plaintext::{Ciphertext, Plaintext};
+use fhe_math::poly::{mod_down, pmod_up, rescale as poly_rescale, RnsPoly};
+use std::fmt;
+use std::sync::Arc;
+
+/// Relative scale mismatch tolerated by additions (CKKS scales drift by
+/// `q_i/Δ ≈ 1` across rescaling paths; the drift is absorbed as approximate
+/// arithmetic error, the standard practice in RNS-CKKS libraries).
+const SCALE_TOLERANCE: f64 = 1e-4;
+
+/// Stateless executor of homomorphic operations over a shared context.
+pub struct Evaluator {
+    ctx: Arc<CkksContext>,
+}
+
+impl fmt::Debug for Evaluator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Evaluator({:?})", self.ctx)
+    }
+}
+
+impl Evaluator {
+    /// Creates an evaluator for the context.
+    pub fn new(ctx: Arc<CkksContext>) -> Self {
+        Self { ctx }
+    }
+
+    /// The bound context.
+    pub fn context(&self) -> &Arc<CkksContext> {
+        &self.ctx
+    }
+
+    fn check_scales(a: f64, b: f64) {
+        assert!(
+            (a / b - 1.0).abs() < SCALE_TOLERANCE,
+            "scale mismatch: 2^{:.3} vs 2^{:.3}",
+            a.log2(),
+            b.log2()
+        );
+    }
+
+    /// Aligns two ciphertexts to a common limb count by dropping limbs of
+    /// the fresher one (modulus reduction; scale unchanged).
+    pub fn align_levels(&self, a: &Ciphertext, b: &Ciphertext) -> (Ciphertext, Ciphertext) {
+        let ell = a.limb_count().min(b.limb_count());
+        (self.drop_to(a, ell), self.drop_to(b, ell))
+    }
+
+    /// Drops `ct` to `ell` limbs (no-op if already there).
+    pub fn drop_to(&self, ct: &Ciphertext, ell: usize) -> Ciphertext {
+        if ct.limb_count() == ell {
+            ct.clone()
+        } else {
+            Ciphertext::new(ct.c0.drop_to(ell), ct.c1.drop_to(ell), ct.scale)
+        }
+    }
+
+    /// `Add`: homomorphic addition of two ciphertexts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales disagree beyond tolerance.
+    pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Self::check_scales(a.scale, b.scale);
+        let (a, b) = self.align_levels(a, b);
+        let mut c0 = a.c0.clone();
+        c0.add_assign(&b.c0);
+        let mut c1 = a.c1.clone();
+        c1.add_assign(&b.c1);
+        Ciphertext::new(c0, c1, a.scale)
+    }
+
+    /// Homomorphic subtraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales disagree beyond tolerance.
+    pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
+        Self::check_scales(a.scale, b.scale);
+        let (a, b) = self.align_levels(a, b);
+        let mut c0 = a.c0.clone();
+        c0.sub_assign(&b.c0);
+        let mut c1 = a.c1.clone();
+        c1.sub_assign(&b.c1);
+        Ciphertext::new(c0, c1, a.scale)
+    }
+
+    /// Homomorphic negation.
+    pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
+        let mut c0 = a.c0.clone();
+        c0.negate();
+        let mut c1 = a.c1.clone();
+        c1.negate();
+        Ciphertext::new(c0, c1, a.scale)
+    }
+
+    /// `PtAdd`: adds a plaintext to a ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales disagree beyond tolerance.
+    pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        Self::check_scales(a.scale, pt.scale);
+        let ell = a.limb_count().min(pt.limb_count());
+        let a = self.drop_to(a, ell);
+        let mut c0 = a.c0.clone();
+        c0.add_assign(&pt.poly.drop_to(ell));
+        Ciphertext::new(c0, a.c1.clone(), a.scale)
+    }
+
+    /// Subtracts a plaintext from a ciphertext.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scales disagree beyond tolerance.
+    pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        Self::check_scales(a.scale, pt.scale);
+        let ell = a.limb_count().min(pt.limb_count());
+        let a = self.drop_to(a, ell);
+        let mut c0 = a.c0.clone();
+        c0.sub_assign(&pt.poly.drop_to(ell));
+        Ciphertext::new(c0, a.c1.clone(), a.scale)
+    }
+
+    /// `PtMult` without the trailing rescale: multiplies by a plaintext,
+    /// leaving the product at scale `scale_ct · scale_pt`.
+    pub fn mul_plain_no_rescale(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let ell = a.limb_count().min(pt.limb_count());
+        let a = self.drop_to(a, ell);
+        let p = pt.poly.drop_to(ell);
+        let mut c0 = a.c0.clone();
+        c0.mul_assign_pointwise(&p);
+        let mut c1 = a.c1.clone();
+        c1.mul_assign_pointwise(&p);
+        Ciphertext::new(c0, c1, a.scale * pt.scale)
+    }
+
+    /// `PtMult` (Table 2): plaintext multiplication followed by `Rescale`.
+    pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
+        let prod = self.mul_plain_no_rescale(a, pt);
+        self.rescale(&prod)
+    }
+
+    /// Multiplies by a real scalar at the given auxiliary scale, without
+    /// rescaling (scale becomes `ct.scale · aux_scale`).
+    pub fn mul_scalar_no_rescale(&self, a: &Ciphertext, c: f64, aux_scale: f64) -> Ciphertext {
+        let scaled = (c * aux_scale).round() as i64;
+        let basis = a.c0.basis();
+        let factors: Vec<u64> = basis.moduli().iter().map(|m| m.from_i64(scaled)).collect();
+        let mut c0 = a.c0.clone();
+        c0.mul_scalar_per_limb_assign(&factors);
+        let mut c1 = a.c1.clone();
+        c1.mul_scalar_per_limb_assign(&factors);
+        Ciphertext::new(c0, c1, a.scale * aux_scale)
+    }
+
+    /// Multiplies by a complex scalar at the given auxiliary scale, without
+    /// rescaling. A constant complex slot vector `z` encodes to the
+    /// polynomial `Re(z) + Im(z)·x^{N/2}`.
+    pub fn mul_complex_scalar_no_rescale(
+        &self,
+        a: &Ciphertext,
+        z: fhe_math::cfft::Complex,
+        aux_scale: f64,
+    ) -> Ciphertext {
+        let n = self.ctx.params().degree();
+        let mut coeffs = vec![0i64; n];
+        coeffs[0] = (z.re * aux_scale).round() as i64;
+        coeffs[n / 2] = (z.im * aux_scale).round() as i64;
+        let basis = a.c0.basis().clone();
+        let mut mult = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        mult.to_eval();
+        let mut c0 = a.c0.clone();
+        c0.mul_assign_pointwise(&mult);
+        let mut c1 = a.c1.clone();
+        c1.mul_assign_pointwise(&mult);
+        Ciphertext::new(c0, c1, a.scale * aux_scale)
+    }
+
+    /// Adds a real scalar (same value in every slot).
+    pub fn add_scalar(&self, a: &Ciphertext, c: f64) -> Ciphertext {
+        let scaled = (c * a.scale).round() as i64;
+        let basis = a.c0.basis().clone();
+        // A constant slot vector encodes to the constant polynomial, whose
+        // evaluation representation is the constant in every position.
+        let mut c0 = a.c0.clone();
+        for i in 0..c0.limb_count() {
+            let m = *basis.modulus(i);
+            let v = m.from_i64(scaled);
+            for x in c0.limb_mut(i).iter_mut() {
+                *x = m.add(*x, v);
+            }
+        }
+        Ciphertext::new(c0, a.c1.clone(), a.scale)
+    }
+
+    /// `Rescale`: divides by the last limb prime and drops it.
+    pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        let q_last = a.c0.basis().modulus(a.limb_count() - 1).value() as f64;
+        Ciphertext::new(
+            poly_rescale(&a.c0),
+            poly_rescale(&a.c1),
+            a.scale / q_last,
+        )
+    }
+
+    /// `Mult` without relinearization or rescale: the raw tensor
+    /// `(d_0, d_1, d_2)`.
+    fn tensor(&self, a: &Ciphertext, b: &Ciphertext) -> (RnsPoly, RnsPoly, RnsPoly, f64) {
+        let (a, b) = self.align_levels(a, b);
+        let mut d0 = a.c0.clone();
+        d0.mul_assign_pointwise(&b.c0);
+        let mut d1 = a.c0.clone();
+        d1.mul_assign_pointwise(&b.c1);
+        let mut d1b = a.c1.clone();
+        d1b.mul_assign_pointwise(&b.c0);
+        d1.add_assign(&d1b);
+        let mut d2 = a.c1.clone();
+        d2.mul_assign_pointwise(&b.c1);
+        (d0, d1, d2, a.scale * b.scale)
+    }
+
+    /// `Mult` (Table 2), standard sequence (Figure 4a): tensor,
+    /// relinearize (KeySwitch with its own `ModDown`), then `Rescale`.
+    pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        let (mut d0, mut d1, d2, scale) = self.tensor(a, b);
+        let (v, u) = crate::keyswitch::keyswitch(&self.ctx, &d2, rlk.switching_key());
+        d0.add_assign(&v);
+        d1.add_assign(&u);
+        self.rescale(&Ciphertext::new(d0, d1, scale))
+    }
+
+    /// `Mult` with the **ModDown merge** optimization (Figure 4c): the
+    /// tensor legs are lifted to the raised basis with the free `PModUp`,
+    /// added to the key-switch intermediate, and a single `ModDown` divides
+    /// by `P·q_{ℓ-1}` — saving one orientation switch and `ℓ` NTTs.
+    pub fn mul_merged(&self, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        let (d0, d1, d2, scale) = self.tensor(a, b);
+        let ell = d0.limb_count();
+        assert!(ell >= 2, "merged multiplication needs a limb to rescale into");
+        let digits = crate::keyswitch::decompose_and_raise(&self.ctx, &d2);
+        let mut raised =
+            crate::keyswitch::inner_product(&self.ctx, &digits, rlk.switching_key());
+        // Lift the linear legs: Add in the raised basis (PModUp is free).
+        raised.v.add_assign(&pmod_up(&d0, self.ctx.p_basis()));
+        raised.u.add_assign(&pmod_up(&d1, self.ctx.p_basis()));
+        // One ModDown dropping {q_{ℓ-1}} ∪ P.
+        let md = self.ctx.moddown_context(ell, true);
+        let q_last = self.ctx.q_basis().modulus(ell - 1).value() as f64;
+        Ciphertext::new(
+            mod_down(&raised.v, &md),
+            mod_down(&raised.u, &md),
+            scale / q_last,
+        )
+    }
+
+    /// Squares a ciphertext (standard path).
+    pub fn square(&self, a: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        self.mul(a, a, rlk)
+    }
+
+    /// Applies the Galois automorphism `k` with its switching key.
+    pub fn automorphism(&self, a: &Ciphertext, k: u64, ksk: &SwitchingKey) -> Ciphertext {
+        let auto = self.ctx.automorphism(k);
+        let c0 = a.c0.automorphism(&auto);
+        let c1 = a.c1.automorphism(&auto);
+        let (v, u) = crate::keyswitch::keyswitch(&self.ctx, &c1, ksk);
+        let mut out0 = c0;
+        out0.add_assign(&v);
+        Ciphertext::new(out0, u, a.scale)
+    }
+
+    /// `Rotate` (Table 2): rotates the slot vector left by `steps`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the Galois key for this rotation was not generated.
+    pub fn rotate(&self, a: &Ciphertext, steps: i64, gk: &GaloisKeys) -> Ciphertext {
+        if steps == 0 {
+            return a.clone();
+        }
+        let k = self.ctx.rotation_element(steps);
+        let ksk = gk
+            .get(k)
+            .unwrap_or_else(|| panic!("missing Galois key for rotation {steps}"));
+        self.automorphism(a, k, ksk)
+    }
+
+    /// Sums all `2^log_span` leading slots into every slot of the result
+    /// (the rotate-and-add fold used by inner products and mean
+    /// reductions). Requires Galois keys for rotations `1, 2, 4, …`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a required Galois key is missing or `log_span` exceeds
+    /// the slot count's log.
+    pub fn sum_slots(&self, a: &Ciphertext, log_span: u32, gk: &GaloisKeys) -> Ciphertext {
+        let slots = self.ctx.params().slots();
+        assert!(
+            (1usize << log_span) <= slots,
+            "span 2^{log_span} exceeds {slots} slots"
+        );
+        let mut acc = a.clone();
+        for i in 0..log_span {
+            let rotated = self.rotate(&acc, 1i64 << i, gk);
+            acc = self.add(&acc, &rotated);
+        }
+        acc
+    }
+
+    /// `Conjugate` (Table 2): complex-conjugates every slot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the conjugation key was not generated.
+    pub fn conjugate(&self, a: &Ciphertext, gk: &GaloisKeys) -> Ciphertext {
+        let k = self.ctx.conjugation_element();
+        let ksk = gk
+            .get(k)
+            .expect("missing conjugation key");
+        self.automorphism(a, k, ksk)
+    }
+}

@@ -1,0 +1,100 @@
+//! Plaintext and ciphertext containers.
+
+use fhe_math::poly::RnsPoly;
+use std::fmt;
+
+/// An encoded (unencrypted) CKKS message: a ring element tagged with its
+/// scaling factor.
+#[derive(Clone)]
+pub struct Plaintext {
+    /// The encoded polynomial (evaluation representation).
+    pub(crate) poly: RnsPoly,
+    /// The scaling factor `Δ` applied during encoding.
+    pub(crate) scale: f64,
+}
+
+impl fmt::Debug for Plaintext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Plaintext")
+            .field("limbs", &self.poly.limb_count())
+            .field("log2_scale", &self.scale.log2())
+            .finish()
+    }
+}
+
+impl Plaintext {
+    /// The underlying ring element.
+    pub fn poly(&self) -> &RnsPoly {
+        &self.poly
+    }
+
+    /// The scaling factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Current limb count.
+    pub fn limb_count(&self) -> usize {
+        self.poly.limb_count()
+    }
+}
+
+/// A CKKS ciphertext `(c_0, c_1)` with `Dec(ct) = c_0 + c_1·s`.
+///
+/// Both components are kept in evaluation representation over the same
+/// level basis; `scale` tracks the plaintext scaling factor through
+/// multiplications and rescalings.
+#[derive(Clone)]
+pub struct Ciphertext {
+    pub(crate) c0: RnsPoly,
+    pub(crate) c1: RnsPoly,
+    pub(crate) scale: f64,
+}
+
+impl fmt::Debug for Ciphertext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ciphertext")
+            .field("limbs", &self.c0.limb_count())
+            .field("log2_scale", &self.scale.log2())
+            .finish()
+    }
+}
+
+impl Ciphertext {
+    /// Assembles a ciphertext from parts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the components disagree on limb count.
+    pub fn new(c0: RnsPoly, c1: RnsPoly, scale: f64) -> Self {
+        assert_eq!(c0.limb_count(), c1.limb_count(), "component limb mismatch");
+        Self { c0, c1, scale }
+    }
+
+    /// The `c_0` component.
+    pub fn c0(&self) -> &RnsPoly {
+        &self.c0
+    }
+
+    /// The `c_1` component.
+    pub fn c1(&self) -> &RnsPoly {
+        &self.c1
+    }
+
+    /// Current limb count `ℓ` (the paper's "level"; each rescale consumes
+    /// one limb).
+    pub fn limb_count(&self) -> usize {
+        self.c0.limb_count()
+    }
+
+    /// The scaling factor.
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Size of the ciphertext in machine words (`2·N·ℓ`), matching the
+    /// paper's Section 2.1 accounting.
+    pub fn size_words(&self) -> u64 {
+        2 * self.c0.degree() as u64 * self.limb_count() as u64
+    }
+}

@@ -1,0 +1,417 @@
+//! Binary serialization for ciphertexts and switching keys.
+//!
+//! The switching-key format makes the paper's **key compression**
+//! (§3.2) concrete: a seeded key serializes as the 32-byte seed plus only
+//! the `b` polynomials — exactly half the bytes of an expanded key — and
+//! deserialization regenerates every `a_j` from the seed. This is the
+//! "transfer the short PRNG key in place of the first switching key
+//! polynomial" folklore the paper measures.
+//!
+//! Format (little-endian throughout): a 4-byte magic, a format version,
+//! the shape header (degree, limb count, limb moduli for validation), the
+//! scale as IEEE-754 bits, then the raw limb words.
+
+use crate::context::CkksContext;
+use crate::keys::{DigitKey, SwitchingKey};
+use crate::plaintext::Ciphertext;
+use fhe_math::poly::{Representation, RnsPoly};
+use fhe_math::rns::RnsBasis;
+use fhe_math::sampling::sample_uniform_limbs;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::fmt;
+use std::sync::Arc;
+
+const MAGIC: &[u8; 4] = b"MADf";
+const VERSION: u8 = 1;
+
+/// Error from deserialization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SerializeError {
+    /// The buffer is shorter than its header claims.
+    Truncated,
+    /// Magic or version mismatch.
+    BadHeader,
+    /// The limb moduli do not match the context's chain.
+    ModulusMismatch,
+    /// A residue was out of range for its modulus.
+    UnreducedResidue,
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SerializeError::Truncated => write!(f, "buffer shorter than its header claims"),
+            SerializeError::BadHeader => write!(f, "bad magic or unsupported version"),
+            SerializeError::ModulusMismatch => {
+                write!(f, "limb moduli do not match the context")
+            }
+            SerializeError::UnreducedResidue => write!(f, "residue out of range"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+struct Writer(Vec<u8>);
+
+impl Writer {
+    fn new() -> Self {
+        let mut w = Writer(Vec::new());
+        w.0.extend_from_slice(MAGIC);
+        w.0.push(VERSION);
+        w
+    }
+    fn u32(&mut self, v: u32) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn u64(&mut self, v: u64) {
+        self.0.extend_from_slice(&v.to_le_bytes());
+    }
+    fn poly_limbs(&mut self, p: &RnsPoly) {
+        for i in 0..p.limb_count() {
+            for &x in p.limb(i) {
+                self.u64(x);
+            }
+        }
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Result<Self, SerializeError> {
+        if buf.len() < 5 || &buf[..4] != MAGIC || buf[4] != VERSION {
+            return Err(SerializeError::BadHeader);
+        }
+        Ok(Reader { buf, pos: 5 })
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], SerializeError> {
+        if self.pos + n > self.buf.len() {
+            return Err(SerializeError::Truncated);
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+    fn u32(&mut self) -> Result<u32, SerializeError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+    }
+    fn u64(&mut self) -> Result<u64, SerializeError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+    }
+    fn poly(
+        &mut self,
+        basis: &Arc<RnsBasis>,
+    ) -> Result<RnsPoly, SerializeError> {
+        let n = basis.degree();
+        let mut limbs = Vec::with_capacity(basis.len());
+        for i in 0..basis.len() {
+            let q = basis.modulus(i).value();
+            let mut limb = Vec::with_capacity(n);
+            for _ in 0..n {
+                let x = self.u64()?;
+                if x >= q {
+                    return Err(SerializeError::UnreducedResidue);
+                }
+                limb.push(x);
+            }
+            limbs.push(limb);
+        }
+        Ok(RnsPoly::from_limbs(
+            basis.clone(),
+            limbs,
+            Representation::Evaluation,
+        ))
+    }
+}
+
+fn write_basis_header(w: &mut Writer, basis: &RnsBasis) {
+    w.u32(basis.degree() as u32);
+    w.u32(basis.len() as u32);
+    for m in basis.moduli() {
+        w.u64(m.value());
+    }
+}
+
+fn check_basis_header(r: &mut Reader<'_>, basis: &RnsBasis) -> Result<(), SerializeError> {
+    if r.u32()? as usize != basis.degree() || r.u32()? as usize != basis.len() {
+        return Err(SerializeError::ModulusMismatch);
+    }
+    for m in basis.moduli() {
+        if r.u64()? != m.value() {
+            return Err(SerializeError::ModulusMismatch);
+        }
+    }
+    Ok(())
+}
+
+/// Serializes a ciphertext.
+pub fn serialize_ciphertext(ct: &Ciphertext) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_basis_header(&mut w, ct.c0().basis());
+    w.u64(ct.scale().to_bits());
+    w.poly_limbs(ct.c0());
+    w.poly_limbs(ct.c1());
+    w.0
+}
+
+/// Deserializes a ciphertext against a context (the limb count selects the
+/// level basis).
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed input or a modulus-chain
+/// mismatch.
+pub fn deserialize_ciphertext(
+    ctx: &CkksContext,
+    bytes: &[u8],
+) -> Result<Ciphertext, SerializeError> {
+    let mut r = Reader::new(bytes)?;
+    // Peek the limb count from the header to pick the basis.
+    if bytes.len() < 13 {
+        return Err(SerializeError::Truncated);
+    }
+    let ell = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")) as usize;
+    if ell == 0 || ell > ctx.params().levels() {
+        return Err(SerializeError::ModulusMismatch);
+    }
+    let basis = ctx.level_basis(ell).clone();
+    check_basis_header(&mut r, &basis)?;
+    let scale = f64::from_bits(r.u64()?);
+    let c0 = r.poly(&basis)?;
+    let c1 = r.poly(&basis)?;
+    Ok(Ciphertext::new(c0, c1, scale))
+}
+
+/// Serializes a switching key. A seeded key is written in compressed form:
+/// the seed plus only the `b` polynomials (half the bytes); an unseeded
+/// key writes both polynomials per digit.
+pub fn serialize_switching_key(key: &SwitchingKey) -> Vec<u8> {
+    let mut w = Writer::new();
+    let basis = key.digits[0].a.basis();
+    write_basis_header(&mut w, basis);
+    w.u32(key.digits.len() as u32);
+    match key.seed {
+        Some(seed) => {
+            w.0.push(1);
+            w.0.extend_from_slice(&seed);
+            for d in &key.digits {
+                w.poly_limbs(&d.b);
+            }
+        }
+        None => {
+            w.0.push(0);
+            for d in &key.digits {
+                w.poly_limbs(&d.a);
+                w.poly_limbs(&d.b);
+            }
+        }
+    }
+    w.0
+}
+
+/// Deserializes a switching key, regenerating the `a` components from the
+/// seed when the key was written in compressed form.
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed input or a modulus-chain
+/// mismatch.
+pub fn deserialize_switching_key(
+    ctx: &CkksContext,
+    bytes: &[u8],
+) -> Result<SwitchingKey, SerializeError> {
+    let mut r = Reader::new(bytes)?;
+    let basis = ctx.full_basis().clone();
+    check_basis_header(&mut r, &basis)?;
+    let digit_count = r.u32()? as usize;
+    if digit_count == 0 || digit_count > 64 {
+        return Err(SerializeError::BadHeader);
+    }
+    let compressed = match r.bytes(1)?[0] {
+        0 => false,
+        1 => true,
+        _ => return Err(SerializeError::BadHeader),
+    };
+    let moduli: Vec<u64> = basis.moduli().iter().map(|m| m.value()).collect();
+    let n = basis.degree();
+    let mut digits = Vec::with_capacity(digit_count);
+    if compressed {
+        let seed: [u8; 32] = r.bytes(32)?.try_into().expect("32 bytes");
+        let mut rng = StdRng::from_seed(seed);
+        for _ in 0..digit_count {
+            let a = RnsPoly::from_limbs(
+                basis.clone(),
+                sample_uniform_limbs(&mut rng, &moduli, n),
+                Representation::Evaluation,
+            );
+            let b = r.poly(&basis)?;
+            digits.push(DigitKey { a, b });
+        }
+        Ok(SwitchingKey {
+            digits,
+            seed: Some(seed),
+        })
+    } else {
+        for _ in 0..digit_count {
+            let a = r.poly(&basis)?;
+            let b = r.poly(&basis)?;
+            digits.push(DigitKey { a, b });
+        }
+        Ok(SwitchingKey { digits, seed: None })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Encoder;
+    use crate::encrypt::{Decryptor, Encryptor};
+    use crate::keys::KeyGenerator;
+    use crate::ops::Evaluator;
+    use crate::params::CkksParams;
+    use fhe_math::cfft::Complex;
+    use rand::Rng;
+
+    fn ctx() -> Arc<CkksContext> {
+        CkksContext::new(
+            CkksParams::builder()
+                .log_degree(5)
+                .levels(3)
+                .scale_bits(30)
+                .first_modulus_bits(36)
+                .dnum(2)
+                .build()
+                .unwrap(),
+        )
+    }
+
+    #[test]
+    fn ciphertext_roundtrip_bit_exact() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(10);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let pt = encoder
+            .encode(&[Complex::new(0.5, -0.5)], 2, ctx.params().scale())
+            .unwrap();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+        let bytes = serialize_ciphertext(&ct);
+        let back = deserialize_ciphertext(&ctx, &bytes).unwrap();
+        assert_eq!(back.limb_count(), ct.limb_count());
+        assert_eq!(back.scale(), ct.scale());
+        for i in 0..ct.limb_count() {
+            assert_eq!(back.c0().limb(i), ct.c0().limb(i));
+            assert_eq!(back.c1().limb(i), ct.c1().limb(i));
+        }
+    }
+
+    #[test]
+    fn compressed_key_is_half_the_bytes_and_still_works() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(11);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let plain_key = keygen.relin_key(&mut rng, &sk);
+        let seeded_key = keygen.relin_key_compressed(&mut rng, &sk);
+
+        let plain_bytes = serialize_switching_key(plain_key.switching_key());
+        let compressed_bytes = serialize_switching_key(seeded_key.switching_key());
+        // Header overhead aside, compressed ≈ half of expanded.
+        assert!(
+            (compressed_bytes.len() as f64) < 0.55 * plain_bytes.len() as f64,
+            "{} vs {}",
+            compressed_bytes.len(),
+            plain_bytes.len()
+        );
+
+        // Deserialize and use for a real multiplication.
+        let restored = deserialize_switching_key(&ctx, &compressed_bytes).unwrap();
+        for (orig, got) in seeded_key.switching_key().digits.iter().zip(&restored.digits) {
+            for i in 0..orig.a.limb_count() {
+                assert_eq!(orig.a.limb(i), got.a.limb(i), "a must regenerate exactly");
+                assert_eq!(orig.b.limb(i), got.b.limb(i));
+            }
+        }
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let decryptor = Decryptor::new(ctx.clone());
+        let ev = Evaluator::new(ctx.clone());
+        let pt = encoder
+            .encode(&[Complex::new(0.7, 0.0)], 3, ctx.params().scale())
+            .unwrap();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+        let rlk = crate::keys::RelinKey(restored);
+        let sq = ev.mul(&ct, &ct, &rlk);
+        let out = encoder.decode(&decryptor.decrypt(&sq, &sk));
+        assert!((out[0].re - 0.49).abs() < 1e-3);
+    }
+
+    #[test]
+    fn corrupted_inputs_are_rejected() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(12);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let pt = encoder
+            .encode(&[Complex::new(1.0, 0.0)], 1, ctx.params().scale())
+            .unwrap();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+        let good = serialize_ciphertext(&ct);
+
+        // Bad magic.
+        let mut bad = good.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            deserialize_ciphertext(&ctx, &bad),
+            Err(SerializeError::BadHeader)
+        ));
+        // Truncation.
+        assert!(matches!(
+            deserialize_ciphertext(&ctx, &good[..good.len() - 3]),
+            Err(SerializeError::Truncated)
+        ));
+        // Unreduced residue: set a word to u64::MAX.
+        let mut unred = good.clone();
+        let last = unred.len() - 4;
+        unred[last..].copy_from_slice(&[0xff; 4]);
+        assert!(matches!(
+            deserialize_ciphertext(&ctx, &unred),
+            Err(SerializeError::UnreducedResidue) | Err(SerializeError::Truncated)
+        ));
+        // Wrong context (different primes).
+        let other = CkksContext::new(
+            CkksParams::builder()
+                .log_degree(5)
+                .levels(3)
+                .scale_bits(31)
+                .first_modulus_bits(37)
+                .dnum(2)
+                .build()
+                .unwrap(),
+        );
+        assert!(matches!(
+            deserialize_ciphertext(&other, &good),
+            Err(SerializeError::ModulusMismatch)
+        ));
+    }
+
+    #[test]
+    fn random_garbage_never_panics() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(13);
+        for len in [0usize, 4, 5, 64, 1000] {
+            let garbage: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+            let _ = deserialize_ciphertext(&ctx, &garbage);
+            let _ = deserialize_switching_key(&ctx, &garbage);
+        }
+    }
+}

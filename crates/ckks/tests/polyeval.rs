@@ -1,0 +1,90 @@
+//! Homomorphic polynomial evaluation against plaintext references.
+
+use ckks::polyeval::{evaluate_chebyshev, ChebyshevSeries};
+use ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator};
+use fhe_math::cfft::Complex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn deep_ctx(levels: usize) -> Arc<CkksContext> {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_degree(6)
+            .levels(levels)
+            .scale_bits(30)
+            .first_modulus_bits(40)
+            .special_modulus_bits(33)
+            .dnum(4)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn run_series(series: &ChebyshevSeries, inputs: &[f64], levels: usize) -> (Vec<f64>, Vec<f64>) {
+    let ctx = deep_ctx(levels);
+    let mut rng = StdRng::seed_from_u64(2024);
+    let keygen = KeyGenerator::new(ctx.clone());
+    let sk = keygen.secret_key(&mut rng);
+    let rlk = keygen.relin_key(&mut rng, &sk);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let decryptor = Decryptor::new(ctx.clone());
+    let evaluator = Evaluator::new(ctx.clone());
+
+    let values: Vec<Complex> = inputs
+        .iter()
+        .cycle()
+        .take(encoder.slots())
+        .map(|&x| Complex::new(x, 0.0))
+        .collect();
+    let pt = encoder.encode(&values, levels, ctx.params().scale()).unwrap();
+    let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+    let out = evaluate_chebyshev(&evaluator, &rlk, &ct, series);
+    let dec = encoder.decode(&decryptor.decrypt(&out, &sk));
+    let got: Vec<f64> = dec.iter().take(inputs.len()).map(|c| c.re).collect();
+    let want: Vec<f64> = inputs.iter().map(|&x| series.eval_plain(x)).collect();
+    (got, want)
+}
+
+#[test]
+fn evaluates_low_degree_polynomial() {
+    // p(x) = x³ − 0.5x + 0.25 on [-1, 1], degree 3 — exact interpolation.
+    let series = ChebyshevSeries::interpolate(|x| x * x * x - 0.5 * x + 0.25, 3, -1.0, 1.0);
+    let inputs = [-0.9, -0.4, 0.0, 0.3, 0.77];
+    let (got, want) = run_series(&series, &inputs, 9);
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!((g - w).abs() < 5e-3, "input {i}: {g} vs {w}");
+    }
+}
+
+#[test]
+fn evaluates_degree_15_sine() {
+    let series = ChebyshevSeries::interpolate(|x| x.sin(), 15, -1.0, 1.0);
+    let inputs = [-0.95, -0.5, -0.1, 0.2, 0.6, 0.99];
+    let (got, want) = run_series(&series, &inputs, 12);
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!((g - w).abs() < 1e-2, "input {i}: {g} vs {w}");
+    }
+}
+
+#[test]
+fn evaluates_on_shifted_interval() {
+    // exp on [0, 2]: checks the affine normalization path.
+    let series = ChebyshevSeries::interpolate(|x| (x - 1.0).exp() * 0.3, 7, 0.0, 2.0);
+    let inputs = [0.05, 0.5, 1.0, 1.5, 1.95];
+    let (got, want) = run_series(&series, &inputs, 11);
+    for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+        assert!((g - w).abs() < 1e-2, "input {i}: {g} vs {w}");
+    }
+}
+
+#[test]
+fn constant_series() {
+    let series = ChebyshevSeries::from_coeffs(vec![0.625], -1.0, 1.0);
+    let inputs = [-0.5, 0.5];
+    let (got, _want) = run_series(&series, &inputs, 6);
+    for g in got {
+        assert!((g - 0.625).abs() < 1e-3, "{g}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the functional CKKS scheme on randomized
+//! messages: encode/decode, homomorphic arithmetic against plaintext
+//! references, and the rotation group action. Case counts are small —
+//! each case runs real lattice cryptography.
+
+use ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator};
+use fhe_math::cfft::Complex;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn ctx() -> Arc<CkksContext> {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_degree(6)
+            .levels(4)
+            .scale_bits(32)
+            .first_modulus_bits(40)
+            .special_modulus_bits(36)
+            .dnum(2)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn values_strategy(slots: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-1.0f64..1.0, -1.0f64..1.0), slots)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn encode_decode_roundtrip(values in values_strategy(32)) {
+        let ctx = ctx();
+        let encoder = Encoder::new(ctx.clone());
+        let pt = encoder.encode(&values, 2, ctx.params().scale()).unwrap();
+        let back = encoder.decode(&pt);
+        for (a, b) in back.iter().zip(&values) {
+            prop_assert!((*a - *b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn encryption_is_correct_and_homomorphic_for_addition(
+        a in values_strategy(32),
+        b in values_strategy(32),
+        seed in any::<u64>(),
+    ) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let decryptor = Decryptor::new(ctx.clone());
+        let evaluator = Evaluator::new(ctx.clone());
+        let scale = ctx.params().scale();
+        let ca = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&a, 2, scale).unwrap(), &sk);
+        let cb = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&b, 2, scale).unwrap(), &sk);
+        let sum = evaluator.add(&ca, &cb);
+        let out = encoder.decode(&decryptor.decrypt(&sum, &sk));
+        for ((x, y), z) in a.iter().zip(&b).zip(&out) {
+            prop_assert!((*x + *y - *z).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn multiplication_matches_plaintext_product(
+        a in values_strategy(32),
+        b in values_strategy(32),
+        seed in any::<u64>(),
+    ) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let rlk = keygen.relin_key(&mut rng, &sk);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let decryptor = Decryptor::new(ctx.clone());
+        let evaluator = Evaluator::new(ctx.clone());
+        let scale = ctx.params().scale();
+        let ca = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&a, 3, scale).unwrap(), &sk);
+        let cb = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&b, 3, scale).unwrap(), &sk);
+        // Standard and merged paths both match the plaintext product.
+        for prod in [evaluator.mul(&ca, &cb, &rlk), evaluator.mul_merged(&ca, &cb, &rlk)] {
+            let out = encoder.decode(&decryptor.decrypt(&prod, &sk));
+            for ((x, y), z) in a.iter().zip(&b).zip(&out) {
+                prop_assert!((*x * *y - *z).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_group_acts_transitively(
+        values in values_strategy(32),
+        steps in 0i64..32,
+        seed in any::<u64>(),
+    ) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let gk = keygen.galois_keys(&mut rng, &sk, &[steps], false);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let decryptor = Decryptor::new(ctx.clone());
+        let evaluator = Evaluator::new(ctx.clone());
+        let scale = ctx.params().scale();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&values, 2, scale).unwrap(), &sk);
+        let rot = evaluator.rotate(&ct, steps, &gk);
+        let out = encoder.decode(&decryptor.decrypt(&rot, &sk));
+        let slots = values.len();
+        for i in 0..slots {
+            let want = values[(i + steps as usize) % slots];
+            prop_assert!((out[i] - want).abs() < 1e-3, "slot {}", i);
+        }
+    }
+
+    #[test]
+    fn rescale_preserves_value_and_drops_limb(
+        values in values_strategy(32),
+        c in -2.0f64..2.0,
+        seed in any::<u64>(),
+    ) {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let decryptor = Decryptor::new(ctx.clone());
+        let evaluator = Evaluator::new(ctx.clone());
+        let scale = ctx.params().scale();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&values, 3, scale).unwrap(), &sk);
+        let scaled = evaluator.rescale(&evaluator.mul_scalar_no_rescale(&ct, c, scale));
+        prop_assert_eq!(scaled.limb_count(), 2);
+        let out = encoder.decode(&decryptor.decrypt(&scaled, &sk));
+        for (x, z) in values.iter().zip(&out) {
+            prop_assert!((x.scale(c) - *z).abs() < 1e-3);
+        }
+    }
+}

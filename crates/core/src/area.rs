@@ -1,0 +1,206 @@
+//! Performance vs. area/cost trade-offs (§4.4 of the paper).
+//!
+//! The paper's §4.4 argument is quantified here: a large on-chip memory
+//! dominates accelerator die area, so cutting the cache from 256–512 MB
+//! to 32 MB "proportionally reduces the cost of the solution". We model
+//! die area as SRAM area plus modular-multiplier logic area, with
+//! technology-node densities cited from the public literature as rough
+//! constants (they only need to be right to first order — the comparison
+//! is between configurations sharing the same node).
+
+use crate::hardware::HardwareConfig;
+use std::fmt;
+
+/// A silicon technology node's density assumptions.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AreaModel {
+    /// Node label.
+    pub node: &'static str,
+    /// SRAM area in mm² per MB (7 nm high-density SRAM macros land around
+    /// 0.3–0.45 mm²/MB including overheads; we use the middle).
+    pub sram_mm2_per_mb: f64,
+    /// Logic area per modular multiplier in mm² (a pipelined 64-bit
+    /// modular multiplier plus its share of interconnect).
+    pub logic_mm2_per_modmult: f64,
+}
+
+impl AreaModel {
+    /// The 7 nm node used by BTS/ARK/CraterLake.
+    pub fn n7() -> Self {
+        Self {
+            node: "7nm",
+            sram_mm2_per_mb: 0.4,
+            logic_mm2_per_modmult: 0.0015,
+        }
+    }
+
+    /// A mature 14/12 nm node (the cost-conscious alternative the paper's
+    /// introduction motivates: "to accommodate this large 512 MB memory
+    /// on-chip, one needs … the 7 nm, which is prohibitively expensive").
+    pub fn n14() -> Self {
+        Self {
+            node: "14nm",
+            sram_mm2_per_mb: 1.1,
+            logic_mm2_per_modmult: 0.0045,
+        }
+    }
+
+    /// SRAM area of `mb` megabytes.
+    pub fn memory_mm2(&self, mb: f64) -> f64 {
+        self.sram_mm2_per_mb * mb
+    }
+
+    /// Logic area of `count` modular multipliers.
+    pub fn logic_mm2(&self, count: u64) -> f64 {
+        self.logic_mm2_per_modmult * count as f64
+    }
+
+    /// Total die-area estimate for a design.
+    pub fn die_mm2(&self, hw: &HardwareConfig) -> f64 {
+        self.memory_mm2(hw.on_chip_mb) + self.logic_mm2(hw.modmult_count)
+    }
+
+    /// Fraction of the die devoted to on-chip memory.
+    pub fn memory_fraction(&self, hw: &HardwareConfig) -> f64 {
+        self.memory_mm2(hw.on_chip_mb) / self.die_mm2(hw)
+    }
+
+    /// Relative die cost. Cost grows super-linearly with area because
+    /// yield drops with defect exposure; the standard first-order model is
+    /// cost ∝ area / yield with yield ≈ (1 + A·D/α)^{-α}. We expose the
+    /// classic negative-binomial form with defect density `d0` per mm².
+    pub fn relative_cost(&self, hw: &HardwareConfig, d0_per_mm2: f64) -> f64 {
+        let area = self.die_mm2(hw);
+        let alpha = 3.0;
+        let yield_ = (1.0 + area * d0_per_mm2 / alpha).powf(-alpha);
+        area / yield_
+    }
+}
+
+impl fmt::Display for AreaModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.node)
+    }
+}
+
+/// One row of the §4.4 trade-off analysis.
+#[derive(Clone, Debug)]
+pub struct TradeoffRow {
+    /// Configuration label.
+    pub label: String,
+    /// Cache size in MB.
+    pub cache_mb: f64,
+    /// Estimated die area in mm².
+    pub die_mm2: f64,
+    /// Fraction of area that is memory.
+    pub memory_fraction: f64,
+    /// Relative manufacturing cost (area/yield).
+    pub relative_cost: f64,
+    /// Bootstrapping throughput (Eq.-3 display units).
+    pub throughput: f64,
+    /// Throughput per relative cost — the "win-win" metric.
+    pub throughput_per_cost: f64,
+}
+
+/// Builds the §4.4 trade-off comparison for one design: the original
+/// cache size vs MAD's 32 MB, at the given node and defect density.
+pub fn tradeoff_rows(
+    hw: &HardwareConfig,
+    model: &AreaModel,
+    d0_per_mm2: f64,
+    throughputs: &[(f64, f64)],
+) -> Vec<TradeoffRow> {
+    throughputs
+        .iter()
+        .map(|&(cache_mb, throughput)| {
+            let cfg = hw.with_cache_mb(cache_mb);
+            let die = model.die_mm2(&cfg);
+            let cost = model.relative_cost(&cfg, d0_per_mm2);
+            TradeoffRow {
+                label: format!("{}-{}", hw.name, cache_mb as u64),
+                cache_mb,
+                die_mm2: die,
+                memory_fraction: model.memory_fraction(&cfg),
+                relative_cost: cost,
+                throughput,
+                throughput_per_cost: throughput / cost,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_dominates_large_cache_asics() {
+        // §4.4: "a large on-chip memory results in a large chip area".
+        let m = AreaModel::n7();
+        for hw in [HardwareConfig::bts(), HardwareConfig::ark()] {
+            assert!(
+                m.memory_fraction(&hw) > 0.85,
+                "{}: memory fraction {:.2}",
+                hw.name,
+                m.memory_fraction(&hw)
+            );
+        }
+        // At 32 MB the logic matters again.
+        let small = HardwareConfig::ark().with_cache_mb(32.0);
+        assert!(m.memory_fraction(&small) < 0.5);
+    }
+
+    #[test]
+    fn cache_cut_shrinks_area_roughly_proportionally() {
+        // 512 → 32 MB is the paper's 16× memory reduction; die area drops
+        // by ≈ the memory share.
+        let m = AreaModel::n7();
+        let big = m.die_mm2(&HardwareConfig::bts());
+        let small = m.die_mm2(&HardwareConfig::bts().with_cache_mb(32.0));
+        assert!(big / small > 5.0, "area ratio {:.1}", big / small);
+    }
+
+    #[test]
+    fn yield_model_superlinear_in_area() {
+        let m = AreaModel::n7();
+        let d0 = 0.001;
+        let big = m.relative_cost(&HardwareConfig::bts(), d0);
+        let small = m.relative_cost(&HardwareConfig::bts().with_cache_mb(32.0), d0);
+        let area_ratio =
+            m.die_mm2(&HardwareConfig::bts()) / m.die_mm2(&HardwareConfig::bts().with_cache_mb(32.0));
+        assert!(
+            big / small > area_ratio,
+            "cost ratio {:.1} must exceed area ratio {:.1}",
+            big / small,
+            area_ratio
+        );
+    }
+
+    #[test]
+    fn older_node_is_denser_in_cost_not_area() {
+        let n7 = AreaModel::n7();
+        let n14 = AreaModel::n14();
+        let hw = HardwareConfig::craterlake().with_cache_mb(32.0);
+        assert!(n14.die_mm2(&hw) > n7.die_mm2(&hw));
+    }
+
+    #[test]
+    fn tradeoff_rows_compute_win_win_metric() {
+        let hw = HardwareConfig::bts();
+        let rows = tradeoff_rows(
+            &hw,
+            &AreaModel::n7(),
+            0.001,
+            &[(512.0, 2667.0), (32.0, 1431.0)],
+        );
+        assert_eq!(rows.len(), 2);
+        // MAD at 32 MB loses raw throughput but wins throughput/cost.
+        assert!(rows[1].throughput < rows[0].throughput);
+        assert!(
+            rows[1].throughput_per_cost > rows[0].throughput_per_cost,
+            "32 MB should win per cost: {:.2} vs {:.2}",
+            rows[1].throughput_per_cost,
+            rows[0].throughput_per_cost
+        );
+    }
+}

@@ -1,0 +1,171 @@
+//! The cost accumulator: modular-arithmetic operations and DRAM traffic,
+//! split by category exactly as the paper reports them (ciphertext limb
+//! reads/writes, switching-key reads, plaintext reads).
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+/// Compute operations and DRAM bytes attributed to one (sub-)operation.
+///
+/// `ops` counts individual modular multiplications and additions — the
+/// granularity of the paper's Section 4.1 ("SimFHE tracks compute at the
+/// modular arithmetic level").
+#[derive(Clone, Copy, Default, PartialEq)]
+pub struct Cost {
+    /// Modular multiplications.
+    pub mults: u64,
+    /// Modular additions/subtractions.
+    pub adds: u64,
+    /// DRAM bytes read for ciphertext/plaintext-sized ring data.
+    pub ct_read: u64,
+    /// DRAM bytes written for ciphertext-sized ring data.
+    pub ct_write: u64,
+    /// DRAM bytes read for switching keys.
+    pub key_read: u64,
+    /// DRAM bytes read for plaintext operands (encoded constants,
+    /// matrix diagonals).
+    pub pt_read: u64,
+}
+
+impl fmt::Debug for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Cost {{ {:.4} Gops, {:.4} GB dram ({:.3} rd / {:.3} wr / {:.3} key / {:.3} pt), AI {:.2} }}",
+            self.ops() as f64 / 1e9,
+            self.dram_total() as f64 / 1e9,
+            self.ct_read as f64 / 1e9,
+            self.ct_write as f64 / 1e9,
+            self.key_read as f64 / 1e9,
+            self.pt_read as f64 / 1e9,
+            self.arithmetic_intensity()
+        )
+    }
+}
+
+impl Cost {
+    /// The zero cost.
+    pub const ZERO: Cost = Cost {
+        mults: 0,
+        adds: 0,
+        ct_read: 0,
+        ct_write: 0,
+        key_read: 0,
+        pt_read: 0,
+    };
+
+    /// Pure compute cost.
+    pub fn compute(mults: u64, adds: u64) -> Self {
+        Cost {
+            mults,
+            adds,
+            ..Cost::ZERO
+        }
+    }
+
+    /// Total modular operations.
+    pub fn ops(&self) -> u64 {
+        self.mults + self.adds
+    }
+
+    /// Total DRAM bytes moved.
+    pub fn dram_total(&self) -> u64 {
+        self.ct_read + self.ct_write + self.key_read + self.pt_read
+    }
+
+    /// DRAM bytes read (all categories).
+    pub fn dram_read(&self) -> u64 {
+        self.ct_read + self.key_read + self.pt_read
+    }
+
+    /// Arithmetic intensity in ops/byte (Table 4's `AI` row).
+    pub fn arithmetic_intensity(&self) -> f64 {
+        if self.dram_total() == 0 {
+            0.0
+        } else {
+            self.ops() as f64 / self.dram_total() as f64
+        }
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost {
+            mults: self.mults + rhs.mults,
+            adds: self.adds + rhs.adds,
+            ct_read: self.ct_read + rhs.ct_read,
+            ct_write: self.ct_write + rhs.ct_write,
+            key_read: self.key_read + rhs.key_read,
+            pt_read: self.pt_read + rhs.pt_read,
+        }
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Cost {
+    type Output = Cost;
+    fn mul(self, k: u64) -> Cost {
+        Cost {
+            mults: self.mults * k,
+            adds: self.adds * k,
+            ct_read: self.ct_read * k,
+            ct_write: self.ct_write * k,
+            key_read: self.key_read * k,
+            pt_read: self.pt_read * k,
+        }
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, |a, b| a + b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulation_and_scaling() {
+        let a = Cost {
+            mults: 10,
+            adds: 5,
+            ct_read: 100,
+            ct_write: 50,
+            key_read: 20,
+            pt_read: 10,
+        };
+        let b = a + a;
+        assert_eq!(b.ops(), 30);
+        assert_eq!(b.dram_total(), 360);
+        assert_eq!((a * 3).mults, 30);
+        let mut c = Cost::ZERO;
+        c += a;
+        c += a;
+        assert_eq!(c, b);
+        let s: Cost = [a, a, a].into_iter().sum();
+        assert_eq!(s, a * 3);
+    }
+
+    #[test]
+    fn arithmetic_intensity_definition() {
+        let c = Cost {
+            mults: 600,
+            adds: 400,
+            ct_read: 500,
+            ct_write: 300,
+            key_read: 150,
+            pt_read: 50,
+        };
+        assert!((c.arithmetic_intensity() - 1.0).abs() < 1e-12);
+        assert_eq!(Cost::ZERO.arithmetic_intensity(), 0.0);
+    }
+}

@@ -1,0 +1,168 @@
+//! Brute-force memory-aware parameter search (§4.1, producing Table 5).
+//!
+//! Given an on-chip memory size and a hardware design, SimFHE enumerates
+//! the CKKS parameter space — limb width `log q`, chain length `L`, digit
+//! count `dnum`, DFT factorization `fftIter` — keeps the 128-bit-secure
+//! points, simulates one bootstrap for each, and ranks them by the Eq.-3
+//! throughput metric.
+
+use crate::bootstrap::EVAL_MOD_DEPTH;
+use crate::hardware::HardwareConfig;
+use crate::params::SchemeParams;
+use crate::throughput::{run_mad_bootstrap, MadRun};
+
+/// Bounds of the search space.
+#[derive(Clone, Debug)]
+pub struct SearchSpace {
+    /// `log2 N` (fixed; the paper searches at `2^17`).
+    pub log_n: u32,
+    /// Candidate limb widths.
+    pub log_q: Vec<u32>,
+    /// Candidate chain lengths.
+    pub limbs: Vec<usize>,
+    /// Candidate digit counts.
+    pub dnum: Vec<usize>,
+    /// Candidate DFT factorizations.
+    pub fft_iter: Vec<usize>,
+}
+
+impl Default for SearchSpace {
+    fn default() -> Self {
+        Self {
+            log_n: 17,
+            log_q: (40..=60).step_by(2).collect(),
+            limbs: (25..=55).collect(),
+            dnum: vec![1, 2, 3, 4, 5],
+            fft_iter: vec![1, 2, 3, 4, 6, 8],
+        }
+    }
+}
+
+impl SearchSpace {
+    /// Total candidate count before filtering.
+    pub fn candidate_count(&self) -> usize {
+        self.log_q.len() * self.limbs.len() * self.dnum.len() * self.fft_iter.len()
+    }
+
+    /// Enumerates all valid, 128-bit-secure parameter points deep enough
+    /// for bootstrapping.
+    pub fn enumerate(&self) -> Vec<SchemeParams> {
+        let mut out = Vec::new();
+        for &log_q in &self.log_q {
+            for &limbs in &self.limbs {
+                for &dnum in &self.dnum {
+                    if dnum > limbs {
+                        continue;
+                    }
+                    for &fft_iter in &self.fft_iter {
+                        let p = SchemeParams {
+                            log_n: self.log_n,
+                            log_q,
+                            limbs,
+                            dnum,
+                            fft_iter,
+                        };
+                        let depth = 2 * fft_iter + 2 + EVAL_MOD_DEPTH;
+                        if limbs <= depth {
+                            continue;
+                        }
+                        if fft_iter > (self.log_n - 1) as usize {
+                            continue;
+                        }
+                        if !p.is_secure_128() {
+                            continue;
+                        }
+                        out.push(p);
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// One scored point of the search.
+#[derive(Clone, Copy, Debug)]
+pub struct SearchResult {
+    /// The simulated run.
+    pub run: MadRun,
+}
+
+/// Runs the brute-force search, returning results sorted by descending
+/// throughput.
+pub fn search(space: &SearchSpace, hw: &HardwareConfig) -> Vec<SearchResult> {
+    let mut results: Vec<SearchResult> = space
+        .enumerate()
+        .into_iter()
+        .map(|p| SearchResult {
+            run: run_mad_bootstrap(p, hw),
+        })
+        .collect();
+    results.sort_by(|a, b| {
+        b.run
+            .throughput_display
+            .partial_cmp(&a.run.throughput_display)
+            .expect("throughputs are finite")
+    });
+    results
+}
+
+/// Convenience: the best parameter point for a design.
+pub fn best_params(space: &SearchSpace, hw: &HardwareConfig) -> Option<SchemeParams> {
+    search(space, hw).first().map(|r| r.run.params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enumeration_respects_constraints() {
+        let space = SearchSpace::default();
+        let points = space.enumerate();
+        assert!(!points.is_empty());
+        assert!(points.len() < space.candidate_count());
+        for p in &points {
+            assert!(p.is_secure_128(), "{p:?} insecure");
+            assert!(p.limbs > 2 * p.fft_iter + 2 + EVAL_MOD_DEPTH);
+        }
+    }
+
+    #[test]
+    fn search_ranks_by_throughput() {
+        // A reduced space to keep the test fast.
+        let space = SearchSpace {
+            log_q: vec![50, 54],
+            limbs: vec![30, 35, 40],
+            dnum: vec![2, 3],
+            fft_iter: vec![3, 6],
+            ..SearchSpace::default()
+        };
+        let hw = HardwareConfig::gpu().with_cache_mb(32.0);
+        let results = search(&space, &hw);
+        assert!(results.len() > 4);
+        for w in results.windows(2) {
+            assert!(
+                w[0].run.throughput_display >= w[1].run.throughput_display,
+                "results must be sorted"
+            );
+        }
+    }
+
+    #[test]
+    fn deeper_chains_win_when_memory_allows() {
+        // With all MAD optimizations at 32 MB, a longer chain amortizes the
+        // fixed bootstrap cost over more post-bootstrap levels; the best
+        // point should not be the shallowest legal chain.
+        let space = SearchSpace {
+            log_q: vec![50],
+            limbs: (20..=44).collect(),
+            dnum: vec![2],
+            fft_iter: vec![6],
+            ..SearchSpace::default()
+        };
+        let hw = HardwareConfig::gpu().with_cache_mb(32.0);
+        let best = best_params(&space, &hw).unwrap();
+        assert!(best.limbs > 22, "best L = {}", best.limbs);
+    }
+}

@@ -1,0 +1,242 @@
+//! Application workloads as schedules of primitive operations.
+//!
+//! `fhe-apps` builds HELR logistic-regression training and ResNet-20
+//! inference as [`Workload`]s; the cost model executes them operation by
+//! operation, tracking limb counts and inserting bootstrap costs where the
+//! schedule demands them.
+
+use crate::cost::Cost;
+use crate::matvec::MatVecShape;
+use crate::primitives::CostModel;
+use std::fmt;
+
+/// One scheduled primitive at a known limb count.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkloadOp {
+    /// Ciphertext–ciphertext multiplication (with rescale).
+    Mult {
+        /// Limb count on entry.
+        ell: usize,
+    },
+    /// Plaintext multiplication (with rescale).
+    PtMult {
+        /// Limb count on entry.
+        ell: usize,
+    },
+    /// Ciphertext addition.
+    Add {
+        /// Limb count on entry.
+        ell: usize,
+    },
+    /// Plaintext addition.
+    PtAdd {
+        /// Limb count on entry.
+        ell: usize,
+    },
+    /// Slot rotation.
+    Rotate {
+        /// Limb count on entry.
+        ell: usize,
+    },
+    /// Complex conjugation (same cost shape as a rotation).
+    Conjugate {
+        /// Limb count on entry.
+        ell: usize,
+    },
+    /// A plaintext matrix–vector product with the given diagonal count.
+    MatVec {
+        /// Limb count on entry.
+        ell: usize,
+        /// Nonzero generalized diagonals (rotations).
+        diagonals: usize,
+    },
+    /// A full bootstrap starting from an exhausted ciphertext.
+    Bootstrap {
+        /// Limb count of the exhausted input.
+        from_limbs: usize,
+    },
+}
+
+/// A named sequence of `(operation, repeat count)` pairs.
+#[derive(Clone, Debug, Default)]
+pub struct Workload {
+    /// Display name.
+    pub name: String,
+    ops: Vec<(WorkloadOp, u64)>,
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({} op groups)", self.name, self.ops.len())
+    }
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            ops: Vec::new(),
+        }
+    }
+
+    /// Appends `count` repetitions of `op`.
+    pub fn push(&mut self, op: WorkloadOp, count: u64) -> &mut Self {
+        if count > 0 {
+            self.ops.push((op, count));
+        }
+        self
+    }
+
+    /// The scheduled `(op, count)` pairs.
+    pub fn ops(&self) -> &[(WorkloadOp, u64)] {
+        &self.ops
+    }
+
+    /// Total primitive-operation count (bootstraps count once each).
+    pub fn op_count(&self) -> u64 {
+        self.ops.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Number of bootstraps in the schedule.
+    pub fn bootstrap_count(&self) -> u64 {
+        self.ops
+            .iter()
+            .filter(|(op, _)| matches!(op, WorkloadOp::Bootstrap { .. }))
+            .map(|&(_, c)| c)
+            .sum()
+    }
+
+    /// Concatenates another workload's schedule `times` times.
+    pub fn extend_repeated(&mut self, other: &Workload, times: u64) -> &mut Self {
+        for _ in 0..times {
+            self.ops.extend(other.ops.iter().copied());
+        }
+        self
+    }
+}
+
+impl CostModel {
+    /// Cost of one scheduled operation.
+    pub fn op_cost(&self, op: WorkloadOp) -> Cost {
+        match op {
+            WorkloadOp::Mult { ell } => self.mult(ell),
+            WorkloadOp::PtMult { ell } => self.pt_mult(ell),
+            WorkloadOp::Add { ell } => self.add(ell),
+            WorkloadOp::PtAdd { ell } => self.pt_add(ell),
+            WorkloadOp::Rotate { ell } | WorkloadOp::Conjugate { ell } => self.rotate(ell),
+            WorkloadOp::MatVec { ell, diagonals } => {
+                self.pt_mat_vec_mult(MatVecShape { ell, diagonals }).cost
+            }
+            WorkloadOp::Bootstrap { from_limbs } => self.bootstrap_from(from_limbs).cost,
+        }
+    }
+
+    /// Cost of a workload broken down by operation kind, in first-seen
+    /// order. Bootstraps typically dominate (the paper's ~80% claim); this
+    /// is how the `fhe-apps` analyses verify it.
+    pub fn workload_breakdown(&self, w: &Workload) -> Vec<(&'static str, Cost)> {
+        let mut order: Vec<&'static str> = Vec::new();
+        let mut acc: std::collections::HashMap<&'static str, Cost> =
+            std::collections::HashMap::new();
+        for &(op, count) in w.ops() {
+            let kind = match op {
+                WorkloadOp::Mult { .. } => "Mult",
+                WorkloadOp::PtMult { .. } => "PtMult",
+                WorkloadOp::Add { .. } => "Add",
+                WorkloadOp::PtAdd { .. } => "PtAdd",
+                WorkloadOp::Rotate { .. } => "Rotate",
+                WorkloadOp::Conjugate { .. } => "Conjugate",
+                WorkloadOp::MatVec { .. } => "MatVec",
+                WorkloadOp::Bootstrap { .. } => "Bootstrap",
+            };
+            if !acc.contains_key(kind) {
+                order.push(kind);
+            }
+            *acc.entry(kind).or_insert(Cost::ZERO) += self.op_cost(op) * count;
+        }
+        order.into_iter().map(|k| (k, acc[k])).collect()
+    }
+
+    /// Total cost of a workload.
+    pub fn workload_cost(&self, w: &Workload) -> Cost {
+        w.ops()
+            .iter()
+            .map(|&(op, count)| self.op_cost(op) * count)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::MadConfig;
+    use crate::params::SchemeParams;
+
+    #[test]
+    fn workload_accumulates_costs_linearly() {
+        let model = CostModel::new(SchemeParams::baseline(), MadConfig::baseline());
+        let mut w = Workload::new("test");
+        w.push(WorkloadOp::Mult { ell: 20 }, 3)
+            .push(WorkloadOp::Add { ell: 20 }, 5);
+        let cost = model.workload_cost(&w);
+        let manual = model.mult(20) * 3 + model.add(20) * 5;
+        assert_eq!(cost.ops(), manual.ops());
+        assert_eq!(cost.dram_total(), manual.dram_total());
+        assert_eq!(w.op_count(), 8);
+    }
+
+    #[test]
+    fn zero_count_ops_are_dropped() {
+        let mut w = Workload::new("sparse");
+        w.push(WorkloadOp::Add { ell: 5 }, 0);
+        assert!(w.ops().is_empty());
+    }
+
+    #[test]
+    fn bootstrap_counting_and_repetition() {
+        let mut iter = Workload::new("iteration");
+        iter.push(WorkloadOp::Mult { ell: 10 }, 2)
+            .push(WorkloadOp::Bootstrap { from_limbs: 2 }, 1);
+        let mut total = Workload::new("training");
+        total.extend_repeated(&iter, 4);
+        assert_eq!(total.bootstrap_count(), 4);
+        assert_eq!(total.op_count(), 12);
+    }
+
+    #[test]
+    fn breakdown_sums_to_total_and_preserves_order() {
+        let model = CostModel::new(SchemeParams::baseline(), MadConfig::baseline());
+        let mut w = Workload::new("mixed");
+        w.push(WorkloadOp::Rotate { ell: 12 }, 4)
+            .push(WorkloadOp::Mult { ell: 12 }, 2)
+            .push(WorkloadOp::Rotate { ell: 11 }, 1)
+            .push(WorkloadOp::Bootstrap { from_limbs: 2 }, 1);
+        let breakdown = model.workload_breakdown(&w);
+        assert_eq!(
+            breakdown.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+            vec!["Rotate", "Mult", "Bootstrap"]
+        );
+        let sum: Cost = breakdown.iter().map(|&(_, c)| c).sum();
+        let total = model.workload_cost(&w);
+        assert_eq!(sum.ops(), total.ops());
+        assert_eq!(sum.dram_total(), total.dram_total());
+    }
+
+    #[test]
+    fn mad_config_reduces_workload_cost() {
+        let w = {
+            let mut w = Workload::new("mixed");
+            w.push(WorkloadOp::Mult { ell: 30 }, 4)
+                .push(WorkloadOp::Rotate { ell: 30 }, 8)
+                .push(WorkloadOp::MatVec { ell: 30, diagonals: 31 }, 2);
+            w
+        };
+        let base = CostModel::new(SchemeParams::baseline(), MadConfig::baseline());
+        let mad = CostModel::new(SchemeParams::baseline(), MadConfig::all());
+        assert!(
+            mad.workload_cost(&w).dram_total() < base.workload_cost(&w).dram_total(),
+            "MAD must reduce workload DRAM traffic"
+        );
+    }
+}

@@ -1,0 +1,161 @@
+//! Property-based tests of the SimFHE cost model: invariants that must
+//! hold for *every* parameter point, not just the paper's.
+
+use proptest::prelude::*;
+use simfhe::{
+    AlgoOpts, CachingLevel, Cost, CostModel, HardwareConfig, MadConfig, SchemeParams,
+};
+
+fn params_strategy() -> impl Strategy<Value = SchemeParams> {
+    (13u32..=17, 30u32..=60, 20usize..=45, 1usize..=5, 1usize..=6).prop_map(
+        |(log_n, log_q, limbs, dnum, fft_iter)| SchemeParams {
+            log_n,
+            log_q,
+            limbs,
+            dnum: dnum.min(limbs),
+            fft_iter,
+        },
+    )
+}
+
+fn algo_strategy() -> impl Strategy<Value = AlgoOpts> {
+    (any::<bool>(), any::<bool>(), any::<bool>(), any::<bool>()).prop_map(
+        |(moddown_merge, moddown_hoist, modup_hoist, key_compression)| AlgoOpts {
+            moddown_merge,
+            moddown_hoist,
+            modup_hoist,
+            key_compression,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn digits_always_tile_the_level(p in params_strategy(), ell_frac in 0.1f64..1.0) {
+        let ell = ((p.limbs as f64 * ell_frac) as usize).max(1);
+        let model = CostModel::new(p, MadConfig::baseline());
+        let beta = ell.div_ceil(p.alpha());
+        let covered: usize = (0..beta).map(|j| model.digit_width(ell, j)).sum();
+        prop_assert_eq!(covered, ell);
+        prop_assert!(p.beta_at(ell) <= p.dnum + 1);
+    }
+
+    #[test]
+    fn caching_ladder_is_monotone_for_all_params(p in params_strategy(), algo in algo_strategy()) {
+        let ell = p.limbs.max(2);
+        let mut last_dram = u64::MAX;
+        let mut ops: Option<u64> = None;
+        for lvl in CachingLevel::ALL {
+            let model = CostModel::new(p, MadConfig { caching: lvl, algo });
+            let c = model.mult(ell) + model.rotate(ell) + model.rescale(ell);
+            prop_assert!(c.dram_total() <= last_dram, "{lvl} increased traffic");
+            last_dram = c.dram_total();
+            // Caching never changes compute (§3.1).
+            match ops {
+                None => ops = Some(c.ops()),
+                Some(o) => prop_assert_eq!(c.ops(), o),
+            }
+        }
+    }
+
+    #[test]
+    fn key_compression_halves_keys_and_nothing_else(
+        p in params_strategy(),
+        caching in prop::sample::select(CachingLevel::ALL.to_vec()),
+    ) {
+        let ell = p.limbs.max(2);
+        let base = AlgoOpts { key_compression: false, ..AlgoOpts::all() };
+        let compressed = AlgoOpts::all();
+        let a = CostModel::new(p, MadConfig { caching, algo: base }).rotate(ell);
+        let b = CostModel::new(p, MadConfig { caching, algo: compressed }).rotate(ell);
+        prop_assert_eq!(b.key_read * 2, a.key_read);
+        prop_assert_eq!(a.ops(), b.ops());
+        prop_assert_eq!(a.ct_read, b.ct_read);
+        prop_assert_eq!(a.ct_write, b.ct_write);
+    }
+
+    #[test]
+    fn moddown_merge_always_reduces_mult_compute(p in params_strategy()) {
+        prop_assume!(p.limbs >= 2);
+        let ell = p.limbs;
+        let without = AlgoOpts { moddown_merge: false, ..AlgoOpts::all() };
+        let a = CostModel::new(p, MadConfig { caching: CachingLevel::LimbReorder, algo: without })
+            .mult(ell);
+        let b = CostModel::new(p, MadConfig::all()).mult(ell);
+        prop_assert!(b.ops() < a.ops());
+    }
+
+    #[test]
+    fn bootstrap_level_accounting(p in params_strategy()) {
+        let consumed = 2 * p.fft_iter + 2 + simfhe::bootstrap::EVAL_MOD_DEPTH;
+        prop_assume!(p.limbs > consumed);
+        prop_assume!(p.fft_iter <= (p.log_n - 1) as usize);
+        let b = CostModel::new(p, MadConfig::all()).bootstrap();
+        prop_assert_eq!(b.levels_consumed, consumed);
+        prop_assert_eq!(b.output_limbs, p.limbs - consumed);
+        prop_assert_eq!(b.log_q1, (b.output_limbs as u32) * p.log_q);
+        prop_assert!(b.cost.ops() > 0 && b.cost.dram_total() > 0);
+    }
+
+    #[test]
+    fn costs_scale_linearly(p in params_strategy(), k in 1u64..50) {
+        let model = CostModel::new(p, MadConfig::baseline());
+        let one = model.add(p.limbs);
+        let many = one * k;
+        prop_assert_eq!(many.ops(), one.ops() * k);
+        prop_assert_eq!(many.dram_total(), one.dram_total() * k);
+        let sum: Cost = std::iter::repeat_n(one, k as usize).sum();
+        prop_assert_eq!(sum, many);
+    }
+
+    #[test]
+    fn roofline_is_max_of_components(
+        mults in 1u64..u64::MAX / 4,
+        bytes in 1u64..u64::MAX / 4,
+    ) {
+        let hw = HardwareConfig::gpu();
+        let c = Cost { mults, ct_read: bytes, ..Cost::ZERO };
+        let r = hw.runtime_seconds(&c);
+        prop_assert!(r >= hw.compute_seconds(&c) - f64::EPSILON);
+        prop_assert!(r >= hw.memory_seconds(&c) - f64::EPSILON);
+        prop_assert!(
+            (r - hw.compute_seconds(&c)).abs() < 1e-12 * r
+                || (r - hw.memory_seconds(&c)).abs() < 1e-12 * r
+        );
+    }
+
+    #[test]
+    fn best_cache_level_never_exceeds_budget(cache_mb in 0.5f64..600.0) {
+        let p = SchemeParams::baseline();
+        let lvl = CachingLevel::best_for_cache(
+            cache_mb,
+            p.alpha(),
+            p.beta_at(p.limbs),
+            p.limb_mib(),
+        );
+        prop_assert!(lvl.min_cache_mb(p.alpha(), p.beta_at(p.limbs), p.limb_mib()) <= cache_mb
+            || lvl == CachingLevel::Baseline);
+    }
+
+    #[test]
+    fn security_check_is_monotone_in_depth(p in params_strategy()) {
+        if p.is_secure_128() {
+            let shallower = SchemeParams { limbs: p.limbs.saturating_sub(1).max(1), ..p };
+            prop_assert!(shallower.is_secure_128());
+        }
+    }
+
+    #[test]
+    fn more_bandwidth_never_slows_a_workload(
+        p in params_strategy(),
+        extra in 1.0f64..10.0,
+    ) {
+        let model = CostModel::new(p, MadConfig::baseline());
+        let c = model.rotate(p.limbs);
+        let hw = HardwareConfig::gpu();
+        let faster = HardwareConfig { bandwidth_gbps: hw.bandwidth_gbps * extra, ..hw };
+        prop_assert!(faster.runtime_seconds(&c) <= hw.runtime_seconds(&c) + f64::EPSILON);
+    }
+}

@@ -1,0 +1,250 @@
+//! Galois automorphisms `σ_k : x ↦ x^k` of `Z_q[x]/(x^N + 1)`.
+//!
+//! `Rotate` and `Conjugate` (Table 2 of the MAD paper) are implemented as
+//! key switching after an automorphism. The automorphism itself is a pure
+//! data permutation (plus sign flips in coefficient representation) — the
+//! paper charges it zero arithmetic operations (Table 4, `Automorph`) but
+//! a full limb read+write of DRAM traffic.
+//!
+//! In coefficient representation, `x^i ↦ ±x^{ik mod N}` with a sign flip
+//! whenever `⌊ik / N⌋` is odd. In evaluation representation the map is a
+//! permutation of the stored evaluation points (the point `ψ^e` moves to
+//! `ψ^{ke mod 2N}`), which we precompute per `k` using the NTT exponent
+//! bookkeeping.
+
+use crate::ntt::NttTable;
+use std::fmt;
+
+/// A precomputed automorphism `σ_k` for a fixed ring degree.
+#[derive(Clone)]
+pub struct Automorphism {
+    k: u64,
+    n: usize,
+    /// Coefficient-rep mapping: output index and sign for each input index.
+    coeff_target: Vec<u32>,
+    coeff_negate: Vec<bool>,
+    /// Evaluation-rep permutation: `eval_source[out] = in` position.
+    eval_source: Vec<u32>,
+}
+
+impl fmt::Debug for Automorphism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Automorphism")
+            .field("k", &self.k)
+            .field("n", &self.n)
+            .finish()
+    }
+}
+
+impl Automorphism {
+    /// Precomputes `σ_k` for the ring of `table` (all limbs of a basis share
+    /// the same permutation; any limb's table works).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is even or `k ≥ 2N` (such `k` are not Galois elements
+    /// of the power-of-two cyclotomic).
+    pub fn new(k: u64, table: &NttTable) -> Self {
+        let n = table.size();
+        let two_n = 2 * n as u64;
+        assert!(k % 2 == 1 && k < two_n, "Galois element must be odd and < 2N");
+        let mut coeff_target = vec![0u32; n];
+        let mut coeff_negate = vec![false; n];
+        for i in 0..n {
+            let e = (i as u64 * k) % two_n;
+            if e < n as u64 {
+                coeff_target[i] = e as u32;
+                coeff_negate[i] = false;
+            } else {
+                coeff_target[i] = (e - n as u64) as u32;
+                coeff_negate[i] = true;
+            }
+        }
+        let mut eval_source = vec![0u32; n];
+        for pos in 0..n {
+            // Output position `pos` holds the evaluation at ψ^e; σ_k(p) at
+            // ψ^e equals p(ψ^{ke mod 2N}), i.e. it reads from the input
+            // position storing exponent k·e.
+            let e = table.exponent_at(pos);
+            let src = table.position_of_exponent((e * k) % two_n);
+            eval_source[pos] = src as u32;
+        }
+        Self {
+            k,
+            n,
+            coeff_target,
+            coeff_negate,
+            eval_source,
+        }
+    }
+
+    /// The Galois element `k`.
+    #[inline]
+    pub fn galois_element(&self) -> u64 {
+        self.k
+    }
+
+    /// Applies `σ_k` to one limb in coefficient representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch the ring degree.
+    pub fn apply_coeff(&self, src: &[u64], dst: &mut [u64], q: u64) {
+        assert_eq!(src.len(), self.n);
+        assert_eq!(dst.len(), self.n);
+        for i in 0..self.n {
+            let t = self.coeff_target[i] as usize;
+            dst[t] = if self.coeff_negate[i] && src[i] != 0 {
+                q - src[i]
+            } else {
+                src[i]
+            };
+        }
+    }
+
+    /// Applies `σ_k` to one limb in evaluation representation (a pure
+    /// permutation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths mismatch the ring degree.
+    pub fn apply_eval(&self, src: &[u64], dst: &mut [u64]) {
+        assert_eq!(src.len(), self.n);
+        assert_eq!(dst.len(), self.n);
+        for pos in 0..self.n {
+            dst[pos] = src[self.eval_source[pos] as usize];
+        }
+    }
+}
+
+/// The Galois element that rotates CKKS slots left by `steps` positions:
+/// `5^steps mod 2N` (negative steps rotate right).
+///
+/// # Example
+///
+/// ```
+/// use fhe_math::automorph::rotation_galois_element;
+/// assert_eq!(rotation_galois_element(0, 16), 1);
+/// assert_eq!(rotation_galois_element(1, 16), 5);
+/// assert_eq!(rotation_galois_element(2, 16), 25);
+/// ```
+pub fn rotation_galois_element(steps: i64, n: usize) -> u64 {
+    let two_n = 2 * n as u64;
+    let slots = (n / 2) as i64;
+    let s = steps.rem_euclid(slots) as u64;
+    let mut k = 1u64;
+    for _ in 0..s {
+        k = (k * 5) % two_n;
+    }
+    k
+}
+
+/// The Galois element of complex conjugation: `2N − 1` (i.e. `x ↦ x^{-1}`).
+pub fn conjugation_galois_element(n: usize) -> u64 {
+    2 * n as u64 - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+
+    fn table(n: usize) -> NttTable {
+        NttTable::new(generate_ntt_primes(1, 30, n)[0], n).unwrap()
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_galois_element_rejected() {
+        let t = table(16);
+        let _ = Automorphism::new(4, &t);
+    }
+
+    #[test]
+    fn identity_automorphism() {
+        let t = table(16);
+        let auto = Automorphism::new(1, &t);
+        let src: Vec<u64> = (0..16).collect();
+        let mut dst = vec![0u64; 16];
+        auto.apply_coeff(&src, &mut dst, t.modulus().value());
+        assert_eq!(dst, src);
+        auto.apply_eval(&src, &mut dst);
+        assert_eq!(dst, src);
+    }
+
+    #[test]
+    fn coeff_automorphism_matches_polynomial_substitution() {
+        // σ_k(p)(x) = p(x^k): verify on the monomial basis via evaluation.
+        let n = 16;
+        let t = table(n);
+        let q = *t.modulus();
+        for k in [3u64, 5, 31] {
+            let auto = Automorphism::new(k, &t);
+            let coeffs: Vec<u64> = (1..=n as u64).collect();
+            let mut permuted = vec![0u64; n];
+            auto.apply_coeff(&coeffs, &mut permuted, q.value());
+            // Evaluate both at a random point y with ψ odd power ordering:
+            // p(y^k) must equal σ_k(p)(y) for y any primitive 2N-th root power.
+            let y = q.pow(t.psi(), 3); // ψ^3, a valid evaluation point
+            let eval = |c: &[u64], point: u64| {
+                let mut acc = 0u64;
+                for &ci in c.iter().rev() {
+                    acc = q.add(q.mul(acc, point), ci);
+                }
+                acc
+            };
+            let yk = q.pow(y, k);
+            assert_eq!(eval(&permuted, y), eval(&coeffs, yk), "k={k}");
+        }
+    }
+
+    #[test]
+    fn eval_automorphism_commutes_with_ntt() {
+        let n = 64;
+        let t = table(n);
+        let q = *t.modulus();
+        for k in [5u64, 25, 127] {
+            let auto = Automorphism::new(k, &t);
+            let coeffs: Vec<u64> = (0..n as u64).map(|i| (i * 13 + 7) % q.value()).collect();
+            // Path A: automorph in coeff rep, then NTT.
+            let mut a = vec![0u64; n];
+            auto.apply_coeff(&coeffs, &mut a, q.value());
+            t.forward(&mut a);
+            // Path B: NTT, then automorph in eval rep.
+            let mut b = coeffs.clone();
+            t.forward(&mut b);
+            let mut b_out = vec![0u64; n];
+            auto.apply_eval(&b, &mut b_out);
+            assert_eq!(a, b_out, "k={k}");
+        }
+    }
+
+    #[test]
+    fn rotation_elements_form_cyclic_group() {
+        let n = 32;
+        let slots = n / 2;
+        let mut seen = std::collections::HashSet::new();
+        for s in 0..slots as i64 {
+            seen.insert(rotation_galois_element(s, n));
+        }
+        assert_eq!(seen.len(), slots, "5^s must generate n/2 distinct elements");
+        assert_eq!(
+            rotation_galois_element(-1, n),
+            rotation_galois_element(slots as i64 - 1, n)
+        );
+    }
+
+    #[test]
+    fn conjugation_is_involution() {
+        let n = 16;
+        let t = table(n);
+        let q = *t.modulus();
+        let auto = Automorphism::new(conjugation_galois_element(n), &t);
+        let src: Vec<u64> = (0..n as u64).map(|i| (i * 3 + 2) % q.value()).collect();
+        let mut once = vec![0u64; n];
+        let mut twice = vec![0u64; n];
+        auto.apply_coeff(&src, &mut once, q.value());
+        auto.apply_coeff(&once, &mut twice, q.value());
+        assert_eq!(twice, src);
+    }
+}

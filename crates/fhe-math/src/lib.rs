@@ -1,0 +1,63 @@
+#![warn(missing_docs)]
+// Hot kernels index several slices in lockstep (limbs, roots, outputs);
+// the explicit-index form mirrors the paper's pseudocode and stays clear.
+#![allow(clippy::needless_range_loop)]
+
+//! Number-theoretic substrate for RNS-CKKS fully homomorphic encryption.
+//!
+//! This crate provides the low-level building blocks that the `ckks` scheme
+//! and the `simfhe` cost model are calibrated against:
+//!
+//! - [`modular`]: arithmetic in 64-bit prime fields (Barrett reduction,
+//!   Shoup multiplication, modular inverses and exponentiation).
+//! - [`prime`]: deterministic Miller–Rabin primality testing and generation
+//!   of NTT-friendly primes (`q ≡ 1 mod 2N`).
+//! - [`ntt`]: negacyclic number-theoretic transforms over
+//!   `Z_q[x]/(x^N + 1)`, the *limb-wise* data-access-pattern kernels of the
+//!   MAD paper (Table 3).
+//! - [`rns`]: residue-number-system bases and the fast basis-extension
+//!   (`NewLimb`, Eq. 1 of the paper), the *slot-wise* kernels.
+//! - [`poly`]: RNS polynomials with explicit coefficient/evaluation
+//!   representation tracking, plus the `ModUp`/`ModDown`/`Rescale`/`PModUp`
+//!   ring operations (Algorithms 1, 2 and 5 of the paper).
+//! - [`automorph`]: Galois automorphisms `x ↦ x^k` in both representations,
+//!   used by `Rotate` and `Conjugate`.
+//! - [`cfft`]: the complex "special" FFT over the canonical embedding used
+//!   by the CKKS encoder.
+//! - [`bigint`]: a minimal arbitrary-precision unsigned integer used for CRT
+//!   reconstruction in decoding and in tests.
+//! - [`sampling`]: secret/noise distributions (ternary, centered binomial,
+//!   rounded Gaussian).
+//!
+//! # Example
+//!
+//! Multiply two polynomials in `Z_q[x]/(x^8 + 1)` via the NTT:
+//!
+//! ```
+//! use fhe_math::{ntt::NttTable, prime::generate_ntt_primes};
+//!
+//! let q = generate_ntt_primes(1, 40, 8)[0];
+//! let table = NttTable::new(q, 8).expect("NTT-friendly prime");
+//! let mut a = vec![1u64, 2, 3, 4, 5, 6, 7, 8];
+//! let mut b = vec![2u64, 0, 0, 0, 0, 0, 0, 0];
+//! table.forward(&mut a);
+//! table.forward(&mut b);
+//! let mut c: Vec<u64> = a.iter().zip(&b).map(|(&x, &y)| table.modulus().mul(x, y)).collect();
+//! table.inverse(&mut c);
+//! assert_eq!(c, vec![2, 4, 6, 8, 10, 12, 14, 16]);
+//! ```
+
+pub mod automorph;
+pub mod bigint;
+pub mod cfft;
+pub mod modular;
+pub mod ntt;
+pub mod poly;
+pub mod prime;
+pub mod rns;
+pub mod sampling;
+
+pub use modular::Modulus;
+pub use ntt::NttTable;
+pub use poly::{Representation, RnsPoly};
+pub use rns::RnsBasis;

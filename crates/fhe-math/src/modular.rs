@@ -1,0 +1,361 @@
+//! Arithmetic in 64-bit prime fields.
+//!
+//! A [`Modulus`] bundles a prime `q < 2^62` with precomputed Barrett
+//! constants so that the hot kernels (NTT butterflies, pointwise products,
+//! basis-conversion inner products) never perform a hardware division.
+//!
+//! The MAD paper counts compute in units of modular multiplications and
+//! additions (Section 4.1); these are exactly the operations exposed here.
+
+use std::fmt;
+
+/// Maximum supported modulus: primes must fit in 62 bits so that lazy
+/// sums of up to four residues never overflow `u64`.
+pub const MAX_MODULUS_BITS: u32 = 62;
+
+/// A word-sized prime modulus with precomputed Barrett reduction constants.
+///
+/// # Example
+///
+/// ```
+/// use fhe_math::Modulus;
+/// let q = Modulus::new(65537).unwrap();
+/// assert_eq!(q.mul(65536, 65536), 1); // (-1)·(-1) = 1 mod 65537
+/// assert_eq!(q.pow(3, 65536), q.inv(3).unwrap().wrapping_mul(0).wrapping_add(q.pow(3, 65536)));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Modulus {
+    value: u64,
+    /// ⌊2^128 / q⌋ split into two 64-bit words (high, low).
+    barrett_hi: u64,
+    barrett_lo: u64,
+}
+
+/// Error returned when constructing a [`Modulus`] from an unsupported value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InvalidModulusError(pub u64);
+
+impl fmt::Display for InvalidModulusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "modulus {} is zero, one, or wider than 62 bits", self.0)
+    }
+}
+
+impl std::error::Error for InvalidModulusError {}
+
+impl fmt::Debug for Modulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Modulus({})", self.value)
+    }
+}
+
+impl fmt::Display for Modulus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+impl Modulus {
+    /// Creates a modulus from `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidModulusError`] if `value < 2` or `value >= 2^62`.
+    /// The value is *not* required to be prime; primality is only needed by
+    /// the callers that use [`Modulus::inv`] on arbitrary elements.
+    pub fn new(value: u64) -> Result<Self, InvalidModulusError> {
+        if value < 2 || value >> MAX_MODULUS_BITS != 0 {
+            return Err(InvalidModulusError(value));
+        }
+        // Compute ⌊2^128 / value⌋ via 128-bit long division in two halves.
+        let hi = u64::MAX / value; // ⌊(2^64 - 1)/q⌋ approximates the high word
+        // Exact: 2^128 / q = ((2^64 / q) << 64) + ((2^64 mod q) << 64) / q.
+        let q128 = u128::MAX / value as u128; // ⌊(2^128 - 1)/q⌋ == ⌊2^128/q⌋ unless q | 2^128 (impossible for q>2 odd; for q=2^k handled below)
+        let barrett = if value.is_power_of_two() {
+            // 2^128 / 2^k = 2^(128-k); u128::MAX/q rounds down to 2^(128-k) - 1.
+            q128 + 1
+        } else {
+            q128
+        };
+        let _ = hi;
+        Ok(Self {
+            value,
+            barrett_hi: (barrett >> 64) as u64,
+            barrett_lo: barrett as u64,
+        })
+    }
+
+    /// The modulus value `q`.
+    #[inline(always)]
+    pub const fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Number of significant bits in `q`.
+    #[inline]
+    pub const fn bits(&self) -> u32 {
+        64 - self.value.leading_zeros()
+    }
+
+    /// Reduces an arbitrary 64-bit value modulo `q`.
+    #[inline(always)]
+    pub fn reduce(&self, x: u64) -> u64 {
+        if x < self.value {
+            x
+        } else {
+            x % self.value
+        }
+    }
+
+    /// Reduces a 128-bit value modulo `q` using Barrett reduction.
+    ///
+    /// This is the workhorse of [`Modulus::mul`]; it is branch-light and
+    /// division-free.
+    #[inline(always)]
+    pub fn reduce_u128(&self, x: u128) -> u64 {
+        // q̂ = ⌊x · ⌊2^128/q⌋ / 2^128⌋, then r = x - q̂·q, with at most two
+        // conditional subtractions.
+        let xlo = x as u64;
+        let xhi = (x >> 64) as u64;
+        // tmp = ⌊(x * barrett) / 2^128⌋ where barrett = barrett_hi·2^64 + barrett_lo.
+        let lo_lo = (xlo as u128 * self.barrett_lo as u128) >> 64;
+        let hi_lo = xhi as u128 * self.barrett_lo as u128;
+        let lo_hi = xlo as u128 * self.barrett_hi as u128;
+        let mid = hi_lo + lo_hi + lo_lo;
+        let q_hat = (xhi as u128 * self.barrett_hi as u128) + (mid >> 64);
+        let mut r = (x.wrapping_sub(q_hat.wrapping_mul(self.value as u128))) as u64;
+        while r >= self.value {
+            r -= self.value;
+        }
+        r
+    }
+
+    /// Modular addition of two reduced residues.
+    #[inline(always)]
+    pub fn add(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        let s = a + b;
+        if s >= self.value {
+            s - self.value
+        } else {
+            s
+        }
+    }
+
+    /// Modular subtraction of two reduced residues.
+    #[inline(always)]
+    pub fn sub(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        if a >= b {
+            a - b
+        } else {
+            a + self.value - b
+        }
+    }
+
+    /// Modular negation of a reduced residue.
+    #[inline(always)]
+    pub fn neg(&self, a: u64) -> u64 {
+        debug_assert!(a < self.value);
+        if a == 0 {
+            0
+        } else {
+            self.value - a
+        }
+    }
+
+    /// Modular multiplication of two reduced residues.
+    #[inline(always)]
+    pub fn mul(&self, a: u64, b: u64) -> u64 {
+        debug_assert!(a < self.value && b < self.value);
+        self.reduce_u128(a as u128 * b as u128)
+    }
+
+    /// Fused multiply-add: `a·b + c mod q`.
+    #[inline(always)]
+    pub fn mul_add(&self, a: u64, b: u64, c: u64) -> u64 {
+        self.reduce_u128(a as u128 * b as u128 + c as u128)
+    }
+
+    /// Precomputes the Shoup representation `⌊b·2^64/q⌋` of a constant
+    /// multiplicand `b`, for use with [`Modulus::mul_shoup`].
+    #[inline]
+    pub fn shoup(&self, b: u64) -> u64 {
+        debug_assert!(b < self.value);
+        (((b as u128) << 64) / self.value as u128) as u64
+    }
+
+    /// Multiplication by a constant with a precomputed Shoup factor.
+    ///
+    /// `b_shoup` must be `self.shoup(b)`. Roughly twice as fast as
+    /// [`Modulus::mul`] in NTT butterflies because it avoids the 128-bit
+    /// Barrett step.
+    #[inline(always)]
+    pub fn mul_shoup(&self, a: u64, b: u64, b_shoup: u64) -> u64 {
+        debug_assert!(a < self.value);
+        let q_hat = ((a as u128 * b_shoup as u128) >> 64) as u64;
+        let r = (a.wrapping_mul(b)).wrapping_sub(q_hat.wrapping_mul(self.value));
+        if r >= self.value {
+            r - self.value
+        } else {
+            r
+        }
+    }
+
+    /// Modular exponentiation `a^e mod q` by square-and-multiply.
+    pub fn pow(&self, a: u64, mut e: u64) -> u64 {
+        let mut base = self.reduce(a);
+        let mut acc = 1u64;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc = self.mul(acc, base);
+            }
+            base = self.mul(base, base);
+            e >>= 1;
+        }
+        acc
+    }
+
+    /// Modular inverse via the extended Euclidean algorithm.
+    ///
+    /// Returns `None` when `gcd(a, q) != 1` (in particular for `a == 0`).
+    pub fn inv(&self, a: u64) -> Option<u64> {
+        let a = self.reduce(a);
+        if a == 0 {
+            return None;
+        }
+        let (mut t, mut new_t) = (0i128, 1i128);
+        let (mut r, mut new_r) = (self.value as i128, a as i128);
+        while new_r != 0 {
+            let quotient = r / new_r;
+            (t, new_t) = (new_t, t - quotient * new_t);
+            (r, new_r) = (new_r, r - quotient * new_r);
+        }
+        if r != 1 {
+            return None;
+        }
+        if t < 0 {
+            t += self.value as i128;
+        }
+        Some(t as u64)
+    }
+
+    /// Maps a signed integer into `[0, q)`.
+    #[inline]
+    pub fn from_i64(&self, x: i64) -> u64 {
+        let r = (x % self.value as i64 + self.value as i64) as u64;
+        self.reduce(r)
+    }
+
+    /// Maps a reduced residue to its centered representative in
+    /// `(-q/2, q/2]`.
+    #[inline]
+    pub fn to_centered(&self, x: u64) -> i64 {
+        debug_assert!(x < self.value);
+        if x > self.value / 2 {
+            x as i64 - self.value as i64
+        } else {
+            x as i64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_degenerate_values() {
+        assert!(Modulus::new(0).is_err());
+        assert!(Modulus::new(1).is_err());
+        assert!(Modulus::new(1 << 62).is_err());
+        assert!(Modulus::new(u64::MAX).is_err());
+        assert!(Modulus::new(2).is_ok());
+        assert!(Modulus::new((1 << 62) - 1).is_ok());
+    }
+
+    #[test]
+    fn reduce_u128_matches_naive() {
+        let q = Modulus::new(0x3fff_ffff_ffff_ffc5).unwrap(); // large 62-bit value
+        let cases = [
+            0u128,
+            1,
+            q.value() as u128,
+            q.value() as u128 + 1,
+            u128::MAX,
+            u128::MAX / 2,
+            0x1234_5678_9abc_def0_1122_3344_5566_7788,
+        ];
+        for &x in &cases {
+            assert_eq!(q.reduce_u128(x) as u128, x % q.value() as u128, "x={x}");
+        }
+    }
+
+    #[test]
+    fn reduce_u128_power_of_two_modulus() {
+        let q = Modulus::new(1 << 32).unwrap();
+        assert_eq!(q.reduce_u128(u128::MAX), (u128::MAX % (1u128 << 32)) as u64);
+        assert_eq!(q.reduce_u128((1u128 << 100) + 7), 7);
+    }
+
+    #[test]
+    fn add_sub_neg_roundtrip() {
+        let q = Modulus::new(97).unwrap();
+        for a in 0..97u64 {
+            for b in 0..97u64 {
+                let s = q.add(a, b);
+                assert_eq!(q.sub(s, b), a);
+                assert_eq!(q.add(q.neg(a), a), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn shoup_matches_barrett() {
+        let q = Modulus::new((1 << 50) - 27).unwrap();
+        let b = 0x0003_dead_beef_1234 % q.value();
+        let bs = q.shoup(b);
+        for a in [0u64, 1, 42, q.value() - 1, q.value() / 2] {
+            assert_eq!(q.mul_shoup(a, b, bs), q.mul(a, b));
+        }
+    }
+
+    #[test]
+    fn pow_and_inv_agree_fermat() {
+        let q = Modulus::new(65537).unwrap();
+        for a in [1u64, 2, 3, 65535, 12345] {
+            let inv = q.inv(a).unwrap();
+            assert_eq!(q.mul(a, inv), 1);
+            assert_eq!(inv, q.pow(a, q.value() - 2));
+        }
+        assert_eq!(q.inv(0), None);
+    }
+
+    #[test]
+    fn inv_detects_non_coprime() {
+        let q = Modulus::new(91).unwrap(); // 7 * 13, not prime
+        assert_eq!(q.inv(7), None);
+        assert_eq!(q.inv(13), None);
+        let i = q.inv(2).unwrap();
+        assert_eq!(q.mul(2, i), 1);
+    }
+
+    #[test]
+    fn centered_representatives() {
+        let q = Modulus::new(17).unwrap();
+        assert_eq!(q.to_centered(0), 0);
+        assert_eq!(q.to_centered(8), 8);
+        assert_eq!(q.to_centered(9), -8);
+        assert_eq!(q.to_centered(16), -1);
+        assert_eq!(q.from_i64(-1), 16);
+        assert_eq!(q.from_i64(-17), 0);
+        assert_eq!(q.from_i64(i64::MIN + 1), q.from_i64((i64::MIN + 1) % 17 + 17));
+    }
+
+    #[test]
+    fn mul_add_matches_separate_ops() {
+        let q = Modulus::new((1 << 45) - 229).unwrap();
+        let (a, b, c) = (123456789, 987654321, 555555555);
+        assert_eq!(q.mul_add(a, b, c), q.add(q.mul(a, b), c));
+    }
+}

@@ -1,0 +1,823 @@
+//! RNS polynomials over `Z_Q[x]/(x^N + 1)` with explicit representation
+//! tracking, plus the RNS basis-change ring operations of the MAD paper:
+//! `ModUp` (Algorithm 1), `ModDown` (Algorithm 2), `Rescale` (the
+//! `ModDown` specialization that drops one limb), and `PModUp`
+//! (Algorithm 5, the free lift `x ↦ P·x` enabling linear functions in the
+//! raised basis).
+//!
+//! Every operation documents its data-access pattern (limb-wise vs
+//! slot-wise per Table 3); the `simfhe` crate charges costs for exactly
+//! these patterns.
+
+use crate::automorph::Automorphism;
+use crate::bigint::{IBig, UBig};
+use crate::rns::{BasisExtender, RnsBasis};
+use std::fmt;
+use std::sync::Arc;
+
+/// Which domain a polynomial's limbs currently live in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Representation {
+    /// Coefficient vector (required by slot-wise basis-change operations).
+    Coefficient,
+    /// NTT evaluations (required by pointwise multiplication).
+    Evaluation,
+}
+
+/// A polynomial in `∏ Z_{q_i}[x]/(x^N + 1)`, stored limb-major.
+#[derive(Clone)]
+pub struct RnsPoly {
+    basis: Arc<RnsBasis>,
+    rep: Representation,
+    limbs: Vec<Vec<u64>>,
+}
+
+impl fmt::Debug for RnsPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RnsPoly")
+            .field("limbs", &self.limbs.len())
+            .field("degree", &self.basis.degree())
+            .field("rep", &self.rep)
+            .finish()
+    }
+}
+
+impl RnsPoly {
+    /// The zero polynomial in the given representation.
+    pub fn zero(basis: Arc<RnsBasis>, rep: Representation) -> Self {
+        let n = basis.degree();
+        let l = basis.len();
+        Self {
+            basis,
+            rep,
+            limbs: vec![vec![0u64; n]; l],
+        }
+    }
+
+    /// Builds a polynomial from signed coefficients (coefficient
+    /// representation), reducing each into every limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `coeffs.len()` differs from the ring degree.
+    pub fn from_signed_coeffs(basis: Arc<RnsBasis>, coeffs: &[i64]) -> Self {
+        assert_eq!(coeffs.len(), basis.degree(), "coefficient count mismatch");
+        let limbs = basis
+            .moduli()
+            .iter()
+            .map(|m| coeffs.iter().map(|&c| m.from_i64(c)).collect())
+            .collect();
+        Self {
+            basis,
+            rep: Representation::Coefficient,
+            limbs,
+        }
+    }
+
+    /// Builds a polynomial from pre-reduced limb data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the limb count or any limb length is inconsistent with the
+    /// basis, or (in debug builds) if any residue is unreduced.
+    pub fn from_limbs(
+        basis: Arc<RnsBasis>,
+        limbs: Vec<Vec<u64>>,
+        rep: Representation,
+    ) -> Self {
+        assert_eq!(limbs.len(), basis.len(), "limb count mismatch");
+        for (i, limb) in limbs.iter().enumerate() {
+            assert_eq!(limb.len(), basis.degree(), "limb {i} length mismatch");
+            debug_assert!(
+                limb.iter().all(|&x| x < basis.modulus(i).value()),
+                "limb {i} contains unreduced residues"
+            );
+        }
+        Self { basis, rep, limbs }
+    }
+
+    /// The RNS basis.
+    #[inline]
+    pub fn basis(&self) -> &Arc<RnsBasis> {
+        &self.basis
+    }
+
+    /// Current representation.
+    #[inline]
+    pub fn representation(&self) -> Representation {
+        self.rep
+    }
+
+    /// Number of limbs `ℓ`.
+    #[inline]
+    pub fn limb_count(&self) -> usize {
+        self.limbs.len()
+    }
+
+    /// Ring degree `N`.
+    #[inline]
+    pub fn degree(&self) -> usize {
+        self.basis.degree()
+    }
+
+    /// Read access to limb `i`.
+    #[inline]
+    pub fn limb(&self, i: usize) -> &[u64] {
+        &self.limbs[i]
+    }
+
+    /// Mutable access to limb `i` (caller must preserve reduction).
+    #[inline]
+    pub fn limb_mut(&mut self, i: usize) -> &mut Vec<u64> {
+        &mut self.limbs[i]
+    }
+
+    /// Consumes the polynomial, returning its limbs.
+    pub fn into_limbs(self) -> Vec<Vec<u64>> {
+        self.limbs
+    }
+
+    fn assert_compatible(&self, other: &RnsPoly) {
+        assert_eq!(self.rep, other.rep, "representation mismatch");
+        assert_eq!(
+            self.limbs.len(),
+            other.limbs.len(),
+            "limb count mismatch"
+        );
+        debug_assert!(
+            self.basis
+                .moduli()
+                .iter()
+                .zip(other.basis.moduli())
+                .all(|(a, b)| a.value() == b.value()),
+            "basis mismatch"
+        );
+    }
+
+    /// Converts to evaluation representation in place (`ℓ` forward NTTs;
+    /// limb-wise access pattern). No-op if already in evaluation form.
+    pub fn to_eval(&mut self) {
+        if self.rep == Representation::Evaluation {
+            return;
+        }
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            self.basis.ntt_table(i).forward(limb);
+        }
+        self.rep = Representation::Evaluation;
+    }
+
+    /// Converts to coefficient representation in place (`ℓ` inverse NTTs;
+    /// limb-wise access pattern). No-op if already in coefficient form.
+    pub fn to_coeff(&mut self) {
+        if self.rep == Representation::Coefficient {
+            return;
+        }
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            self.basis.ntt_table(i).inverse(limb);
+        }
+        self.rep = Representation::Coefficient;
+    }
+
+    /// `self += other` (works in either representation; both operands must
+    /// match).
+    pub fn add_assign(&mut self, other: &RnsPoly) {
+        self.assert_compatible(other);
+        for (i, (dst, src)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
+            let m = self.basis.modulus(i);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = m.add(*d, s);
+            }
+        }
+    }
+
+    /// `self -= other`.
+    pub fn sub_assign(&mut self, other: &RnsPoly) {
+        self.assert_compatible(other);
+        for (i, (dst, src)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
+            let m = self.basis.modulus(i);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = m.sub(*d, s);
+            }
+        }
+    }
+
+    /// `self = -self`.
+    pub fn negate(&mut self) {
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let m = self.basis.modulus(i);
+            for x in limb.iter_mut() {
+                *x = m.neg(*x);
+            }
+        }
+    }
+
+    /// Pointwise product `self *= other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both polynomials are in evaluation representation.
+    pub fn mul_assign_pointwise(&mut self, other: &RnsPoly) {
+        assert_eq!(
+            self.rep,
+            Representation::Evaluation,
+            "pointwise product requires evaluation representation"
+        );
+        self.assert_compatible(other);
+        for (i, (dst, src)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
+            let m = self.basis.modulus(i);
+            for (d, &s) in dst.iter_mut().zip(src) {
+                *d = m.mul(*d, s);
+            }
+        }
+    }
+
+    /// Multiplies every limb by a (per-limb-reduced) scalar.
+    pub fn mul_scalar_assign(&mut self, scalar: u64) {
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let m = self.basis.modulus(i);
+            let s = m.reduce(scalar);
+            let s_shoup = m.shoup(s);
+            for x in limb.iter_mut() {
+                *x = m.mul_shoup(*x, s, s_shoup);
+            }
+        }
+    }
+
+    /// Multiplies limb `i` by a scalar reduced mod `q_i`, one scalar per
+    /// limb.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scalars.len() != self.limb_count()`.
+    pub fn mul_scalar_per_limb_assign(&mut self, scalars: &[u64]) {
+        assert_eq!(scalars.len(), self.limbs.len());
+        for (i, limb) in self.limbs.iter_mut().enumerate() {
+            let m = self.basis.modulus(i);
+            let s = m.reduce(scalars[i]);
+            let s_shoup = m.shoup(s);
+            for x in limb.iter_mut() {
+                *x = m.mul_shoup(*x, s, s_shoup);
+            }
+        }
+    }
+
+    /// Applies a Galois automorphism, producing a new polynomial in the same
+    /// representation.
+    pub fn automorphism(&self, auto: &Automorphism) -> RnsPoly {
+        let mut out = RnsPoly::zero(self.basis.clone(), self.rep);
+        for i in 0..self.limbs.len() {
+            match self.rep {
+                Representation::Coefficient => auto.apply_coeff(
+                    &self.limbs[i],
+                    &mut out.limbs[i],
+                    self.basis.modulus(i).value(),
+                ),
+                Representation::Evaluation => {
+                    auto.apply_eval(&self.limbs[i], &mut out.limbs[i])
+                }
+            }
+        }
+        out
+    }
+
+    /// Drops trailing limbs, restricting to the first `keep` limbs of the
+    /// basis (a plain basis restriction — no division; contrast with
+    /// [`rescale`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` is zero or exceeds the current limb count.
+    pub fn drop_to(&self, keep: usize) -> RnsPoly {
+        assert!(keep >= 1 && keep <= self.limbs.len());
+        RnsPoly {
+            basis: Arc::new(self.basis.prefix(keep)),
+            rep: self.rep,
+            limbs: self.limbs[..keep].to_vec(),
+        }
+    }
+
+    /// CRT-reconstructs coefficient `k` to a centered big integer in
+    /// `(−Q/2, Q/2]`. Requires coefficient representation.
+    ///
+    /// # Panics
+    ///
+    /// Panics in evaluation representation or if `k` is out of range.
+    pub fn coeff_centered(&self, k: usize) -> IBig {
+        assert_eq!(
+            self.rep,
+            Representation::Coefficient,
+            "reconstruction requires coefficient representation"
+        );
+        let residues: Vec<u64> = self.limbs.iter().map(|l| l[k]).collect();
+        let v = self.basis.crt_reconstruct(&residues);
+        let q = self.basis.product();
+        let half = q.shr(1);
+        if v > half {
+            let mut mag = q;
+            mag.sub_assign(&v);
+            IBig {
+                negative: true,
+                magnitude: mag,
+            }
+        } else {
+            IBig {
+                negative: false,
+                magnitude: v,
+            }
+        }
+    }
+
+    /// Infinity norm of the centered coefficients, as `f64` (diagnostics and
+    /// noise-budget tests).
+    pub fn inf_norm(&self) -> f64 {
+        (0..self.degree())
+            .map(|k| self.coeff_centered(k).to_f64().abs())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// `Rescale` (the paper's Table 2 column): divides by the last limb modulus
+/// and drops that limb, keeping the scaling factor stable after a
+/// multiplication.
+///
+/// Input and output are in evaluation representation. Internally: one iNTT
+/// on the dropped limb (limb-wise), a centered reduction of that limb into
+/// every remaining modulus (slot-wise in spirit, but single-source so it
+/// streams), `ℓ−1` forward NTTs, and a pointwise subtract-and-scale.
+///
+/// # Panics
+///
+/// Panics unless `poly` is in evaluation representation with ≥ 2 limbs.
+pub fn rescale(poly: &RnsPoly) -> RnsPoly {
+    assert_eq!(
+        poly.representation(),
+        Representation::Evaluation,
+        "rescale expects evaluation representation"
+    );
+    let l = poly.limb_count();
+    assert!(l >= 2, "cannot rescale a single-limb polynomial");
+    let n = poly.degree();
+    let basis = poly.basis();
+    let q_last = basis.modulus(l - 1);
+
+    // iNTT the dropped limb.
+    let mut last = poly.limb(l - 1).to_vec();
+    basis.ntt_table(l - 1).inverse(&mut last);
+
+    let new_basis = Arc::new(basis.prefix(l - 1));
+    let mut out_limbs = Vec::with_capacity(l - 1);
+    for i in 0..l - 1 {
+        let qi = basis.modulus(i);
+        let inv = qi
+            .inv(qi.reduce(q_last.value()))
+            .expect("limb moduli are coprime");
+        let inv_shoup = qi.shoup(inv);
+        // Centered image of the dropped limb in q_i.
+        let mut conv: Vec<u64> = last.iter().map(|&c| qi.from_i64(q_last.to_centered(c))).collect();
+        basis.ntt_table(i).forward(&mut conv);
+        let src = poly.limb(i);
+        let mut limb = vec![0u64; n];
+        for k in 0..n {
+            limb[k] = qi.mul_shoup(qi.sub(src[k], conv[k]), inv, inv_shoup);
+        }
+        out_limbs.push(limb);
+    }
+    RnsPoly::from_limbs(new_basis, out_limbs, Representation::Evaluation)
+}
+
+/// Precomputed constants for [`mod_down`]: dividing by `P = ∏ B'` after a
+/// key switch in the raised basis `B ∪ B'`.
+#[derive(Debug, Clone)]
+pub struct ModDownContext {
+    /// Extends residues from the special basis `B'` into `B`.
+    extender: BasisExtender,
+    /// `P^{-1} mod q_i` for each limb of `B`.
+    p_inv: Vec<u64>,
+    p_inv_shoup: Vec<u64>,
+    q_len: usize,
+    p_len: usize,
+}
+
+impl ModDownContext {
+    /// Precomputes the `ModDown` constants for dropping `p_basis` from
+    /// `q_basis ∪ p_basis`.
+    pub fn new(q_basis: &RnsBasis, p_basis: &RnsBasis) -> Self {
+        let extender = BasisExtender::new(p_basis, q_basis);
+        let mut p_inv = Vec::with_capacity(q_basis.len());
+        let mut p_inv_shoup = Vec::with_capacity(q_basis.len());
+        for qi in q_basis.moduli() {
+            let mut p_mod = 1u64;
+            for pj in p_basis.moduli() {
+                p_mod = qi.mul(p_mod, qi.reduce(pj.value()));
+            }
+            let inv = qi.inv(p_mod).expect("P coprime to q_i");
+            p_inv.push(inv);
+            p_inv_shoup.push(qi.shoup(inv));
+        }
+        Self {
+            extender,
+            p_inv,
+            p_inv_shoup,
+            q_len: q_basis.len(),
+            p_len: p_basis.len(),
+        }
+    }
+}
+
+/// `ModDown` (Algorithm 2): given `x` over `B ∪ B'` (with the `B'` limbs
+/// stored last), returns `⌊P^{-1}·x⌉` over `B`.
+///
+/// Input and output are in evaluation representation, matching the
+/// algorithm as stated in the paper: the `B'` limbs are iNTT'd (limb-wise),
+/// extended into `B` via `NewLimb` (slot-wise), NTT'd back (limb-wise), and
+/// combined pointwise.
+///
+/// # Panics
+///
+/// Panics if `poly` is not in evaluation representation or its limb count
+/// does not equal `q_len + p_len` of the context.
+pub fn mod_down(poly: &RnsPoly, ctx: &ModDownContext) -> RnsPoly {
+    assert_eq!(
+        poly.representation(),
+        Representation::Evaluation,
+        "mod_down expects evaluation representation"
+    );
+    assert_eq!(
+        poly.limb_count(),
+        ctx.q_len + ctx.p_len,
+        "limb count must equal |B| + |B'|"
+    );
+    let n = poly.degree();
+    let basis = poly.basis();
+
+    // Step 1: iNTT the special limbs (limb-wise).
+    let mut special_coeff: Vec<Vec<u64>> = (0..ctx.p_len)
+        .map(|j| {
+            let mut limb = poly.limb(ctx.q_len + j).to_vec();
+            basis.ntt_table(ctx.q_len + j).inverse(&mut limb);
+            limb
+        })
+        .collect();
+
+    // Centering trick: shift each special residue so the reconstruction
+    // error is centered, halving the rounding noise. We add P/2 before
+    // conversion and subtract (P/2 mod q_i) after — equivalent to rounding
+    // rather than flooring.
+    let mut half_p = UBig::product(
+        &(0..ctx.p_len)
+            .map(|j| basis.modulus(ctx.q_len + j).value())
+            .collect::<Vec<_>>(),
+    );
+    half_p = half_p.shr(1);
+    for (j, limb) in special_coeff.iter_mut().enumerate() {
+        let pj = basis.modulus(ctx.q_len + j);
+        let half = pj.reduce(half_p.rem_u64(pj.value()));
+        for x in limb.iter_mut() {
+            *x = pj.add(*x, half);
+        }
+    }
+
+    // Step 2: NewLimb into each q_i (slot-wise).
+    let refs: Vec<&[u64]> = special_coeff.iter().map(|l| l.as_slice()).collect();
+    let mut converted = vec![vec![0u64; n]; ctx.q_len];
+    ctx.extender.extend_polys(&refs, &mut converted);
+
+    // Step 3: NTT the converted limbs, combine (limb-wise).
+    let new_basis = Arc::new(basis.prefix(ctx.q_len));
+    let mut out_limbs = Vec::with_capacity(ctx.q_len);
+    for i in 0..ctx.q_len {
+        let qi = basis.modulus(i);
+        let half = qi.reduce(half_p.rem_u64(qi.value()));
+        let mut conv = std::mem::take(&mut converted[i]);
+        for x in conv.iter_mut() {
+            *x = qi.sub(*x, half);
+        }
+        basis.ntt_table(i).forward(&mut conv);
+        let src = poly.limb(i);
+        let mut limb = vec![0u64; n];
+        for k in 0..n {
+            limb[k] = qi.mul_shoup(
+                qi.sub(src[k], conv[k]),
+                ctx.p_inv[i],
+                ctx.p_inv_shoup[i],
+            );
+        }
+        out_limbs.push(limb);
+    }
+    RnsPoly::from_limbs(new_basis, out_limbs, Representation::Evaluation)
+}
+
+/// `PModUp` (Algorithm 5): the free lift `x ↦ P·x` from `B` to `B ∪ B'`.
+///
+/// Multiplies each existing limb by `[P]_{q_i}` and appends zero limbs for
+/// `B'` (since `P·x ≡ 0 mod p_j`). Unlike `ModUp` this needs **no NTTs and
+/// no slot-wise pass** — the paper's key observation enabling linear
+/// functions in the raised basis. Works in either representation.
+pub fn pmod_up(poly: &RnsPoly, p_basis: &RnsBasis) -> RnsPoly {
+    let basis = poly.basis();
+    let n = poly.degree();
+    let joined = Arc::new(basis.concat(p_basis));
+    let mut limbs = Vec::with_capacity(joined.len());
+    for i in 0..basis.len() {
+        let qi = basis.modulus(i);
+        let mut p_mod = 1u64;
+        for pj in p_basis.moduli() {
+            p_mod = qi.mul(p_mod, qi.reduce(pj.value()));
+        }
+        let p_shoup = qi.shoup(p_mod);
+        limbs.push(
+            poly.limb(i)
+                .iter()
+                .map(|&x| qi.mul_shoup(x, p_mod, p_shoup))
+                .collect(),
+        );
+    }
+    for _ in 0..p_basis.len() {
+        limbs.push(vec![0u64; n]);
+    }
+    RnsPoly::from_limbs(joined, limbs, poly.representation())
+}
+
+/// `ModUp` (Algorithm 1): extends `x` from `B` to `B ∪ B'`, preserving the
+/// representative `x ∈ [0, Q)` exactly (the extender's float correction
+/// removes the fast-conversion excess).
+///
+/// Input/output in evaluation representation: iNTT all source limbs
+/// (limb-wise), `NewLimb` into `B'` (slot-wise), NTT the new limbs
+/// (limb-wise). The source limbs are passed through untouched (line 4 of
+/// the algorithm: no NTT needed on input limbs).
+///
+/// # Panics
+///
+/// Panics if `poly` is not in evaluation representation.
+pub fn mod_up(poly: &RnsPoly, p_basis: &RnsBasis, extender: &BasisExtender) -> RnsPoly {
+    assert_eq!(
+        poly.representation(),
+        Representation::Evaluation,
+        "mod_up expects evaluation representation"
+    );
+    assert_eq!(extender.source_len(), poly.limb_count());
+    assert_eq!(extender.target_len(), p_basis.len());
+    let n = poly.degree();
+    let basis = poly.basis();
+
+    let coeff_limbs: Vec<Vec<u64>> = (0..poly.limb_count())
+        .map(|i| {
+            let mut limb = poly.limb(i).to_vec();
+            basis.ntt_table(i).inverse(&mut limb);
+            limb
+        })
+        .collect();
+    let refs: Vec<&[u64]> = coeff_limbs.iter().map(|l| l.as_slice()).collect();
+    let mut new_limbs = vec![vec![0u64; n]; p_basis.len()];
+    extender.extend_polys(&refs, &mut new_limbs);
+    for (j, limb) in new_limbs.iter_mut().enumerate() {
+        p_basis.ntt_table(j).forward(limb);
+    }
+    let joined = Arc::new(basis.concat(p_basis));
+    let mut limbs = Vec::with_capacity(joined.len());
+    for i in 0..poly.limb_count() {
+        limbs.push(poly.limb(i).to_vec());
+    }
+    limbs.extend(new_limbs);
+    RnsPoly::from_limbs(joined, limbs, Representation::Evaluation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
+
+    const N: usize = 32;
+
+    fn q_basis(limbs: usize) -> Arc<RnsBasis> {
+        Arc::new(RnsBasis::new(&generate_ntt_primes(limbs, 30, N), N).unwrap())
+    }
+
+    fn p_basis_for(q: &RnsBasis, limbs: usize) -> RnsBasis {
+        let q_primes: Vec<u64> = q.moduli().iter().map(|m| m.value()).collect();
+        RnsBasis::new(
+            &generate_ntt_primes_excluding(limbs, 31, N, &q_primes),
+            N,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn signed_roundtrip_through_crt() {
+        let basis = q_basis(3);
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| i * 1000 - 16000).collect();
+        let poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        for k in 0..N {
+            assert_eq!(poly.coeff_centered(k).to_f64(), coeffs[k] as f64);
+        }
+    }
+
+    #[test]
+    fn rep_switch_roundtrip() {
+        let basis = q_basis(2);
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| i - 7).collect();
+        let mut poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        let orig = poly.clone();
+        poly.to_eval();
+        assert_eq!(poly.representation(), Representation::Evaluation);
+        poly.to_coeff();
+        for i in 0..poly.limb_count() {
+            assert_eq!(poly.limb(i), orig.limb(i));
+        }
+    }
+
+    #[test]
+    fn arithmetic_matches_integer_semantics() {
+        let basis = q_basis(2);
+        let a: Vec<i64> = (0..N as i64).map(|i| 3 * i + 1).collect();
+        let b: Vec<i64> = (0..N as i64).map(|i| -2 * i + 5).collect();
+        let mut pa = RnsPoly::from_signed_coeffs(basis.clone(), &a);
+        let pb = RnsPoly::from_signed_coeffs(basis, &b);
+        pa.add_assign(&pb);
+        for k in 0..N {
+            assert_eq!(pa.coeff_centered(k).to_f64(), (a[k] + b[k]) as f64);
+        }
+        pa.sub_assign(&pb);
+        pa.negate();
+        for k in 0..N {
+            assert_eq!(pa.coeff_centered(k).to_f64(), -a[k] as f64);
+        }
+    }
+
+    #[test]
+    fn pointwise_mul_is_negacyclic_convolution() {
+        let basis = q_basis(2);
+        // a = x^{N-1}, b = x² → product = -x.
+        let mut ac = vec![0i64; N];
+        ac[N - 1] = 1;
+        let mut bc = vec![0i64; N];
+        bc[2] = 1;
+        let mut a = RnsPoly::from_signed_coeffs(basis.clone(), &ac);
+        let mut b = RnsPoly::from_signed_coeffs(basis, &bc);
+        a.to_eval();
+        b.to_eval();
+        a.mul_assign_pointwise(&b);
+        a.to_coeff();
+        for k in 0..N {
+            let expect = if k == 1 { -1.0 } else { 0.0 };
+            assert_eq!(a.coeff_centered(k).to_f64(), expect, "k={k}");
+        }
+    }
+
+    #[test]
+    fn scalar_multiplication() {
+        let basis = q_basis(3);
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| i + 1).collect();
+        let mut poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        poly.mul_scalar_assign(7);
+        for k in 0..N {
+            assert_eq!(poly.coeff_centered(k).to_f64(), (7 * coeffs[k]) as f64);
+        }
+    }
+
+    #[test]
+    fn rescale_divides_by_last_modulus() {
+        let basis = q_basis(3);
+        let q_last = basis.modulus(2).value();
+        // Pick coefficients that are exact multiples of q_last so the
+        // division is exact.
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| (i - 4) * q_last as i64).collect();
+        let mut poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        poly.to_eval();
+        let mut scaled = rescale(&poly);
+        assert_eq!(scaled.limb_count(), 2);
+        scaled.to_coeff();
+        for k in 0..N {
+            assert_eq!(
+                scaled.coeff_centered(k).to_f64(),
+                (k as i64 - 4) as f64,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn rescale_rounding_error_is_small() {
+        let basis = q_basis(3);
+        let q_last = basis.modulus(2).value() as i64;
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| i * q_last + (i % 17) - 8).collect();
+        let mut poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        poly.to_eval();
+        let mut scaled = rescale(&poly);
+        scaled.to_coeff();
+        for k in 0..N {
+            let expect = k as f64; // remainder (±8) / q_last rounds to 0 or ±1
+            let got = scaled.coeff_centered(k).to_f64();
+            assert!((got - expect).abs() <= 1.0, "k={k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn pmod_up_scales_by_p_exactly() {
+        let q = q_basis(2);
+        let p = p_basis_for(&q, 2);
+        let p_product: f64 = p.moduli().iter().map(|m| m.value() as f64).product();
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| i - 10).collect();
+        let poly = RnsPoly::from_signed_coeffs(q, &coeffs);
+        let lifted = pmod_up(&poly, &p);
+        assert_eq!(lifted.limb_count(), 4);
+        for k in 0..N {
+            let got = lifted.coeff_centered(k).to_f64();
+            let expect = coeffs[k] as f64 * p_product;
+            let rel = if expect == 0.0 {
+                got.abs()
+            } else {
+                ((got - expect) / expect).abs()
+            };
+            assert!(rel < 1e-9, "k={k}: {got} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn mod_down_inverts_pmod_up() {
+        let q = q_basis(3);
+        let p = p_basis_for(&q, 2);
+        let ctx = ModDownContext::new(&q, &p);
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| 5 * i - 37).collect();
+        let mut poly = RnsPoly::from_signed_coeffs(q, &coeffs);
+        poly.to_eval();
+        let mut lifted = pmod_up(&poly, &p);
+        lifted.to_eval(); // already eval; no-op (pmod_up preserves rep)
+        let mut lowered = mod_down(&lifted, &ctx);
+        lowered.to_coeff();
+        for k in 0..N {
+            let got = lowered.coeff_centered(k).to_f64();
+            assert!(
+                (got - coeffs[k] as f64).abs() <= 1.0,
+                "k={k}: {got} vs {}",
+                coeffs[k]
+            );
+        }
+    }
+
+    #[test]
+    fn mod_up_preserves_value_mod_new_primes() {
+        let q = q_basis(2);
+        let p = p_basis_for(&q, 2);
+        let ext = BasisExtender::new(&q, &p);
+        // Small positive coefficients: no conversion excess, exact match.
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| i + 1).collect();
+        let mut poly = RnsPoly::from_signed_coeffs(q.clone(), &coeffs);
+        poly.to_eval();
+        let mut up = mod_up(&poly, &p, &ext);
+        assert_eq!(up.limb_count(), 4);
+        up.to_coeff();
+        for j in 0..p.len() {
+            let pj = p.modulus(j);
+            for k in 0..N {
+                assert_eq!(
+                    up.limb(2 + j)[k],
+                    pj.from_i64(coeffs[k]),
+                    "limb {j} coeff {k}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn automorphism_on_rns_poly_matches_signed_semantics() {
+        let basis = q_basis(2);
+        let table = basis.ntt_table(0).clone();
+        let auto = Automorphism::new(5, &table);
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| i - 3).collect();
+        let poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        let out = poly.automorphism(&auto);
+        // x^1 maps to x^5 (sign positive since 5 < N).
+        assert_eq!(out.coeff_centered(5).to_f64(), coeffs[1] as f64);
+    }
+
+    #[test]
+    fn drop_to_restricts_basis() {
+        let basis = q_basis(3);
+        let coeffs: Vec<i64> = (0..N as i64).collect();
+        let poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        let dropped = poly.drop_to(2);
+        assert_eq!(dropped.limb_count(), 2);
+        assert_eq!(dropped.limb(0), poly.limb(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "pointwise product requires evaluation")]
+    fn pointwise_mul_rejects_coeff_rep() {
+        let basis = q_basis(2);
+        let coeffs = vec![1i64; N];
+        let mut a = RnsPoly::from_signed_coeffs(basis.clone(), &coeffs);
+        let b = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        a.mul_assign_pointwise(&b);
+    }
+
+    #[test]
+    fn inf_norm_of_constant() {
+        let basis = q_basis(2);
+        let mut coeffs = vec![0i64; N];
+        coeffs[0] = -12345;
+        let poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        assert_eq!(poly.inf_norm(), 12345.0);
+    }
+}

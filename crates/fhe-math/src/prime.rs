@@ -1,0 +1,244 @@
+//! Primality testing and NTT-friendly prime generation.
+//!
+//! CKKS limb moduli must satisfy `q ≡ 1 (mod 2N)` so that `Z_q` contains a
+//! primitive `2N`-th root of unity, enabling the negacyclic NTT over
+//! `Z_q[x]/(x^N + 1)`.
+
+use crate::modular::Modulus;
+
+/// Deterministic Miller–Rabin primality test for 64-bit integers.
+///
+/// Uses the fixed witness set `{2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37}`
+/// which is known to be exact for all `n < 3.317e24`, covering `u64`.
+///
+/// # Example
+///
+/// ```
+/// use fhe_math::prime::is_prime;
+/// assert!(is_prime(65537));
+/// assert!(!is_prime(65536));
+/// ```
+pub fn is_prime(n: u64) -> bool {
+    if n < 2 {
+        return false;
+    }
+    for &p in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        if n == p {
+            return true;
+        }
+        if n.is_multiple_of(p) {
+            return false;
+        }
+    }
+    // n - 1 = d · 2^s with d odd.
+    let s = (n - 1).trailing_zeros();
+    let d = (n - 1) >> s;
+    'witness: for &a in &[2u64, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37] {
+        let mut x = pow_mod_u64(a % n, d, n);
+        if x == 1 || x == n - 1 {
+            continue;
+        }
+        for _ in 0..s - 1 {
+            x = mul_mod_u64(x, x, n);
+            if x == n - 1 {
+                continue 'witness;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+#[inline]
+fn mul_mod_u64(a: u64, b: u64, m: u64) -> u64 {
+    ((a as u128 * b as u128) % m as u128) as u64
+}
+
+fn pow_mod_u64(mut a: u64, mut e: u64, m: u64) -> u64 {
+    let mut acc = 1u64 % m;
+    a %= m;
+    while e > 0 {
+        if e & 1 == 1 {
+            acc = mul_mod_u64(acc, a, m);
+        }
+        a = mul_mod_u64(a, a, m);
+        e >>= 1;
+    }
+    acc
+}
+
+/// Generates `count` distinct primes of (approximately) `bits` bits with
+/// `q ≡ 1 (mod 2·degree)`, searching downward from `2^bits`.
+///
+/// The primes are returned in the order found (strictly decreasing). This is
+/// the standard way RNS-CKKS implementations pick a modulus chain: the first
+/// prime is closest to the target scaling factor `Δ = 2^bits`, minimizing the
+/// rescale error.
+///
+/// # Panics
+///
+/// Panics if `degree` is not a power of two, or if fewer than `count` such
+/// primes exist in `(2^(bits-1), 2^bits]` — callers control both and this
+/// signals a parameter-selection bug, not a runtime condition.
+///
+/// # Example
+///
+/// ```
+/// use fhe_math::prime::generate_ntt_primes;
+/// let primes = generate_ntt_primes(3, 30, 1024);
+/// assert_eq!(primes.len(), 3);
+/// for q in primes {
+///     assert_eq!(q % 2048, 1);
+/// }
+/// ```
+pub fn generate_ntt_primes(count: usize, bits: u32, degree: usize) -> Vec<u64> {
+    assert!(degree.is_power_of_two(), "degree must be a power of two");
+    assert!((4..=61).contains(&bits), "prime size {bits} out of range");
+    let step = 2 * degree as u64;
+    let mut candidate = (1u64 << bits) + 1;
+    // Move to the largest value ≡ 1 mod 2N at or below 2^bits.
+    while candidate > 1u64 << bits {
+        candidate -= step;
+    }
+    let mut primes = Vec::with_capacity(count);
+    let floor = 1u64 << (bits - 1);
+    while primes.len() < count && candidate > floor {
+        if is_prime(candidate) {
+            primes.push(candidate);
+        }
+        candidate -= step;
+    }
+    assert!(
+        primes.len() == count,
+        "only found {} of {count} NTT primes with {bits} bits for degree {degree}",
+        primes.len()
+    );
+    primes
+}
+
+/// Generates `count` NTT-friendly primes of `bits` bits, *skipping* any prime
+/// present in `exclude`. Used to build the special-modulus basis `P` disjoint
+/// from the ciphertext basis `Q`.
+pub fn generate_ntt_primes_excluding(
+    count: usize,
+    bits: u32,
+    degree: usize,
+    exclude: &[u64],
+) -> Vec<u64> {
+    // Over-generate and filter; the density of NTT primes is ample.
+    let mut extra = count;
+    loop {
+        let all = generate_ntt_primes(count + extra, bits, degree);
+        let filtered: Vec<u64> = all
+            .into_iter()
+            .filter(|q| !exclude.contains(q))
+            .take(count)
+            .collect();
+        if filtered.len() == count {
+            return filtered;
+        }
+        extra *= 2;
+    }
+}
+
+/// Finds a generator of the multiplicative group `Z_q^*` for prime `q`
+/// given the factorization of `q - 1` is not required: we only need an
+/// element of order exactly `2n`, obtained by raising a group generator
+/// candidate to the power `(q-1)/(2n)` and checking its order.
+///
+/// Returns a primitive `order`-th root of unity modulo `q`.
+///
+/// # Panics
+///
+/// Panics if `order` does not divide `q - 1`.
+pub fn primitive_root_of_unity(q: &Modulus, order: u64) -> u64 {
+    assert_eq!(
+        (q.value() - 1) % order,
+        0,
+        "order {order} does not divide q-1 for q={}",
+        q.value()
+    );
+    let cofactor = (q.value() - 1) / order;
+    // Try small candidates; for prime q roughly half the elements raised to
+    // the cofactor give a primitive order-th root.
+    for candidate in 2..q.value() {
+        let root = q.pow(candidate, cofactor);
+        if is_primitive_root(q, root, order) {
+            return root;
+        }
+    }
+    unreachable!("no primitive root found — q={} not prime?", q.value())
+}
+
+/// Checks that `root` has multiplicative order exactly `order` (a power of
+/// two) modulo `q`.
+pub fn is_primitive_root(q: &Modulus, root: u64, order: u64) -> bool {
+    debug_assert!(order.is_power_of_two());
+    if root == 0 {
+        return false;
+    }
+    // For power-of-two order it suffices that root^(order/2) == -1.
+    q.pow(root, order / 2) == q.value() - 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_primes_classified() {
+        let primes = [2u64, 3, 5, 7, 11, 13, 97, 65537, 4294967291];
+        let composites = [0u64, 1, 4, 9, 15, 91, 65536, 4294967295, 3215031751];
+        for p in primes {
+            assert!(is_prime(p), "{p} should be prime");
+        }
+        for c in composites {
+            assert!(!is_prime(c), "{c} should be composite");
+        }
+    }
+
+    #[test]
+    fn large_known_primes() {
+        // 2^61 - 1 is a Mersenne prime; 2^62 - 1 = 3 · 715827883 · 2147483647.
+        assert!(is_prime((1 << 61) - 1));
+        assert!(!is_prime((1 << 62) - 1));
+        // Strong pseudoprime to many bases, composite: 3825123056546413051.
+        assert!(!is_prime(3825123056546413051));
+    }
+
+    #[test]
+    fn generated_primes_are_ntt_friendly() {
+        for degree in [64usize, 1024, 8192] {
+            let primes = generate_ntt_primes(4, 45, degree);
+            assert_eq!(primes.len(), 4);
+            let mut sorted = primes.clone();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 4, "primes must be distinct");
+            for q in primes {
+                assert!(is_prime(q));
+                assert_eq!(q % (2 * degree as u64), 1);
+                assert!(q < 1 << 45 && q > 1 << 44);
+            }
+        }
+    }
+
+    #[test]
+    fn excluding_avoids_collisions() {
+        let base = generate_ntt_primes(3, 30, 256);
+        let extra = generate_ntt_primes_excluding(3, 30, 256, &base);
+        for q in &extra {
+            assert!(!base.contains(q));
+        }
+    }
+
+    #[test]
+    fn primitive_roots_have_exact_order() {
+        let q = Modulus::new(generate_ntt_primes(1, 40, 2048)[0]).unwrap();
+        let order = 4096u64;
+        let root = primitive_root_of_unity(&q, order);
+        assert_eq!(q.pow(root, order), 1);
+        assert_eq!(q.pow(root, order / 2), q.value() - 1);
+        assert!(is_primitive_root(&q, root, order));
+        assert!(!is_primitive_root(&q, q.pow(root, 2), order));
+    }
+}

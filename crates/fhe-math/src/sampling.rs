@@ -1,0 +1,154 @@
+//! Secret-key and noise distributions for RLWE-based schemes.
+//!
+//! CKKS key generation samples the secret from a ternary distribution and
+//! encryption noise from a centered discrete Gaussian (σ ≈ 3.2 per the
+//! Homomorphic Encryption Standard). Uniform ring elements are used for the
+//! `a` component of ciphertexts and switching keys — the component the MAD
+//! key-compression optimization replaces with a PRNG seed.
+
+use rand::distributions::{Distribution, Uniform};
+use rand::Rng;
+
+/// Standard deviation of the encryption noise mandated by the HE standard.
+pub const NOISE_STDDEV: f64 = 3.2;
+
+/// Samples a ternary secret polynomial with coefficients in `{-1, 0, 1}`
+/// (as signed integers), each nonzero with probability 2/3.
+pub fn sample_ternary<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
+    let die = Uniform::new(0u8, 3);
+    (0..n)
+        .map(|_| match die.sample(rng) {
+            0 => -1,
+            1 => 0,
+            _ => 1,
+        })
+        .collect()
+}
+
+/// Samples a ternary secret with exactly `hamming_weight` nonzero
+/// coefficients (sparse secrets, as used by bootstrapping-oriented
+/// parameter sets).
+///
+/// # Panics
+///
+/// Panics if `hamming_weight > n`.
+pub fn sample_sparse_ternary<R: Rng + ?Sized>(
+    rng: &mut R,
+    n: usize,
+    hamming_weight: usize,
+) -> Vec<i64> {
+    assert!(hamming_weight <= n, "hamming weight exceeds degree");
+    let mut s = vec![0i64; n];
+    let mut placed = 0;
+    while placed < hamming_weight {
+        let idx = rng.gen_range(0..n);
+        if s[idx] == 0 {
+            s[idx] = if rng.gen::<bool>() { 1 } else { -1 };
+            placed += 1;
+        }
+    }
+    s
+}
+
+/// Samples a rounded centered Gaussian with standard deviation
+/// [`NOISE_STDDEV`], truncated at six standard deviations.
+pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
+    let bound = (6.0 * NOISE_STDDEV).ceil() as i64;
+    (0..n)
+        .map(|_| {
+            loop {
+                // Box–Muller.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                let v = (z * NOISE_STDDEV).round() as i64;
+                if v.abs() <= bound {
+                    return v;
+                }
+            }
+        })
+        .collect()
+}
+
+/// Samples a uniform polynomial with coefficients in `[0, q)` for each limb
+/// modulus in `moduli`, returned limb-major.
+pub fn sample_uniform_limbs<R: Rng + ?Sized>(
+    rng: &mut R,
+    moduli: &[u64],
+    n: usize,
+) -> Vec<Vec<u64>> {
+    moduli
+        .iter()
+        .map(|&q| {
+            let die = Uniform::new(0u64, q);
+            (0..n).map(|_| die.sample(rng)).collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ternary_values_in_range() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let s = sample_ternary(&mut rng, 4096);
+        assert!(s.iter().all(|&x| (-1..=1).contains(&x)));
+        // Each value should occur with roughly 1/3 probability.
+        let zeros = s.iter().filter(|&&x| x == 0).count();
+        assert!((zeros as f64 / 4096.0 - 1.0 / 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn sparse_ternary_exact_weight() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let s = sample_sparse_ternary(&mut rng, 1024, 64);
+        assert_eq!(s.iter().filter(|&&x| x != 0).count(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "hamming weight")]
+    fn sparse_ternary_rejects_overweight() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let _ = sample_sparse_ternary(&mut rng, 8, 9);
+    }
+
+    #[test]
+    fn gaussian_moments_plausible() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let e = sample_gaussian(&mut rng, 1 << 14);
+        let n = e.len() as f64;
+        let mean = e.iter().sum::<i64>() as f64 / n;
+        let var = e.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n;
+        assert!(mean.abs() < 0.2, "mean {mean} too far from 0");
+        assert!(
+            (var.sqrt() - NOISE_STDDEV).abs() < 0.3,
+            "stddev {} too far from {NOISE_STDDEV}",
+            var.sqrt()
+        );
+        let bound = (6.0 * NOISE_STDDEV).ceil() as i64;
+        assert!(e.iter().all(|&x| x.abs() <= bound));
+    }
+
+    #[test]
+    fn uniform_limbs_respect_moduli() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let moduli = [97u64, 65537, (1 << 30) + 3];
+        let limbs = sample_uniform_limbs(&mut rng, &moduli, 512);
+        assert_eq!(limbs.len(), 3);
+        for (i, limb) in limbs.iter().enumerate() {
+            assert_eq!(limb.len(), 512);
+            assert!(limb.iter().all(|&x| x < moduli[i]));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_under_seed() {
+        let a = sample_ternary(&mut StdRng::seed_from_u64(42), 64);
+        let b = sample_ternary(&mut StdRng::seed_from_u64(42), 64);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,69 @@
+//! Quickstart: encrypt a vector, compute on it homomorphically, decrypt —
+//! then ask the SimFHE cost model what the same operations would cost at
+//! the paper's full-scale parameters.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use mad::math::cfft::Complex;
+use mad::scheme::{
+    CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator,
+};
+use mad::sim::{CostModel, MadConfig, SchemeParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // --- Functional CKKS at demo scale -------------------------------
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_degree(11)
+            .levels(4)
+            .scale_bits(40)
+            .first_modulus_bits(50)
+            .dnum(2)
+            .build()
+            .expect("valid parameters"),
+    );
+    let mut rng = StdRng::seed_from_u64(2023);
+    let keygen = KeyGenerator::new(ctx.clone());
+    let sk = keygen.secret_key(&mut rng);
+    let rlk = keygen.relin_key(&mut rng, &sk);
+    let gk = keygen.galois_keys(&mut rng, &sk, &[1], false);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let decryptor = Decryptor::new(ctx.clone());
+    let evaluator = Evaluator::new(ctx.clone());
+
+    let values: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64 * 0.1, 0.0)).collect();
+    println!("input slots:   {:?}", &values[..4]);
+
+    let pt = encoder.encode(&values, 4, ctx.params().scale()).expect("encodes");
+    let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+
+    // (x + x)² rotated left by one.
+    let doubled = evaluator.add(&ct, &ct);
+    let squared = evaluator.mul(&doubled, &doubled, &rlk);
+    let rotated = evaluator.rotate(&squared, 1, &gk);
+
+    let out = encoder.decode(&decryptor.decrypt(&rotated, &sk));
+    println!("(2x)^2 <<1:    {:?}", &out[..4]);
+    for i in 0..7 {
+        let expect = (2.0 * values[i + 1].re).powi(2);
+        assert!(
+            (out[i].re - expect).abs() < 1e-4,
+            "slot {i}: {} vs {expect}",
+            out[i].re
+        );
+    }
+    println!("homomorphic result verified against plaintext ✓");
+
+    // --- The same ops under the SimFHE cost model at full scale ------
+    let model = CostModel::new(SchemeParams::baseline(), MadConfig::baseline());
+    let mad = CostModel::new(SchemeParams::mad_practical(), MadConfig::all());
+    println!("\nSimFHE at N = 2^17, ℓ = 35 (one ciphertext multiplication):");
+    println!("  baseline: {:?}", model.mult(35));
+    println!("  with MAD: {:?}", mad.mult(35));
+    println!("\nOne full bootstrap:");
+    println!("  baseline: {:?}", model.bootstrap().cost);
+    println!("  with MAD: {:?}", mad.bootstrap().cost);
+}

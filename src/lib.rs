@@ -1,0 +1,33 @@
+#![warn(missing_docs)]
+
+//! # MAD: Memory-Aware Design Techniques for Accelerating FHE
+//!
+//! Umbrella crate for the MICRO '23 reproduction. Re-exports the four
+//! component crates:
+//!
+//! - [`math`] (`fhe-math`): modular arithmetic, NTT, RNS, canonical-
+//!   embedding FFT.
+//! - [`scheme`] (`ckks`): the functional RNS-CKKS library with hybrid key
+//!   switching, hoisting, and bootstrapping.
+//! - [`sim`] (`simfhe`): the SimFHE cost model, MAD optimizations,
+//!   hardware designs, throughput metric and parameter search.
+//! - [`apps`] (`fhe-apps`): HELR logistic regression and ResNet-20
+//!   workloads.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Example
+//!
+//! ```
+//! // How much DRAM does one bootstrap move, before and after MAD?
+//! use mad::sim::{CostModel, MadConfig, SchemeParams};
+//! let before = CostModel::new(SchemeParams::baseline(), MadConfig::baseline()).bootstrap();
+//! let after = CostModel::new(SchemeParams::mad_practical(), MadConfig::all()).bootstrap();
+//! assert!(after.cost.dram_total() < before.cost.dram_total() / 2);
+//! ```
+
+pub use ckks as scheme;
+pub use fhe_apps as apps;
+pub use fhe_math as math;
+pub use simfhe as sim;

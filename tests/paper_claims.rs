@@ -1,0 +1,217 @@
+//! The paper's headline claims, asserted against the reproduction.
+//!
+//! Each test cites the claim it checks; tolerances reflect that we rebuilt
+//! the simulator from the paper's description rather than its code (see
+//! EXPERIMENTS.md for the full paper-vs-measured record).
+
+use mad::sim::throughput::{run_mad_bootstrap, PublishedDesign};
+use mad::sim::{
+    AlgoOpts, CachingLevel, CostModel, HardwareConfig, MadConfig, SchemeParams,
+};
+
+fn baseline_model() -> CostModel {
+    CostModel::new(
+        SchemeParams::baseline(),
+        MadConfig {
+            caching: CachingLevel::OneLimb,
+            algo: AlgoOpts {
+                modup_hoist: true,
+                ..AlgoOpts::none()
+            },
+        },
+    )
+}
+
+#[test]
+fn claim_all_primitives_have_low_arithmetic_intensity() {
+    // Abstract / §2.3: "all FHE operations exhibit low arithmetic
+    // intensity (<1 Op/byte)" for small caches — for the Table-2 API ops.
+    let m = baseline_model();
+    let ops = [
+        m.pt_add(35),
+        m.add(35),
+        m.pt_mult(35),
+        m.mult(35),
+        m.rotate(35),
+        m.bootstrap().cost,
+    ];
+    for c in ops {
+        assert!(
+            c.arithmetic_intensity() < 1.0,
+            "AI {} not < 1",
+            c.arithmetic_intensity()
+        );
+    }
+}
+
+#[test]
+fn claim_bootstrapping_is_memory_bound_on_all_published_designs() {
+    // §1/§5: prior compute-accelerated implementations are bottlenecked by
+    // main-memory bandwidth (before MAD, at small caches).
+    let b = baseline_model().bootstrap();
+    for hw in HardwareConfig::all_designs() {
+        let small = hw.with_cache_mb(6.0);
+        assert!(
+            small.is_memory_bound(&b.cost),
+            "{} should be memory-bound pre-MAD",
+            hw.name
+        );
+    }
+}
+
+#[test]
+fn claim_caching_opts_reduce_dram_without_touching_compute() {
+    // §3.1: "the number of compute operations remains constant, but we
+    // reduce the number of DRAM transfers".
+    let base = baseline_model().bootstrap();
+    let cached = CostModel::new(
+        SchemeParams::baseline(),
+        MadConfig {
+            caching: CachingLevel::LimbReorder,
+            algo: AlgoOpts {
+                modup_hoist: true,
+                ..AlgoOpts::none()
+            },
+        },
+    )
+    .bootstrap();
+    assert_eq!(base.cost.ops(), cached.cost.ops());
+    let reduction = 1.0 - cached.cost.dram_total() as f64 / base.cost.dram_total() as f64;
+    assert!(
+        reduction > 0.25,
+        "caching should cut total DRAM substantially (got {:.0}%)",
+        reduction * 100.0
+    );
+}
+
+#[test]
+fn claim_mad_improves_bootstrapping_ai_by_large_factor() {
+    // Abstract: "improves bootstrapping arithmetic intensity by 3×".
+    // Our stricter cache accounting reproduces ~2× (EXPERIMENTS.md).
+    let before = baseline_model().bootstrap().cost.arithmetic_intensity();
+    let after = CostModel::new(SchemeParams::mad_practical(), MadConfig::all())
+        .bootstrap()
+        .cost
+        .arithmetic_intensity();
+    assert!((0.6..0.9).contains(&before), "baseline AI {before:.2} (paper: 0.72)");
+    assert!(after / before > 1.7, "AI gain {:.2}x (paper: 3x)", after / before);
+}
+
+#[test]
+fn claim_gpu_gains_large_bootstrapping_speedup_from_mad() {
+    // Table 6: GPU + MAD ≈ 7× higher bootstrapping throughput. We
+    // reproduce ≥ 3× under a single consistent model.
+    let gpu = PublishedDesign::table6()[0];
+    let run = run_mad_bootstrap(
+        SchemeParams::mad_practical(),
+        &HardwareConfig::gpu().with_cache_mb(32.0),
+    );
+    let gain = run.throughput_display / gpu.throughput_display();
+    assert!(gain > 3.0, "GPU MAD gain {gain:.1}x (paper: ~7x)");
+}
+
+#[test]
+fn claim_large_cache_asics_lose_throughput_at_32mb() {
+    // Table 6: applying MAD at 32 MB on BTS/ARK/CraterLake yields *lower*
+    // throughput than their original 256–512 MB designs — the win is the
+    // 8–16× smaller (cheaper) on-chip memory, not raw speed.
+    let designs = [
+        (PublishedDesign::table6()[2], HardwareConfig::bts()),
+        (PublishedDesign::table6()[3], HardwareConfig::ark()),
+        (PublishedDesign::table6()[4], HardwareConfig::craterlake()),
+    ];
+    for (published, hw) in designs {
+        let run = run_mad_bootstrap(
+            SchemeParams::mad_practical(),
+            &hw.with_cache_mb(32.0),
+        );
+        assert!(
+            run.throughput_display < published.throughput_display(),
+            "{}: MAD at 32 MB should not beat the 256-512 MB original",
+            hw.name
+        );
+    }
+}
+
+#[test]
+fn claim_asics_become_compute_bound_under_mad() {
+    // §4.2: "after applying our MAD optimizations these three designs
+    // become compute-bound, and cannot take advantage of the large
+    // on-chip memory".
+    let b = CostModel::new(SchemeParams::mad_practical(), MadConfig::all()).bootstrap();
+    for hw in [HardwareConfig::bts(), HardwareConfig::craterlake()] {
+        let hw32 = hw.with_cache_mb(32.0);
+        assert!(
+            !hw32.is_memory_bound(&b.cost),
+            "{} should be compute-bound under MAD",
+            hw.name
+        );
+    }
+}
+
+#[test]
+fn claim_moddown_reduction_helps_despite_lower_ai() {
+    // §2.3: ModDown merge/hoisting *decrease* arithmetic intensity while
+    // still improving performance, because they remove O(N log N) NTTs.
+    let caching = CachingLevel::LimbReorder;
+    let without = CostModel::new(
+        SchemeParams::mad_practical(),
+        MadConfig {
+            caching,
+            algo: AlgoOpts {
+                modup_hoist: true,
+                moddown_merge: true,
+                ..AlgoOpts::none()
+            },
+        },
+    )
+    .bootstrap();
+    let with = CostModel::new(
+        SchemeParams::mad_practical(),
+        MadConfig {
+            caching,
+            algo: AlgoOpts {
+                modup_hoist: true,
+                moddown_merge: true,
+                moddown_hoist: true,
+                ..AlgoOpts::none()
+            },
+        },
+    )
+    .bootstrap();
+    // AI drops (key reads rise faster than compute falls) …
+    assert!(with.cost.arithmetic_intensity() < without.cost.arithmetic_intensity());
+    // … but compute-bound performance improves.
+    assert!(with.cost.ops() < without.cost.ops());
+}
+
+#[test]
+fn claim_level_budget_matches_table6_log_q1() {
+    // Table 6: log Q1 = 1080 for the GPU baseline, 950 for MAD.
+    let base = CostModel::new(SchemeParams::baseline(), MadConfig::baseline()).bootstrap();
+    assert_eq!(base.log_q1, 1080);
+    let mad = CostModel::new(SchemeParams::mad_optimal(), MadConfig::all()).bootstrap();
+    assert_eq!(mad.log_q1, 950);
+}
+
+#[test]
+fn claim_no_benefit_beyond_32mb() {
+    // §4.2: "any increase in the on-chip memory beyond 32 MB does not
+    // improve the bootstrapping throughput."
+    let at = |mb: f64| {
+        run_mad_bootstrap(
+            SchemeParams::mad_practical(),
+            &HardwareConfig::gpu().with_cache_mb(mb),
+        )
+        .runtime_ms
+    };
+    let t32 = at(32.0);
+    for mb in [64.0, 256.0, 512.0] {
+        assert!(
+            (at(mb) / t32 - 1.0).abs() < 1e-9,
+            "cache {mb} MB changed the runtime"
+        );
+    }
+    // While below 32 MB, performance degrades.
+    assert!(at(4.0) > t32);
+}
