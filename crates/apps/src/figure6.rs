@@ -106,11 +106,7 @@ pub fn simulate_bar(
 /// The bar group for one design, mirroring the paper's sub-figures:
 /// the original configuration at its published cache, then +MAD at each
 /// requested cache size.
-pub fn design_bars(
-    hw: &HardwareConfig,
-    mad_caches_mb: &[f64],
-    kind: Fig6Workload,
-) -> Vec<Fig6Bar> {
+pub fn design_bars(hw: &HardwareConfig, mad_caches_mb: &[f64], kind: Fig6Workload) -> Vec<Fig6Bar> {
     let mut bars = vec![simulate_bar(hw, hw.on_chip_mb, false, kind)];
     for &mb in mad_caches_mb {
         bars.push(simulate_bar(hw, mb, true, kind));

@@ -120,8 +120,7 @@ pub fn helr_workload(params: &SchemeParams, shape: HelrShape) -> Workload {
         "parameters too shallow for HELR"
     );
     let budget = params.limbs - consumed;
-    let iters_per_bootstrap = (budget.saturating_sub(1) / HELR_ITERATION_DEPTH)
-        .clamp(1, 3);
+    let iters_per_bootstrap = (budget.saturating_sub(1) / HELR_ITERATION_DEPTH).clamp(1, 3);
 
     // Rotations per slot-packed inner product: log2 of the replicated
     // feature block (Halevi–Shoup style fold).
@@ -249,6 +248,9 @@ mod train_tests {
         assert_eq!(curve.len(), 25);
         let early: f64 = curve[..5].iter().sum();
         let late: f64 = curve[20..].iter().sum();
-        assert!(late < early, "gradient norm should decay: {early} -> {late}");
+        assert!(
+            late < early,
+            "gradient norm should decay: {early} -> {late}"
+        );
     }
 }

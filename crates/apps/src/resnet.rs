@@ -72,10 +72,16 @@ pub const RELU_MULTS: usize = 15;
 /// layer; the MAD paper adopts the same structure).
 pub fn resnet20_workload(params: &SchemeParams) -> Workload {
     let consumed = 2 * params.fft_iter + 2 + EVAL_MOD_DEPTH;
-    assert!(params.limbs > consumed, "parameters too shallow for ResNet-20");
+    assert!(
+        params.limbs > consumed,
+        "parameters too shallow for ResNet-20"
+    );
     let budget = params.limbs - consumed;
     let layers = resnet20_layers();
-    let mut w = Workload::new(format!("ResNet-20 inference ({} conv layers)", layers.len()));
+    let mut w = Workload::new(format!(
+        "ResNet-20 inference ({} conv layers)",
+        layers.len()
+    ));
 
     for layer in &layers {
         let ell = budget;
@@ -118,9 +124,7 @@ impl PlainConv {
     /// A deterministic test-pattern convolution for the layer.
     pub fn test_pattern(layer: ConvLayer) -> Self {
         let count = layer.out_channels * layer.in_channels * 9;
-        let weights = (0..count)
-            .map(|i| ((i % 7) as f64 - 3.0) / 10.0)
-            .collect();
+        let weights = (0..count).map(|i| ((i % 7) as f64 - 3.0) / 10.0).collect();
         Self { layer, weights }
     }
 
@@ -163,8 +167,8 @@ impl PlainConv {
                                 {
                                     continue;
                                 }
-                                acc += self.weight(o, i, ky, kx)
-                                    * img.at(i, sy as usize, sx as usize);
+                                acc +=
+                                    self.weight(o, i, ky, kx) * img.at(i, sy as usize, sx as usize);
                             }
                         }
                     }

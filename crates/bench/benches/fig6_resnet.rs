@@ -4,7 +4,10 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use fhe_apps::Fig6Workload;
 
 fn bench(c: &mut Criterion) {
-    println!("{}", mad_bench::fig6(Fig6Workload::ResNetInference).render());
+    println!(
+        "{}",
+        mad_bench::fig6(Fig6Workload::ResNetInference).render()
+    );
     c.bench_function("fig6/resnet_panel", |b| {
         b.iter(|| std::hint::black_box(mad_bench::fig6(Fig6Workload::ResNetInference)))
     });

@@ -1,12 +1,21 @@
 //! Criterion micro-benchmarks of the limb-wise and slot-wise kernels
-//! (Table 3 of the paper): negacyclic NTT/iNTT and the fast basis
-//! extension, measured on real data.
+//! (Table 3 of the paper): negacyclic NTT/iNTT, the fast basis extension
+//! over flat limb-major buffers, and serial-vs-parallel comparisons of the
+//! multithreaded kernels (full-poly NTT and hybrid key switching) at
+//! production ring sizes N = 2^15 and 2^16.
+#[cfg(feature = "parallel")]
+use ckks::{CkksContext, CkksParams, KeyGenerator};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+#[cfg(feature = "parallel")]
+use fhe_math::poly::{Representation, RnsPoly};
 use fhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
 use fhe_math::rns::{BasisExtender, RnsBasis};
+use fhe_math::sampling::sample_uniform_flat;
 use fhe_math::NttTable;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+#[cfg(feature = "parallel")]
+use std::sync::Arc;
 
 fn bench_ntt(c: &mut Criterion) {
     let mut group = c.benchmark_group("ntt");
@@ -51,24 +60,20 @@ fn bench_basis_extension(c: &mut Criterion) {
     for src_limbs in [4usize, 8, 12] {
         let src_primes = generate_ntt_primes(src_limbs, 45, n);
         let dst_primes = generate_ntt_primes_excluding(4, 46, n, &src_primes);
-        let src = RnsBasis::new(&src_primes, n).unwrap();
-        let dst = RnsBasis::new(&dst_primes, n).unwrap();
-        let ext = BasisExtender::new(&src, &dst);
+        let src_basis = RnsBasis::new(&src_primes, n).unwrap();
+        let dst_basis = RnsBasis::new(&dst_primes, n).unwrap();
+        let ext = BasisExtender::new(&src_basis, &dst_basis);
         let mut rng = StdRng::seed_from_u64(2);
-        let limbs: Vec<Vec<u64>> = src_primes
-            .iter()
-            .map(|&q| (0..n).map(|_| rng.gen_range(0..q)).collect())
-            .collect();
+        let src = sample_uniform_flat(&mut rng, &src_primes, n);
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(
-            BenchmarkId::new("extend_polys", src_limbs),
+            BenchmarkId::new("extend_flat", src_limbs),
             &src_limbs,
             |b, _| {
-                let refs: Vec<&[u64]> = limbs.iter().map(|l| l.as_slice()).collect();
+                let mut out = vec![0u64; 4 * n];
                 b.iter(|| {
-                    let mut out = vec![vec![0u64; n]; 4];
-                    ext.extend_polys(&refs, &mut out);
-                    out
+                    ext.extend_flat(&src, &mut out, n);
+                    out.last().copied()
                 })
             },
         );
@@ -76,5 +81,89 @@ fn bench_basis_extension(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ntt, bench_basis_extension);
+/// Runs `f` once with the parallel path forced off, then forced on, under
+/// the given Criterion labels — the serial-vs-parallel speedup readout for
+/// the limb-parallel kernels. Only compiled with the `parallel` feature
+/// (without it there is nothing to compare).
+#[cfg(feature = "parallel")]
+fn bench_serial_vs_parallel(c: &mut Criterion) {
+    // Full-polynomial NTT (all limbs) at production ring sizes.
+    for log_n in [15u32, 16] {
+        let n = 1usize << log_n;
+        let limbs = 8usize;
+        let primes = generate_ntt_primes(limbs, 45, n);
+        let basis = Arc::new(RnsBasis::new(&primes, n).unwrap());
+        let mut rng = StdRng::seed_from_u64(3);
+        let flat = sample_uniform_flat(&mut rng, &primes, n);
+        let poly = RnsPoly::from_flat(basis, flat, Representation::Coefficient);
+        let mut group = c.benchmark_group(format!("ntt_full_poly_n{n}"));
+        group.throughput(Throughput::Elements((limbs * n) as u64));
+        for (label, forced) in [("serial", false), ("parallel", true)] {
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                fhe_math::parallel::set_forced(Some(forced));
+                b.iter_batched(
+                    || poly.clone(),
+                    |mut p| {
+                        p.to_eval();
+                        p
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+                fhe_math::parallel::set_forced(None);
+            });
+        }
+        group.finish();
+    }
+
+    // Hybrid key switching end to end.
+    for log_n in [15u32, 16] {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_degree(log_n)
+                .levels(6)
+                .scale_bits(40)
+                .first_modulus_bits(50)
+                .dnum(3)
+                .build()
+                .unwrap(),
+        );
+        let n = ctx.params().degree();
+        let mut rng = StdRng::seed_from_u64(4);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let rlk = kg.relin_key(&mut rng, &sk);
+        let ksk = rlk.switching_key();
+        let basis = ctx.level_basis(6).clone();
+        let moduli: Vec<u64> = basis.moduli().iter().map(|m| m.value()).collect();
+        let x = RnsPoly::from_flat(
+            basis,
+            sample_uniform_flat(&mut rng, &moduli, n),
+            Representation::Evaluation,
+        );
+        let mut group = c.benchmark_group(format!("keyswitch_n{n}"));
+        group.sample_size(10);
+        for (label, forced) in [("serial", false), ("parallel", true)] {
+            group.bench_function(BenchmarkId::new(label, n), |b| {
+                fhe_math::parallel::set_forced(Some(forced));
+                b.iter(|| {
+                    let (v, u) = ckks::keyswitch::keyswitch(&ctx, &x, ksk);
+                    v.recycle(ctx.scratch());
+                    u.recycle(ctx.scratch());
+                });
+                fhe_math::parallel::set_forced(None);
+            });
+        }
+        group.finish();
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn bench_serial_vs_parallel(_c: &mut Criterion) {}
+
+criterion_group!(
+    benches,
+    bench_ntt,
+    bench_basis_extension,
+    bench_serial_vs_parallel
+);
 criterion_main!(benches);

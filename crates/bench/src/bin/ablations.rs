@@ -7,9 +7,7 @@
 use simfhe::matvec::MatVecShape;
 use simfhe::report::Table;
 use simfhe::throughput::run_mad_bootstrap;
-use simfhe::{
-    AlgoOpts, CachingLevel, CostModel, HardwareConfig, MadConfig, SchemeParams,
-};
+use simfhe::{AlgoOpts, CachingLevel, CostModel, HardwareConfig, MadConfig, SchemeParams};
 
 fn main() {
     isolated_algorithmic_opts();
@@ -103,7 +101,10 @@ fn bsgs_split() {
     t.row(&[
         format!("BSGS n1={n1}, n2={n2}"),
         format!("{}", n1 + n2 - 1),
-        format!("{:.2}", (bsgs.cost.ct_read + bsgs.cost.ct_write) as f64 / 1e9),
+        format!(
+            "{:.2}",
+            (bsgs.cost.ct_read + bsgs.cost.ct_write) as f64 / 1e9
+        ),
         format!("{:.2}", bsgs.cost.key_read as f64 / 1e9),
         format!("{:.1}", bsgs.cost.ops() as f64 / 1e9),
     ]);
@@ -122,7 +123,10 @@ fn bsgs_split() {
     t.row(&[
         "flat hoisted (n1 = r)".to_string(),
         format!("{}", shape.diagonals),
-        format!("{:.2}", (flat.cost.ct_read + flat.cost.ct_write) as f64 / 1e9),
+        format!(
+            "{:.2}",
+            (flat.cost.ct_read + flat.cost.ct_write) as f64 / 1e9
+        ),
         format!("{:.2}", flat.cost.key_read as f64 / 1e9),
         format!("{:.1}", flat.cost.ops() as f64 / 1e9),
     ]);
@@ -163,7 +167,13 @@ fn fft_iter_sweep() {
     let hw = HardwareConfig::gpu().with_cache_mb(32.0);
     let mut t = Table::new(
         "Ablation: fftIter at 32 MiB (L=40, logq=50, dnum=3)",
-        &["fftIter", "levels consumed", "log Q1", "boot ms", "tput(10^7/s)"],
+        &[
+            "fftIter",
+            "levels consumed",
+            "log Q1",
+            "boot ms",
+            "tput(10^7/s)",
+        ],
     );
     for fft_iter in [1usize, 2, 3, 4, 6, 8] {
         let p = SchemeParams {

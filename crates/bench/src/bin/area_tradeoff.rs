@@ -22,14 +22,16 @@ fn main() {
     let mut t = Table::new(
         format!("§4.4 — performance vs area/cost at {model}"),
         &[
-            "config", "die mm²", "mem frac", "rel cost", "tput(10^7/s)", "tput/cost",
+            "config",
+            "die mm²",
+            "mem frac",
+            "rel cost",
+            "tput(10^7/s)",
+            "tput/cost",
         ],
     );
     for (hw, published) in designs {
-        let mad = run_mad_bootstrap(
-            SchemeParams::mad_practical(),
-            &hw.with_cache_mb(32.0),
-        );
+        let mad = run_mad_bootstrap(SchemeParams::mad_practical(), &hw.with_cache_mb(32.0));
         let rows = tradeoff_rows(
             &hw,
             &model,

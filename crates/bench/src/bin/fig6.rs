@@ -9,6 +9,9 @@ fn main() {
         println!("{}", mad_bench::fig6(Fig6Workload::LrTraining).render());
     }
     if arg.is_empty() || arg == "resnet" {
-        println!("{}", mad_bench::fig6(Fig6Workload::ResNetInference).render());
+        println!(
+            "{}",
+            mad_bench::fig6(Fig6Workload::ResNetInference).render()
+        );
     }
 }

@@ -20,7 +20,10 @@ fn print_breakdown(name: &str, w: &Workload, model: &CostModel, hw: &HardwareCon
             kind.to_string(),
             format!("{:.1}", c.ops() as f64 / 1e9),
             format!("{:.1}", c.dram_total() as f64 / 1e9),
-            format!("{:.1}", 100.0 * c.dram_total() as f64 / total.dram_total() as f64),
+            format!(
+                "{:.1}",
+                100.0 * c.dram_total() as f64 / total.dram_total() as f64
+            ),
             format!("{:.1}", hw.runtime_seconds(&c) * 1e3),
         ]);
     }

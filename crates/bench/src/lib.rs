@@ -12,9 +12,7 @@ use simfhe::bootstrap::BootstrapCost;
 use simfhe::report::{sig3, Table};
 use simfhe::search::{search, SearchSpace};
 use simfhe::throughput::{run_mad_bootstrap, PublishedDesign};
-use simfhe::{
-    AlgoOpts, CachingLevel, Cost, CostModel, HardwareConfig, MadConfig, SchemeParams,
-};
+use simfhe::{AlgoOpts, CachingLevel, Cost, CostModel, HardwareConfig, MadConfig, SchemeParams};
 
 /// The Table-4 configuration: baseline parameters, a cache of a couple of
 /// limbs (O(1)-limb fusion), ModUp hoisting as in Jung et al.
@@ -181,7 +179,9 @@ pub fn fig3() -> Table {
     let ladder = fig3_ladder();
     let mut t = Table::new(
         "Figure 3 — cumulative algorithmic optimizations on bootstrapping",
-        &["config", "Gops", "Δops%", "ct GB", "Δct%", "key GB", "Δkey%", "AI"],
+        &[
+            "config", "Gops", "Δops%", "ct GB", "Δct%", "key GB", "Δkey%", "AI",
+        ],
     );
     let mut prev: Option<Cost> = None;
     for (name, b) in &ladder {
@@ -189,8 +189,7 @@ pub fn fig3() -> Table {
         let (dops, dct, dkey) = match prev {
             Some(p) => (
                 (c.ops() as f64 / p.ops() as f64 - 1.0) * 100.0,
-                ((c.ct_read + c.ct_write) as f64 / (p.ct_read + p.ct_write) as f64 - 1.0)
-                    * 100.0,
+                ((c.ct_read + c.ct_write) as f64 / (p.ct_read + p.ct_write) as f64 - 1.0) * 100.0,
                 (c.key_read as f64 / p.key_read as f64 - 1.0) * 100.0,
             ),
             None => (0.0, 0.0, 0.0),
@@ -231,7 +230,10 @@ pub fn table5(space: &SearchSpace) -> Table {
         "Table 5 — baseline vs memory-aware optimal bootstrapping parameters (32 MB)",
         &["set", "n", "logq", "L", "dnum", "fftIter", "tput(10^7/s)"],
     );
-    for (label, run) in [("baseline [20]", &baseline_run), ("ours (searched)", &best.run)] {
+    for (label, run) in [
+        ("baseline [20]", &baseline_run),
+        ("ours (searched)", &best.run),
+    ] {
         let p = run.params;
         t.row(&[
             label.to_string(),
@@ -284,7 +286,11 @@ pub fn table6(searched: bool) -> Table {
             "design", "pub ms", "pub tput", "MAD ms", "MAD tput", "pub/MAD", "paper", "bound",
         ],
     );
-    for ((pubd, hw), paper) in PublishedDesign::table6().iter().zip(&designs).zip(paper_norm) {
+    for ((pubd, hw), paper) in PublishedDesign::table6()
+        .iter()
+        .zip(&designs)
+        .zip(paper_norm)
+    {
         let mad_hw = hw.with_cache_mb(32.0);
         let params = if searched {
             simfhe::search::best_params(&SearchSpace::default(), &mad_hw)

@@ -93,9 +93,7 @@ fn chunk_stages(count: usize, groups: usize) -> Vec<usize> {
     let groups = groups.min(count).max(1);
     let base = count / groups;
     let extra = count % groups;
-    (0..groups)
-        .map(|g| base + usize::from(g < extra))
-        .collect()
+    (0..groups).map(|g| base + usize::from(g < extra)).collect()
 }
 
 impl Bootstrapper {
@@ -141,9 +139,7 @@ impl Bootstrapper {
         for (gi, &c) in inv_chunks.iter().enumerate() {
             let last = gi == inv_chunks.len() - 1;
             // Inverse stages run from width n downward.
-            let widths: Vec<usize> = (done..done + c)
-                .map(|s| slots >> s)
-                .collect();
+            let widths: Vec<usize> = (done..done + c).map(|s| slots >> s).collect();
             done += c;
             let mat = matrix_of(slots, |v| {
                 for &w in &widths {
@@ -165,8 +161,10 @@ impl Bootstrapper {
         let ratio = ctx.q_basis().modulus(0).value() as f64 / ctx.params().scale();
         let bound = (config.k_range + 1.0) * ratio;
         let sine = ChebyshevSeries::interpolate(
-            move |t| ratio / (2.0 * std::f64::consts::PI)
-                * (2.0 * std::f64::consts::PI * t / ratio).sin(),
+            move |t| {
+                ratio / (2.0 * std::f64::consts::PI)
+                    * (2.0 * std::f64::consts::PI * t / ratio).sin()
+            },
             config.eval_mod_degree,
             -bound,
             bound,
@@ -418,8 +416,10 @@ mod tests {
         let ratio = 32.0; // q0/Δ
         let bound = 13.0 * ratio;
         let series = ChebyshevSeries::interpolate(
-            move |t| ratio / (2.0 * std::f64::consts::PI)
-                * (2.0 * std::f64::consts::PI * t / ratio).sin(),
+            move |t| {
+                ratio / (2.0 * std::f64::consts::PI)
+                    * (2.0 * std::f64::consts::PI * t / ratio).sin()
+            },
             119,
             -bound,
             bound,
@@ -428,10 +428,7 @@ mod tests {
             for &m in &[-0.9f64, -0.3, 0.0, 0.4, 0.8] {
                 let t = m + k as f64 * ratio;
                 let got = series.eval_plain(t);
-                assert!(
-                    (got - m).abs() < 0.02,
-                    "k={k} m={m}: got {got}"
-                );
+                assert!((got - m).abs() < 0.02, "k={k} m={m}: got {got}");
             }
         }
     }

@@ -2,12 +2,11 @@
 //! and automorphism tables shared by every operation.
 
 use crate::params::CkksParams;
-use fhe_math::automorph::{
-    conjugation_galois_element, rotation_galois_element, Automorphism,
-};
+use fhe_math::automorph::{conjugation_galois_element, rotation_galois_element, Automorphism};
 use fhe_math::poly::ModDownContext;
 use fhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
 use fhe_math::rns::{BasisExtender, RnsBasis};
+use fhe_math::ScratchPool;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
@@ -35,6 +34,9 @@ pub struct CkksContext {
     moddown_cache: Mutex<HashMap<(usize, bool), Arc<ModDownContext>>>,
     extender_cache: Mutex<HashMap<(usize, usize), Arc<BasisExtender>>>,
     automorphism_cache: Mutex<HashMap<u64, Arc<Automorphism>>>,
+    /// Reusable word buffers for the hot ring operations: after warm-up,
+    /// key switching and rescaling allocate nothing per call.
+    scratch: ScratchPool,
 }
 
 impl fmt::Debug for CkksContext {
@@ -92,12 +94,18 @@ impl CkksContext {
             moddown_cache: Mutex::new(HashMap::new()),
             extender_cache: Mutex::new(HashMap::new()),
             automorphism_cache: Mutex::new(HashMap::new()),
+            scratch: ScratchPool::new(),
         })
     }
 
     /// The parameter set.
     pub fn params(&self) -> &CkksParams {
         &self.params
+    }
+
+    /// The shared scratch-buffer pool for allocation-free hot paths.
+    pub fn scratch(&self) -> &ScratchPool {
+        &self.scratch
     }
 
     /// The full ciphertext basis `Q`.
@@ -156,12 +164,12 @@ impl CkksContext {
             .or_insert_with(|| {
                 if merged {
                     assert!(ell >= 2, "merged ModDown needs a limb to drop");
-                    let keep = self.q_basis.prefix(ell - 1);
+                    let keep = self.level_bases[ell - 2].clone();
                     let drop = self.q_basis.select(&[ell - 1]).concat(&self.p_basis);
-                    Arc::new(ModDownContext::new(&keep, &drop))
+                    Arc::new(ModDownContext::new(keep, &drop))
                 } else {
-                    let keep = self.q_basis.prefix(ell);
-                    Arc::new(ModDownContext::new(&keep, &self.p_basis))
+                    let keep = self.level_bases[ell - 1].clone();
+                    Arc::new(ModDownContext::new(keep, &self.p_basis))
                 }
             })
             .clone()
@@ -177,8 +185,7 @@ impl CkksContext {
             .or_insert_with(|| {
                 let range = self.digit_range(ell, j);
                 let digit_idx: Vec<usize> = range.clone().collect();
-                let complement_idx: Vec<usize> =
-                    (0..ell).filter(|i| !range.contains(i)).collect();
+                let complement_idx: Vec<usize> = (0..ell).filter(|i| !range.contains(i)).collect();
                 let digit = self.q_basis.select(&digit_idx);
                 let target = if complement_idx.is_empty() {
                     (**self.p_basis()).clone()

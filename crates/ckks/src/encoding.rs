@@ -246,8 +246,12 @@ mod tests {
         let ctx = ctx();
         let enc = Encoder::new(ctx.clone());
         let slots = enc.slots();
-        let a: Vec<Complex> = (0..slots).map(|i| Complex::new(1.0 + i as f64 / slots as f64, 0.3)).collect();
-        let b: Vec<Complex> = (0..slots).map(|i| Complex::new(0.5, -(i as f64) / slots as f64)).collect();
+        let a: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new(1.0 + i as f64 / slots as f64, 0.3))
+            .collect();
+        let b: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new(0.5, -(i as f64) / slots as f64))
+            .collect();
         let scale = ctx.params().scale();
         let mut pa = enc.encode(&a, 2, scale).unwrap();
         let pb = enc.encode(&b, 2, scale).unwrap();
@@ -268,10 +272,7 @@ mod tests {
         let scale = ctx.params().scale();
         let std = enc.encode(&values, 2, scale).unwrap();
         let raised = enc.encode_raised(&values, 2, scale).unwrap();
-        assert_eq!(
-            raised.limb_count(),
-            2 + ctx.params().special_limbs()
-        );
+        assert_eq!(raised.limb_count(), 2 + ctx.params().special_limbs());
         for i in 0..2 {
             assert_eq!(std.poly().limb(i), raised.poly().limb(i));
         }

@@ -4,7 +4,7 @@ use crate::context::CkksContext;
 use crate::keys::{PublicKey, SecretKey};
 use crate::plaintext::{Ciphertext, Plaintext};
 use fhe_math::poly::{Representation, RnsPoly};
-use fhe_math::sampling::{sample_gaussian, sample_ternary, sample_uniform_limbs};
+use fhe_math::sampling::{sample_gaussian, sample_ternary, sample_uniform_flat};
 use rand::Rng;
 use std::fmt;
 use std::sync::Arc;
@@ -38,9 +38,9 @@ impl Encryptor {
         let basis = self.ctx.level_basis(ell).clone();
         let n = self.ctx.params().degree();
         let moduli: Vec<u64> = basis.moduli().iter().map(|m| m.value()).collect();
-        let a = RnsPoly::from_limbs(
+        let a = RnsPoly::from_flat(
             basis.clone(),
-            sample_uniform_limbs(rng, &moduli, n),
+            sample_uniform_flat(rng, &moduli, n),
             Representation::Evaluation,
         );
         let mut c0 = RnsPoly::from_signed_coeffs(basis, &sample_gaussian(rng, n));
@@ -132,7 +132,11 @@ mod tests {
                 .build()
                 .unwrap(),
         );
-        (ctx.clone(), Encoder::new(ctx.clone()), KeyGenerator::new(ctx))
+        (
+            ctx.clone(),
+            Encoder::new(ctx.clone()),
+            KeyGenerator::new(ctx),
+        )
     }
 
     #[test]
@@ -178,7 +182,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(12);
         let sk = kg.secret_key(&mut rng);
         let encryptor = Encryptor::new(ctx.clone());
-        let pt = enc.encode(&[Complex::new(1.0, 0.0)], 1, ctx.params().scale()).unwrap();
+        let pt = enc
+            .encode(&[Complex::new(1.0, 0.0)], 1, ctx.params().scale())
+            .unwrap();
         let ct1 = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
         let ct2 = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
         assert_ne!(ct1.c0().limb(0), ct2.c0().limb(0));
@@ -190,7 +196,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(13);
         let sk = kg.secret_key(&mut rng);
         let encryptor = Encryptor::new(ctx.clone());
-        let pt = enc.encode(&[Complex::new(1.0, 0.0)], 3, ctx.params().scale()).unwrap();
+        let pt = enc
+            .encode(&[Complex::new(1.0, 0.0)], 3, ctx.params().scale())
+            .unwrap();
         let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
         assert_eq!(ct.size_words(), 2 * 64 * 3);
     }

@@ -18,11 +18,12 @@
 
 use crate::encoding::Encoder;
 use crate::keys::GaloisKeys;
-use crate::keyswitch::{automorph_digits, complete, decompose_and_raise, inner_product};
+use crate::keyswitch::{automorph_digits_with, complete, decompose_and_raise, inner_product};
 use crate::ops::Evaluator;
 use crate::plaintext::Ciphertext;
 use fhe_math::cfft::Complex;
-use fhe_math::poly::mod_down;
+use fhe_math::poly::mod_down_with;
+use fhe_math::ScratchPool;
 use std::collections::BTreeMap;
 use std::fmt;
 
@@ -63,7 +64,10 @@ impl LinearTransform {
                 diagonals.insert(d, diag);
             }
         }
-        Self { diagonals, slots: n }
+        Self {
+            diagonals,
+            slots: n,
+        }
     }
 
     /// Builds directly from a diagonal map.
@@ -125,9 +129,7 @@ pub fn apply_naive(
     let mut acc: Option<Ciphertext> = None;
     for (&d, diag) in &lt.diagonals {
         let rotated = evaluator.rotate(ct, d as i64, gk);
-        let pt = encoder
-            .encode(diag, ell, scale)
-            .expect("diagonal encodes");
+        let pt = encoder.encode(diag, ell, scale).expect("diagonal encodes");
         let term = evaluator.mul_plain_no_rescale(&rotated, &pt);
         acc = Some(match acc {
             None => term,
@@ -151,8 +153,9 @@ pub fn rotate_hoisted(
     gk: &GaloisKeys,
 ) -> Vec<Ciphertext> {
     let ctx = evaluator.context();
+    let pool = ctx.scratch();
     let digits = decompose_and_raise(ctx, &ct.c1);
-    steps
+    let out = steps
         .iter()
         .map(|&s| {
             if s == 0 {
@@ -163,14 +166,23 @@ pub fn rotate_hoisted(
                 .get(k)
                 .unwrap_or_else(|| panic!("missing Galois key for rotation {s}"));
             let auto = ctx.automorphism(k);
-            let rotated_digits = automorph_digits(&digits, &auto);
+            let rotated_digits = automorph_digits_with(&digits, &auto, pool);
             let raised = inner_product(ctx, &rotated_digits, ksk);
+            for d in rotated_digits {
+                d.recycle(pool);
+            }
             let (v, u) = complete(ctx, &raised);
+            raised.recycle(pool);
             let mut c0 = ct.c0.automorphism(&auto);
             c0.add_assign(&v);
+            v.recycle(pool);
             Ciphertext::new(c0, u, ct.scale)
         })
-        .collect()
+        .collect();
+    for d in digits {
+        d.recycle(pool);
+    }
+    out
 }
 
 /// `PtMatVecMult` with ModUp **and** ModDown hoisting (Figure 5c): one
@@ -191,6 +203,7 @@ pub fn apply_hoisted(
     gk: &GaloisKeys,
 ) -> Ciphertext {
     let ctx = evaluator.context();
+    let pool = ctx.scratch();
     let ell = ct.limb_count();
     let scale = ctx.params().scale();
     let digits = decompose_and_raise(ctx, &ct.c1);
@@ -208,10 +221,10 @@ pub fn apply_hoisted(
             // No rotation: multiply both components in the base basis.
             let mut t0 = ct.c0.clone();
             t0.mul_assign_pointwise(&pt_base.poly);
-            merge(&mut acc_c0, t0);
+            merge(&mut acc_c0, t0, pool);
             let mut t1 = ct.c1.clone();
             t1.mul_assign_pointwise(&pt_base.poly);
-            merge(&mut acc_c1_base, t1);
+            merge(&mut acc_c1_base, t1, pool);
             continue;
         }
         let k = ctx.rotation_element(d as i64);
@@ -219,31 +232,44 @@ pub fn apply_hoisted(
             .get(k)
             .unwrap_or_else(|| panic!("missing Galois key for rotation {d}"));
         let auto = ctx.automorphism(k);
-        let rotated_digits = automorph_digits(&digits, &auto);
+        let rotated_digits = automorph_digits_with(&digits, &auto, pool);
         let raised = inner_product(ctx, &rotated_digits, ksk);
+        for rd in rotated_digits {
+            rd.recycle(pool);
+        }
         // Plaintext in the raised basis (ModDown hoisting).
         let pt_raised = encoder
             .encode_raised(diag, ell, scale)
             .expect("diagonal encodes");
         let mut u = raised.u;
         u.mul_assign_pointwise(&pt_raised.poly);
-        merge(&mut acc_u, u);
+        merge(&mut acc_u, u, pool);
         let mut v = raised.v;
         v.mul_assign_pointwise(&pt_raised.poly);
-        merge(&mut acc_v, v);
+        merge(&mut acc_v, v, pool);
         // σ(c0) part stays in the base basis.
         let mut c0_rot = ct.c0.automorphism(&auto);
         c0_rot.mul_assign_pointwise(&pt_base.poly);
-        merge(&mut acc_c0, c0_rot);
+        merge(&mut acc_c0, c0_rot, pool);
+    }
+    for d in digits {
+        d.recycle(pool);
     }
 
     let md = ctx.moddown_context(ell, false);
     let mut c0 = acc_c0.expect("at least one diagonal");
     if let Some(v) = acc_v {
-        c0.add_assign(&mod_down(&v, &md));
+        let lowered = mod_down_with(&v, &md, pool);
+        c0.add_assign(&lowered);
+        lowered.recycle(pool);
+        v.recycle(pool);
     }
     let mut c1 = match acc_u {
-        Some(u) => mod_down(&u, &md),
+        Some(u) => {
+            let lowered = mod_down_with(&u, &md, pool);
+            u.recycle(pool);
+            lowered
+        }
         None => fhe_math::poly::RnsPoly::zero(
             ctx.level_basis(ell).clone(),
             fhe_math::poly::Representation::Evaluation,
@@ -251,14 +277,22 @@ pub fn apply_hoisted(
     };
     if let Some(b) = acc_c1_base {
         c1.add_assign(&b);
+        b.recycle(pool);
     }
     evaluator.rescale(&Ciphertext::new(c0, c1, ct.scale * scale))
 }
 
-fn merge(acc: &mut Option<fhe_math::poly::RnsPoly>, term: fhe_math::poly::RnsPoly) {
+fn merge(
+    acc: &mut Option<fhe_math::poly::RnsPoly>,
+    term: fhe_math::poly::RnsPoly,
+    pool: &ScratchPool,
+) {
     match acc {
         None => *acc = Some(term),
-        Some(a) => a.add_assign(&term),
+        Some(a) => {
+            a.add_assign(&term);
+            term.recycle(pool);
+        }
     }
 }
 
@@ -470,10 +504,7 @@ mod tests {
         for (name, result) in [("naive", naive), ("hoisted", hoisted), ("bsgs", bsgs)] {
             let got = encoder.decode(&decryptor.decrypt(&result, &sk));
             for (i, (g, w)) in got.iter().zip(&want).enumerate() {
-                assert!(
-                    (*g - *w).abs() < 5e-4,
-                    "{name}: slot {i}: {g:?} vs {w:?}"
-                );
+                assert!((*g - *w).abs() < 5e-4, "{name}: slot {i}: {g:?} vs {w:?}");
             }
         }
     }
@@ -487,7 +518,11 @@ mod tests {
         let steps: Vec<i64> = lt.offsets().iter().map(|&d| d as i64).collect();
         let gk = keygen.galois_keys(&mut rng, &sk, &steps, false);
         let pt = encoder
-            .encode(&vec![Complex::new(0.5, 0.0); slots], 3, ctx.params().scale())
+            .encode(
+                &vec![Complex::new(0.5, 0.0); slots],
+                3,
+                ctx.params().scale(),
+            )
             .unwrap();
         let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
         let out = apply_hoisted(&evaluator, &encoder, &ct, &lt, &gk);

@@ -5,7 +5,7 @@
 
 use crate::context::CkksContext;
 use fhe_math::poly::{Representation, RnsPoly};
-use fhe_math::sampling::{sample_gaussian, sample_ternary, sample_uniform_limbs};
+use fhe_math::sampling::{sample_gaussian, sample_ternary, sample_uniform_flat};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -214,8 +214,8 @@ impl KeyGenerator {
         let basis = self.ctx.q_basis().clone();
         let n = self.ctx.params().degree();
         let moduli: Vec<u64> = basis.moduli().iter().map(|m| m.value()).collect();
-        let a_limbs = sample_uniform_limbs(rng, &moduli, n);
-        let a = RnsPoly::from_limbs(basis.clone(), a_limbs, Representation::Evaluation);
+        let a_flat = sample_uniform_flat(rng, &moduli, n);
+        let a = RnsPoly::from_flat(basis.clone(), a_flat, Representation::Evaluation);
         let e_signed = sample_gaussian(rng, n);
         let mut e = RnsPoly::from_signed_coeffs(basis.clone(), &e_signed);
         e.to_eval();
@@ -268,11 +268,11 @@ impl KeyGenerator {
         let mut seeded_rng = seed.map(StdRng::from_seed);
         let mut digits = Vec::with_capacity(dnum);
         for j in 0..dnum {
-            let a_limbs = match seeded_rng.as_mut() {
-                Some(sr) => sample_uniform_limbs(sr, &moduli, n),
-                None => sample_uniform_limbs(rng, &moduli, n),
+            let a_flat = match seeded_rng.as_mut() {
+                Some(sr) => sample_uniform_flat(sr, &moduli, n),
+                None => sample_uniform_flat(rng, &moduli, n),
             };
-            let a = RnsPoly::from_limbs(full.clone(), a_limbs, Representation::Evaluation);
+            let a = RnsPoly::from_flat(full.clone(), a_flat, Representation::Evaluation);
             let e_signed = sample_gaussian(rng, n);
             let mut b = RnsPoly::from_signed_coeffs(full.clone(), &e_signed);
             b.to_eval();

@@ -60,8 +60,8 @@ pub mod keyswitch;
 pub mod noise;
 pub mod ops;
 pub mod params;
-pub mod polyeval;
 pub mod plaintext;
+pub mod polyeval;
 pub mod serialize;
 
 pub use context::CkksContext;

@@ -147,7 +147,10 @@ mod tests {
         let sq = ev.mul(&ct, &ct, &rlk);
         let want: Vec<Complex> = values.iter().map(|&v| v * v).collect();
         let after = measure(&sq, &sk, &want, &encoder);
-        assert!(after.budget_bits < fresh.budget_bits - 25.0, "one limb spent");
+        assert!(
+            after.budget_bits < fresh.budget_bits - 25.0,
+            "one limb spent"
+        );
         assert!(after.log2_slot_error > fresh.log2_slot_error, "noise grew");
         assert!(after.log2_slot_error < -10.0, "but stayed usable");
     }

@@ -8,11 +8,15 @@
 //! raised basis via `PModUp` and a *single* `ModDown` drops `P` and the
 //! rescaling prime together. Both compute the same function; the test suite
 //! checks they agree to within rounding noise.
+//!
+//! Operations mutate their owned intermediates in place and return
+//! short-lived buffers to the context's scratch pool, so steady-state
+//! evaluation recycles storage instead of allocating per call.
 
 use crate::context::CkksContext;
 use crate::keys::{GaloisKeys, RelinKey, SwitchingKey};
 use crate::plaintext::{Ciphertext, Plaintext};
-use fhe_math::poly::{mod_down, pmod_up, rescale as poly_rescale, RnsPoly};
+use fhe_math::poly::{mod_down_with, pmod_up_with, rescale_with, RnsPoly};
 use std::fmt;
 use std::sync::Arc;
 
@@ -75,12 +79,10 @@ impl Evaluator {
     /// Panics if the scales disagree beyond tolerance.
     pub fn add(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         Self::check_scales(a.scale, b.scale);
-        let (a, b) = self.align_levels(a, b);
-        let mut c0 = a.c0.clone();
-        c0.add_assign(&b.c0);
-        let mut c1 = a.c1.clone();
-        c1.add_assign(&b.c1);
-        Ciphertext::new(c0, c1, a.scale)
+        let (mut a, b) = self.align_levels(a, b);
+        a.c0.add_assign(&b.c0);
+        a.c1.add_assign(&b.c1);
+        a
     }
 
     /// Homomorphic subtraction.
@@ -90,21 +92,18 @@ impl Evaluator {
     /// Panics if the scales disagree beyond tolerance.
     pub fn sub(&self, a: &Ciphertext, b: &Ciphertext) -> Ciphertext {
         Self::check_scales(a.scale, b.scale);
-        let (a, b) = self.align_levels(a, b);
-        let mut c0 = a.c0.clone();
-        c0.sub_assign(&b.c0);
-        let mut c1 = a.c1.clone();
-        c1.sub_assign(&b.c1);
-        Ciphertext::new(c0, c1, a.scale)
+        let (mut a, b) = self.align_levels(a, b);
+        a.c0.sub_assign(&b.c0);
+        a.c1.sub_assign(&b.c1);
+        a
     }
 
     /// Homomorphic negation.
     pub fn neg(&self, a: &Ciphertext) -> Ciphertext {
-        let mut c0 = a.c0.clone();
-        c0.negate();
-        let mut c1 = a.c1.clone();
-        c1.negate();
-        Ciphertext::new(c0, c1, a.scale)
+        let mut out = a.clone();
+        out.c0.negate();
+        out.c1.negate();
+        out
     }
 
     /// `PtAdd`: adds a plaintext to a ciphertext.
@@ -115,10 +114,13 @@ impl Evaluator {
     pub fn add_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         Self::check_scales(a.scale, pt.scale);
         let ell = a.limb_count().min(pt.limb_count());
-        let a = self.drop_to(a, ell);
-        let mut c0 = a.c0.clone();
-        c0.add_assign(&pt.poly.drop_to(ell));
-        Ciphertext::new(c0, a.c1.clone(), a.scale)
+        let mut a = self.drop_to(a, ell);
+        if pt.limb_count() == ell {
+            a.c0.add_assign(&pt.poly);
+        } else {
+            a.c0.add_assign(&pt.poly.drop_to(ell));
+        }
+        a
     }
 
     /// Subtracts a plaintext from a ciphertext.
@@ -129,42 +131,55 @@ impl Evaluator {
     pub fn sub_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         Self::check_scales(a.scale, pt.scale);
         let ell = a.limb_count().min(pt.limb_count());
-        let a = self.drop_to(a, ell);
-        let mut c0 = a.c0.clone();
-        c0.sub_assign(&pt.poly.drop_to(ell));
-        Ciphertext::new(c0, a.c1.clone(), a.scale)
+        let mut a = self.drop_to(a, ell);
+        if pt.limb_count() == ell {
+            a.c0.sub_assign(&pt.poly);
+        } else {
+            a.c0.sub_assign(&pt.poly.drop_to(ell));
+        }
+        a
     }
 
     /// `PtMult` without the trailing rescale: multiplies by a plaintext,
     /// leaving the product at scale `scale_ct · scale_pt`.
     pub fn mul_plain_no_rescale(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let ell = a.limb_count().min(pt.limb_count());
-        let a = self.drop_to(a, ell);
-        let p = pt.poly.drop_to(ell);
-        let mut c0 = a.c0.clone();
-        c0.mul_assign_pointwise(&p);
-        let mut c1 = a.c1.clone();
-        c1.mul_assign_pointwise(&p);
-        Ciphertext::new(c0, c1, a.scale * pt.scale)
+        let mut a = self.drop_to(a, ell);
+        if pt.limb_count() == ell {
+            a.c0.mul_assign_pointwise(&pt.poly);
+            a.c1.mul_assign_pointwise(&pt.poly);
+        } else {
+            let p = pt.poly.drop_to(ell);
+            a.c0.mul_assign_pointwise(&p);
+            a.c1.mul_assign_pointwise(&p);
+        }
+        a.scale *= pt.scale;
+        a
     }
 
     /// `PtMult` (Table 2): plaintext multiplication followed by `Rescale`.
     pub fn mul_plain(&self, a: &Ciphertext, pt: &Plaintext) -> Ciphertext {
         let prod = self.mul_plain_no_rescale(a, pt);
-        self.rescale(&prod)
+        let out = self.rescale(&prod);
+        prod.recycle(self.ctx.scratch());
+        out
     }
 
     /// Multiplies by a real scalar at the given auxiliary scale, without
     /// rescaling (scale becomes `ct.scale · aux_scale`).
     pub fn mul_scalar_no_rescale(&self, a: &Ciphertext, c: f64, aux_scale: f64) -> Ciphertext {
         let scaled = (c * aux_scale).round() as i64;
-        let basis = a.c0.basis();
-        let factors: Vec<u64> = basis.moduli().iter().map(|m| m.from_i64(scaled)).collect();
-        let mut c0 = a.c0.clone();
-        c0.mul_scalar_per_limb_assign(&factors);
-        let mut c1 = a.c1.clone();
-        c1.mul_scalar_per_limb_assign(&factors);
-        Ciphertext::new(c0, c1, a.scale * aux_scale)
+        let factors: Vec<u64> =
+            a.c0.basis()
+                .moduli()
+                .iter()
+                .map(|m| m.from_i64(scaled))
+                .collect();
+        let mut out = a.clone();
+        out.c0.mul_scalar_per_limb_assign(&factors);
+        out.c1.mul_scalar_per_limb_assign(&factors);
+        out.scale *= aux_scale;
+        out
     }
 
     /// Multiplies by a complex scalar at the given auxiliary scale, without
@@ -183,11 +198,11 @@ impl Evaluator {
         let basis = a.c0.basis().clone();
         let mut mult = RnsPoly::from_signed_coeffs(basis, &coeffs);
         mult.to_eval();
-        let mut c0 = a.c0.clone();
-        c0.mul_assign_pointwise(&mult);
-        let mut c1 = a.c1.clone();
-        c1.mul_assign_pointwise(&mult);
-        Ciphertext::new(c0, c1, a.scale * aux_scale)
+        let mut out = a.clone();
+        out.c0.mul_assign_pointwise(&mult);
+        out.c1.mul_assign_pointwise(&mult);
+        out.scale *= aux_scale;
+        out
     }
 
     /// Adds a real scalar (same value in every slot).
@@ -196,23 +211,24 @@ impl Evaluator {
         let basis = a.c0.basis().clone();
         // A constant slot vector encodes to the constant polynomial, whose
         // evaluation representation is the constant in every position.
-        let mut c0 = a.c0.clone();
-        for i in 0..c0.limb_count() {
+        let mut out = a.clone();
+        for i in 0..out.c0.limb_count() {
             let m = *basis.modulus(i);
             let v = m.from_i64(scaled);
-            for x in c0.limb_mut(i).iter_mut() {
+            for x in out.c0.limb_mut(i).iter_mut() {
                 *x = m.add(*x, v);
             }
         }
-        Ciphertext::new(c0, a.c1.clone(), a.scale)
+        out
     }
 
     /// `Rescale`: divides by the last limb prime and drops it.
     pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        let pool = self.ctx.scratch();
         let q_last = a.c0.basis().modulus(a.limb_count() - 1).value() as f64;
         Ciphertext::new(
-            poly_rescale(&a.c0),
-            poly_rescale(&a.c1),
+            rescale_with(&a.c0, pool),
+            rescale_with(&a.c1, pool),
             a.scale / q_last,
         )
     }
@@ -221,26 +237,36 @@ impl Evaluator {
     /// `(d_0, d_1, d_2)`.
     fn tensor(&self, a: &Ciphertext, b: &Ciphertext) -> (RnsPoly, RnsPoly, RnsPoly, f64) {
         let (a, b) = self.align_levels(a, b);
-        let mut d0 = a.c0.clone();
-        d0.mul_assign_pointwise(&b.c0);
+        let scale = a.scale * b.scale;
+        // Two of the four legs reuse the aligned copies' own storage.
         let mut d1 = a.c0.clone();
         d1.mul_assign_pointwise(&b.c1);
-        let mut d1b = a.c1.clone();
-        d1b.mul_assign_pointwise(&b.c0);
-        d1.add_assign(&d1b);
+        let mut d0 = a.c0;
+        d0.mul_assign_pointwise(&b.c0);
         let mut d2 = a.c1.clone();
         d2.mul_assign_pointwise(&b.c1);
-        (d0, d1, d2, a.scale * b.scale)
+        let mut d1b = a.c1;
+        d1b.mul_assign_pointwise(&b.c0);
+        d1.add_assign(&d1b);
+        d1b.recycle(self.ctx.scratch());
+        (d0, d1, d2, scale)
     }
 
     /// `Mult` (Table 2), standard sequence (Figure 4a): tensor,
     /// relinearize (KeySwitch with its own `ModDown`), then `Rescale`.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        let pool = self.ctx.scratch();
         let (mut d0, mut d1, d2, scale) = self.tensor(a, b);
         let (v, u) = crate::keyswitch::keyswitch(&self.ctx, &d2, rlk.switching_key());
+        d2.recycle(pool);
         d0.add_assign(&v);
         d1.add_assign(&u);
-        self.rescale(&Ciphertext::new(d0, d1, scale))
+        v.recycle(pool);
+        u.recycle(pool);
+        let prod = Ciphertext::new(d0, d1, scale);
+        let out = self.rescale(&prod);
+        prod.recycle(pool);
+        out
     }
 
     /// `Mult` with the **ModDown merge** optimization (Figure 4c): the
@@ -248,23 +274,39 @@ impl Evaluator {
     /// added to the key-switch intermediate, and a single `ModDown` divides
     /// by `P·q_{ℓ-1}` — saving one orientation switch and `ℓ` NTTs.
     pub fn mul_merged(&self, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        let pool = self.ctx.scratch();
         let (d0, d1, d2, scale) = self.tensor(a, b);
         let ell = d0.limb_count();
-        assert!(ell >= 2, "merged multiplication needs a limb to rescale into");
+        assert!(
+            ell >= 2,
+            "merged multiplication needs a limb to rescale into"
+        );
         let digits = crate::keyswitch::decompose_and_raise(&self.ctx, &d2);
-        let mut raised =
-            crate::keyswitch::inner_product(&self.ctx, &digits, rlk.switching_key());
+        let mut raised = crate::keyswitch::inner_product(&self.ctx, &digits, rlk.switching_key());
+        for d in digits {
+            d.recycle(pool);
+        }
+        d2.recycle(pool);
         // Lift the linear legs: Add in the raised basis (PModUp is free).
-        raised.v.add_assign(&pmod_up(&d0, self.ctx.p_basis()));
-        raised.u.add_assign(&pmod_up(&d1, self.ctx.p_basis()));
+        let raised_basis = self.ctx.raised_basis(ell);
+        let lifted = pmod_up_with(&d0, raised_basis.clone(), pool);
+        raised.v.add_assign(&lifted);
+        lifted.recycle(pool);
+        d0.recycle(pool);
+        let lifted = pmod_up_with(&d1, raised_basis.clone(), pool);
+        raised.u.add_assign(&lifted);
+        lifted.recycle(pool);
+        d1.recycle(pool);
         // One ModDown dropping {q_{ℓ-1}} ∪ P.
         let md = self.ctx.moddown_context(ell, true);
         let q_last = self.ctx.q_basis().modulus(ell - 1).value() as f64;
-        Ciphertext::new(
-            mod_down(&raised.v, &md),
-            mod_down(&raised.u, &md),
+        let out = Ciphertext::new(
+            mod_down_with(&raised.v, &md, pool),
+            mod_down_with(&raised.u, &md, pool),
             scale / q_last,
-        )
+        );
+        raised.recycle(pool);
+        out
     }
 
     /// Squares a ciphertext (standard path).
@@ -274,13 +316,17 @@ impl Evaluator {
 
     /// Applies the Galois automorphism `k` with its switching key.
     pub fn automorphism(&self, a: &Ciphertext, k: u64, ksk: &SwitchingKey) -> Ciphertext {
+        let pool = self.ctx.scratch();
         let auto = self.ctx.automorphism(k);
-        let c0 = a.c0.automorphism(&auto);
-        let c1 = a.c1.automorphism(&auto);
+        let mut c0 = RnsPoly::zero_pooled(a.c0.basis().clone(), a.c0.representation(), pool);
+        a.c0.automorphism_into(&auto, &mut c0);
+        let mut c1 = RnsPoly::zero_pooled(a.c1.basis().clone(), a.c1.representation(), pool);
+        a.c1.automorphism_into(&auto, &mut c1);
         let (v, u) = crate::keyswitch::keyswitch(&self.ctx, &c1, ksk);
-        let mut out0 = c0;
-        out0.add_assign(&v);
-        Ciphertext::new(out0, u, a.scale)
+        c1.recycle(pool);
+        c0.add_assign(&v);
+        v.recycle(pool);
+        Ciphertext::new(c0, u, a.scale)
     }
 
     /// `Rotate` (Table 2): rotates the slot vector left by `steps`.
@@ -317,6 +363,7 @@ impl Evaluator {
         for i in 0..log_span {
             let rotated = self.rotate(&acc, 1i64 << i, gk);
             acc = self.add(&acc, &rotated);
+            rotated.recycle(self.ctx.scratch());
         }
         acc
     }
@@ -328,9 +375,7 @@ impl Evaluator {
     /// Panics if the conjugation key was not generated.
     pub fn conjugate(&self, a: &Ciphertext, gk: &GaloisKeys) -> Ciphertext {
         let k = self.ctx.conjugation_element();
-        let ksk = gk
-            .get(k)
-            .expect("missing conjugation key");
+        let ksk = gk.get(k).expect("missing conjugation key");
         self.automorphism(a, k, ksk)
     }
 }

@@ -275,11 +275,7 @@ mod tests {
     #[test]
     fn alpha_beta_match_paper_definitions() {
         // Paper example: L = 35 limbs + dnum = 3 → α = 12.
-        let p = CkksParams::builder()
-            .levels(35)
-            .dnum(3)
-            .build()
-            .unwrap();
+        let p = CkksParams::builder().levels(35).dnum(3).build().unwrap();
         assert_eq!(p.alpha(), 12);
         assert_eq!(p.beta_at(35), 3);
         assert_eq!(p.beta_at(12), 1);

@@ -97,4 +97,12 @@ impl Ciphertext {
     pub fn size_words(&self) -> u64 {
         2 * self.c0.degree() as u64 * self.limb_count() as u64
     }
+
+    /// Returns both components' storage to `pool`. Evaluator hot paths
+    /// recycle short-lived ciphertexts so steady-state evaluation stays
+    /// allocation-free.
+    pub fn recycle(self, pool: &fhe_math::ScratchPool) {
+        self.c0.recycle(pool);
+        self.c1.recycle(pool);
+    }
 }

@@ -52,8 +52,7 @@ impl ChebyshevSeries {
         for (k, c) in coeffs.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (j, &s) in samples.iter().enumerate() {
-                acc += s
-                    * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
+                acc += s * (std::f64::consts::PI * k as f64 * (j as f64 + 0.5) / n as f64).cos();
             }
             *c = acc * 2.0 / n as f64;
         }

@@ -16,7 +16,7 @@ use crate::keys::{DigitKey, SwitchingKey};
 use crate::plaintext::Ciphertext;
 use fhe_math::poly::{Representation, RnsPoly};
 use fhe_math::rns::RnsBasis;
-use fhe_math::sampling::sample_uniform_limbs;
+use fhe_math::sampling::sample_uniform_flat;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::fmt;
@@ -98,32 +98,31 @@ impl<'a> Reader<'a> {
         Ok(s)
     }
     fn u32(&mut self) -> Result<u32, SerializeError> {
-        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(
+            self.bytes(4)?.try_into().expect("4 bytes"),
+        ))
     }
     fn u64(&mut self) -> Result<u64, SerializeError> {
-        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(
+            self.bytes(8)?.try_into().expect("8 bytes"),
+        ))
     }
-    fn poly(
-        &mut self,
-        basis: &Arc<RnsBasis>,
-    ) -> Result<RnsPoly, SerializeError> {
+    fn poly(&mut self, basis: &Arc<RnsBasis>) -> Result<RnsPoly, SerializeError> {
         let n = basis.degree();
-        let mut limbs = Vec::with_capacity(basis.len());
+        let mut flat = Vec::with_capacity(basis.len() * n);
         for i in 0..basis.len() {
             let q = basis.modulus(i).value();
-            let mut limb = Vec::with_capacity(n);
             for _ in 0..n {
                 let x = self.u64()?;
                 if x >= q {
                     return Err(SerializeError::UnreducedResidue);
                 }
-                limb.push(x);
+                flat.push(x);
             }
-            limbs.push(limb);
         }
-        Ok(RnsPoly::from_limbs(
+        Ok(RnsPoly::from_flat(
             basis.clone(),
-            limbs,
+            flat,
             Representation::Evaluation,
         ))
     }
@@ -244,9 +243,9 @@ pub fn deserialize_switching_key(
         let seed: [u8; 32] = r.bytes(32)?.try_into().expect("32 bytes");
         let mut rng = StdRng::from_seed(seed);
         for _ in 0..digit_count {
-            let a = RnsPoly::from_limbs(
+            let a = RnsPoly::from_flat(
                 basis.clone(),
-                sample_uniform_limbs(&mut rng, &moduli, n),
+                sample_uniform_flat(&mut rng, &moduli, n),
                 Representation::Evaluation,
             );
             let b = r.poly(&basis)?;
@@ -333,7 +332,12 @@ mod tests {
 
         // Deserialize and use for a real multiplication.
         let restored = deserialize_switching_key(&ctx, &compressed_bytes).unwrap();
-        for (orig, got) in seeded_key.switching_key().digits.iter().zip(&restored.digits) {
+        for (orig, got) in seeded_key
+            .switching_key()
+            .digits
+            .iter()
+            .zip(&restored.digits)
+        {
             for i in 0..orig.a.limb_count() {
                 assert_eq!(orig.a.limb(i), got.a.limb(i), "a must regenerate exactly");
                 assert_eq!(orig.b.limb(i), got.b.limb(i));

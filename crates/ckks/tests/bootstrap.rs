@@ -64,10 +64,7 @@ fn bootstrap_restores_levels_and_preserves_message() {
     for (g, w) in back.iter().zip(&values) {
         max_err = max_err.max((*g - *w).abs());
     }
-    assert!(
-        max_err < 0.03,
-        "bootstrapping error too large: {max_err}"
-    );
+    assert!(max_err < 0.03, "bootstrapping error too large: {max_err}");
 }
 
 #[test]
@@ -141,7 +138,9 @@ fn coeff_to_slot_then_slot_to_coeff_is_identity() {
     let values: Vec<Complex> = (0..encoder.slots())
         .map(|i| Complex::new((i as f64 * 0.7).cos() * 0.5, 0.2))
         .collect();
-    let pt = encoder.encode(&values, levels, ctx.params().scale()).unwrap();
+    let pt = encoder
+        .encode(&values, levels, ctx.params().scale())
+        .unwrap();
     let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
 
     let slotted = bootstrapper.coeff_to_slot(&evaluator, &encoder, &ct, &gk);

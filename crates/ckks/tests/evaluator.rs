@@ -1,9 +1,7 @@
 //! End-to-end homomorphic correctness of the Table-2 operations, including
 //! the semantic equivalence of the MAD ModDown-merge multiplication.
 
-use ckks::{
-    CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator,
-};
+use ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator};
 use fhe_math::cfft::Complex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -171,7 +169,12 @@ fn rotation_and_conjugation() {
         let want: Vec<Complex> = (0..slots)
             .map(|i| a[(i as i64 + steps).rem_euclid(slots as i64) as usize])
             .collect();
-        assert_close(&h.decrypt(&rot, &sk), &want, 1e-4, &format!("rotate {steps}"));
+        assert_close(
+            &h.decrypt(&rot, &sk),
+            &want,
+            1e-4,
+            &format!("rotate {steps}"),
+        );
     }
 
     let conj = h.evaluator.conjugate(&ct, &gk);
@@ -222,9 +225,11 @@ fn scalar_operations() {
     let want: Vec<Complex> = a.iter().map(|&v| v + Complex::new(2.5, 0.0)).collect();
     assert_close(&h.decrypt(&shifted, &sk), &want, 1e-5, "add_scalar");
 
-    let scaled = h
-        .evaluator
-        .rescale(&h.evaluator.mul_scalar_no_rescale(&ct, -1.5, h.ctx.params().scale()));
+    let scaled = h.evaluator.rescale(&h.evaluator.mul_scalar_no_rescale(
+        &ct,
+        -1.5,
+        h.ctx.params().scale(),
+    ));
     let want: Vec<Complex> = a.iter().map(|&v| v.scale(-1.5)).collect();
     assert_close(&h.decrypt(&scaled, &sk), &want, 1e-4, "mul_scalar");
 }

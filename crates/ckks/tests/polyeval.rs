@@ -38,7 +38,9 @@ fn run_series(series: &ChebyshevSeries, inputs: &[f64], levels: usize) -> (Vec<f
         .take(encoder.slots())
         .map(|&x| Complex::new(x, 0.0))
         .collect();
-    let pt = encoder.encode(&values, levels, ctx.params().scale()).unwrap();
+    let pt = encoder
+        .encode(&values, levels, ctx.params().scale())
+        .unwrap();
     let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
     let out = evaluate_chebyshev(&evaluator, &rlk, &ct, series);
     let dec = encoder.decode(&decryptor.decrypt(&out, &sk));

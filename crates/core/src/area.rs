@@ -166,8 +166,8 @@ mod tests {
         let d0 = 0.001;
         let big = m.relative_cost(&HardwareConfig::bts(), d0);
         let small = m.relative_cost(&HardwareConfig::bts().with_cache_mb(32.0), d0);
-        let area_ratio =
-            m.die_mm2(&HardwareConfig::bts()) / m.die_mm2(&HardwareConfig::bts().with_cache_mb(32.0));
+        let area_ratio = m.die_mm2(&HardwareConfig::bts())
+            / m.die_mm2(&HardwareConfig::bts().with_cache_mb(32.0));
         assert!(
             big / small > area_ratio,
             "cost ratio {:.1} must exceed area ratio {:.1}",

@@ -131,10 +131,7 @@ fn cmd_primitive(args: &Args) {
         ("Rotate", model.rotate(ell)),
         ("Rescale", model.rescale(ell)),
         ("KeySwitch", model.keyswitch(ell)),
-        (
-            "ModDown",
-            model.mod_down(ell, model.params.special_limbs()),
-        ),
+        ("ModDown", model.mod_down(ell, model.params.special_limbs())),
     ];
     for (name, c) in rows {
         t.row(&[
@@ -163,7 +160,10 @@ fn cmd_bootstrap(args: &Args) {
             phase.name().to_string(),
             format!("{:.1}", c.ops() as f64 / 1e9),
             format!("{:.1}", c.dram_total() as f64 / 1e9),
-            format!("{:.1}", 100.0 * c.dram_total() as f64 / b.cost.dram_total() as f64),
+            format!(
+                "{:.1}",
+                100.0 * c.dram_total() as f64 / b.cost.dram_total() as f64
+            ),
         ]);
     }
     t.row(&[

@@ -94,9 +94,7 @@ pub fn chunk_stages(count: usize, groups: usize) -> Vec<usize> {
     let groups = groups.min(count).max(1);
     let base = count / groups;
     let extra = count % groups;
-    (0..groups)
-        .map(|g| base + usize::from(g < extra))
-        .collect()
+    (0..groups).map(|g| base + usize::from(g < extra)).collect()
 }
 
 impl CostModel {
@@ -281,7 +279,10 @@ mod tests {
             (gbytes / 207.982 - 1.0).abs() < 0.30,
             "bootstrap DRAM {gbytes:.1} GB vs paper 208.0"
         );
-        assert!((ai / 0.72 - 1.0).abs() < 0.30, "bootstrap AI {ai:.2} vs 0.72");
+        assert!(
+            (ai / 0.72 - 1.0).abs() < 0.30,
+            "bootstrap AI {ai:.2} vs 0.72"
+        );
     }
 
     #[test]
@@ -343,10 +344,7 @@ mod tests {
             diagonals: 15,
         };
         let mv = m.pt_mat_vec_mult(shape);
-        assert_eq!(
-            mv.orientation_switches,
-            m.params.beta_at(40) as u64 + 2
-        );
+        assert_eq!(mv.orientation_switches, m.params.beta_at(40) as u64 + 2);
     }
 
     #[test]

@@ -123,8 +123,7 @@ impl HardwareConfig {
     /// Compute time for `cost` in seconds: modular ops spread over the
     /// multiplier lanes at the design's clock.
     pub fn compute_seconds(&self, cost: &Cost) -> f64 {
-        cost.ops() as f64 * self.cycles_per_op
-            / (self.modmult_count as f64 * self.freq_ghz * 1e9)
+        cost.ops() as f64 * self.cycles_per_op / (self.modmult_count as f64 * self.freq_ghz * 1e9)
     }
 
     /// Memory time for `cost` in seconds.

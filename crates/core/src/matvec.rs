@@ -337,7 +337,11 @@ mod tests {
         let no_cache = model(algo, CachingLevel::OneLimb).pt_mat_vec_mult(SHAPE);
         let cached = model(algo, CachingLevel::BetaLimbs).pt_mat_vec_mult(SHAPE);
         assert!(cached.cost.ct_read < no_cache.cost.ct_read);
-        assert_eq!(cached.cost.ops(), no_cache.cost.ops(), "caching is compute-neutral");
+        assert_eq!(
+            cached.cost.ops(),
+            no_cache.cost.ops(),
+            "caching is compute-neutral"
+        );
     }
 
     #[test]

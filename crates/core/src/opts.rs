@@ -200,7 +200,10 @@ mod tests {
         let (alpha, beta, limb) = (12, 3, 1.0);
         assert_eq!(CachingLevel::OneLimb.min_cache_mb(alpha, beta, limb), 1.0);
         assert_eq!(CachingLevel::BetaLimbs.min_cache_mb(alpha, beta, limb), 6.0);
-        assert_eq!(CachingLevel::AlphaLimbs.min_cache_mb(alpha, beta, limb), 27.0);
+        assert_eq!(
+            CachingLevel::AlphaLimbs.min_cache_mb(alpha, beta, limb),
+            27.0
+        );
     }
 
     #[test]

@@ -209,7 +209,11 @@ impl CostModel {
         if write_output {
             // Output (û, v̂): with limb re-ordering the special limbs are
             // consumed by the following ModDown without a DRAM round-trip.
-            let out_limbs = if self.reorder() { 2 * ell as u64 } else { 2 * w };
+            let out_limbs = if self.reorder() {
+                2 * ell as u64
+            } else {
+                2 * w
+            };
             c.ct_write += out_limbs * limb;
         }
         c

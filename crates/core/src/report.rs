@@ -149,7 +149,7 @@ mod tests {
     fn sig3_formatting() {
         assert_eq!(sig3(0.0), "0");
         assert_eq!(sig3(1234.2), "1234");
-        assert_eq!(sig3(3.14159), "3.14");
+        assert_eq!(sig3(6.54321), "6.54");
         assert_eq!(sig3(0.0123), "0.0123");
     }
 }

@@ -229,7 +229,13 @@ mod tests {
             let mut w = Workload::new("mixed");
             w.push(WorkloadOp::Mult { ell: 30 }, 4)
                 .push(WorkloadOp::Rotate { ell: 30 }, 8)
-                .push(WorkloadOp::MatVec { ell: 30, diagonals: 31 }, 2);
+                .push(
+                    WorkloadOp::MatVec {
+                        ell: 30,
+                        diagonals: 31,
+                    },
+                    2,
+                );
             w
         };
         let base = CostModel::new(SchemeParams::baseline(), MadConfig::baseline());

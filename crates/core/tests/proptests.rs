@@ -2,9 +2,7 @@
 //! hold for *every* parameter point, not just the paper's.
 
 use proptest::prelude::*;
-use simfhe::{
-    AlgoOpts, CachingLevel, Cost, CostModel, HardwareConfig, MadConfig, SchemeParams,
-};
+use simfhe::{AlgoOpts, CachingLevel, Cost, CostModel, HardwareConfig, MadConfig, SchemeParams};
 
 fn params_strategy() -> impl Strategy<Value = SchemeParams> {
     (13u32..=17, 30u32..=60, 20usize..=45, 1usize..=5, 1usize..=6).prop_map(

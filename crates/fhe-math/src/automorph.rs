@@ -47,7 +47,10 @@ impl Automorphism {
     pub fn new(k: u64, table: &NttTable) -> Self {
         let n = table.size();
         let two_n = 2 * n as u64;
-        assert!(k % 2 == 1 && k < two_n, "Galois element must be odd and < 2N");
+        assert!(
+            k % 2 == 1 && k < two_n,
+            "Galois element must be odd and < 2N"
+        );
         let mut coeff_target = vec![0u32; n];
         let mut coeff_negate = vec![false; n];
         for i in 0..n {

@@ -71,7 +71,11 @@ impl UBig {
             None => 0.0,
             Some(&top) => {
                 (self.limbs.len() as f64 - 1.0) * 64.0 + (64 - top.leading_zeros()) as f64
-                    - if top == 0 { 0.0 } else { (top.leading_zeros() == 63) as i32 as f64 * 0.0 }
+                    - if top == 0 {
+                        0.0
+                    } else {
+                        (top.leading_zeros() == 63) as i32 as f64 * 0.0
+                    }
             }
         }
     }

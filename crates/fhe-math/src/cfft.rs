@@ -103,7 +103,9 @@ pub struct SpecialFft {
 
 impl fmt::Debug for SpecialFft {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("SpecialFft").field("slots", &self.slots).finish()
+        f.debug_struct("SpecialFft")
+            .field("slots", &self.slots)
+            .finish()
     }
 }
 
@@ -318,8 +320,12 @@ mod tests {
     fn transform_is_linear() {
         let n = 32;
         let fft = SpecialFft::new(n);
-        let a: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64))).collect();
-        let b: Vec<Complex> = (0..n).map(|i| Complex::new(1.0 / (i + 1) as f64, 2.0)).collect();
+        let a: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(i as f64, -(i as f64)))
+            .collect();
+        let b: Vec<Complex> = (0..n)
+            .map(|i| Complex::new(1.0 / (i + 1) as f64, 2.0))
+            .collect();
         let sum: Vec<Complex> = a.iter().zip(&b).map(|(&x, &y)| x + y).collect();
         let mut fa = a.clone();
         let mut fb = b.clone();

@@ -28,6 +28,10 @@
 //!   reconstruction in decoding and in tests.
 //! - [`sampling`]: secret/noise distributions (ternary, centered binomial,
 //!   rounded Gaussian).
+//! - [`scratch`]: the reusable buffer pool behind the allocation-free hot
+//!   paths.
+//! - [`parallel`]: limb-level multithreading helpers over flat limb-major
+//!   buffers (feature `parallel`, on by default; bit-identical to serial).
 //!
 //! # Example
 //!
@@ -52,12 +56,15 @@ pub mod bigint;
 pub mod cfft;
 pub mod modular;
 pub mod ntt;
+pub mod parallel;
 pub mod poly;
 pub mod prime;
 pub mod rns;
 pub mod sampling;
+pub mod scratch;
 
 pub use modular::Modulus;
 pub use ntt::NttTable;
 pub use poly::{Representation, RnsPoly};
 pub use rns::RnsBasis;
+pub use scratch::{ScratchPool, ScratchStats};

@@ -69,7 +69,7 @@ impl Modulus {
         }
         // Compute ⌊2^128 / value⌋ via 128-bit long division in two halves.
         let hi = u64::MAX / value; // ⌊(2^64 - 1)/q⌋ approximates the high word
-        // Exact: 2^128 / q = ((2^64 / q) << 64) + ((2^64 mod q) << 64) / q.
+                                   // Exact: 2^128 / q = ((2^64 / q) << 64) + ((2^64 mod q) << 64) / q.
         let q128 = u128::MAX / value as u128; // ⌊(2^128 - 1)/q⌋ == ⌊2^128/q⌋ unless q | 2^128 (impossible for q>2 odd; for q=2^k handled below)
         let barrett = if value.is_power_of_two() {
             // 2^128 / 2^k = 2^(128-k); u128::MAX/q rounds down to 2^(128-k) - 1.
@@ -349,7 +349,10 @@ mod tests {
         assert_eq!(q.to_centered(16), -1);
         assert_eq!(q.from_i64(-1), 16);
         assert_eq!(q.from_i64(-17), 0);
-        assert_eq!(q.from_i64(i64::MIN + 1), q.from_i64((i64::MIN + 1) % 17 + 17));
+        assert_eq!(
+            q.from_i64(i64::MIN + 1),
+            q.from_i64((i64::MIN + 1) % 17 + 17)
+        );
     }
 
     #[test]

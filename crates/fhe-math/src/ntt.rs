@@ -291,7 +291,10 @@ mod tests {
 
     #[test]
     fn constructor_rejects_bad_inputs() {
-        assert!(matches!(NttTable::new(97, 3), Err(NttError::InvalidDegree(3))));
+        assert!(matches!(
+            NttTable::new(97, 3),
+            Err(NttError::InvalidDegree(3))
+        ));
         assert!(matches!(
             NttTable::new(91, 8),
             Err(NttError::UnsupportedModulus(91))

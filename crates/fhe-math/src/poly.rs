@@ -5,13 +5,22 @@
 //! (Algorithm 5, the free lift `x ↦ P·x` enabling linear functions in the
 //! raised basis).
 //!
+//! Storage is a single contiguous limb-major buffer: limb `i` occupies
+//! `data[i·N .. (i+1)·N]`, so the in-memory layout literally is the
+//! paper's limb-wise access pattern (Table 3) and limb-wise kernels stream
+//! a flat array. Hot operations take a [`ScratchPool`] and perform no heap
+//! allocation once the pool is warm; each `*_with` variant has a plain
+//! wrapper for cold paths and tests.
+//!
 //! Every operation documents its data-access pattern (limb-wise vs
 //! slot-wise per Table 3); the `simfhe` crate charges costs for exactly
 //! these patterns.
 
 use crate::automorph::Automorphism;
 use crate::bigint::{IBig, UBig};
+use crate::parallel;
 use crate::rns::{BasisExtender, RnsBasis};
+use crate::scratch::ScratchPool;
 use std::fmt;
 use std::sync::Arc;
 
@@ -24,18 +33,19 @@ pub enum Representation {
     Evaluation,
 }
 
-/// A polynomial in `∏ Z_{q_i}[x]/(x^N + 1)`, stored limb-major.
+/// A polynomial in `∏ Z_{q_i}[x]/(x^N + 1)`, stored as one contiguous
+/// limb-major `Vec<u64>`.
 #[derive(Clone)]
 pub struct RnsPoly {
     basis: Arc<RnsBasis>,
     rep: Representation,
-    limbs: Vec<Vec<u64>>,
+    data: Vec<u64>,
 }
 
 impl fmt::Debug for RnsPoly {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("RnsPoly")
-            .field("limbs", &self.limbs.len())
+            .field("limbs", &self.limb_count())
             .field("degree", &self.basis.degree())
             .field("rep", &self.rep)
             .finish()
@@ -45,12 +55,22 @@ impl fmt::Debug for RnsPoly {
 impl RnsPoly {
     /// The zero polynomial in the given representation.
     pub fn zero(basis: Arc<RnsBasis>, rep: Representation) -> Self {
-        let n = basis.degree();
-        let l = basis.len();
+        let len = basis.degree() * basis.len();
         Self {
             basis,
             rep,
-            limbs: vec![vec![0u64; n]; l],
+            data: vec![0u64; len],
+        }
+    }
+
+    /// The zero polynomial with storage leased from `pool` (returned via
+    /// [`RnsPoly::recycle`]).
+    pub fn zero_pooled(basis: Arc<RnsBasis>, rep: Representation, pool: &ScratchPool) -> Self {
+        let len = basis.degree() * basis.len();
+        Self {
+            basis,
+            rep,
+            data: pool.take_vec(len),
         }
     }
 
@@ -61,39 +81,49 @@ impl RnsPoly {
     ///
     /// Panics if `coeffs.len()` differs from the ring degree.
     pub fn from_signed_coeffs(basis: Arc<RnsBasis>, coeffs: &[i64]) -> Self {
-        assert_eq!(coeffs.len(), basis.degree(), "coefficient count mismatch");
-        let limbs = basis
-            .moduli()
-            .iter()
-            .map(|m| coeffs.iter().map(|&c| m.from_i64(c)).collect())
-            .collect();
+        let n = basis.degree();
+        assert_eq!(coeffs.len(), n, "coefficient count mismatch");
+        let mut data = vec![0u64; n * basis.len()];
+        {
+            let basis = &basis;
+            parallel::for_each_limb_mut(&mut data, n, |i, limb| {
+                let m = basis.modulus(i);
+                for (d, &c) in limb.iter_mut().zip(coeffs) {
+                    *d = m.from_i64(c);
+                }
+            });
+        }
         Self {
             basis,
             rep: Representation::Coefficient,
-            limbs,
+            data,
         }
     }
 
-    /// Builds a polynomial from pre-reduced limb data.
+    /// Builds a polynomial from a pre-reduced flat limb-major buffer
+    /// (limb `i` = `data[i·N .. (i+1)·N]`).
     ///
     /// # Panics
     ///
-    /// Panics if the limb count or any limb length is inconsistent with the
-    /// basis, or (in debug builds) if any residue is unreduced.
-    pub fn from_limbs(
-        basis: Arc<RnsBasis>,
-        limbs: Vec<Vec<u64>>,
-        rep: Representation,
-    ) -> Self {
-        assert_eq!(limbs.len(), basis.len(), "limb count mismatch");
-        for (i, limb) in limbs.iter().enumerate() {
-            assert_eq!(limb.len(), basis.degree(), "limb {i} length mismatch");
+    /// Panics if `data.len()` differs from `basis.len() · basis.degree()`,
+    /// or (in debug builds) if any residue is unreduced.
+    pub fn from_flat(basis: Arc<RnsBasis>, data: Vec<u64>, rep: Representation) -> Self {
+        let n = basis.degree();
+        assert_eq!(
+            data.len(),
+            n * basis.len(),
+            "flat buffer length mismatch: {} words for {} limbs of degree {n}",
+            data.len(),
+            basis.len()
+        );
+        #[cfg(debug_assertions)]
+        for (i, limb) in data.chunks_exact(n).enumerate() {
             debug_assert!(
                 limb.iter().all(|&x| x < basis.modulus(i).value()),
                 "limb {i} contains unreduced residues"
             );
         }
-        Self { basis, rep, limbs }
+        Self { basis, rep, data }
     }
 
     /// The RNS basis.
@@ -111,7 +141,7 @@ impl RnsPoly {
     /// Number of limbs `ℓ`.
     #[inline]
     pub fn limb_count(&self) -> usize {
-        self.limbs.len()
+        self.basis.len()
     }
 
     /// Ring degree `N`.
@@ -123,27 +153,53 @@ impl RnsPoly {
     /// Read access to limb `i`.
     #[inline]
     pub fn limb(&self, i: usize) -> &[u64] {
-        &self.limbs[i]
+        let n = self.basis.degree();
+        &self.data[i * n..(i + 1) * n]
     }
 
     /// Mutable access to limb `i` (caller must preserve reduction).
     #[inline]
-    pub fn limb_mut(&mut self, i: usize) -> &mut Vec<u64> {
-        &mut self.limbs[i]
+    pub fn limb_mut(&mut self, i: usize) -> &mut [u64] {
+        let n = self.basis.degree();
+        &mut self.data[i * n..(i + 1) * n]
     }
 
-    /// Consumes the polynomial, returning its limbs.
-    pub fn into_limbs(self) -> Vec<Vec<u64>> {
-        self.limbs
+    /// Iterates over limbs in order.
+    pub fn limbs_iter(&self) -> impl Iterator<Item = &[u64]> {
+        self.data.chunks_exact(self.basis.degree())
+    }
+
+    /// Iterates over limbs mutably (caller must preserve reduction).
+    pub fn limbs_iter_mut(&mut self) -> impl Iterator<Item = &mut [u64]> {
+        self.data.chunks_exact_mut(self.basis.degree())
+    }
+
+    /// The whole limb-major buffer.
+    #[inline]
+    pub fn flat(&self) -> &[u64] {
+        &self.data
+    }
+
+    /// Mutable access to the whole limb-major buffer (caller must preserve
+    /// per-limb reduction).
+    #[inline]
+    pub fn flat_mut(&mut self) -> &mut [u64] {
+        &mut self.data
+    }
+
+    /// Consumes the polynomial, returning its flat limb-major buffer.
+    pub fn into_flat(self) -> Vec<u64> {
+        self.data
+    }
+
+    /// Consumes the polynomial, returning its storage to `pool`.
+    pub fn recycle(self, pool: &ScratchPool) {
+        pool.recycle_vec(self.data);
     }
 
     fn assert_compatible(&self, other: &RnsPoly) {
         assert_eq!(self.rep, other.rep, "representation mismatch");
-        assert_eq!(
-            self.limbs.len(),
-            other.limbs.len(),
-            "limb count mismatch"
-        );
+        assert_eq!(self.limb_count(), other.limb_count(), "limb count mismatch");
         debug_assert!(
             self.basis
                 .moduli()
@@ -160,9 +216,11 @@ impl RnsPoly {
         if self.rep == Representation::Evaluation {
             return;
         }
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            self.basis.ntt_table(i).forward(limb);
-        }
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
+            basis.ntt_table(i).forward(limb);
+        });
         self.rep = Representation::Evaluation;
     }
 
@@ -172,9 +230,11 @@ impl RnsPoly {
         if self.rep == Representation::Coefficient {
             return;
         }
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            self.basis.ntt_table(i).inverse(limb);
-        }
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
+            basis.ntt_table(i).inverse(limb);
+        });
         self.rep = Representation::Coefficient;
     }
 
@@ -182,33 +242,39 @@ impl RnsPoly {
     /// match).
     pub fn add_assign(&mut self, other: &RnsPoly) {
         self.assert_compatible(other);
-        for (i, (dst, src)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
-            let m = self.basis.modulus(i);
-            for (d, &s) in dst.iter_mut().zip(src) {
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
+            let m = basis.modulus(i);
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
                 *d = m.add(*d, s);
             }
-        }
+        });
     }
 
     /// `self -= other`.
     pub fn sub_assign(&mut self, other: &RnsPoly) {
         self.assert_compatible(other);
-        for (i, (dst, src)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
-            let m = self.basis.modulus(i);
-            for (d, &s) in dst.iter_mut().zip(src) {
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
+            let m = basis.modulus(i);
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
                 *d = m.sub(*d, s);
             }
-        }
+        });
     }
 
     /// `self = -self`.
     pub fn negate(&mut self) {
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            let m = self.basis.modulus(i);
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
+            let m = basis.modulus(i);
             for x in limb.iter_mut() {
                 *x = m.neg(*x);
             }
-        }
+        });
     }
 
     /// Pointwise product `self *= other`.
@@ -223,24 +289,59 @@ impl RnsPoly {
             "pointwise product requires evaluation representation"
         );
         self.assert_compatible(other);
-        for (i, (dst, src)) in self.limbs.iter_mut().zip(&other.limbs).enumerate() {
-            let m = self.basis.modulus(i);
-            for (d, &s) in dst.iter_mut().zip(src) {
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
+            let m = basis.modulus(i);
+            for (d, &s) in dst.iter_mut().zip(src.iter()) {
                 *d = m.mul(*d, s);
             }
-        }
+        });
+    }
+
+    /// Pointwise product into an existing output polynomial (same basis and
+    /// shape), leaving `self` untouched. Avoids the clone a
+    /// `mul_assign_pointwise` caller would otherwise need when both inputs
+    /// are still live.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both inputs are in evaluation representation and `out`
+    /// has the same shape.
+    pub fn mul_pointwise_into(&self, other: &RnsPoly, out: &mut RnsPoly) {
+        assert_eq!(
+            self.rep,
+            Representation::Evaluation,
+            "pointwise product requires evaluation representation"
+        );
+        self.assert_compatible(other);
+        assert_eq!(out.data.len(), self.data.len(), "output shape mismatch");
+        out.rep = Representation::Evaluation;
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        let a = &self.data;
+        let b = &other.data;
+        parallel::for_each_limb_mut(&mut out.data, n, |i, dst| {
+            let m = basis.modulus(i);
+            let off = i * n;
+            for (k, d) in dst.iter_mut().enumerate() {
+                *d = m.mul(a[off + k], b[off + k]);
+            }
+        });
     }
 
     /// Multiplies every limb by a (per-limb-reduced) scalar.
     pub fn mul_scalar_assign(&mut self, scalar: u64) {
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            let m = self.basis.modulus(i);
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
+            let m = basis.modulus(i);
             let s = m.reduce(scalar);
             let s_shoup = m.shoup(s);
             for x in limb.iter_mut() {
                 *x = m.mul_shoup(*x, s, s_shoup);
             }
-        }
+        });
     }
 
     /// Multiplies limb `i` by a scalar reduced mod `q_i`, one scalar per
@@ -250,34 +351,47 @@ impl RnsPoly {
     ///
     /// Panics if `scalars.len() != self.limb_count()`.
     pub fn mul_scalar_per_limb_assign(&mut self, scalars: &[u64]) {
-        assert_eq!(scalars.len(), self.limbs.len());
-        for (i, limb) in self.limbs.iter_mut().enumerate() {
-            let m = self.basis.modulus(i);
+        assert_eq!(scalars.len(), self.limb_count());
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
+            let m = basis.modulus(i);
             let s = m.reduce(scalars[i]);
             let s_shoup = m.shoup(s);
             for x in limb.iter_mut() {
                 *x = m.mul_shoup(*x, s, s_shoup);
             }
-        }
+        });
     }
 
     /// Applies a Galois automorphism, producing a new polynomial in the same
     /// representation.
     pub fn automorphism(&self, auto: &Automorphism) -> RnsPoly {
         let mut out = RnsPoly::zero(self.basis.clone(), self.rep);
-        for i in 0..self.limbs.len() {
-            match self.rep {
-                Representation::Coefficient => auto.apply_coeff(
-                    &self.limbs[i],
-                    &mut out.limbs[i],
-                    self.basis.modulus(i).value(),
-                ),
-                Representation::Evaluation => {
-                    auto.apply_eval(&self.limbs[i], &mut out.limbs[i])
-                }
-            }
-        }
+        self.automorphism_into(auto, &mut out);
         out
+    }
+
+    /// Applies a Galois automorphism into an existing polynomial of the same
+    /// shape (the allocation-free variant used by rotation hot paths).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` was built over a different shape.
+    pub fn automorphism_into(&self, auto: &Automorphism, out: &mut RnsPoly) {
+        assert_eq!(out.data.len(), self.data.len(), "output shape mismatch");
+        out.rep = self.rep;
+        let n = self.basis.degree();
+        let basis = &self.basis;
+        let rep = self.rep;
+        let src = &self.data;
+        parallel::for_each_limb_mut(&mut out.data, n, |i, dst| {
+            let s = &src[i * n..(i + 1) * n];
+            match rep {
+                Representation::Coefficient => auto.apply_coeff(s, dst, basis.modulus(i).value()),
+                Representation::Evaluation => auto.apply_eval(s, dst),
+            }
+        });
     }
 
     /// Drops trailing limbs, restricting to the first `keep` limbs of the
@@ -288,12 +402,37 @@ impl RnsPoly {
     ///
     /// Panics if `keep` is zero or exceeds the current limb count.
     pub fn drop_to(&self, keep: usize) -> RnsPoly {
-        assert!(keep >= 1 && keep <= self.limbs.len());
+        assert!(keep >= 1 && keep <= self.limb_count());
+        let n = self.basis.degree();
         RnsPoly {
             basis: Arc::new(self.basis.prefix(keep)),
             rep: self.rep,
-            limbs: self.limbs[..keep].to_vec(),
+            data: self.data[..keep * n].to_vec(),
         }
+    }
+
+    /// In-place version of [`RnsPoly::drop_to`]: truncates the buffer to the
+    /// first `keep` limbs without copying, adopting the provided prefix
+    /// basis (typically a cached `Arc` from the scheme context).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `keep` exceeds the limb count or `prefix_basis` is not the
+    /// length-`keep` prefix of the current basis.
+    pub fn truncate_limbs(&mut self, keep: usize, prefix_basis: Arc<RnsBasis>) {
+        assert!(keep >= 1 && keep <= self.limb_count());
+        assert_eq!(prefix_basis.len(), keep, "prefix basis length mismatch");
+        debug_assert!(
+            prefix_basis
+                .moduli()
+                .iter()
+                .zip(self.basis.moduli())
+                .all(|(a, b)| a.value() == b.value()),
+            "prefix basis mismatch"
+        );
+        let n = self.basis.degree();
+        self.data.truncate(keep * n);
+        self.basis = prefix_basis;
     }
 
     /// CRT-reconstructs coefficient `k` to a centered big integer in
@@ -308,7 +447,7 @@ impl RnsPoly {
             Representation::Coefficient,
             "reconstruction requires coefficient representation"
         );
-        let residues: Vec<u64> = self.limbs.iter().map(|l| l[k]).collect();
+        let residues: Vec<u64> = self.limbs_iter().map(|l| l[k]).collect();
         let v = self.basis.crt_reconstruct(&residues);
         let q = self.basis.product();
         let half = q.shr(1);
@@ -344,11 +483,12 @@ impl RnsPoly {
 /// on the dropped limb (limb-wise), a centered reduction of that limb into
 /// every remaining modulus (slot-wise in spirit, but single-source so it
 /// streams), `ℓ−1` forward NTTs, and a pointwise subtract-and-scale.
+/// Scratch and output storage come from `pool`.
 ///
 /// # Panics
 ///
 /// Panics unless `poly` is in evaluation representation with ≥ 2 limbs.
-pub fn rescale(poly: &RnsPoly) -> RnsPoly {
+pub fn rescale_with(poly: &RnsPoly, pool: &ScratchPool) -> RnsPoly {
     assert_eq!(
         poly.representation(),
         Representation::Evaluation,
@@ -361,28 +501,40 @@ pub fn rescale(poly: &RnsPoly) -> RnsPoly {
     let q_last = basis.modulus(l - 1);
 
     // iNTT the dropped limb.
-    let mut last = poly.limb(l - 1).to_vec();
+    let mut last = pool.take(n);
+    last.copy_from_slice(poly.limb(l - 1));
     basis.ntt_table(l - 1).inverse(&mut last);
 
-    let new_basis = Arc::new(basis.prefix(l - 1));
-    let mut out_limbs = Vec::with_capacity(l - 1);
-    for i in 0..l - 1 {
+    let mut out = RnsPoly {
+        basis: Arc::new(basis.prefix(l - 1)),
+        rep: Representation::Evaluation,
+        data: pool.take_vec((l - 1) * n),
+    };
+    let src = poly.flat();
+    let last = &last;
+    parallel::for_each_limb_mut(&mut out.data, n, |i, limb| {
         let qi = basis.modulus(i);
         let inv = qi
             .inv(qi.reduce(q_last.value()))
             .expect("limb moduli are coprime");
         let inv_shoup = qi.shoup(inv);
-        // Centered image of the dropped limb in q_i.
-        let mut conv: Vec<u64> = last.iter().map(|&c| qi.from_i64(q_last.to_centered(c))).collect();
-        basis.ntt_table(i).forward(&mut conv);
-        let src = poly.limb(i);
-        let mut limb = vec![0u64; n];
-        for k in 0..n {
-            limb[k] = qi.mul_shoup(qi.sub(src[k], conv[k]), inv, inv_shoup);
+        // Centered image of the dropped limb in q_i, NTT'd in place inside
+        // the output limb — no per-limb temporary needed.
+        for (x, &c) in limb.iter_mut().zip(last.iter()) {
+            *x = qi.from_i64(q_last.to_centered(c));
         }
-        out_limbs.push(limb);
-    }
-    RnsPoly::from_limbs(new_basis, out_limbs, Representation::Evaluation)
+        basis.ntt_table(i).forward(limb);
+        let off = i * n;
+        for (k, x) in limb.iter_mut().enumerate() {
+            *x = qi.mul_shoup(qi.sub(src[off + k], *x), inv, inv_shoup);
+        }
+    });
+    out
+}
+
+/// [`rescale_with`] against a throwaway pool (cold paths and tests).
+pub fn rescale(poly: &RnsPoly) -> RnsPoly {
+    rescale_with(poly, &ScratchPool::new())
 }
 
 /// Precomputed constants for [`mod_down`]: dividing by `P = ∏ B'` after a
@@ -391,9 +543,15 @@ pub fn rescale(poly: &RnsPoly) -> RnsPoly {
 pub struct ModDownContext {
     /// Extends residues from the special basis `B'` into `B`.
     extender: BasisExtender,
+    /// The output basis `B` (shared so `mod_down` allocates nothing).
+    out_basis: Arc<RnsBasis>,
     /// `P^{-1} mod q_i` for each limb of `B`.
     p_inv: Vec<u64>,
     p_inv_shoup: Vec<u64>,
+    /// `⌊P/2⌋ mod q_i` for each limb of `B` (centering trick).
+    half_p_mod_q: Vec<u64>,
+    /// `⌊P/2⌋ mod p_j` for each limb of `B'`.
+    half_p_mod_p: Vec<u64>,
     q_len: usize,
     p_len: usize,
 }
@@ -401,8 +559,8 @@ pub struct ModDownContext {
 impl ModDownContext {
     /// Precomputes the `ModDown` constants for dropping `p_basis` from
     /// `q_basis ∪ p_basis`.
-    pub fn new(q_basis: &RnsBasis, p_basis: &RnsBasis) -> Self {
-        let extender = BasisExtender::new(p_basis, q_basis);
+    pub fn new(q_basis: Arc<RnsBasis>, p_basis: &RnsBasis) -> Self {
+        let extender = BasisExtender::new(p_basis, &q_basis);
         let mut p_inv = Vec::with_capacity(q_basis.len());
         let mut p_inv_shoup = Vec::with_capacity(q_basis.len());
         for qi in q_basis.moduli() {
@@ -414,12 +572,34 @@ impl ModDownContext {
             p_inv.push(inv);
             p_inv_shoup.push(qi.shoup(inv));
         }
+        // Centering trick constants: ⌊P/2⌋ reduced into every modulus.
+        let half_p = UBig::product(
+            &p_basis
+                .moduli()
+                .iter()
+                .map(|m| m.value())
+                .collect::<Vec<_>>(),
+        )
+        .shr(1);
+        let half_p_mod_q = q_basis
+            .moduli()
+            .iter()
+            .map(|qi| qi.reduce(half_p.rem_u64(qi.value())))
+            .collect();
+        let half_p_mod_p = p_basis
+            .moduli()
+            .iter()
+            .map(|pj| pj.reduce(half_p.rem_u64(pj.value())))
+            .collect();
         Self {
             extender,
-            p_inv,
-            p_inv_shoup,
             q_len: q_basis.len(),
             p_len: p_basis.len(),
+            out_basis: q_basis,
+            p_inv,
+            p_inv_shoup,
+            half_p_mod_q,
+            half_p_mod_p,
         }
     }
 }
@@ -430,13 +610,14 @@ impl ModDownContext {
 /// Input and output are in evaluation representation, matching the
 /// algorithm as stated in the paper: the `B'` limbs are iNTT'd (limb-wise),
 /// extended into `B` via `NewLimb` (slot-wise), NTT'd back (limb-wise), and
-/// combined pointwise.
+/// combined pointwise. All working and output storage comes from `pool`;
+/// with a warm pool the call performs zero heap allocations.
 ///
 /// # Panics
 ///
 /// Panics if `poly` is not in evaluation representation or its limb count
 /// does not equal `q_len + p_len` of the context.
-pub fn mod_down(poly: &RnsPoly, ctx: &ModDownContext) -> RnsPoly {
+pub fn mod_down_with(poly: &RnsPoly, ctx: &ModDownContext, pool: &ScratchPool) -> RnsPoly {
     assert_eq!(
         poly.representation(),
         Representation::Evaluation,
@@ -450,61 +631,49 @@ pub fn mod_down(poly: &RnsPoly, ctx: &ModDownContext) -> RnsPoly {
     let n = poly.degree();
     let basis = poly.basis();
 
-    // Step 1: iNTT the special limbs (limb-wise).
-    let mut special_coeff: Vec<Vec<u64>> = (0..ctx.p_len)
-        .map(|j| {
-            let mut limb = poly.limb(ctx.q_len + j).to_vec();
-            basis.ntt_table(ctx.q_len + j).inverse(&mut limb);
-            limb
-        })
-        .collect();
-
-    // Centering trick: shift each special residue so the reconstruction
-    // error is centered, halving the rounding noise. We add P/2 before
-    // conversion and subtract (P/2 mod q_i) after — equivalent to rounding
-    // rather than flooring.
-    let mut half_p = UBig::product(
-        &(0..ctx.p_len)
-            .map(|j| basis.modulus(ctx.q_len + j).value())
-            .collect::<Vec<_>>(),
-    );
-    half_p = half_p.shr(1);
-    for (j, limb) in special_coeff.iter_mut().enumerate() {
+    // Step 1: iNTT the special limbs (limb-wise), then apply the centering
+    // trick — add P/2 before conversion and subtract (P/2 mod q_i) after,
+    // turning the floor of the fast conversion into a round.
+    let mut special = pool.take(ctx.p_len * n);
+    special.copy_from_slice(&poly.flat()[ctx.q_len * n..]);
+    parallel::for_each_limb_mut(&mut special, n, |j, limb| {
         let pj = basis.modulus(ctx.q_len + j);
-        let half = pj.reduce(half_p.rem_u64(pj.value()));
+        basis.ntt_table(ctx.q_len + j).inverse(limb);
+        let half = ctx.half_p_mod_p[j];
         for x in limb.iter_mut() {
             *x = pj.add(*x, half);
         }
-    }
+    });
 
-    // Step 2: NewLimb into each q_i (slot-wise).
-    let refs: Vec<&[u64]> = special_coeff.iter().map(|l| l.as_slice()).collect();
-    let mut converted = vec![vec![0u64; n]; ctx.q_len];
-    ctx.extender.extend_polys(&refs, &mut converted);
+    // Step 2: NewLimb into each q_i (slot-wise), written straight into the
+    // output buffer.
+    let mut out = RnsPoly {
+        basis: ctx.out_basis.clone(),
+        rep: Representation::Evaluation,
+        data: pool.take_vec(ctx.q_len * n),
+    };
+    ctx.extender.extend_flat(&special, &mut out.data, n);
 
-    // Step 3: NTT the converted limbs, combine (limb-wise).
-    let new_basis = Arc::new(basis.prefix(ctx.q_len));
-    let mut out_limbs = Vec::with_capacity(ctx.q_len);
-    for i in 0..ctx.q_len {
+    // Step 3: un-center, NTT the converted limbs, combine (limb-wise).
+    let src = poly.flat();
+    parallel::for_each_limb_mut(&mut out.data, n, |i, limb| {
         let qi = basis.modulus(i);
-        let half = qi.reduce(half_p.rem_u64(qi.value()));
-        let mut conv = std::mem::take(&mut converted[i]);
-        for x in conv.iter_mut() {
+        let half = ctx.half_p_mod_q[i];
+        for x in limb.iter_mut() {
             *x = qi.sub(*x, half);
         }
-        basis.ntt_table(i).forward(&mut conv);
-        let src = poly.limb(i);
-        let mut limb = vec![0u64; n];
-        for k in 0..n {
-            limb[k] = qi.mul_shoup(
-                qi.sub(src[k], conv[k]),
-                ctx.p_inv[i],
-                ctx.p_inv_shoup[i],
-            );
+        basis.ntt_table(i).forward(limb);
+        let off = i * n;
+        for (k, x) in limb.iter_mut().enumerate() {
+            *x = qi.mul_shoup(qi.sub(src[off + k], *x), ctx.p_inv[i], ctx.p_inv_shoup[i]);
         }
-        out_limbs.push(limb);
-    }
-    RnsPoly::from_limbs(new_basis, out_limbs, Representation::Evaluation)
+    });
+    out
+}
+
+/// [`mod_down_with`] against a throwaway pool (cold paths and tests).
+pub fn mod_down(poly: &RnsPoly, ctx: &ModDownContext) -> RnsPoly {
+    mod_down_with(poly, ctx, &ScratchPool::new())
 }
 
 /// `PModUp` (Algorithm 5): the free lift `x ↦ P·x` from `B` to `B ∪ B'`.
@@ -513,29 +682,53 @@ pub fn mod_down(poly: &RnsPoly, ctx: &ModDownContext) -> RnsPoly {
 /// `B'` (since `P·x ≡ 0 mod p_j`). Unlike `ModUp` this needs **no NTTs and
 /// no slot-wise pass** — the paper's key observation enabling linear
 /// functions in the raised basis. Works in either representation.
-pub fn pmod_up(poly: &RnsPoly, p_basis: &RnsBasis) -> RnsPoly {
+///
+/// `raised_basis` must be `B ∪ B'` in order (typically the scheme context's
+/// cached raised basis); output storage comes from `pool`.
+pub fn pmod_up_with(poly: &RnsPoly, raised_basis: Arc<RnsBasis>, pool: &ScratchPool) -> RnsPoly {
     let basis = poly.basis();
+    let l = basis.len();
     let n = poly.degree();
-    let joined = Arc::new(basis.concat(p_basis));
-    let mut limbs = Vec::with_capacity(joined.len());
-    for i in 0..basis.len() {
+    assert!(
+        raised_basis.len() > l,
+        "raised basis must extend the polynomial's basis"
+    );
+    debug_assert!(
+        raised_basis
+            .moduli()
+            .iter()
+            .zip(basis.moduli())
+            .all(|(a, b)| a.value() == b.value()),
+        "raised basis must start with the polynomial's basis"
+    );
+    let mut out = RnsPoly {
+        rep: poly.representation(),
+        data: pool.take_vec(raised_basis.len() * n),
+        basis: raised_basis,
+    };
+    let out_basis = out.basis.clone();
+    let src = poly.flat();
+    // The appended B' limbs stay zero; scale the B limbs by [P]_{q_i}.
+    parallel::for_each_limb_mut(&mut out.data[..l * n], n, |i, limb| {
         let qi = basis.modulus(i);
         let mut p_mod = 1u64;
-        for pj in p_basis.moduli() {
+        for pj in &out_basis.moduli()[l..] {
             p_mod = qi.mul(p_mod, qi.reduce(pj.value()));
         }
         let p_shoup = qi.shoup(p_mod);
-        limbs.push(
-            poly.limb(i)
-                .iter()
-                .map(|&x| qi.mul_shoup(x, p_mod, p_shoup))
-                .collect(),
-        );
-    }
-    for _ in 0..p_basis.len() {
-        limbs.push(vec![0u64; n]);
-    }
-    RnsPoly::from_limbs(joined, limbs, poly.representation())
+        let off = i * n;
+        for (k, x) in limb.iter_mut().enumerate() {
+            *x = qi.mul_shoup(src[off + k], p_mod, p_shoup);
+        }
+    });
+    out
+}
+
+/// [`pmod_up_with`] building the joined basis on the fly (cold paths and
+/// tests).
+pub fn pmod_up(poly: &RnsPoly, p_basis: &RnsBasis) -> RnsPoly {
+    let joined = Arc::new(poly.basis().concat(p_basis));
+    pmod_up_with(poly, joined, &ScratchPool::new())
 }
 
 /// `ModUp` (Algorithm 1): extends `x` from `B` to `B ∪ B'`, preserving the
@@ -547,40 +740,55 @@ pub fn pmod_up(poly: &RnsPoly, p_basis: &RnsBasis) -> RnsPoly {
 /// (limb-wise). The source limbs are passed through untouched (line 4 of
 /// the algorithm: no NTT needed on input limbs).
 ///
+/// `raised_basis` must be `B ∪ B'` in order; scratch and output storage
+/// come from `pool`.
+///
 /// # Panics
 ///
 /// Panics if `poly` is not in evaluation representation.
-pub fn mod_up(poly: &RnsPoly, p_basis: &RnsBasis, extender: &BasisExtender) -> RnsPoly {
+pub fn mod_up_with(
+    poly: &RnsPoly,
+    raised_basis: Arc<RnsBasis>,
+    extender: &BasisExtender,
+    pool: &ScratchPool,
+) -> RnsPoly {
     assert_eq!(
         poly.representation(),
         Representation::Evaluation,
         "mod_up expects evaluation representation"
     );
-    assert_eq!(extender.source_len(), poly.limb_count());
-    assert_eq!(extender.target_len(), p_basis.len());
+    let l = poly.limb_count();
     let n = poly.degree();
     let basis = poly.basis();
+    assert_eq!(extender.source_len(), l);
+    assert_eq!(extender.target_len(), raised_basis.len() - l);
 
-    let coeff_limbs: Vec<Vec<u64>> = (0..poly.limb_count())
-        .map(|i| {
-            let mut limb = poly.limb(i).to_vec();
-            basis.ntt_table(i).inverse(&mut limb);
-            limb
-        })
-        .collect();
-    let refs: Vec<&[u64]> = coeff_limbs.iter().map(|l| l.as_slice()).collect();
-    let mut new_limbs = vec![vec![0u64; n]; p_basis.len()];
-    extender.extend_polys(&refs, &mut new_limbs);
-    for (j, limb) in new_limbs.iter_mut().enumerate() {
-        p_basis.ntt_table(j).forward(limb);
-    }
-    let joined = Arc::new(basis.concat(p_basis));
-    let mut limbs = Vec::with_capacity(joined.len());
-    for i in 0..poly.limb_count() {
-        limbs.push(poly.limb(i).to_vec());
-    }
-    limbs.extend(new_limbs);
-    RnsPoly::from_limbs(joined, limbs, Representation::Evaluation)
+    let mut coeff = pool.take(l * n);
+    coeff.copy_from_slice(poly.flat());
+    parallel::for_each_limb_mut(&mut coeff, n, |i, limb| {
+        basis.ntt_table(i).inverse(limb);
+    });
+
+    let mut out = RnsPoly {
+        rep: Representation::Evaluation,
+        data: pool.take_vec(raised_basis.len() * n),
+        basis: raised_basis,
+    };
+    out.data[..l * n].copy_from_slice(poly.flat());
+    let (_, new_limbs) = out.data.split_at_mut(l * n);
+    extender.extend_flat(&coeff, new_limbs, n);
+    let out_basis = out.basis.clone();
+    parallel::for_each_limb_mut(new_limbs, n, |j, limb| {
+        out_basis.ntt_table(l + j).forward(limb);
+    });
+    out
+}
+
+/// [`mod_up_with`] building the joined basis on the fly (cold paths and
+/// tests).
+pub fn mod_up(poly: &RnsPoly, p_basis: &RnsBasis, extender: &BasisExtender) -> RnsPoly {
+    let joined = Arc::new(poly.basis().concat(p_basis));
+    mod_up_with(poly, joined, extender, &ScratchPool::new())
 }
 
 #[cfg(test)]
@@ -596,11 +804,7 @@ mod tests {
 
     fn p_basis_for(q: &RnsBasis, limbs: usize) -> RnsBasis {
         let q_primes: Vec<u64> = q.moduli().iter().map(|m| m.value()).collect();
-        RnsBasis::new(
-            &generate_ntt_primes_excluding(limbs, 31, N, &q_primes),
-            N,
-        )
-        .unwrap()
+        RnsBasis::new(&generate_ntt_primes_excluding(limbs, 31, N, &q_primes), N).unwrap()
     }
 
     #[test]
@@ -625,6 +829,48 @@ mod tests {
         for i in 0..poly.limb_count() {
             assert_eq!(poly.limb(i), orig.limb(i));
         }
+    }
+
+    #[test]
+    fn flat_layout_is_limb_major() {
+        let basis = q_basis(3);
+        let coeffs: Vec<i64> = (0..N as i64).collect();
+        let poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
+        assert_eq!(poly.flat().len(), 3 * N);
+        for (i, limb) in poly.limbs_iter().enumerate() {
+            assert_eq!(limb, &poly.flat()[i * N..(i + 1) * N]);
+            assert_eq!(limb, poly.limb(i));
+        }
+    }
+
+    #[test]
+    fn from_flat_roundtrips() {
+        let basis = q_basis(2);
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| 2 * i + 1).collect();
+        let poly = RnsPoly::from_signed_coeffs(basis.clone(), &coeffs);
+        let data = poly.clone().into_flat();
+        let back = RnsPoly::from_flat(basis, data, Representation::Coefficient);
+        for i in 0..2 {
+            assert_eq!(back.limb(i), poly.limb(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "flat buffer length mismatch")]
+    fn from_flat_rejects_bad_length() {
+        let basis = q_basis(2);
+        let _ = RnsPoly::from_flat(basis, vec![0u64; N], Representation::Coefficient);
+    }
+
+    #[test]
+    fn pooled_polys_recycle_storage() {
+        let pool = ScratchPool::new();
+        let basis = q_basis(2);
+        let p = RnsPoly::zero_pooled(basis.clone(), Representation::Coefficient, &pool);
+        p.recycle(&pool);
+        let q = RnsPoly::zero_pooled(basis, Representation::Coefficient, &pool);
+        assert_eq!(pool.stats().misses, 1, "second poly reuses the buffer");
+        drop(q);
     }
 
     #[test]
@@ -663,6 +909,21 @@ mod tests {
             let expect = if k == 1 { -1.0 } else { 0.0 };
             assert_eq!(a.coeff_centered(k).to_f64(), expect, "k={k}");
         }
+    }
+
+    #[test]
+    fn mul_pointwise_into_matches_assign() {
+        let basis = q_basis(2);
+        let ac: Vec<i64> = (0..N as i64).map(|i| i - 9).collect();
+        let bc: Vec<i64> = (0..N as i64).map(|i| 2 * i + 3).collect();
+        let mut a = RnsPoly::from_signed_coeffs(basis.clone(), &ac);
+        let mut b = RnsPoly::from_signed_coeffs(basis.clone(), &bc);
+        a.to_eval();
+        b.to_eval();
+        let mut out = RnsPoly::zero(basis, Representation::Evaluation);
+        a.mul_pointwise_into(&b, &mut out);
+        a.mul_assign_pointwise(&b);
+        assert_eq!(a.flat(), out.flat());
     }
 
     #[test]
@@ -738,7 +999,7 @@ mod tests {
     fn mod_down_inverts_pmod_up() {
         let q = q_basis(3);
         let p = p_basis_for(&q, 2);
-        let ctx = ModDownContext::new(&q, &p);
+        let ctx = ModDownContext::new(q.clone(), &p);
         let coeffs: Vec<i64> = (0..N as i64).map(|i| 5 * i - 37).collect();
         let mut poly = RnsPoly::from_signed_coeffs(q, &coeffs);
         poly.to_eval();
@@ -800,6 +1061,17 @@ mod tests {
         let dropped = poly.drop_to(2);
         assert_eq!(dropped.limb_count(), 2);
         assert_eq!(dropped.limb(0), poly.limb(0));
+    }
+
+    #[test]
+    fn truncate_limbs_matches_drop_to() {
+        let basis = q_basis(3);
+        let coeffs: Vec<i64> = (0..N as i64).map(|i| 3 * i - 11).collect();
+        let mut poly = RnsPoly::from_signed_coeffs(basis.clone(), &coeffs);
+        let dropped = poly.drop_to(2);
+        poly.truncate_limbs(2, Arc::new(basis.prefix(2)));
+        assert_eq!(poly.flat(), dropped.flat());
+        assert_eq!(poly.limb_count(), 2);
     }
 
     #[test]

@@ -164,7 +164,10 @@ impl RnsBasis {
         }
         RnsBasis {
             moduli: indices.iter().map(|&i| self.moduli[i]).collect(),
-            ntt_tables: indices.iter().map(|&i| self.ntt_tables[i].clone()).collect(),
+            ntt_tables: indices
+                .iter()
+                .map(|&i| self.ntt_tables[i].clone())
+                .collect(),
             degree: self.degree,
         }
     }
@@ -209,9 +212,7 @@ impl RnsBasis {
             for j in 0..i {
                 let qj_mod_qi = qi.reduce(self.moduli[j].value());
                 t = qi.sub(t, qi.reduce(v[j]));
-                let inv = qi
-                    .inv(qj_mod_qi)
-                    .expect("distinct primes are coprime");
+                let inv = qi.inv(qj_mod_qi).expect("distinct primes are coprime");
                 t = qi.mul(t, inv);
             }
             v[i] = t;
@@ -388,37 +389,39 @@ impl BasisExtender {
         }
     }
 
-    /// Applies `NewLimb` across entire limb vectors: `src[i]` is the slice of
-    /// all `N` residues of limb `i`; results are written to `dst[j]`.
+    /// Applies `NewLimb` across entire flat limb-major buffers: `src` holds
+    /// the `source_len()` limbs of length `n` back to back, and the
+    /// `target_len()` result limbs are written to `dst` in the same layout.
     ///
     /// This is the slot-wise access pattern of the paper: the inner loop
-    /// walks all source limbs of one slot.
+    /// walks all source limbs of one slot. With the `parallel` feature the
+    /// slot range is split across threads (slots are independent, so the
+    /// split is bit-exact); all per-slot state lives on the stack, so the
+    /// call never allocates.
     ///
     /// # Panics
     ///
     /// Panics on any length mismatch.
-    pub fn extend_polys(&self, src: &[&[u64]], dst: &mut [Vec<u64>]) {
-        assert_eq!(src.len(), self.source_len());
-        assert_eq!(dst.len(), self.target_len());
-        let n = src[0].len();
-        for s in src {
-            assert_eq!(s.len(), n, "limb length mismatch");
-        }
-        for d in dst.iter_mut() {
-            assert_eq!(d.len(), n, "output limb length mismatch");
-        }
+    pub fn extend_flat(&self, src: &[u64], dst: &mut [u64], n: usize) {
         let l = self.source_len();
-        let mut y = vec![0u64; l];
-        let mut out = vec![0u64; self.target_len()];
-        for k in 0..n {
-            for i in 0..l {
-                y[i] = src[i][k];
+        let t = self.target_len();
+        assert_eq!(src.len(), l * n, "source buffer length mismatch");
+        assert_eq!(dst.len(), t * n, "target buffer length mismatch");
+        assert!(t <= 64, "target basis too large for stack buffer");
+        crate::parallel::for_each_slot_block(dst, n, |range, cols| {
+            let mut y = [0u64; 64];
+            let mut out = [0u64; 64];
+            let base = range.start;
+            for k in range {
+                for i in 0..l {
+                    y[i] = src[i * n + k];
+                }
+                self.extend_coeff(&y[..l], &mut out[..t]);
+                for (j, col) in cols.iter_mut().enumerate() {
+                    col[k - base] = out[j];
+                }
             }
-            self.extend_coeff(&y, &mut out);
-            for (j, d) in dst.iter_mut().enumerate() {
-                d[k] = out[j];
-            }
-        }
+        });
     }
 }
 
@@ -498,8 +501,7 @@ mod tests {
                 .iter()
                 .enumerate()
                 .map(|(i, m)| {
-                    (seed.wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64 * 0x85ebca6b))
-                        % m.value()
+                    (seed.wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64 * 0x85ebca6b)) % m.value()
                 })
                 .collect();
             let x = src.crt_reconstruct(&residues);
@@ -512,29 +514,25 @@ mod tests {
     }
 
     #[test]
-    fn extend_polys_matches_per_coeff() {
+    fn extend_flat_matches_per_coeff() {
         let (src, dst) = bases(3, 3, 24, 32);
         let ext = BasisExtender::new(&src, &dst);
         let n = 32;
-        let limbs: Vec<Vec<u64>> = src
-            .moduli()
-            .iter()
-            .enumerate()
-            .map(|(i, m)| {
-                (0..n as u64)
-                    .map(|k| (k * 31 + i as u64 * 7 + 1) % m.value())
-                    .collect()
-            })
-            .collect();
-        let refs: Vec<&[u64]> = limbs.iter().map(|l| l.as_slice()).collect();
-        let mut dst_limbs = vec![vec![0u64; n]; dst.len()];
-        ext.extend_polys(&refs, &mut dst_limbs);
+        let mut flat = vec![0u64; src.len() * n];
+        for i in 0..src.len() {
+            let m = src.modulus(i);
+            for k in 0..n as u64 {
+                flat[i * n + k as usize] = (k * 31 + i as u64 * 7 + 1) % m.value();
+            }
+        }
+        let mut dst_flat = vec![0u64; dst.len() * n];
+        ext.extend_flat(&flat, &mut dst_flat, n);
         for k in 0..n {
-            let residues: Vec<u64> = limbs.iter().map(|l| l[k]).collect();
+            let residues: Vec<u64> = (0..src.len()).map(|i| flat[i * n + k]).collect();
             let mut out = vec![0u64; dst.len()];
             ext.extend_coeff(&residues, &mut out);
             for j in 0..dst.len() {
-                assert_eq!(dst_limbs[j][k], out[j]);
+                assert_eq!(dst_flat[j * n + k], out[j]);
             }
         }
     }

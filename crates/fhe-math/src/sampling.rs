@@ -71,19 +71,20 @@ pub fn sample_gaussian<R: Rng + ?Sized>(rng: &mut R, n: usize) -> Vec<i64> {
 }
 
 /// Samples a uniform polynomial with coefficients in `[0, q)` for each limb
-/// modulus in `moduli`, returned limb-major.
-pub fn sample_uniform_limbs<R: Rng + ?Sized>(
-    rng: &mut R,
-    moduli: &[u64],
-    n: usize,
-) -> Vec<Vec<u64>> {
-    moduli
-        .iter()
-        .map(|&q| {
-            let die = Uniform::new(0u64, q);
-            (0..n).map(|_| die.sample(rng)).collect()
-        })
-        .collect()
+/// modulus in `moduli`, returned as a flat limb-major buffer (limb `i` =
+/// `out[i·n .. (i+1)·n]`).
+///
+/// Sampling order is limb-major and sequential in the RNG stream, so a
+/// seeded generator reproduces the exact buffer — the property the MAD
+/// key-compression optimization relies on to regenerate `a` components
+/// from a 32-byte seed.
+pub fn sample_uniform_flat<R: Rng + ?Sized>(rng: &mut R, moduli: &[u64], n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(moduli.len() * n);
+    for &q in moduli {
+        let die = Uniform::new(0u64, q);
+        out.extend((0..n).map(|_| die.sample(rng)));
+    }
+    out
 }
 
 #[cfg(test)]
@@ -137,12 +138,19 @@ mod tests {
     fn uniform_limbs_respect_moduli() {
         let mut rng = StdRng::seed_from_u64(5);
         let moduli = [97u64, 65537, (1 << 30) + 3];
-        let limbs = sample_uniform_limbs(&mut rng, &moduli, 512);
-        assert_eq!(limbs.len(), 3);
-        for (i, limb) in limbs.iter().enumerate() {
-            assert_eq!(limb.len(), 512);
+        let flat = sample_uniform_flat(&mut rng, &moduli, 512);
+        assert_eq!(flat.len(), 3 * 512);
+        for (i, limb) in flat.chunks_exact(512).enumerate() {
             assert!(limb.iter().all(|&x| x < moduli[i]));
         }
+    }
+
+    #[test]
+    fn uniform_flat_is_seed_reproducible() {
+        let moduli = [(1u64 << 30) + 3, (1 << 31) + 11];
+        let a = sample_uniform_flat(&mut StdRng::seed_from_u64(99), &moduli, 64);
+        let b = sample_uniform_flat(&mut StdRng::seed_from_u64(99), &moduli, 64);
+        assert_eq!(a, b);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Reusable scratch buffers for allocation-free hot paths.
+//!
+//! The MAD paper's central observation is that FHE kernels are bound by
+//! data movement, not arithmetic; churning the allocator on every `ModUp`/
+//! `ModDown`/key-switch both costs time and wrecks locality. A
+//! [`ScratchPool`] is a small free-list of `Vec<u64>` buffers: kernels
+//! `take` a buffer sized for their working set and `recycle` it when done,
+//! so after a warm-up pass the steady state performs **zero heap
+//! allocations per operation** (asserted by `ckks`'s scratch-stats test).
+//!
+//! The pool is internally synchronized (a `Mutex` around the free list) so
+//! it can be shared behind `Arc<CkksContext>`; the lock is held only for
+//! the push/pop, never across kernel work.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Counters describing pool behavior since construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Total number of buffers handed out.
+    pub leases: u64,
+    /// Leases that had to allocate because no pooled buffer was large
+    /// enough. A warmed-up hot path keeps this constant.
+    pub misses: u64,
+    /// Buffers currently sitting in the free list.
+    pub free: usize,
+}
+
+/// A free-list of `u64` buffers shared by the polynomial kernels.
+#[derive(Debug, Default)]
+pub struct ScratchPool {
+    free: Mutex<Vec<Vec<u64>>>,
+    leases: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ScratchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes a zeroed buffer of exactly `len` words, reusing a pooled
+    /// allocation when one is large enough.
+    pub fn take_vec(&self, len: usize) -> Vec<u64> {
+        self.leases.fetch_add(1, Ordering::Relaxed);
+        let reused = {
+            let mut free = self.free.lock().expect("scratch pool poisoned");
+            free.iter()
+                .position(|b| b.capacity() >= len)
+                .map(|idx| free.swap_remove(idx))
+        };
+        match reused {
+            Some(mut buf) => {
+                buf.clear();
+                buf.resize(len, 0);
+                buf
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                vec![0u64; len]
+            }
+        }
+    }
+
+    /// Returns a buffer to the pool for reuse. The contents are discarded.
+    pub fn recycle_vec(&self, buf: Vec<u64>) {
+        if buf.capacity() == 0 {
+            return;
+        }
+        self.free.lock().expect("scratch pool poisoned").push(buf);
+    }
+
+    /// Takes a zeroed buffer that hands itself back to the pool on drop.
+    pub fn take(&self, len: usize) -> ScratchGuard<'_> {
+        ScratchGuard {
+            pool: self,
+            buf: self.take_vec(len),
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> ScratchStats {
+        ScratchStats {
+            leases: self.leases.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            free: self.free.lock().expect("scratch pool poisoned").len(),
+        }
+    }
+}
+
+/// RAII lease of a pool buffer; derefs to `[u64]`.
+#[derive(Debug)]
+pub struct ScratchGuard<'a> {
+    pool: &'a ScratchPool,
+    buf: Vec<u64>,
+}
+
+impl std::ops::Deref for ScratchGuard<'_> {
+    type Target = [u64];
+    fn deref(&self) -> &[u64] {
+        &self.buf
+    }
+}
+
+impl std::ops::DerefMut for ScratchGuard<'_> {
+    fn deref_mut(&mut self) -> &mut [u64] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ScratchGuard<'_> {
+    fn drop(&mut self) {
+        self.pool.recycle_vec(std::mem::take(&mut self.buf));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reuse_avoids_reallocation() {
+        let pool = ScratchPool::new();
+        let a = pool.take_vec(1024);
+        let ptr = a.as_ptr();
+        pool.recycle_vec(a);
+        let b = pool.take_vec(512);
+        assert_eq!(b.as_ptr(), ptr, "smaller request should reuse the buffer");
+        pool.recycle_vec(b);
+        let stats = pool.stats();
+        assert_eq!(stats.leases, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.free, 1);
+    }
+
+    #[test]
+    fn buffers_come_back_zeroed() {
+        let pool = ScratchPool::new();
+        let mut a = pool.take_vec(16);
+        a.iter_mut().for_each(|x| *x = u64::MAX);
+        pool.recycle_vec(a);
+        let b = pool.take_vec(16);
+        assert!(b.iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn guard_returns_buffer_on_drop() {
+        let pool = ScratchPool::new();
+        {
+            let mut g = pool.take(64);
+            g[0] = 7;
+            assert_eq!(g.len(), 64);
+        }
+        assert_eq!(pool.stats().free, 1);
+        let g2 = pool.take(64);
+        assert_eq!(pool.stats().misses, 1, "second take reuses the buffer");
+        drop(g2);
+    }
+
+    #[test]
+    fn oversized_requests_allocate_fresh() {
+        let pool = ScratchPool::new();
+        let a = pool.take_vec(8);
+        pool.recycle_vec(a);
+        let b = pool.take_vec(4096);
+        assert_eq!(pool.stats().misses, 2);
+        pool.recycle_vec(b);
+    }
+}

@@ -5,10 +5,12 @@
 use fhe_math::automorph::Automorphism;
 use fhe_math::bigint::UBig;
 use fhe_math::cfft::{Complex, SpecialFft};
+use fhe_math::poly::{mod_down, mod_up, pmod_up, ModDownContext, Representation, RnsPoly};
 use fhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
 use fhe_math::rns::{BasisExtender, RnsBasis};
 use fhe_math::{Modulus, NttTable};
 use proptest::prelude::*;
+use std::sync::Arc;
 
 fn modulus_strategy() -> impl Strategy<Value = Modulus> {
     prop_oneof![
@@ -180,6 +182,122 @@ proptest! {
         for (a, b) in vals.iter().zip(&orig) {
             prop_assert!((*a - *b).abs() < 1e-6 * (1.0 + b.abs()));
         }
+    }
+}
+
+/// A deterministic pseudo-random flat limb-major buffer with every residue
+/// reduced mod its limb modulus.
+fn random_flat(seed: u64, moduli: &[u64], n: usize) -> Vec<u64> {
+    let mut out = Vec::with_capacity(moduli.len() * n);
+    for (i, &q) in moduli.iter().enumerate() {
+        for k in 0..n as u64 {
+            let x = seed
+                .wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add((i as u64) << 32)
+                .wrapping_add(k)
+                .wrapping_mul(0xd1342543de82ef95);
+            out.push(x % q);
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn full_poly_ntt_roundtrip_is_the_identity(seed in any::<u64>()) {
+        let n = 64usize;
+        let primes = generate_ntt_primes(4, 30, n);
+        let basis = Arc::new(RnsBasis::new(&primes, n).unwrap());
+        let x = RnsPoly::from_flat(
+            basis,
+            random_flat(seed, &primes, n),
+            Representation::Coefficient,
+        );
+        let mut y = x.clone();
+        y.to_eval();
+        prop_assert_eq!(y.representation(), Representation::Evaluation);
+        y.to_coeff();
+        prop_assert_eq!(y.flat(), x.flat());
+    }
+
+    #[test]
+    fn pmod_up_then_mod_down_is_the_identity(seed in any::<u64>()) {
+        // PModUp lifts x to P·x over B ∪ B'; ModDown divides by P. The
+        // composite is exact — this is the invariant the merged-ModDown
+        // multiplication path (Figure 4c) rests on.
+        let n = 32usize;
+        let q_primes = generate_ntt_primes(3, 28, n);
+        let p_primes = generate_ntt_primes_excluding(2, 29, n, &q_primes);
+        let q = Arc::new(RnsBasis::new(&q_primes, n).unwrap());
+        let p = RnsBasis::new(&p_primes, n).unwrap();
+        let x = RnsPoly::from_flat(
+            q.clone(),
+            random_flat(seed, &q_primes, n),
+            Representation::Evaluation,
+        );
+        let lifted = pmod_up(&x, &p);
+        prop_assert_eq!(lifted.limb_count(), q_primes.len() + p_primes.len());
+        let ctx = ModDownContext::new(q, &p);
+        let back = mod_down(&lifted, &ctx);
+        prop_assert_eq!(back.flat(), x.flat());
+    }
+
+    #[test]
+    fn mod_up_matches_crt_reconstruction(seed in any::<u64>()) {
+        // The lifted limbs produced by ModUp must carry exactly
+        // [x mod p_j] for the non-negative CRT representative x — the fast
+        // basis extension may not wrap by a stray multiple of Q.
+        let n = 16usize;
+        let q_primes = generate_ntt_primes(3, 26, n);
+        let p_primes = generate_ntt_primes_excluding(2, 27, n, &q_primes);
+        let q = Arc::new(RnsBasis::new(&q_primes, n).unwrap());
+        let p = RnsBasis::new(&p_primes, n).unwrap();
+        let ext = BasisExtender::new(&q, &p);
+        let x = RnsPoly::from_flat(
+            q.clone(),
+            random_flat(seed, &q_primes, n),
+            Representation::Coefficient,
+        );
+        let mut ev = x.clone();
+        ev.to_eval();
+        let mut raised = mod_up(&ev, &p, &ext);
+        raised.to_coeff();
+        let l = q_primes.len();
+        for k in 0..n {
+            let residues: Vec<u64> = (0..l).map(|i| x.limb(i)[k]).collect();
+            let big = q.crt_reconstruct(&residues);
+            for (j, &pj) in p_primes.iter().enumerate() {
+                prop_assert_eq!(raised.limb(l + j)[k], big.rem_u64(pj));
+            }
+            // The original limbs ride along untouched.
+            for i in 0..l {
+                prop_assert_eq!(raised.limb(i)[k], x.limb(i)[k]);
+            }
+        }
+    }
+
+    #[test]
+    fn automorphism_commutes_with_the_ntt(seed in any::<u64>(), k in 0usize..32) {
+        // σ_k applied to coefficients, then transformed, equals transforming
+        // first and applying σ_k as an evaluation-domain permutation.
+        let n = 64usize;
+        let k = 2 * k as u64 + 1; // any odd Galois element
+        let primes = generate_ntt_primes(3, 28, n);
+        let basis = Arc::new(RnsBasis::new(&primes, n).unwrap());
+        let auto = Automorphism::new(k, basis.ntt_table(0));
+        let x = RnsPoly::from_flat(
+            basis,
+            random_flat(seed, &primes, n),
+            Representation::Coefficient,
+        );
+        let mut coeff_first = x.automorphism(&auto);
+        coeff_first.to_eval();
+        let mut eval_first = x.clone();
+        eval_first.to_eval();
+        let eval_first = eval_first.automorphism(&auto);
+        prop_assert_eq!(coeff_first.flat(), eval_first.flat());
     }
 }
 

@@ -5,7 +5,9 @@
 
 use mad::math::cfft::Complex;
 use mad::scheme::bootstrap::{BootstrapConfig, Bootstrapper};
-use mad::scheme::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator};
+use mad::scheme::{
+    CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator,
+};
 use mad::sim::{CostModel, MadConfig, SchemeParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -47,9 +49,14 @@ fn main() {
     let values: Vec<Complex> = (0..encoder.slots())
         .map(|i| Complex::new(0.5 * (i as f64 * 0.4).sin(), 0.3 * (i as f64 * 0.2).cos()))
         .collect();
-    let pt = encoder.encode(&values, 1, ctx.params().scale()).expect("encodes");
+    let pt = encoder
+        .encode(&values, 1, ctx.params().scale())
+        .expect("encodes");
     let exhausted = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
-    println!("input ciphertext: {} limb (exhausted)", exhausted.limb_count());
+    println!(
+        "input ciphertext: {} limb (exhausted)",
+        exhausted.limb_count()
+    );
 
     // Stage by stage, watching the limb budget.
     let raised = bootstrapper.mod_raise(&exhausted);
@@ -72,8 +79,16 @@ fn main() {
     // --- Cost of the same pipeline at N = 2^17 ------------------------
     println!("\nSimFHE at the paper's scale:");
     for (label, params, config) in [
-        ("baseline [20]", SchemeParams::baseline(), MadConfig::baseline()),
-        ("with MAD      ", SchemeParams::mad_practical(), MadConfig::all()),
+        (
+            "baseline [20]",
+            SchemeParams::baseline(),
+            MadConfig::baseline(),
+        ),
+        (
+            "with MAD      ",
+            SchemeParams::mad_practical(),
+            MadConfig::all(),
+        ),
     ] {
         let b = CostModel::new(params, config).bootstrap();
         println!(

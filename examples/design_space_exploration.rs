@@ -24,7 +24,16 @@ fn main() {
 
     let mut top = Table::new(
         "Top parameter sets at 32 MB (GPU-class bandwidth)",
-        &["rank", "logq", "L", "dnum", "fftIter", "caching", "boot ms", "tput(10^7/s)"],
+        &[
+            "rank",
+            "logq",
+            "L",
+            "dnum",
+            "fftIter",
+            "caching",
+            "boot ms",
+            "tput(10^7/s)",
+        ],
     );
     for (i, r) in results.iter().take(8).enumerate() {
         let p = r.run.params;
@@ -54,7 +63,12 @@ fn main() {
             format!("{:.2}", hw32.balance_point()),
             format!("{:.2}", run.bootstrap.cost.arithmetic_intensity()),
             format!("{:.1}", run.runtime_ms),
-            if run.memory_bound { "memory" } else { "compute" }.to_string(),
+            if run.memory_bound {
+                "memory"
+            } else {
+                "compute"
+            }
+            .to_string(),
         ]);
     }
     println!("{}", roofline.render());

@@ -60,13 +60,18 @@ fn main() {
     steps.extend(bsgs_required_steps(&conv, 2));
     let gk = keygen.galois_keys(&mut rng, &sk, &steps, false);
 
-    let pt = encoder.encode(&features, 4, ctx.params().scale()).expect("encodes");
+    let pt = encoder
+        .encode(&features, 4, ctx.params().scale())
+        .expect("encodes");
     let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
 
     // Apply with the MAD fully-hoisted schedule and with BSGS; both must
     // agree with the plaintext convolution.
     for (name, out) in [
-        ("hoisted", apply_hoisted(&evaluator, &encoder, &ct, &conv, &gk)),
+        (
+            "hoisted",
+            apply_hoisted(&evaluator, &encoder, &ct, &conv, &gk),
+        ),
         ("bsgs", apply_bsgs(&evaluator, &encoder, &ct, &conv, &gk, 2)),
     ] {
         let got = encoder.decode(&decryptor.decrypt(&out, &sk));
@@ -81,7 +86,9 @@ fn main() {
 
     // What one full ResNet-20 conv layer costs at scale, per the model.
     let layer_rot = mad::apps::resnet20_layers()[10].rotation_count();
-    println!("\nSimFHE: one ResNet-20 conv layer (32-ch stage, {layer_rot} rotations) at N = 2^17:");
+    println!(
+        "\nSimFHE: one ResNet-20 conv layer (32-ch stage, {layer_rot} rotations) at N = 2^17:"
+    );
     for (label, config) in [
         ("baseline", MadConfig::baseline()),
         ("with MAD", MadConfig::all()),

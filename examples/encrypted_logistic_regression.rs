@@ -12,8 +12,8 @@
 use mad::apps::synthetic_mnist_like;
 use mad::math::cfft::Complex;
 use mad::scheme::{
-    Ciphertext, CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator,
-    GaloisKeys, KeyGenerator, RelinKey,
+    Ciphertext, CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, GaloisKeys,
+    KeyGenerator, RelinKey,
 };
 use mad::sim::hardware::HardwareConfig;
 use mad::sim::{CostModel, MadConfig, SchemeParams};
@@ -47,9 +47,11 @@ impl Machine {
             acc = self.evaluator.add(&acc, &rotated);
             step *= 2;
         }
-        let scaled = self
-            .evaluator
-            .mul_scalar_no_rescale(&acc, 1.0 / slots as f64, self.ctx.params().scale());
+        let scaled = self.evaluator.mul_scalar_no_rescale(
+            &acc,
+            1.0 / slots as f64,
+            self.ctx.params().scale(),
+        );
         self.evaluator.rescale(&scaled)
     }
 
@@ -86,8 +88,7 @@ impl Machine {
             let (ra, xa) = ev.align_levels(&r, x);
             let g = ev.mul(&ra, &xa, &self.rlk);
             let g_mean = self.slot_mean(&g, slots);
-            let update =
-                ev.rescale(&ev.mul_scalar_no_rescale(&g_mean, LEARNING_RATE, scale));
+            let update = ev.rescale(&ev.mul_scalar_no_rescale(&g_mean, LEARNING_RATE, scale));
             let (wa, ua) = ev.align_levels(w, &update);
             *w = ev.sub(&wa, &ua);
         }
@@ -156,15 +157,20 @@ fn main() {
     };
     let xs: Vec<Ciphertext> = columns.iter().map(|c| encrypt_vec(c, &mut rng)).collect();
     let y_ct = encrypt_vec(&y01, &mut rng);
-    let mut weights: Vec<Ciphertext> =
-        (0..FEATURES).map(|_| encrypt_vec(&vec![0.0; slots], &mut rng)).collect();
+    let mut weights: Vec<Ciphertext> = (0..FEATURES)
+        .map(|_| encrypt_vec(&vec![0.0; slots], &mut rng))
+        .collect();
     let mut plain_weights = vec![0.0f64; FEATURES];
 
     println!("training {ITERATIONS} encrypted iterations on {slots} samples × {FEATURES} features");
     for it in 0..ITERATIONS {
         machine.step(&mut weights, &xs, &y_ct, slots);
         plain_step(&mut plain_weights, &columns, &y01);
-        println!("  iteration {} done (weights at {} limbs)", it + 1, weights[0].limb_count());
+        println!(
+            "  iteration {} done (weights at {} limbs)",
+            it + 1,
+            weights[0].limb_count()
+        );
     }
 
     // Decrypt and compare to the plaintext run of the same algorithm.
@@ -196,8 +202,18 @@ fn main() {
     let shape = mad::apps::HelrShape::default();
     let gpu = HardwareConfig::gpu();
     for (label, params, config, cache) in [
-        ("GPU-6 (original)", SchemeParams::baseline(), MadConfig::baseline(), 6.0),
-        ("GPU+MAD-32", SchemeParams::mad_practical(), MadConfig::all(), 32.0),
+        (
+            "GPU-6 (original)",
+            SchemeParams::baseline(),
+            MadConfig::baseline(),
+            6.0,
+        ),
+        (
+            "GPU+MAD-32",
+            SchemeParams::mad_practical(),
+            MadConfig::all(),
+            32.0,
+        ),
     ] {
         let w = mad::apps::helr_workload(&params, shape);
         let cost = CostModel::new(params, config).workload_cost(&w);
@@ -207,7 +223,11 @@ fn main() {
             hw.runtime_seconds(&cost),
             shape.iterations,
             w.bootstrap_count(),
-            if hw.is_memory_bound(&cost) { "memory-bound" } else { "compute-bound" },
+            if hw.is_memory_bound(&cost) {
+                "memory-bound"
+            } else {
+                "compute-bound"
+            },
         );
     }
 }

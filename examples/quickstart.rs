@@ -37,7 +37,9 @@ fn main() {
     let values: Vec<Complex> = (0..8).map(|i| Complex::new(i as f64 * 0.1, 0.0)).collect();
     println!("input slots:   {:?}", &values[..4]);
 
-    let pt = encoder.encode(&values, 4, ctx.params().scale()).expect("encodes");
+    let pt = encoder
+        .encode(&values, 4, ctx.params().scale())
+        .expect("encodes");
     let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
 
     // (x + x)² rotated left by one.

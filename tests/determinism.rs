@@ -80,13 +80,7 @@ fn search_order_is_stable() {
         ..SearchSpace::default()
     };
     let hw = HardwareConfig::gpu().with_cache_mb(32.0);
-    let first: Vec<_> = search(&space, &hw)
-        .iter()
-        .map(|r| r.run.params)
-        .collect();
-    let second: Vec<_> = search(&space, &hw)
-        .iter()
-        .map(|r| r.run.params)
-        .collect();
+    let first: Vec<_> = search(&space, &hw).iter().map(|r| r.run.params).collect();
+    let second: Vec<_> = search(&space, &hw).iter().map(|r| r.run.params).collect();
     assert_eq!(first, second);
 }

@@ -57,8 +57,8 @@ fn simulated_helr_improves_under_mad_on_every_design() {
     let shape = HelrShape::default();
     let base_w = mad::apps::helr_workload(&SchemeParams::baseline(), shape);
     let mad_w = mad::apps::helr_workload(&SchemeParams::mad_practical(), shape);
-    let base_cost = CostModel::new(SchemeParams::baseline(), MadConfig::baseline())
-        .workload_cost(&base_w);
+    let base_cost =
+        CostModel::new(SchemeParams::baseline(), MadConfig::baseline()).workload_cost(&base_w);
     let mad_cost =
         CostModel::new(SchemeParams::mad_practical(), MadConfig::all()).workload_cost(&mad_w);
     for hw in [HardwareConfig::gpu(), HardwareConfig::f1()] {

@@ -144,9 +144,9 @@ fn mismatched_limb_counts_panic_not_corrupt() {
 #[test]
 #[should_panic(expected = "unreduced")]
 fn unreduced_residues_are_rejected_in_debug() {
-    // from_limbs validates residues in debug builds.
+    // from_flat validates residues in debug builds.
     let c = ctx();
     let basis = c.level_basis(1).clone();
-    let bad = vec![vec![u64::MAX; 64]];
-    let _ = RnsPoly::from_limbs(basis, bad, mad::math::poly::Representation::Coefficient);
+    let bad = vec![u64::MAX; 64];
+    let _ = RnsPoly::from_flat(basis, bad, mad::math::poly::Representation::Coefficient);
 }

@@ -5,9 +5,7 @@
 //! EXPERIMENTS.md for the full paper-vs-measured record).
 
 use mad::sim::throughput::{run_mad_bootstrap, PublishedDesign};
-use mad::sim::{
-    AlgoOpts, CachingLevel, CostModel, HardwareConfig, MadConfig, SchemeParams,
-};
+use mad::sim::{AlgoOpts, CachingLevel, CostModel, HardwareConfig, MadConfig, SchemeParams};
 
 fn baseline_model() -> CostModel {
     CostModel::new(
@@ -93,8 +91,15 @@ fn claim_mad_improves_bootstrapping_ai_by_large_factor() {
         .bootstrap()
         .cost
         .arithmetic_intensity();
-    assert!((0.6..0.9).contains(&before), "baseline AI {before:.2} (paper: 0.72)");
-    assert!(after / before > 1.7, "AI gain {:.2}x (paper: 3x)", after / before);
+    assert!(
+        (0.6..0.9).contains(&before),
+        "baseline AI {before:.2} (paper: 0.72)"
+    );
+    assert!(
+        after / before > 1.7,
+        "AI gain {:.2}x (paper: 3x)",
+        after / before
+    );
 }
 
 #[test]
@@ -121,10 +126,7 @@ fn claim_large_cache_asics_lose_throughput_at_32mb() {
         (PublishedDesign::table6()[4], HardwareConfig::craterlake()),
     ];
     for (published, hw) in designs {
-        let run = run_mad_bootstrap(
-            SchemeParams::mad_practical(),
-            &hw.with_cache_mb(32.0),
-        );
+        let run = run_mad_bootstrap(SchemeParams::mad_practical(), &hw.with_cache_mb(32.0));
         assert!(
             run.throughput_display < published.throughput_display(),
             "{}: MAD at 32 MB should not beat the 256-512 MB original",

@@ -1,0 +1,286 @@
+//! Minimal offline drop-in for the subset of `criterion 0.5` this workspace
+//! uses: `Criterion::bench_function`, benchmark groups with
+//! `bench_with_input`/`throughput`, `Bencher::iter`/`iter_batched`,
+//! `BenchmarkId`, `Throughput`, `BatchSize`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is a deliberately simple warmup-then-measure loop reporting
+//! mean ns/iter (plus derived throughput) on stdout. There is no statistical
+//! analysis, plotting, or HTML report; the numbers are for relative
+//! comparisons inside one run — exactly how this repo's BENCH jobs use them.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Per-benchmark time budgets (kept small: CI runs every bench).
+const WARMUP: Duration = Duration::from_millis(80);
+const MEASURE: Duration = Duration::from_millis(400);
+
+/// Measurement driver handed to benchmark closures.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by `iter`/`iter_batched`.
+    mean_ns: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Self {
+            mean_ns: f64::NAN,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` in a tight loop.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warmup and per-iteration cost estimate.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP || warm_iters < 3 {
+            black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
+        let target = (MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64;
+        let iters = target.clamp(3, 10_000_000);
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let elapsed = start.elapsed();
+        self.mean_ns = elapsed.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        // Warmup: one timed probe to size the measurement loop.
+        let mut probe_total = Duration::ZERO;
+        let mut warm_iters = 0u64;
+        while probe_total < WARMUP || warm_iters < 3 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            probe_total += start.elapsed();
+            warm_iters += 1;
+            if warm_iters >= 100_000 {
+                break;
+            }
+        }
+        let per_iter = probe_total.as_nanos() as f64 / warm_iters as f64;
+        let target = (MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64;
+        let iters = target.clamp(3, 1_000_000);
+
+        let mut total = Duration::ZERO;
+        for _ in 0..iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+        self.iters = iters;
+    }
+}
+
+/// How `iter_batched` amortizes setup; ignored by this stub (inputs are
+/// always per-iteration), kept for API compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+    NumIterations(u64),
+}
+
+/// Units for derived throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+fn report(name: &str, mean_ns: f64, iters: u64, throughput: Option<Throughput>) {
+    let time = if mean_ns >= 1e9 {
+        format!("{:.4} s", mean_ns / 1e9)
+    } else if mean_ns >= 1e6 {
+        format!("{:.4} ms", mean_ns / 1e6)
+    } else if mean_ns >= 1e3 {
+        format!("{:.4} µs", mean_ns / 1e3)
+    } else {
+        format!("{mean_ns:.2} ns")
+    };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            format!("  thrpt: {:.3} Melem/s", rate / 1e6)
+        }
+        Some(Throughput::Bytes(n)) => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            format!("  thrpt: {:.3} MiB/s", rate / (1024.0 * 1024.0))
+        }
+        None => String::new(),
+    };
+    println!("{name:<56} time: {time:>12}  ({iters} iters){extra}");
+}
+
+/// Top-level benchmark registry/driver.
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Honor `cargo bench -- <filter>` the way criterion does: any
+        // non-flag argument filters benchmark names by substring.
+        let filter = std::env::args().skip(1).find(|a| !a.starts_with('-'));
+        Self { filter }
+    }
+}
+
+impl Criterion {
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if self.enabled(name) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            report(name, b.mean_ns, b.iters, None);
+        }
+        self
+    }
+
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: group_name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A named group of related benchmarks sharing throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id().id);
+        if self.criterion.enabled(&full) {
+            let mut b = Bencher::new();
+            f(&mut b);
+            report(&full, b.mean_ns, b.iters, self.throughput);
+        }
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        if self.criterion.enabled(&full) {
+            let mut b = Bencher::new();
+            f(&mut b, input);
+            report(&full, b.mean_ns, b.iters, self.throughput);
+        }
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts both `&str` names and [`BenchmarkId`]s in group bench calls.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,188 @@
+//! Minimal offline drop-in for the subset of `proptest 1.x` this workspace
+//! uses.
+//!
+//! Supports the `proptest!` macro with optional `#![proptest_config(...)]`,
+//! `arg in strategy` bindings, `prop_assert!`/`prop_assert_eq!`/
+//! `prop_assume!`, `any::<T>()`, range strategies, tuples, `Just`,
+//! `prop_map`, `prop_oneof!`, `prop::collection::vec`, and
+//! `prop::sample::select`.
+//!
+//! Shrinking is intentionally not implemented: on failure the macro panics
+//! with the generating seed and case index so a failure is reproducible by
+//! rerunning the same test binary. That trade keeps the vendored crate tiny
+//! while preserving the property-testing workflow.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    pub mod collection {
+        pub use crate::strategy::collection::vec;
+    }
+    pub mod sample {
+        pub use crate::strategy::sample::select;
+    }
+}
+
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// The macro heart of the crate: expands each property into a `#[test]`
+/// running `config.cases` random cases.
+#[macro_export]
+macro_rules! proptest {
+    // With a config attribute.
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                $crate::test_runner::run_cases(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    &config,
+                    |rng| {
+                        $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), rng);)*
+                        #[allow(unreachable_code, unused_mut, clippy::redundant_closure_call)]
+                        let outcome: ::core::result::Result<(), $crate::test_runner::TestCaseError> =
+                            (move || {
+                                $body
+                                ::core::result::Result::Ok(())
+                            })();
+                        outcome
+                    },
+                );
+            }
+        )*
+    };
+    // Without a config attribute: use the default.
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::test_runner::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strat),*) $body)*
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("{} (`{:?}` != `{:?}`)", format!($($fmt)*), left, right),
+            ));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strategy)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        fn ranges_and_tuples(x in 0u64..100, (a, b) in (0i64..10, -2.0f64..2.0)) {
+            prop_assert!(x < 100);
+            prop_assert!((0..10).contains(&a));
+            prop_assert!((-2.0..2.0).contains(&b));
+        }
+
+        fn assume_filters_cases(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert_ne!(x, 3);
+        }
+
+        fn mapped_and_boxed(v in prop::collection::vec(1u64..5, 4),
+                            pick in prop::sample::select(vec![10usize, 20, 30]),
+                            w in prop_oneof![Just(1u8), Just(2u8)]) {
+            prop_assert_eq!(v.len(), 4);
+            prop_assert!(v.iter().all(|&x| (1..5).contains(&x)));
+            prop_assert!(pick % 10 == 0, "pick {} not a multiple of ten", pick);
+            prop_assert!(w == 1 || w == 2);
+        }
+
+        fn any_values(x in any::<u64>(), flag in any::<bool>()) {
+            let _ = x.wrapping_add(flag as u64);
+        }
+    }
+
+    proptest! {
+        fn default_config_runs(x in 0usize..4) {
+            prop_assert!(x < 4);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[should_panic(expected = "minimal failing input")]
+        fn failures_panic_with_context(x in 0u64..10) {
+            prop_assert!(x > 100, "x was {}", x);
+        }
+    }
+}

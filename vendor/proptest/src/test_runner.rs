@@ -1,0 +1,113 @@
+//! Case execution: config, RNG, and the pass/reject/fail loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Runner configuration; only `cases` is consulted by this stub.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful (non-rejected) cases required per property.
+    pub cases: u32,
+    /// Upper bound on rejected cases before the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Clone, Debug)]
+pub enum TestCaseError {
+    /// The case's assumptions were not met (`prop_assume!`); try another.
+    Reject(String),
+    /// A property assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The RNG handed to strategies. Wraps the vendored `StdRng` so strategy
+/// code is insulated from the generator choice.
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u64) -> Self {
+        // Deterministic per (test, case): failures reproduce on rerun
+        // without any persistence file.
+        let mut seed = 0xcbf29ce484222325u64; // FNV-1a offset basis
+        for b in test_name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x100000001b3);
+        }
+        seed ^= case.wrapping_mul(0x9e3779b97f4a7c15);
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Access the underlying generator (used by strategy implementations).
+    pub fn inner(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+/// Drives one property: generates cases until `config.cases` succeed, a
+/// case fails (panic with context), or the reject budget is exhausted.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut case_fn: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let mut passed = 0u32;
+    let mut rejected = 0u32;
+    let mut case_index = 0u64;
+    while passed < config.cases {
+        let mut rng = TestRng::for_case(test_name, case_index);
+        match case_fn(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: too many rejected cases ({rejected}); \
+                         weaken prop_assume! or widen the strategy"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                // No shrinking in this stub: report the case index as the
+                // "minimal failing input" handle; reruns are deterministic.
+                panic!(
+                    "{test_name}: property failed at case {case_index} \
+                     (deterministic; rerun reproduces it). \
+                     minimal failing input: case #{case_index}\n{msg}"
+                );
+            }
+        }
+        case_index += 1;
+    }
+}

@@ -1,0 +1,201 @@
+//! Distributions: `Standard`, `Uniform`, and the range-sampling machinery
+//! behind `Rng::gen_range`.
+
+use crate::RngCore;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+impl<T, D: Distribution<T> + ?Sized> Distribution<T> for &D {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        (**self).sample(rng)
+    }
+}
+
+/// The "natural" distribution for a type: full range for integers, `[0, 1)`
+/// for floats, fair coin for `bool`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Standard;
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {$(
+        impl Distribution<$t> for Standard {
+            fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> $t {
+                // Keep the high bits: xoshiro's low bits are its weakest.
+                (rng.next_u64() >> (64 - <$t>::BITS.min(64))) as $t
+            }
+        }
+    )*};
+}
+
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Distribution<u128> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> u128 {
+        ((rng.next_u64() as u128) << 64) | rng.next_u64() as u128
+    }
+}
+
+impl Distribution<bool> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.next_u64() >> 63 == 1
+    }
+}
+
+impl Distribution<f64> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Distribution<f32> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl<const N: usize> Distribution<[u8; N]> for Standard {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> [u8; N] {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+pub mod uniform {
+    use super::*;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Types that can be drawn uniformly from a range.
+    pub trait SampleUniform: PartialOrd + Copy {
+        fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+        fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self;
+    }
+
+    macro_rules! uniform_uint {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low < high, "gen_range: low >= high");
+                    let span = (high as u64).wrapping_sub(low as u64);
+                    // Widening-multiply rejection-free range reduction
+                    // (Lemire); bias is < 2^-64 per draw.
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    low + hi as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low <= high, "gen_range: low > high");
+                    if low as u64 == 0 && high as u64 == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    Self::sample_half_open(rng, low, high + 1)
+                }
+            }
+        )*};
+    }
+
+    uniform_uint!(u8, u16, u32, u64, usize);
+
+    macro_rules! uniform_int {
+        ($($t:ty),*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low < high, "gen_range: low >= high");
+                    let span = (high as i64).wrapping_sub(low as i64) as u64;
+                    let hi = ((rng.next_u64() as u128 * span as u128) >> 64) as u64;
+                    ((low as i64).wrapping_add(hi as i64)) as $t
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low <= high, "gen_range: low > high");
+                    if low as i64 == i64::MIN && high as i64 == i64::MAX {
+                        return rng.next_u64() as i64 as $t;
+                    }
+                    Self::sample_half_open(rng, low, high + 1)
+                }
+            }
+        )*};
+    }
+
+    uniform_int!(i8, i16, i32, i64, isize);
+
+    macro_rules! uniform_float {
+        ($($t:ty, $bits:expr);*) => {$(
+            impl SampleUniform for $t {
+                fn sample_half_open<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low < high, "gen_range: low >= high");
+                    let unit = (rng.next_u64() >> (64 - $bits)) as $t
+                        * (1.0 / (1u64 << $bits) as $t);
+                    // unit ∈ [0, 1), so the result stays < high.
+                    low + (high - low) * unit
+                }
+                fn sample_inclusive<R: RngCore + ?Sized>(rng: &mut R, low: Self, high: Self) -> Self {
+                    assert!(low <= high, "gen_range: low > high");
+                    let unit = (rng.next_u64() >> (64 - $bits)) as $t
+                        / ((1u64 << $bits) - 1) as $t;
+                    low + (high - low) * unit
+                }
+            }
+        )*};
+    }
+
+    uniform_float!(f64, 53; f32, 24);
+
+    /// Ranges accepted by `Rng::gen_range`.
+    pub trait SampleRange<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for Range<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_half_open(rng, self.start, self.end)
+        }
+    }
+
+    impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+        fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+            T::sample_inclusive(rng, *self.start(), *self.end())
+        }
+    }
+}
+
+/// Uniform distribution over `[low, high)`, pre-constructed once and sampled
+/// many times (matches the upstream `Uniform::new` contract).
+#[derive(Clone, Copy, Debug)]
+pub struct Uniform<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: uniform::SampleUniform> Uniform<T> {
+    pub fn new(low: T, high: T) -> Self {
+        assert!(low < high, "Uniform::new called with low >= high");
+        Self { low, high }
+    }
+
+    pub fn new_inclusive(low: T, high: T) -> UniformInclusive<T> {
+        assert!(low <= high, "Uniform::new_inclusive called with low > high");
+        UniformInclusive { low, high }
+    }
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for Uniform<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_half_open(rng, self.low, self.high)
+    }
+}
+
+/// Inclusive-range companion to [`Uniform`].
+#[derive(Clone, Copy, Debug)]
+pub struct UniformInclusive<T> {
+    low: T,
+    high: T,
+}
+
+impl<T: uniform::SampleUniform> Distribution<T> for UniformInclusive<T> {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T {
+        T::sample_inclusive(rng, self.low, self.high)
+    }
+}

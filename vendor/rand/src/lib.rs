@@ -1,0 +1,159 @@
+//! Minimal offline drop-in for the subset of `rand 0.8` this workspace uses.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace vendors the small slice of the `rand` API it actually calls:
+//! [`Rng::gen`], [`Rng::gen_range`], [`Rng::sample`], [`SeedableRng`],
+//! [`rngs::StdRng`], and [`distributions::Uniform`]. The generator behind
+//! `StdRng` is xoshiro256++ (seeded via splitmix64), which is more than
+//! adequate for the statistical and determinism tests in this repo. Streams
+//! are *not* bit-compatible with upstream `rand`; nothing in the workspace
+//! persists or compares streams across library versions, only across runs
+//! of the same build.
+
+pub mod distributions;
+pub mod rngs;
+
+use distributions::uniform::{SampleRange, SampleUniform};
+use distributions::{Distribution, Standard};
+
+/// Core source of randomness: everything derives from `next_u64`.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+}
+
+/// User-facing convenience methods, blanket-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    fn gen<T>(&mut self) -> T
+    where
+        Standard: Distribution<T>,
+    {
+        Standard.sample(self)
+    }
+
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    fn sample<T, D: Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+
+    fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators; mirrors the upstream trait shape.
+pub trait SeedableRng: Sized {
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    fn seed_from_u64(state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        let mut sm = rngs::SplitMix64::new(state);
+        for chunk in seed.as_mut().chunks_mut(8) {
+            let bytes = sm.next().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience constructor mirroring `rand::thread_rng` determinism caveats:
+/// this offline stub derives its state from the system clock, which is all
+/// the workspace needs (no cryptographic use; keys in tests use seeded rngs).
+pub fn thread_rng() -> rngs::StdRng {
+    use std::time::{SystemTime, UNIX_EPOCH};
+    let nanos = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_nanos() as u64)
+        .unwrap_or(0x9e3779b97f4a7c15);
+    rngs::StdRng::seed_from_u64(nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::distributions::{Distribution, Uniform};
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = StdRng::seed_from_u64(123);
+        let mut b = StdRng::seed_from_u64(123);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let _ = a.next_u32();
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: u64 = rng.gen_range(10u64..20);
+            assert!((10..20).contains(&x));
+            let y: usize = rng.gen_range(0..17usize);
+            assert!(y < 17);
+            let f: f64 = rng.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i: i64 = rng.gen_range(-5i64..=5);
+            assert!((-5..=5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn uniform_distribution_covers_range() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let die = Uniform::new(0u8, 3);
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[die.sample(&mut rng) as usize] += 1;
+        }
+        for c in counts {
+            assert!(c > 800, "uniform u8 draw badly skewed: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn standard_draws_have_expected_shapes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let _: bool = rng.gen();
+        let _: u8 = rng.gen();
+        let _: u64 = rng.gen();
+        let arr: [u8; 32] = rng.gen();
+        assert_eq!(arr.len(), 32);
+        let f: f64 = rng.gen();
+        assert!((0.0..1.0).contains(&f));
+    }
+
+    #[test]
+    fn from_seed_differs_by_seed() {
+        let mut a = StdRng::from_seed([1u8; 32]);
+        let mut b = StdRng::from_seed([2u8; 32]);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

@@ -1,0 +1,69 @@
+//! Concrete generators: `StdRng` (xoshiro256++) and the splitmix64 seeder.
+
+use crate::{RngCore, SeedableRng};
+
+/// Splitmix64 — used to expand small seeds into full generator state.
+pub(crate) struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub(crate) fn new(state: u64) -> Self {
+        Self { state }
+    }
+
+    pub(crate) fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+}
+
+/// The workspace's standard generator: xoshiro256++.
+///
+/// Not the upstream `rand::rngs::StdRng` algorithm (ChaCha12); streams are
+/// only stable within this vendored implementation, which is all the
+/// workspace relies on (seed → stream determinism inside one build).
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl RngCore for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, chunk) in seed.chunks_exact(8).enumerate() {
+            s[i] = u64::from_le_bytes(chunk.try_into().unwrap());
+        }
+        // xoshiro must not start from the all-zero state; remix through
+        // splitmix64 keyed on a constant so `[0u8; 32]` still works.
+        if s == [0; 4] {
+            let mut sm = SplitMix64::new(0x853c49e6748fea9b);
+            for word in &mut s {
+                *word = sm.next();
+            }
+        }
+        Self { s }
+    }
+}
