@@ -1,0 +1,112 @@
+//! End-to-end telemetry check: runs one encrypted HELR-style update step
+//! (the kernel shape of [`fhe_apps::lr`]) with measurement spans active and
+//! verifies that (a) the computation still decrypts to the plaintext
+//! reference and (b) the span layer attributes the expected structure of
+//! operations to each primitive.
+//!
+//! Compiled only with `--features telemetry`; the default build has
+//! nothing to measure.
+#![cfg(feature = "telemetry")]
+
+use ckks::{CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator};
+use fhe_apps::lr::sigmoid_deg3;
+use fhe_math::cfft::Complex;
+use fhe_math::telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn encrypted_lr_step_is_measured_and_correct() {
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_degree(6)
+            .levels(5)
+            .scale_bits(30)
+            .first_modulus_bits(36)
+            .special_modulus_bits(36)
+            .dnum(2)
+            .build()
+            .expect("test parameters are valid"),
+    );
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let evaluator = Evaluator::new(ctx.clone());
+    let keygen = KeyGenerator::new(ctx.clone());
+    let mut rng = StdRng::seed_from_u64(99);
+    let sk = keygen.secret_key(&mut rng);
+    let rlk = keygen.relin_key(&mut rng, &sk);
+    let gk = keygen.galois_keys(&mut rng, &sk, &[1, 2, 4], false);
+
+    let slots = encoder.slots();
+    let scale = ctx.params().scale();
+    let xs: Vec<f64> = (0..slots).map(|i| 0.04 * i as f64 - 0.5).collect();
+    let ws: Vec<f64> = (0..slots).map(|i| 0.3 - 0.02 * i as f64).collect();
+    let cx: Vec<Complex> = xs.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let cw: Vec<Complex> = ws.iter().map(|&w| Complex::new(w, 0.0)).collect();
+    let ct_x = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&cx, 5, scale).unwrap(), &sk);
+    let ct_w = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&cw, 5, scale).unwrap(), &sk);
+
+    // One gradient-style step: inner product fold of w·x, then the
+    // degree-3 sigmoid's quadratic term via squaring.
+    telemetry::reset();
+    let prod = evaluator.mul(&ct_x, &ct_w, &rlk);
+    let folded = evaluator.sum_slots(&prod, 3, &gk);
+    let act = evaluator.square(&folded, &rlk);
+    let snap = telemetry::snapshot();
+
+    // Plaintext reference for the same schedule.
+    let dot: Vec<f64> = (0..slots)
+        .map(|i| {
+            (0..8)
+                .map(|j| xs[(i + j) % slots] * ws[(i + j) % slots])
+                .sum()
+        })
+        .collect();
+    let decryptor = Decryptor::new(ctx.clone());
+    let decrypted = encoder.decode(&decryptor.decrypt(&act, &sk));
+    for (got, want) in decrypted.iter().zip(dot.iter().map(|d| d * d)) {
+        assert!(
+            (got.re - want).abs() < 1e-3,
+            "slot mismatch: {} vs {want}",
+            got.re
+        );
+    }
+    // `sigmoid_deg3` ties the kernel to the app: the quadratic term the
+    // schedule computes feeds the same polynomial the plaintext model uses.
+    assert!(sigmoid_deg3(0.0) > 0.49 && sigmoid_deg3(0.0) < 0.51);
+
+    // Structural assertions on the measured profile.
+    assert!(snap.mults > 0 && snap.adds > 0, "ops were counted");
+    assert!(
+        snap.ntt_fwd > 0 && snap.ntt_inv > 0,
+        "transforms were counted"
+    );
+    assert!(snap.bytes_touched() > 0, "transfer proxy was counted");
+
+    // Two relinearizations and three rotations → five KeySwitch calls,
+    // with their nested phases attributed inclusively.
+    let ks = telemetry::span_report("KeySwitch").expect("KeySwitch span recorded");
+    assert_eq!(ks.calls, 5);
+    let modup = telemetry::span_report("ModUp").expect("ModUp span recorded");
+    let inner = telemetry::span_report("KSKInnerProd").expect("inner-product span");
+    let moddown = telemetry::span_report("ModDown").expect("ModDown span recorded");
+    assert_eq!(modup.calls, 5);
+    assert_eq!(inner.calls, 5);
+    assert_eq!(moddown.calls, 5);
+    let phase_mults = modup.total.mults + inner.total.mults + moddown.total.mults;
+    assert!(
+        phase_mults <= ks.total.mults,
+        "nested phases are included in the enclosing span"
+    );
+    assert!(
+        ks.total.mults <= snap.mults,
+        "span totals never exceed the global counters"
+    );
+    let rot = telemetry::span_report("Rotate").expect("Rotate span recorded");
+    assert_eq!(rot.calls, 3);
+
+    // Reset clears both the counters and the span ledger.
+    telemetry::reset();
+    assert_eq!(telemetry::snapshot().mults, 0);
+    assert!(telemetry::span_report("KeySwitch").is_none());
+}

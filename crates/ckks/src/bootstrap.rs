@@ -27,6 +27,7 @@ use crate::plaintext::Ciphertext;
 use crate::polyeval::{evaluate_chebyshev, ChebyshevSeries};
 use fhe_math::cfft::{Complex, SpecialFft};
 use fhe_math::poly::RnsPoly;
+use fhe_math::telemetry;
 use std::fmt;
 use std::sync::Arc;
 
@@ -225,6 +226,7 @@ impl Bootstrapper {
             1,
             "ModRaise expects an exhausted (single-limb) ciphertext"
         );
+        let _span = telemetry::span("Bootstrap.ModRaise");
         let full = self.ctx.level_basis(self.ctx.params().levels()).clone();
         let n = self.ctx.params().degree();
         let q0 = *self.ctx.q_basis().modulus(0);
@@ -247,6 +249,7 @@ impl Bootstrapper {
         ct: &Ciphertext,
         gk: &GaloisKeys,
     ) -> Ciphertext {
+        let _span = telemetry::span("Bootstrap.CoeffToSlot");
         let mut acc = ct.clone();
         for lt in &self.coeff_to_slot {
             acc = apply_hoisted(evaluator, encoder, &acc, lt, gk);
@@ -262,6 +265,7 @@ impl Bootstrapper {
         ct: &Ciphertext,
         gk: &GaloisKeys,
     ) -> Ciphertext {
+        let _span = telemetry::span("Bootstrap.SlotToCoeff");
         let mut acc = ct.clone();
         for lt in &self.slot_to_coeff {
             acc = apply_hoisted(evaluator, encoder, &acc, lt, gk);
@@ -272,6 +276,7 @@ impl Bootstrapper {
     /// **EvalMod**: the scaled-sine approximation of reduction mod `q_0`,
     /// applied to a ciphertext holding real values in `±(K+1)·q_0/Δ`.
     pub fn eval_mod(&self, evaluator: &Evaluator, ct: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        let _span = telemetry::span("Bootstrap.EvalMod");
         evaluate_chebyshev(evaluator, rlk, ct, &self.sine)
     }
 
@@ -291,6 +296,7 @@ impl Bootstrapper {
         gk: &GaloisKeys,
         rlk: &RelinKey,
     ) -> Ciphertext {
+        let _span = telemetry::span("Bootstrap");
         assert!(
             self.ctx.params().levels() > Self::depth_estimate(&self.config),
             "modulus chain too short: bootstrapping needs > {} limbs",

@@ -23,6 +23,7 @@ use crate::ops::Evaluator;
 use crate::plaintext::Ciphertext;
 use fhe_math::cfft::Complex;
 use fhe_math::poly::mod_down_with;
+use fhe_math::telemetry;
 use fhe_math::ScratchPool;
 use std::collections::BTreeMap;
 use std::fmt;
@@ -202,6 +203,7 @@ pub fn apply_hoisted(
     lt: &LinearTransform,
     gk: &GaloisKeys,
 ) -> Ciphertext {
+    let _span = telemetry::span("HoistedMatVec");
     let ctx = evaluator.context();
     let pool = ctx.scratch();
     let ell = ct.limb_count();
@@ -314,6 +316,7 @@ pub fn apply_bsgs(
     n1: usize,
 ) -> Ciphertext {
     assert!(n1 >= 1, "baby dimension must be positive");
+    let _span = telemetry::span("BsgsMatVec");
     let ctx = evaluator.context();
     let ell = ct.limb_count();
     let scale = ctx.params().scale();

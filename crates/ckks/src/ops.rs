@@ -17,6 +17,7 @@ use crate::context::CkksContext;
 use crate::keys::{GaloisKeys, RelinKey, SwitchingKey};
 use crate::plaintext::{Ciphertext, Plaintext};
 use fhe_math::poly::{mod_down_with, pmod_up_with, rescale_with, RnsPoly};
+use fhe_math::telemetry;
 use std::fmt;
 use std::sync::Arc;
 
@@ -224,6 +225,7 @@ impl Evaluator {
 
     /// `Rescale`: divides by the last limb prime and drops it.
     pub fn rescale(&self, a: &Ciphertext) -> Ciphertext {
+        let _span = telemetry::span("Rescale");
         let pool = self.ctx.scratch();
         let q_last = a.c0.basis().modulus(a.limb_count() - 1).value() as f64;
         Ciphertext::new(
@@ -255,6 +257,7 @@ impl Evaluator {
     /// `Mult` (Table 2), standard sequence (Figure 4a): tensor,
     /// relinearize (KeySwitch with its own `ModDown`), then `Rescale`.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        let _span = telemetry::span("Mult");
         let pool = self.ctx.scratch();
         let (mut d0, mut d1, d2, scale) = self.tensor(a, b);
         let (v, u) = crate::keyswitch::keyswitch(&self.ctx, &d2, rlk.switching_key());
@@ -274,6 +277,7 @@ impl Evaluator {
     /// added to the key-switch intermediate, and a single `ModDown` divides
     /// by `P·q_{ℓ-1}` — saving one orientation switch and `ℓ` NTTs.
     pub fn mul_merged(&self, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        let _span = telemetry::span("MultMerged");
         let pool = self.ctx.scratch();
         let (d0, d1, d2, scale) = self.tensor(a, b);
         let ell = d0.limb_count();
@@ -289,11 +293,17 @@ impl Evaluator {
         d2.recycle(pool);
         // Lift the linear legs: Add in the raised basis (PModUp is free).
         let raised_basis = self.ctx.raised_basis(ell);
-        let lifted = pmod_up_with(&d0, raised_basis.clone(), pool);
+        let lifted = {
+            let _s = telemetry::span("PModUp");
+            pmod_up_with(&d0, raised_basis.clone(), pool)
+        };
         raised.v.add_assign(&lifted);
         lifted.recycle(pool);
         d0.recycle(pool);
-        let lifted = pmod_up_with(&d1, raised_basis.clone(), pool);
+        let lifted = {
+            let _s = telemetry::span("PModUp");
+            pmod_up_with(&d1, raised_basis.clone(), pool)
+        };
         raised.u.add_assign(&lifted);
         lifted.recycle(pool);
         d1.recycle(pool);
@@ -338,6 +348,7 @@ impl Evaluator {
         if steps == 0 {
             return a.clone();
         }
+        let _span = telemetry::span("Rotate");
         let k = self.ctx.rotation_element(steps);
         let ksk = gk
             .get(k)

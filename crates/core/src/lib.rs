@@ -49,6 +49,8 @@ pub mod primitives;
 pub mod report;
 pub mod search;
 pub mod throughput;
+#[cfg(feature = "validate")]
+pub mod validate;
 pub mod workload;
 
 pub use cost::Cost;

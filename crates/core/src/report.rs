@@ -63,7 +63,7 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
-        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1);
         let _ = writeln!(out, "{}", "-".repeat(total));
         for row in &self.rows {
             let _ = writeln!(out, "{}", fmt_row(row, &widths));
@@ -130,6 +130,44 @@ mod tests {
     fn rejects_ragged_rows() {
         let mut t = Table::new("x", &["a", "b"]);
         t.row(&["only-one".into()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "column count mismatch")]
+    fn rejects_too_many_cells() {
+        let mut t = Table::new("x", &["a"]);
+        t.row(&["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn renders_empty_tables() {
+        // No rows: header and separator only.
+        let t = Table::new("empty", &["a", "bb"]);
+        assert!(t.is_empty());
+        assert_eq!(t.len(), 0);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[2], "-".repeat("a".len() + "bb".len() + 2));
+
+        // Degenerate zero-column table must not underflow the separator
+        // width computation.
+        let t = Table::new("", &[]);
+        let s = t.render();
+        assert_eq!(s, "\n\n");
+    }
+
+    #[test]
+    fn column_widths_track_the_widest_cell() {
+        let mut t = Table::new("", &["h", "wide-header"]);
+        t.row(&["wider-cell".into(), "x".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        // Separator spans both column widths plus the two-space gap.
+        assert_eq!(lines[1], "-".repeat(10 + 11 + 2));
+        // Right-aligned header pads to the widest cell below it.
+        assert!(lines[0].starts_with("         h"));
+        assert!(lines[2].ends_with("          x"));
     }
 
     #[test]

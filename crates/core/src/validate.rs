@@ -1,0 +1,410 @@
+//! Measured-vs-modeled comparison plumbing for the `validate` binary.
+//!
+//! The functional crates (`fhe-math`, `ckks`) count the modular operations
+//! they actually execute when built with their `telemetry` feature; this
+//! module diffs those counts against the analytical predictions of
+//! [`crate::primitives`] and renders the result as a machine-readable JSON
+//! report. Gating is driven by a committed tolerance file: every gated
+//! `(primitive, metric)` pair must have an entry, and its relative error
+//! must not exceed the committed bound.
+//!
+//! The tolerance file is plain text — one `primitive metric tolerance`
+//! triple per line, `#` comments and blank lines ignored:
+//!
+//! ```text
+//! # primitive   metric   max relative error
+//! Add           adds     0.0
+//! KeySwitch     mults    0.12
+//! ```
+//!
+//! Known, deterministic deviations between the implementation and the
+//! model (the inverse NTT's normalization multiplies, the `ModDown`
+//! centering trick, `Rescale`'s direct single-source conversion, the
+//! inner product's accumulation into zeroed buffers) are absorbed by the
+//! committed bounds and documented in `DESIGN.md` §4.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One gated metric of one primitive: a measured count against the
+/// model's prediction.
+#[derive(Clone, Copy, Debug)]
+pub struct MetricCheck {
+    /// Metric name (`mults`, `adds`, `ntt_fwd`, `ntt_inv`, …).
+    pub metric: &'static str,
+    /// Count observed by the telemetry layer.
+    pub measured: u64,
+    /// Count predicted by the analytical model.
+    pub modeled: u64,
+}
+
+impl MetricCheck {
+    /// Relative error `|measured − modeled| / modeled`. When the model
+    /// predicts zero, the error is zero if the measurement agrees and
+    /// infinite otherwise.
+    pub fn rel_err(&self) -> f64 {
+        if self.modeled == 0 {
+            if self.measured == 0 {
+                0.0
+            } else {
+                f64::INFINITY
+            }
+        } else {
+            (self.measured as f64 - self.modeled as f64).abs() / self.modeled as f64
+        }
+    }
+}
+
+/// All checks for one primitive: the gated metrics plus informational
+/// rows (byte proxies) that are reported but never gated.
+#[derive(Clone, Debug)]
+pub struct PrimitiveCheck {
+    /// Primitive name, matching the tolerance file and span names.
+    pub name: String,
+    /// Gated metrics.
+    pub metrics: Vec<MetricCheck>,
+    /// Informational metrics (reported in the JSON, not gated).
+    pub info: Vec<MetricCheck>,
+}
+
+impl PrimitiveCheck {
+    /// Creates a check with no rows yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            metrics: Vec::new(),
+            info: Vec::new(),
+        }
+    }
+}
+
+/// Committed per-`(primitive, metric)` relative-error bounds.
+#[derive(Clone, Debug, Default)]
+pub struct Tolerances {
+    bounds: BTreeMap<(String, String), f64>,
+}
+
+impl Tolerances {
+    /// Parses the plain-text tolerance format. Returns a description of
+    /// the first malformed line on failure.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut bounds = BTreeMap::new();
+        for (idx, raw) in text.lines().enumerate() {
+            let line = raw.split('#').next().unwrap_or("").trim();
+            if line.is_empty() {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (name, metric, tol) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(n), Some(m), Some(t)) => (n, m, t),
+                _ => {
+                    return Err(format!(
+                        "line {}: expected `primitive metric tolerance`",
+                        idx + 1
+                    ))
+                }
+            };
+            if parts.next().is_some() {
+                return Err(format!("line {}: trailing fields", idx + 1));
+            }
+            let tol: f64 = tol
+                .parse()
+                .map_err(|_| format!("line {}: `{tol}` is not a number", idx + 1))?;
+            if !(0.0..).contains(&tol) {
+                return Err(format!("line {}: tolerance must be non-negative", idx + 1));
+            }
+            bounds.insert((name.to_string(), metric.to_string()), tol);
+        }
+        Ok(Self { bounds })
+    }
+
+    /// The committed bound for a `(primitive, metric)` pair, if any.
+    pub fn get(&self, name: &str, metric: &str) -> Option<f64> {
+        self.bounds
+            .get(&(name.to_string(), metric.to_string()))
+            .copied()
+    }
+
+    /// Number of committed bounds.
+    pub fn len(&self) -> usize {
+        self.bounds.len()
+    }
+
+    /// True when no bounds are committed.
+    pub fn is_empty(&self) -> bool {
+        self.bounds.is_empty()
+    }
+}
+
+/// One gate failure: either the relative error exceeded its bound or no
+/// bound was committed for a gated metric.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Primitive name.
+    pub primitive: String,
+    /// Metric name.
+    pub metric: &'static str,
+    /// Human-readable description of the failure.
+    pub reason: String,
+}
+
+/// The full validation result: per-primitive checks against one
+/// parameter-set description.
+#[derive(Clone, Debug)]
+pub struct ValidationReport {
+    /// Free-form `key: value` description of the parameter point, emitted
+    /// into the JSON header.
+    pub params: Vec<(String, String)>,
+    /// All primitive checks, in run order.
+    pub primitives: Vec<PrimitiveCheck>,
+}
+
+impl ValidationReport {
+    /// Gates every metric against the committed tolerances, returning all
+    /// violations (empty means the report passes).
+    pub fn evaluate(&self, tol: &Tolerances) -> Vec<Violation> {
+        let mut out = Vec::new();
+        for p in &self.primitives {
+            for m in &p.metrics {
+                match tol.get(&p.name, m.metric) {
+                    None => out.push(Violation {
+                        primitive: p.name.clone(),
+                        metric: m.metric,
+                        reason: format!("no tolerance committed for {}/{}", p.name, m.metric),
+                    }),
+                    Some(bound) => {
+                        let err = m.rel_err();
+                        if err > bound {
+                            out.push(Violation {
+                                primitive: p.name.clone(),
+                                metric: m.metric,
+                                reason: format!(
+                                    "{}/{}: measured {} vs modeled {} (rel err {:.4} > tolerance {:.4})",
+                                    p.name, m.metric, m.measured, m.modeled, err, bound
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Renders the report as JSON (schema `mad-validate-v1`), including
+    /// the pass/fail verdict under the given tolerances.
+    pub fn to_json(&self, tol: &Tolerances) -> String {
+        let violations = self.evaluate(tol);
+        let mut s = String::new();
+        s.push_str("{\n  \"schema\": \"mad-validate-v1\",\n  \"params\": {");
+        for (i, (k, v)) in self.params.iter().enumerate() {
+            if i > 0 {
+                s.push_str(", ");
+            }
+            let _ = write!(s, "{}: {}", json_string(k), json_string(v));
+        }
+        s.push_str("},\n  \"primitives\": [\n");
+        for (pi, p) in self.primitives.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"name\": {}, \"metrics\": [",
+                json_string(&p.name)
+            );
+            for (i, m) in p.metrics.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let bound = tol.get(&p.name, m.metric);
+                let pass = bound.is_some_and(|b| m.rel_err() <= b);
+                let _ = write!(
+                    s,
+                    "{{\"metric\": {}, \"measured\": {}, \"modeled\": {}, \"rel_err\": {}, \"tolerance\": {}, \"pass\": {}}}",
+                    json_string(m.metric),
+                    m.measured,
+                    m.modeled,
+                    json_f64(m.rel_err()),
+                    bound.map_or_else(|| "null".to_string(), json_f64),
+                    pass
+                );
+            }
+            s.push_str("], \"info\": [");
+            for (i, m) in p.info.iter().enumerate() {
+                if i > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(
+                    s,
+                    "{{\"metric\": {}, \"measured\": {}, \"modeled\": {}, \"rel_err\": {}}}",
+                    json_string(m.metric),
+                    m.measured,
+                    m.modeled,
+                    json_f64(m.rel_err())
+                );
+            }
+            s.push_str("]}");
+            if pi + 1 < self.primitives.len() {
+                s.push(',');
+            }
+            s.push('\n');
+        }
+        let _ = write!(
+            s,
+            "  ],\n  \"violations\": {},\n  \"pass\": {}\n}}\n",
+            violations.len(),
+            violations.is_empty()
+        );
+        s
+    }
+}
+
+/// Escapes a string as a JSON string literal (quotes included).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats a float as a JSON number (JSON has no infinities; they surface
+/// as a large sentinel that still fails any finite tolerance).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "1e308".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rel_err_handles_zero_model() {
+        let exact = MetricCheck {
+            metric: "mults",
+            measured: 0,
+            modeled: 0,
+        };
+        assert_eq!(exact.rel_err(), 0.0);
+        let phantom = MetricCheck {
+            metric: "mults",
+            measured: 5,
+            modeled: 0,
+        };
+        assert!(phantom.rel_err().is_infinite());
+        let ten_pct = MetricCheck {
+            metric: "adds",
+            measured: 110,
+            modeled: 100,
+        };
+        assert!((ten_pct.rel_err() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn tolerance_parsing_accepts_comments_and_blanks() {
+        let t =
+            Tolerances::parse("# header comment\n\nAdd adds 0.0\nKeySwitch mults 0.12 # inline\n")
+                .unwrap();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.get("Add", "adds"), Some(0.0));
+        assert_eq!(t.get("KeySwitch", "mults"), Some(0.12));
+        assert_eq!(t.get("KeySwitch", "adds"), None);
+    }
+
+    #[test]
+    fn tolerance_parsing_rejects_malformed_lines() {
+        assert!(Tolerances::parse("Add adds")
+            .unwrap_err()
+            .contains("line 1"));
+        assert!(Tolerances::parse("Add adds x")
+            .unwrap_err()
+            .contains("not a number"));
+        assert!(Tolerances::parse("Add adds 0.1 extra")
+            .unwrap_err()
+            .contains("trailing"));
+        assert!(Tolerances::parse("Add adds -0.5")
+            .unwrap_err()
+            .contains("non-negative"));
+    }
+
+    fn sample_report() -> ValidationReport {
+        ValidationReport {
+            params: vec![("log_n".into(), "6".into())],
+            primitives: vec![PrimitiveCheck {
+                name: "Add".into(),
+                metrics: vec![
+                    MetricCheck {
+                        metric: "adds",
+                        measured: 640,
+                        modeled: 640,
+                    },
+                    MetricCheck {
+                        metric: "mults",
+                        measured: 12,
+                        modeled: 10,
+                    },
+                ],
+                info: vec![MetricCheck {
+                    metric: "bytes",
+                    measured: 100,
+                    modeled: 50,
+                }],
+            }],
+        }
+    }
+
+    #[test]
+    fn evaluation_gates_on_committed_bounds() {
+        let report = sample_report();
+        let pass = Tolerances::parse("Add adds 0.0\nAdd mults 0.25").unwrap();
+        assert!(report.evaluate(&pass).is_empty());
+        let tight = Tolerances::parse("Add adds 0.0\nAdd mults 0.1").unwrap();
+        let v = report.evaluate(&tight);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].metric, "mults");
+        // A missing bound for a gated metric is itself a violation; the
+        // informational rows never gate.
+        let missing = Tolerances::parse("Add adds 0.0").unwrap();
+        let v = report.evaluate(&missing);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].reason.contains("no tolerance"));
+    }
+
+    #[test]
+    fn json_report_is_well_formed() {
+        let report = sample_report();
+        let tol = Tolerances::parse("Add adds 0.0\nAdd mults 0.25").unwrap();
+        let json = report.to_json(&tol);
+        assert!(json.contains("\"schema\": \"mad-validate-v1\""));
+        assert!(json.contains("\"pass\": true"));
+        assert!(json.contains("\"measured\": 640"));
+        assert!(json.contains("\"metric\": \"bytes\""));
+        // Balanced braces/brackets (cheap structural sanity without a
+        // JSON parser in the dependency-free crate).
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        let failing = Tolerances::parse("Add adds 0.0\nAdd mults 0.01").unwrap();
+        assert!(report.to_json(&failing).contains("\"pass\": false"));
+    }
+
+    #[test]
+    fn json_strings_are_escaped() {
+        assert_eq!(json_string("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+        assert_eq!(json_f64(f64::INFINITY), "1e308");
+    }
+}

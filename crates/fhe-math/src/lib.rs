@@ -32,6 +32,9 @@
 //!   paths.
 //! - [`parallel`]: limb-level multithreading helpers over flat limb-major
 //!   buffers (feature `parallel`, on by default; bit-identical to serial).
+//! - [`telemetry`]: feature-gated op-count/traffic counters and
+//!   measurement spans (feature `telemetry`, off by default; no-ops when
+//!   disabled) used to cross-validate the `simfhe` cost model.
 //!
 //! # Example
 //!
@@ -62,6 +65,7 @@ pub mod prime;
 pub mod rns;
 pub mod sampling;
 pub mod scratch;
+pub mod telemetry;
 
 pub use modular::Modulus;
 pub use ntt::NttTable;

@@ -199,6 +199,7 @@ impl NttTable {
     pub fn forward(&self, data: &mut [u64]) {
         assert_eq!(data.len(), self.n, "NTT size mismatch");
         counters::FORWARD.fetch_add(1, Ordering::Relaxed);
+        crate::telemetry::record_ntt(true, self.butterfly_count(), self.n as u64);
         let q = &self.modulus;
         let mut t = self.n;
         let mut m = 1usize;
@@ -228,6 +229,11 @@ impl NttTable {
     pub fn inverse(&self, data: &mut [u64]) {
         assert_eq!(data.len(), self.n, "NTT size mismatch");
         counters::INVERSE.fetch_add(1, Ordering::Relaxed);
+        crate::telemetry::record_ntt(false, self.butterfly_count(), self.n as u64);
+        // The final n_inv normalization pass below is n extra multiplies
+        // beyond the model's butterfly count (an optimized kernel folds it
+        // into the last stage); record it so measured counts stay honest.
+        crate::telemetry::record_ops(self.n as u64, 0);
         let q = &self.modulus;
         let mut t = 1usize;
         let mut m = self.n;

@@ -21,6 +21,7 @@ use crate::bigint::{IBig, UBig};
 use crate::parallel;
 use crate::rns::{BasisExtender, RnsBasis};
 use crate::scratch::ScratchPool;
+use crate::telemetry;
 use std::fmt;
 use std::sync::Arc;
 
@@ -244,6 +245,8 @@ impl RnsPoly {
         self.assert_compatible(other);
         let n = self.basis.degree();
         let basis = &self.basis;
+        telemetry::record_ops(0, self.data.len() as u64);
+        telemetry::record_transfer(16 * self.data.len() as u64, 8 * self.data.len() as u64);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
             let m = basis.modulus(i);
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
@@ -257,6 +260,8 @@ impl RnsPoly {
         self.assert_compatible(other);
         let n = self.basis.degree();
         let basis = &self.basis;
+        telemetry::record_ops(0, self.data.len() as u64);
+        telemetry::record_transfer(16 * self.data.len() as u64, 8 * self.data.len() as u64);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
             let m = basis.modulus(i);
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
@@ -269,6 +274,8 @@ impl RnsPoly {
     pub fn negate(&mut self) {
         let n = self.basis.degree();
         let basis = &self.basis;
+        telemetry::record_ops(0, self.data.len() as u64);
+        telemetry::record_transfer(8 * self.data.len() as u64, 8 * self.data.len() as u64);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
             let m = basis.modulus(i);
             for x in limb.iter_mut() {
@@ -291,6 +298,8 @@ impl RnsPoly {
         self.assert_compatible(other);
         let n = self.basis.degree();
         let basis = &self.basis;
+        telemetry::record_ops(self.data.len() as u64, 0);
+        telemetry::record_transfer(16 * self.data.len() as u64, 8 * self.data.len() as u64);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
             let m = basis.modulus(i);
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
@@ -321,6 +330,8 @@ impl RnsPoly {
         let basis = &self.basis;
         let a = &self.data;
         let b = &other.data;
+        telemetry::record_ops(a.len() as u64, 0);
+        telemetry::record_transfer(16 * a.len() as u64, 8 * a.len() as u64);
         parallel::for_each_limb_mut(&mut out.data, n, |i, dst| {
             let m = basis.modulus(i);
             let off = i * n;
@@ -334,6 +345,8 @@ impl RnsPoly {
     pub fn mul_scalar_assign(&mut self, scalar: u64) {
         let n = self.basis.degree();
         let basis = &self.basis;
+        telemetry::record_ops(self.data.len() as u64, 0);
+        telemetry::record_transfer(8 * self.data.len() as u64, 8 * self.data.len() as u64);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
             let m = basis.modulus(i);
             let s = m.reduce(scalar);
@@ -354,6 +367,8 @@ impl RnsPoly {
         assert_eq!(scalars.len(), self.limb_count());
         let n = self.basis.degree();
         let basis = &self.basis;
+        telemetry::record_ops(self.data.len() as u64, 0);
+        telemetry::record_transfer(8 * self.data.len() as u64, 8 * self.data.len() as u64);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
             let m = basis.modulus(i);
             let s = m.reduce(scalars[i]);
@@ -385,6 +400,8 @@ impl RnsPoly {
         let basis = &self.basis;
         let rep = self.rep;
         let src = &self.data;
+        // A pure permutation: no modular ops, only streamed limb traffic.
+        telemetry::record_transfer(8 * src.len() as u64, 8 * src.len() as u64);
         parallel::for_each_limb_mut(&mut out.data, n, |i, dst| {
             let s = &src[i * n..(i + 1) * n];
             match rep {
@@ -499,6 +516,12 @@ pub fn rescale_with(poly: &RnsPoly, pool: &ScratchPool) -> RnsPoly {
     let n = poly.degree();
     let basis = poly.basis();
     let q_last = basis.modulus(l - 1);
+
+    // Beyond the transforms (recorded by the NTT hooks): per kept limb,
+    // n centered reductions (counted as adds), n subtracts, n scale mults.
+    let kept = (l - 1) as u64;
+    telemetry::record_ops(kept * n as u64, 2 * kept * n as u64);
+    telemetry::record_transfer(8 * (n as u64) * (1 + kept), 8 * n as u64);
 
     // iNTT the dropped limb.
     let mut last = pool.take(n);
@@ -631,6 +654,16 @@ pub fn mod_down_with(poly: &RnsPoly, ctx: &ModDownContext, pool: &ScratchPool) -
     let n = poly.degree();
     let basis = poly.basis();
 
+    // Beyond transforms and the NewLimb conversion (recorded by their own
+    // hooks): the centering trick adds n ops per special limb before the
+    // conversion and n per output limb after, and the combine does n
+    // subtracts + n scale mults per output limb.
+    telemetry::record_ops(
+        (ctx.q_len * n) as u64,
+        ((ctx.p_len + 2 * ctx.q_len) * n) as u64,
+    );
+    telemetry::record_transfer(8 * ((ctx.p_len + ctx.q_len) * n) as u64, 0);
+
     // Step 1: iNTT the special limbs (limb-wise), then apply the centering
     // trick — add P/2 before conversion and subtract (P/2 mod q_i) after,
     // turning the floor of the fast conversion into a round.
@@ -701,6 +734,8 @@ pub fn pmod_up_with(poly: &RnsPoly, raised_basis: Arc<RnsBasis>, pool: &ScratchP
             .all(|(a, b)| a.value() == b.value()),
         "raised basis must start with the polynomial's basis"
     );
+    telemetry::record_ops((l * n) as u64, 0);
+    telemetry::record_transfer(8 * (l * n) as u64, 8 * (raised_basis.len() * n) as u64);
     let mut out = RnsPoly {
         rep: poly.representation(),
         data: pool.take_vec(raised_basis.len() * n),
@@ -762,6 +797,10 @@ pub fn mod_up_with(
     let basis = poly.basis();
     assert_eq!(extender.source_len(), l);
     assert_eq!(extender.target_len(), raised_basis.len() - l);
+
+    // Transforms and the NewLimb conversion are recorded by their own
+    // hooks; the two pass-through copies are pure limb traffic.
+    telemetry::record_transfer(16 * (l * n) as u64, 16 * (l * n) as u64);
 
     let mut coeff = pool.take(l * n);
     coeff.copy_from_slice(poly.flat());

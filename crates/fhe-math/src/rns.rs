@@ -408,6 +408,7 @@ impl BasisExtender {
         assert_eq!(src.len(), l * n, "source buffer length mismatch");
         assert_eq!(dst.len(), t * n, "target buffer length mismatch");
         assert!(t <= 64, "target basis too large for stack buffer");
+        crate::telemetry::record_basis_ext(l as u64, t as u64, n as u64);
         crate::parallel::for_each_slot_block(dst, n, |range, cols| {
             let mut y = [0u64; 64];
             let mut out = [0u64; 64];

@@ -1,0 +1,399 @@
+//! Feature-gated op-count and traffic telemetry for the ring kernels.
+//!
+//! The MAD paper's conclusions rest on SimFHE's analytical op counts and
+//! DRAM-transfer estimates (`simfhe::primitives`); this module measures what
+//! the functional kernels *actually* execute so the two can be
+//! cross-validated (the `validate` binary in `crates/core`). Counters follow
+//! the paper's accounting granularity:
+//!
+//! - **Modular multiplications / additions** (Section 4.1: "SimFHE tracks
+//!   compute at the modular arithmetic level"). Butterflies count as
+//!   1 mult + 2 adds, matching `SchemeParams::ntt_ops`.
+//! - **Whole-limb NTT / iNTT transforms** — the limb-wise kernel
+//!   invocations whose count the model predicts exactly (e.g. `ModUp` at
+//!   `ℓ` limbs runs `d` inverse and `ℓ + k − d` forward transforms).
+//! - **Basis-extension terms** — the `src·dst` `NewLimb` inner-product
+//!   terms of Eq. 1, the slot-wise kernel's work measure.
+//! - **Bytes touched** — a DRAM-traffic proxy: every instrumented kernel
+//!   records the limb-buffer bytes it streams (reads/writes), and
+//!   [`crate::scratch::ScratchPool`] records leased bytes. See DESIGN.md
+//!   for how this maps onto the paper's per-`CachingLevel` DRAM model.
+//!
+//! With the `telemetry` cargo feature **off** (the default) every recording
+//! function is an empty `#[inline(always)]` stub and [`Span`] is a
+//! zero-sized type: the kernels compile exactly as before. With the feature
+//! **on**, counters are process-global relaxed atomics — global rather than
+//! thread-local because the `parallel` feature runs limb kernels on scoped
+//! worker threads whose counts must aggregate. Recording happens in *bulk*
+//! at kernel loop boundaries (once per transform, once per `extend_flat`),
+//! never per scalar operation, so even the instrumented build stays cheap.
+//!
+//! # Spans
+//!
+//! A [`Span`] snapshots the counters when opened and records the delta
+//! under its name when dropped. Spans are **inclusive**: a nested span's
+//! ops are also attributed to every enclosing span (`KeySwitch` contains
+//! its `ModUp` and `ModDown` children). [`reset`] zeroes the counters and
+//! clears the span table.
+//!
+//! ```
+//! use fhe_math::telemetry;
+//!
+//! telemetry::reset();
+//! {
+//!     let _s = telemetry::span("demo");
+//!     telemetry::record_ops(10, 20);
+//! }
+//! let snap = telemetry::snapshot();
+//! # if telemetry::enabled() {
+//! assert_eq!(snap.mults, 10);
+//! assert_eq!(telemetry::spans()[0].total.adds, 20);
+//! # }
+//! ```
+
+/// Whether the `telemetry` cargo feature is compiled in.
+pub const fn enabled() -> bool {
+    cfg!(feature = "telemetry")
+}
+
+/// A point-in-time copy of every counter (also used for span deltas).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Modular multiplications.
+    pub mults: u64,
+    /// Modular additions/subtractions.
+    pub adds: u64,
+    /// Whole-limb forward NTT transforms.
+    pub ntt_fwd: u64,
+    /// Whole-limb inverse NTT transforms.
+    pub ntt_inv: u64,
+    /// Basis-extension (`NewLimb`) inner-product terms: `src·dst` per
+    /// coefficient converted.
+    pub ext_terms: u64,
+    /// Limb-buffer bytes read by instrumented kernels.
+    pub bytes_read: u64,
+    /// Limb-buffer bytes written by instrumented kernels.
+    pub bytes_written: u64,
+    /// Buffers leased from a [`crate::ScratchPool`].
+    pub scratch_leases: u64,
+    /// Total bytes of those leases.
+    pub scratch_bytes: u64,
+}
+
+impl Snapshot {
+    /// Total modular operations (`mults + adds`), the paper's `ops`.
+    pub fn ops(&self) -> u64 {
+        self.mults + self.adds
+    }
+
+    /// Total whole-limb transforms (`ntt_fwd + ntt_inv`).
+    pub fn transforms(&self) -> u64 {
+        self.ntt_fwd + self.ntt_inv
+    }
+
+    /// Total limb-buffer bytes touched (`bytes_read + bytes_written`).
+    pub fn bytes_touched(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Counter-wise difference `self − earlier`, saturating at zero (a
+    /// [`reset`] between the two snapshots must not panic).
+    pub fn delta(&self, earlier: &Snapshot) -> Snapshot {
+        Snapshot {
+            mults: self.mults.saturating_sub(earlier.mults),
+            adds: self.adds.saturating_sub(earlier.adds),
+            ntt_fwd: self.ntt_fwd.saturating_sub(earlier.ntt_fwd),
+            ntt_inv: self.ntt_inv.saturating_sub(earlier.ntt_inv),
+            ext_terms: self.ext_terms.saturating_sub(earlier.ext_terms),
+            bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
+            scratch_leases: self.scratch_leases.saturating_sub(earlier.scratch_leases),
+            scratch_bytes: self.scratch_bytes.saturating_sub(earlier.scratch_bytes),
+        }
+    }
+
+    /// Counter-wise sum.
+    pub fn accumulate(&mut self, other: &Snapshot) {
+        self.mults += other.mults;
+        self.adds += other.adds;
+        self.ntt_fwd += other.ntt_fwd;
+        self.ntt_inv += other.ntt_inv;
+        self.ext_terms += other.ext_terms;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.scratch_leases += other.scratch_leases;
+        self.scratch_bytes += other.scratch_bytes;
+    }
+}
+
+#[cfg(feature = "telemetry")]
+mod state {
+    use super::Snapshot;
+    use std::collections::BTreeMap;
+    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::Mutex;
+
+    pub(super) static MULTS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static ADDS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static NTT_FWD: AtomicU64 = AtomicU64::new(0);
+    pub(super) static NTT_INV: AtomicU64 = AtomicU64::new(0);
+    pub(super) static EXT_TERMS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static BYTES_READ: AtomicU64 = AtomicU64::new(0);
+    pub(super) static BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
+    pub(super) static SCRATCH_LEASES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static SCRATCH_BYTES: AtomicU64 = AtomicU64::new(0);
+
+    /// Aggregated span deltas keyed by span name.
+    pub(super) static SPANS: Mutex<BTreeMap<&'static str, (u64, Snapshot)>> =
+        Mutex::new(BTreeMap::new());
+
+    pub(super) fn add(counter: &AtomicU64, v: u64) {
+        if v != 0 {
+            counter.fetch_add(v, Relaxed);
+        }
+    }
+
+    pub(super) fn read_all() -> Snapshot {
+        Snapshot {
+            mults: MULTS.load(Relaxed),
+            adds: ADDS.load(Relaxed),
+            ntt_fwd: NTT_FWD.load(Relaxed),
+            ntt_inv: NTT_INV.load(Relaxed),
+            ext_terms: EXT_TERMS.load(Relaxed),
+            bytes_read: BYTES_READ.load(Relaxed),
+            bytes_written: BYTES_WRITTEN.load(Relaxed),
+            scratch_leases: SCRATCH_LEASES.load(Relaxed),
+            scratch_bytes: SCRATCH_BYTES.load(Relaxed),
+        }
+    }
+}
+
+/// Records bulk modular operations (`mults` multiplications, `adds`
+/// additions/subtractions).
+#[inline(always)]
+pub fn record_ops(mults: u64, adds: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        state::add(&state::MULTS, mults);
+        state::add(&state::ADDS, adds);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (mults, adds);
+}
+
+/// Records one whole-limb NTT transform of `n` coefficients with
+/// `butterflies` butterfly stages-worth of work (1 mult + 2 adds each),
+/// plus the limb's streaming traffic.
+#[inline(always)]
+pub fn record_ntt(forward: bool, butterflies: u64, n: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        if forward {
+            state::add(&state::NTT_FWD, 1);
+        } else {
+            state::add(&state::NTT_INV, 1);
+        }
+        state::add(&state::MULTS, butterflies);
+        state::add(&state::ADDS, 2 * butterflies);
+        state::add(&state::BYTES_READ, 8 * n);
+        state::add(&state::BYTES_WRITTEN, 8 * n);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (forward, butterflies, n);
+}
+
+/// Records one bulk fast-basis-extension call (`NewLimb`, Eq. 1) converting
+/// `n` coefficients from `src` to `dst` limbs: per coefficient, `src`
+/// scaled-residue mults, `src·dst` inner-product terms (1 mult + 1 add
+/// each), and `dst` float-excess corrections (1 mult + 1 sub each).
+#[inline(always)]
+pub fn record_basis_ext(src: u64, dst: u64, n: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        state::add(&state::MULTS, n * (src + src * dst + dst));
+        state::add(&state::ADDS, n * (src * dst + dst));
+        state::add(&state::EXT_TERMS, n * src * dst);
+        state::add(&state::BYTES_READ, 8 * src * n);
+        state::add(&state::BYTES_WRITTEN, 8 * dst * n);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (src, dst, n);
+}
+
+/// Records limb-buffer streaming traffic in bytes.
+#[inline(always)]
+pub fn record_transfer(read: u64, written: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        state::add(&state::BYTES_READ, read);
+        state::add(&state::BYTES_WRITTEN, written);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (read, written);
+}
+
+/// Records one scratch-pool lease of `bytes` bytes.
+#[inline(always)]
+pub fn record_scratch_lease(bytes: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        state::add(&state::SCRATCH_LEASES, 1);
+        state::add(&state::SCRATCH_BYTES, bytes);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = bytes;
+}
+
+/// Reads every counter.
+///
+/// Always available; with the feature off all fields are zero.
+pub fn snapshot() -> Snapshot {
+    #[cfg(feature = "telemetry")]
+    {
+        state::read_all()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    Snapshot::default()
+}
+
+/// Zeroes every counter and clears the span table.
+pub fn reset() {
+    #[cfg(feature = "telemetry")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        state::MULTS.store(0, Relaxed);
+        state::ADDS.store(0, Relaxed);
+        state::NTT_FWD.store(0, Relaxed);
+        state::NTT_INV.store(0, Relaxed);
+        state::EXT_TERMS.store(0, Relaxed);
+        state::BYTES_READ.store(0, Relaxed);
+        state::BYTES_WRITTEN.store(0, Relaxed);
+        state::SCRATCH_LEASES.store(0, Relaxed);
+        state::SCRATCH_BYTES.store(0, Relaxed);
+        state::SPANS.lock().expect("poisoned").clear();
+    }
+}
+
+/// Aggregated measurements for one span name.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpanReport {
+    /// The name passed to [`span`].
+    pub name: &'static str,
+    /// How many spans closed under this name since the last [`reset`].
+    pub calls: u64,
+    /// Summed counter deltas over those spans (inclusive of nested spans).
+    pub total: Snapshot,
+}
+
+/// All spans closed since the last [`reset`], sorted by name.
+///
+/// Empty with the feature off.
+pub fn spans() -> Vec<SpanReport> {
+    #[cfg(feature = "telemetry")]
+    {
+        state::SPANS
+            .lock()
+            .expect("poisoned")
+            .iter()
+            .map(|(&name, &(calls, total))| SpanReport { name, calls, total })
+            .collect()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    Vec::new()
+}
+
+/// The aggregate for one span name, if any span closed under it.
+pub fn span_report(name: &str) -> Option<SpanReport> {
+    spans().into_iter().find(|s| s.name == name)
+}
+
+/// An RAII measurement region: snapshots the counters now, records the
+/// delta under `name` when dropped. See the module docs for nesting
+/// semantics. Zero-sized no-op with the feature off.
+#[must_use = "a span measures until dropped"]
+pub struct Span {
+    #[cfg(feature = "telemetry")]
+    name: &'static str,
+    #[cfg(feature = "telemetry")]
+    start: Snapshot,
+}
+
+/// Opens a [`Span`] named `name`.
+pub fn span(name: &'static str) -> Span {
+    #[cfg(feature = "telemetry")]
+    {
+        Span {
+            name,
+            start: snapshot(),
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    {
+        let _ = name;
+        Span {}
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        #[cfg(feature = "telemetry")]
+        {
+            let delta = snapshot().delta(&self.start);
+            let mut spans = state::SPANS.lock().expect("poisoned");
+            let entry = spans.entry(self.name).or_insert((0, Snapshot::default()));
+            entry.0 += 1;
+            entry.1.accumulate(&delta);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Counter semantics (reset, nesting, concurrency) are exercised by the
+    // dedicated integration test `tests/telemetry_semantics.rs`, which owns
+    // its process — the global counters make in-process unit tests racy
+    // under `cargo test`'s threaded runner. Here we only check the
+    // feature-independent Snapshot arithmetic.
+
+    #[test]
+    fn snapshot_delta_saturates() {
+        let a = Snapshot {
+            mults: 5,
+            adds: 7,
+            ..Snapshot::default()
+        };
+        let b = Snapshot {
+            mults: 2,
+            adds: 9,
+            ..Snapshot::default()
+        };
+        let d = a.delta(&b);
+        assert_eq!(d.mults, 3);
+        assert_eq!(d.adds, 0); // saturated, not wrapped
+        assert_eq!(a.ops(), 12);
+    }
+
+    #[test]
+    fn snapshot_accumulate_sums_fields() {
+        let mut acc = Snapshot::default();
+        let x = Snapshot {
+            mults: 1,
+            adds: 2,
+            ntt_fwd: 3,
+            ntt_inv: 4,
+            ext_terms: 5,
+            bytes_read: 6,
+            bytes_written: 7,
+            scratch_leases: 8,
+            scratch_bytes: 9,
+        };
+        acc.accumulate(&x);
+        acc.accumulate(&x);
+        assert_eq!(acc.ntt_fwd, 6);
+        assert_eq!(acc.transforms(), 14);
+        assert_eq!(acc.bytes_touched(), 26);
+        assert_eq!(acc.scratch_bytes, 18);
+    }
+}

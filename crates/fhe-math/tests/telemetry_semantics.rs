@@ -1,0 +1,104 @@
+//! Telemetry counter and span semantics: reset, bulk recording, and
+//! inclusive nesting.
+//!
+//! The counters are process-global by design (the `parallel` feature runs
+//! kernels on scoped worker threads whose counts must aggregate), so these
+//! assertions live in their own integration-test binary — Cargo gives it a
+//! dedicated process — and run as a single sequential test function rather
+//! than racing under the threaded test runner.
+#![cfg(feature = "telemetry")]
+
+use fhe_math::prime::generate_ntt_primes;
+use fhe_math::telemetry;
+use fhe_math::{NttTable, ScratchPool};
+
+#[test]
+fn counter_and_span_semantics() {
+    // --- reset() zeroes everything -------------------------------------
+    telemetry::record_ops(3, 4);
+    let _ = telemetry::span("stale");
+    telemetry::reset();
+    assert_eq!(telemetry::snapshot(), telemetry::Snapshot::default());
+    assert!(telemetry::spans().is_empty());
+
+    // --- bulk recording feeds the matching counters --------------------
+    telemetry::record_ops(10, 20);
+    telemetry::record_basis_ext(2, 3, 5);
+    let snap = telemetry::snapshot();
+    // record_basis_ext: per coeff, src + src·dst + dst mults and
+    // src·dst + dst adds over n = 5 coefficients.
+    assert_eq!(snap.mults, 10 + 5 * (2 + 6 + 3));
+    assert_eq!(snap.adds, 20 + 5 * (6 + 3));
+    assert_eq!(snap.ext_terms, 5 * 6);
+    assert_eq!(snap.bytes_read, 8 * 2 * 5);
+    assert_eq!(snap.bytes_written, 8 * 3 * 5);
+
+    // --- NTT hooks count whole-limb transforms and butterfly ops -------
+    telemetry::reset();
+    let n = 16usize;
+    let q = generate_ntt_primes(1, 30, n)[0];
+    let table = NttTable::new(q, n).unwrap();
+    let mut data: Vec<u64> = (0..n as u64).collect();
+    table.forward(&mut data);
+    table.inverse(&mut data);
+    let b = table.butterfly_count();
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.ntt_fwd, 1);
+    assert_eq!(snap.ntt_inv, 1);
+    assert_eq!(snap.transforms(), 2);
+    // Forward: b mults. Inverse: b butterflies + n normalization mults.
+    assert_eq!(snap.mults, 2 * b + n as u64);
+    assert_eq!(snap.adds, 4 * b);
+
+    // --- scratch leases ------------------------------------------------
+    telemetry::reset();
+    let pool = ScratchPool::new();
+    let buf = pool.take_vec(128);
+    pool.recycle_vec(buf);
+    let _guard = pool.take(64);
+    let snap = telemetry::snapshot();
+    assert_eq!(snap.scratch_leases, 2);
+    assert_eq!(snap.scratch_bytes, 8 * (128 + 64));
+
+    // --- spans: delta capture and aggregation by name ------------------
+    telemetry::reset();
+    {
+        let _s = telemetry::span("phase");
+        telemetry::record_ops(7, 0);
+    }
+    {
+        let _s = telemetry::span("phase");
+        telemetry::record_ops(5, 1);
+    }
+    let report = telemetry::span_report("phase").expect("span recorded");
+    assert_eq!(report.calls, 2);
+    assert_eq!(report.total.mults, 12);
+    assert_eq!(report.total.adds, 1);
+    assert!(telemetry::span_report("absent").is_none());
+
+    // --- nesting is inclusive: inner ops count toward the outer span ---
+    telemetry::reset();
+    {
+        let _outer = telemetry::span("outer");
+        telemetry::record_ops(1, 0);
+        {
+            let _inner = telemetry::span("inner");
+            telemetry::record_ops(2, 0);
+        }
+        telemetry::record_ops(4, 0);
+    }
+    let outer = telemetry::span_report("outer").unwrap();
+    let inner = telemetry::span_report("inner").unwrap();
+    assert_eq!(inner.total.mults, 2, "inner sees only its own window");
+    assert_eq!(outer.total.mults, 7, "outer includes the nested span");
+
+    // --- a reset between a span's open and close must not panic --------
+    telemetry::reset();
+    {
+        let _s = telemetry::span("crosses-reset");
+        telemetry::record_ops(9, 9);
+        telemetry::reset();
+    }
+    let report = telemetry::span_report("crosses-reset").unwrap();
+    assert_eq!(report.total.mults, 0, "delta saturates after reset");
+}

@@ -8,15 +8,35 @@
 //! mean ns/iter (plus derived throughput) on stdout. There is no statistical
 //! analysis, plotting, or HTML report; the numbers are for relative
 //! comparisons inside one run — exactly how this repo's BENCH jobs use them.
+//!
+//! Two environment variables adapt the harness to CI:
+//!
+//! - `CRITERION_QUICK=1` shrinks the per-benchmark time budgets ~10× —
+//!   smoke-test mode, checking that every benchmark runs rather than
+//!   producing stable numbers.
+//! - `CRITERION_JSON=<path>` appends one JSON object per benchmark
+//!   (`{"name", "mean_ns", "iters", "throughput"?}`, JSON-lines format)
+//!   to `<path>`, for machine-readable artifacts.
 
 use std::fmt::Display;
+use std::io::Write as _;
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
-/// Per-benchmark time budgets (kept small: CI runs every bench).
-const WARMUP: Duration = Duration::from_millis(80);
-const MEASURE: Duration = Duration::from_millis(400);
+/// Per-benchmark time budgets (kept small: CI runs every bench). The
+/// quick mode cuts them ~10× for smoke runs.
+fn budgets() -> (Duration, Duration) {
+    static QUICK: OnceLock<bool> = OnceLock::new();
+    let quick = *QUICK
+        .get_or_init(|| std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0"));
+    if quick {
+        (Duration::from_millis(8), Duration::from_millis(40))
+    } else {
+        (Duration::from_millis(80), Duration::from_millis(400))
+    }
+}
 
 /// Measurement driver handed to benchmark closures.
 pub struct Bencher {
@@ -35,10 +55,11 @@ impl Bencher {
 
     /// Times `routine` in a tight loop.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let (warmup, measure) = budgets();
         // Warmup and per-iteration cost estimate.
         let warm_start = Instant::now();
         let mut warm_iters = 0u64;
-        while warm_start.elapsed() < WARMUP || warm_iters < 3 {
+        while warm_start.elapsed() < warmup || warm_iters < 3 {
             black_box(routine());
             warm_iters += 1;
             if warm_iters >= 1_000_000 {
@@ -46,7 +67,7 @@ impl Bencher {
             }
         }
         let per_iter = warm_start.elapsed().as_nanos() as f64 / warm_iters as f64;
-        let target = (MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64;
+        let target = (measure.as_nanos() as f64 / per_iter.max(1.0)) as u64;
         let iters = target.clamp(3, 10_000_000);
 
         let start = Instant::now();
@@ -64,10 +85,11 @@ impl Bencher {
         S: FnMut() -> I,
         F: FnMut(I) -> O,
     {
+        let (warmup, measure) = budgets();
         // Warmup: one timed probe to size the measurement loop.
         let mut probe_total = Duration::ZERO;
         let mut warm_iters = 0u64;
-        while probe_total < WARMUP || warm_iters < 3 {
+        while probe_total < warmup || warm_iters < 3 {
             let input = setup();
             let start = Instant::now();
             black_box(routine(input));
@@ -78,7 +100,7 @@ impl Bencher {
             }
         }
         let per_iter = probe_total.as_nanos() as f64 / warm_iters as f64;
-        let target = (MEASURE.as_nanos() as f64 / per_iter.max(1.0)) as u64;
+        let target = (measure.as_nanos() as f64 / per_iter.max(1.0)) as u64;
         let iters = target.clamp(3, 1_000_000);
 
         let mut total = Duration::ZERO;
@@ -151,6 +173,46 @@ fn report(name: &str, mean_ns: f64, iters: u64, throughput: Option<Throughput>) 
         None => String::new(),
     };
     println!("{name:<56} time: {time:>12}  ({iters} iters){extra}");
+    write_json_record(name, mean_ns, iters, throughput);
+}
+
+/// Appends one JSON-lines record to `$CRITERION_JSON`, if set. Failures
+/// are reported once and never abort the benchmark run.
+fn write_json_record(name: &str, mean_ns: f64, iters: u64, throughput: Option<Throughput>) {
+    static PATH: OnceLock<Option<String>> = OnceLock::new();
+    let Some(path) = PATH.get_or_init(|| {
+        std::env::var("CRITERION_JSON")
+            .ok()
+            .filter(|p| !p.is_empty())
+    }) else {
+        return;
+    };
+    // Benchmark names come from source literals; escape defensively anyway.
+    let escaped: String = name
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            c if (c as u32) < 0x20 => " ".chars().collect(),
+            c => vec![c],
+        })
+        .collect();
+    let throughput_field = match throughput {
+        Some(Throughput::Elements(n)) => format!(",\"elements\":{n}"),
+        Some(Throughput::Bytes(n)) => format!(",\"bytes\":{n}"),
+        None => String::new(),
+    };
+    let line = format!(
+        "{{\"name\":\"{escaped}\",\"mean_ns\":{mean_ns:.2},\"iters\":{iters}{throughput_field}}}\n"
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+        .and_then(|mut f| f.write_all(line.as_bytes()));
+    if let Err(e) = written {
+        static WARNED: OnceLock<()> = OnceLock::new();
+        WARNED.get_or_init(|| eprintln!("criterion: cannot write CRITERION_JSON={path}: {e}"));
+    }
 }
 
 /// Top-level benchmark registry/driver.

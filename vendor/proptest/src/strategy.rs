@@ -237,7 +237,7 @@ tuple_strategy! {
 pub mod collection {
     use super::*;
 
-    /// Length specifications accepted by [`vec`]: a fixed length or a range.
+    /// Length specifications accepted by [`vec()`]: a fixed length or a range.
     pub struct SizeRange {
         lo: usize,
         hi_inclusive: usize,
