@@ -81,7 +81,7 @@ fn encrypted_lr_step_is_measured_and_correct() {
         snap.ntt_fwd > 0 && snap.ntt_inv > 0,
         "transforms were counted"
     );
-    assert!(snap.bytes_touched() > 0, "transfer proxy was counted");
+    assert!(snap.transfer_bytes() > 0, "transfer proxy was counted");
 
     // Two relinearizations and three rotations → five KeySwitch calls,
     // with their nested phases attributed inclusively.

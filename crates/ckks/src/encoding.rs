@@ -138,6 +138,7 @@ impl Encoder {
         }
         let mut poly = RnsPoly::from_signed_coeffs(basis, &coeffs);
         poly.to_eval();
+        poly.set_operand_class(fhe_math::telemetry::OperandClass::Plaintext);
         Ok(Plaintext { poly, scale })
     }
 

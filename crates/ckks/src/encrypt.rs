@@ -104,6 +104,7 @@ impl Decryptor {
         m.mul_assign_pointwise(&sk.at_level(ell));
         m.add_assign(&ct.c0);
         let _ = &self.ctx; // decryption needs no context state beyond the key
+        m.set_operand_class(fhe_math::telemetry::OperandClass::Plaintext);
         Plaintext {
             poly: m,
             scale: ct.scale,

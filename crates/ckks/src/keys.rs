@@ -6,6 +6,7 @@
 use crate::context::CkksContext;
 use fhe_math::poly::{Representation, RnsPoly};
 use fhe_math::sampling::{sample_gaussian, sample_ternary, sample_uniform_flat};
+use fhe_math::telemetry::OperandClass;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::HashMap;
@@ -191,6 +192,7 @@ impl KeyGenerator {
         let signed = sample_ternary(rng, n);
         let mut full = RnsPoly::from_signed_coeffs(self.ctx.full_basis().clone(), &signed);
         full.to_eval();
+        full.set_operand_class(OperandClass::Key);
         SecretKey { signed, full }
     }
 
@@ -206,6 +208,7 @@ impl KeyGenerator {
         let signed = fhe_math::sampling::sample_sparse_ternary(rng, n, hamming_weight);
         let mut full = RnsPoly::from_signed_coeffs(self.ctx.full_basis().clone(), &signed);
         full.to_eval();
+        full.set_operand_class(OperandClass::Key);
         SecretKey { signed, full }
     }
 
@@ -224,6 +227,9 @@ impl KeyGenerator {
         pk0.mul_assign_pointwise(&s);
         pk0.negate();
         pk0.add_assign(&e);
+        let mut a = a;
+        pk0.set_operand_class(OperandClass::Key);
+        a.set_operand_class(OperandClass::Key);
         PublicKey { pk0, pk1: a }
     }
 
@@ -290,6 +296,9 @@ impl KeyGenerator {
             let mut lifted = src.clone();
             lifted.mul_scalar_per_limb_assign(&factors);
             b.add_assign(&lifted);
+            let mut a = a;
+            a.set_operand_class(OperandClass::Key);
+            b.set_operand_class(OperandClass::Key);
             digits.push(DigitKey { a, b });
         }
         SwitchingKey { digits, seed }

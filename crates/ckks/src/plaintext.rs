@@ -1,6 +1,7 @@
 //! Plaintext and ciphertext containers.
 
 use fhe_math::poly::RnsPoly;
+use fhe_math::telemetry::OperandClass;
 use std::fmt;
 
 /// An encoded (unencrypted) CKKS message: a ring element tagged with its
@@ -66,8 +67,12 @@ impl Ciphertext {
     /// # Panics
     ///
     /// Panics if the components disagree on limb count.
-    pub fn new(c0: RnsPoly, c1: RnsPoly, scale: f64) -> Self {
+    pub fn new(mut c0: RnsPoly, mut c1: RnsPoly, scale: f64) -> Self {
         assert_eq!(c0.limb_count(), c1.limb_count(), "component limb mismatch");
+        // Memory-trace attribution: whatever kernels produced these parts,
+        // from here on they are ciphertext limbs.
+        c0.set_operand_class(OperandClass::Ciphertext);
+        c1.set_operand_class(OperandClass::Ciphertext);
         Self { c0, c1, scale }
     }
 

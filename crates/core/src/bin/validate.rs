@@ -182,13 +182,13 @@ fn check(name: &str, snap: Snapshot, modeled: Modeled) -> PrimitiveCheck {
         modeled: modeled.inv,
     });
     p.info.push(MetricCheck {
-        metric: "bytes_touched",
-        measured: snap.bytes_touched(),
+        metric: "transfer_bytes",
+        measured: snap.transfer_bytes(),
         modeled: modeled.cost.dram_total(),
     });
     p.info.push(MetricCheck {
-        metric: "scratch_bytes",
-        measured: snap.scratch_bytes,
+        metric: "scratch_lease_bytes",
+        measured: snap.scratch_lease_bytes,
         modeled: modeled.cost.dram_total(),
     });
     p

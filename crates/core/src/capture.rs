@@ -1,0 +1,491 @@
+//! Memory-trace capture: runs every Table-2 primitive in the functional
+//! `ckks` crate with the telemetry trace recorder active, replays the
+//! recorded limb touches through [`crate::trace`]'s cache simulator, and
+//! diffs the measured DRAM bytes against the analytical model — the
+//! DRAM-side counterpart of the op-count validator (`validate` binary).
+//!
+//! The parameter point matches the op-count validator (`N = 2^6`, `L = 5`,
+//! `dnum = 2`) so the two crates' digit geometries coincide. Gating
+//! replays through a small on-chip cache ([`default_gate_config`]) and
+//! compares against the model at `OneLimb` caching: the implementation's
+//! kernels are exactly the model's fused limb passes, so a cache that
+//! holds a few operands between consecutive passes reproduces the same
+//! traffic structure. Residual deviations (scratch-buffer reuse, the
+//! model's plaintext reads folded into `ct_read` for `PtAdd`, on-the-fly
+//! encodes in the BSGS and micro kernels) are absorbed by the committed
+//! per-primitive tolerances in `crates/core/trace-tolerances.txt` and
+//! documented in `DESIGN.md` §5.
+
+use crate::matvec::MatVecShape;
+use crate::trace::{
+    chrome_trace_json, replay, split_top_level, sweep_table, CacheConfig, SweepRow, TraceEvent,
+};
+use crate::validate::{MetricCheck, PrimitiveCheck, Tolerances, ValidationReport};
+use crate::{AlgoOpts, CachingLevel, Cost, CostModel, HardwareConfig, MadConfig, SchemeParams};
+use ckks::hoisting::{apply_bsgs, LinearTransform};
+use ckks::{CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator};
+use fhe_math::cfft::Complex;
+use fhe_math::telemetry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Reduced parameter set, identical to the op-count validator.
+pub const LOG_N: u32 = 6;
+/// Limb count `L`.
+pub const LEVELS: usize = 5;
+/// Decomposition number.
+pub const DNUM: usize = 2;
+
+/// One limb at these parameters: `8·N` bytes. Touches are limb-aligned,
+/// so limb-sized cache blocks never split a touch.
+pub const LIMB_BYTES: u64 = 8 * (1u64 << LOG_N);
+
+/// Committed gate capacity: eight limbs. Large enough that back-to-back
+/// kernel passes over the same operand hit (the model's `OneLimb` fusion),
+/// small enough that distinct operands evict each other (the model's
+/// per-pass streaming).
+pub const GATE_CACHE_BYTES: u64 = 8 * LIMB_BYTES;
+
+/// Tolerances committed next to this crate.
+pub const DEFAULT_TOLERANCES: &str = include_str!("../trace-tolerances.txt");
+
+/// The committed replay configuration the CI gate runs.
+pub fn default_gate_config() -> CacheConfig {
+    CacheConfig::pin_keys(GATE_CACHE_BYTES, LIMB_BYTES)
+}
+
+fn scheme_params() -> SchemeParams {
+    SchemeParams {
+        log_n: LOG_N,
+        log_q: 30,
+        limbs: LEVELS,
+        dnum: DNUM,
+        fft_iter: 1,
+    }
+}
+
+fn model(moddown_merge: bool) -> CostModel {
+    CostModel::new(
+        scheme_params(),
+        MadConfig {
+            caching: CachingLevel::OneLimb,
+            algo: AlgoOpts {
+                modup_hoist: true,
+                moddown_merge,
+                ..AlgoOpts::none()
+            },
+        },
+    )
+}
+
+/// A banded slot matrix with the given nonzero diagonals (mirrors the
+/// op-count validator's construction).
+fn banded_transform(slots: usize, diagonals: &[usize]) -> LinearTransform {
+    let mut map = std::collections::BTreeMap::new();
+    for &d in diagonals {
+        let diag: Vec<Complex> = (0..slots)
+            .map(|j| {
+                Complex::new(
+                    0.08 + ((j * 5 + d * 3) % 7) as f64 * 0.03,
+                    ((j + 2 * d) % 5) as f64 * 0.02 - 0.04,
+                )
+            })
+            .collect();
+        map.insert(d, diag);
+    }
+    LinearTransform::from_diagonals(map, slots)
+}
+
+/// Runs the primitive schedule under the trace recorder and returns the
+/// recorded events. Setup (key generation, input encryption) happens
+/// before recording starts; each primitive runs inside a top-level span
+/// named after it, so [`split_top_level`] recovers per-primitive traces.
+pub fn capture_trace() -> Vec<TraceEvent> {
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_degree(LOG_N)
+            .levels(LEVELS)
+            .scale_bits(30)
+            .first_modulus_bits(36)
+            .special_modulus_bits(36)
+            .dnum(DNUM)
+            .build()
+            .expect("reduced trace parameters are valid"),
+    );
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let evaluator = Evaluator::new(ctx.clone());
+    let keygen = KeyGenerator::new(ctx.clone());
+    let mut rng = StdRng::seed_from_u64(7);
+    let sk = keygen.secret_key(&mut rng);
+    let rlk = keygen.relin_key(&mut rng, &sk);
+    let gk = keygen.galois_keys(&mut rng, &sk, &[1, 2, 3, 4, 8], false);
+    let pool = ctx.scratch();
+    let slots = encoder.slots();
+    let scale = ctx.params().scale();
+
+    let vec_a: Vec<Complex> = (0..slots)
+        .map(|i| Complex::new(0.02 * i as f64 - 0.3, (i as f64 * 0.4).cos() * 0.2))
+        .collect();
+    let vec_b: Vec<Complex> = (0..slots)
+        .map(|i| Complex::new((i as f64 * 0.3).sin() * 0.25, 0.01 * i as f64))
+        .collect();
+    let encode_at = |v: &[Complex], ell: usize| encoder.encode(v, ell, scale).expect("encodes");
+    let ct_a = encryptor.encrypt_symmetric(&mut rng, &encode_at(&vec_a, LEVELS), &sk);
+    let ct_b = encryptor.encrypt_symmetric(&mut rng, &encode_at(&vec_b, LEVELS), &sk);
+    let pt_top = encode_at(&vec_b, LEVELS);
+    let pt_l3 = encode_at(&vec_b, 3);
+    let w_low = evaluator.drop_to(&ct_a, 2);
+    let ell = LEVELS;
+    let lt3 = banded_transform(slots, &[0, 1, 5]);
+    let lt9 = banded_transform(slots, &[0, 1, 2, 3, 4, 5, 6, 7, 8]);
+    let m = model(false);
+    let n1_3 = m.bsgs_baby_dim(3);
+    let n1_9 = m.bsgs_baby_dim(9);
+
+    telemetry::reset();
+    telemetry::trace_start();
+    {
+        let _s = telemetry::span("Add");
+        evaluator.add(&ct_a, &ct_b).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("PtAdd");
+        evaluator.add_plain(&ct_a, &pt_top).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("PtMult");
+        evaluator.mul_plain(&ct_a, &pt_top).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("Rescale");
+        evaluator.rescale(&ct_a).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("PModUp");
+        let lifted = fhe_math::poly::pmod_up_with(ct_a.c0(), ctx.raised_basis(ell).clone(), pool);
+        lifted.recycle(pool);
+    }
+    {
+        let _s = telemetry::span("KeySwitch");
+        let (mut v, mut u) = ckks::keyswitch::keyswitch(&ctx, ct_a.c1(), rlk.switching_key());
+        // The raw key-switch outputs are live results (an evaluator wraps
+        // them into a ciphertext); tag them so the replay flushes them the
+        // way the model's `write_output` does.
+        v.set_operand_class(fhe_math::telemetry::OperandClass::Ciphertext);
+        u.set_operand_class(fhe_math::telemetry::OperandClass::Ciphertext);
+        v.recycle(pool);
+        u.recycle(pool);
+    }
+    {
+        let _s = telemetry::span("Rotate");
+        evaluator.rotate(&ct_a, 1, &gk).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("Mult");
+        evaluator.mul(&ct_a, &ct_b, &rlk).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("MultMerged");
+        evaluator.mul_merged(&ct_a, &ct_b, &rlk).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("BsgsMatVec");
+        apply_bsgs(&evaluator, &encoder, &ct_a, &lt3, &gk, n1_3).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("HelrMicro");
+        let prod = evaluator.mul(&ct_a, &ct_b, &rlk);
+        let folded = evaluator.sum_slots(&prod, 3, &gk);
+        let sq = evaluator.square(&folded, &rlk);
+        let act = evaluator.mul_plain(&sq, &pt_l3);
+        evaluator.add(&act, &w_low).recycle(pool);
+    }
+    {
+        let _s = telemetry::span("ResNetMicro");
+        let y = apply_bsgs(&evaluator, &encoder, &ct_a, &lt9, &gk, n1_9);
+        let act = evaluator.square(&y, &rlk);
+        let bias = encoder
+            .encode(&vec_b, act.limb_count(), act.scale())
+            .expect("bias encodes");
+        evaluator.add_plain(&act, &bias).recycle(pool);
+    }
+    crate::trace::from_telemetry(&telemetry::trace_stop())
+}
+
+/// The analytical model's per-primitive DRAM cost at the committed gate
+/// configuration (`OneLimb` caching, matching the implementation's fused
+/// kernel structure).
+pub fn modeled_costs() -> Vec<(&'static str, Cost)> {
+    let m = model(false);
+    let m_merged = model(true);
+    let ell = LEVELS;
+    let n = m.params.degree();
+    let limb = m.params.limb_bytes();
+    let k = m.params.special_limbs();
+
+    // PModUp exists precisely to avoid a DRAM round-trip (Algorithm 5):
+    // the lifted limbs are consumed on-chip by the following merge, so the
+    // model charges reading the ℓ source limbs and no write — which is
+    // also what the replay observes (the lifted buffer dies in-cache).
+    let _ = k;
+    let pmodup = Cost {
+        mults: n * ell as u64,
+        ct_read: ell as u64 * limb,
+        ..Cost::ZERO
+    };
+
+    // On-the-fly encodes inside the measured regions (the analytical
+    // model assumes pre-encoded operands): each encode materializes one
+    // plaintext polynomial of `ell` limbs that later spills and reloads.
+    let encode_traffic = |count: u64, ell: usize| Cost {
+        ct_write: count * ell as u64 * limb,
+        pt_read: count * ell as u64 * limb,
+        ..Cost::ZERO
+    };
+
+    let shape3 = MatVecShape { ell, diagonals: 3 };
+    let shape9 = MatVecShape { ell, diagonals: 9 };
+    let bsgs = m.pt_mat_vec_mult(shape3).cost + encode_traffic(3, ell);
+    let resnet = m.pt_mat_vec_mult(shape9).cost
+        + encode_traffic(9, ell)
+        + m.mult(ell - 1)
+        + encode_traffic(1, ell - 2)
+        + m.pt_add(ell - 2);
+    let helr = {
+        let mut c = m.mult(ell);
+        for _ in 0..3 {
+            c += m.rotate(ell - 1);
+            c += m.add(ell - 1);
+        }
+        c += m.mult(ell - 1);
+        c += m.pt_mult(ell - 2);
+        c += m.add(ell - 3);
+        c
+    };
+
+    vec![
+        ("Add", m.add(ell)),
+        ("PtAdd", m.pt_add(ell)),
+        ("PtMult", m.pt_mult(ell)),
+        ("Rescale", m.rescale(ell)),
+        ("PModUp", pmodup),
+        ("KeySwitch", m.keyswitch(ell)),
+        ("Rotate", m.rotate(ell)),
+        ("Mult", m.mult(ell)),
+        ("MultMerged", m_merged.mult(ell)),
+        ("BsgsMatVec", bsgs),
+        ("HelrMicro", helr),
+        ("ResNetMicro", resnet),
+    ]
+}
+
+/// Replays each primitive's trace segment through `cfg` and diffs the
+/// measured DRAM bytes against [`modeled_costs`]. Gated metrics:
+/// `dram_read`, `dram_write`, `key_read`; the full per-class split is
+/// reported informally.
+pub fn run_trace_validation(events: &[TraceEvent], cfg: &CacheConfig) -> ValidationReport {
+    let segments = split_top_level(events);
+    let modeled = modeled_costs();
+    let mut report = ValidationReport {
+        params: vec![
+            ("log_n".into(), LOG_N.to_string()),
+            ("limbs".into(), LEVELS.to_string()),
+            ("dnum".into(), DNUM.to_string()),
+            (
+                "cache_bytes".into(),
+                cfg.capacity_bytes.map_or("inf".into(), |c| c.to_string()),
+            ),
+            ("block_bytes".into(), cfg.block_bytes.to_string()),
+            ("policy".into(), format!("{:?}", cfg.policy)),
+        ],
+        primitives: Vec::new(),
+    };
+    for (name, cost) in modeled {
+        let seg = segments
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap_or_else(|| panic!("no trace segment for primitive {name}"));
+        let s = replay(&seg.1, cfg);
+        let mut p = PrimitiveCheck::new(name);
+        p.metrics.push(MetricCheck {
+            metric: "dram_read",
+            measured: s.dram_read(),
+            modeled: cost.dram_read(),
+        });
+        p.metrics.push(MetricCheck {
+            metric: "dram_write",
+            measured: s.dram_write(),
+            modeled: cost.ct_write,
+        });
+        p.metrics.push(MetricCheck {
+            metric: "key_read",
+            measured: s.key_read_bytes(),
+            modeled: cost.key_read,
+        });
+        p.info.push(MetricCheck {
+            metric: "ct_read",
+            measured: s.ct_read_bytes(),
+            modeled: cost.ct_read,
+        });
+        p.info.push(MetricCheck {
+            metric: "ct_write",
+            measured: s.ct_write_bytes(),
+            modeled: cost.ct_write,
+        });
+        p.info.push(MetricCheck {
+            metric: "pt_read",
+            measured: s.pt_read_bytes(),
+            modeled: cost.pt_read,
+        });
+        p.info.push(MetricCheck {
+            metric: "dram_total",
+            measured: s.dram_total(),
+            modeled: cost.dram_total(),
+        });
+        report.primitives.push(p);
+    }
+    report
+}
+
+/// Sweeps the cache-replayed DRAM traffic across on-chip sizes against
+/// the model at the caching level each size affords — the measured
+/// counterpart of the Figure-6 cache-size axis, per Table-2 primitive.
+pub fn run_sweep(events: &[TraceEvent]) -> Vec<SweepRow> {
+    let segments = split_top_level(events);
+    let params = scheme_params();
+    let limb_mb = params.limb_mib();
+    let (alpha, beta) = (params.alpha(), params.beta_at(LEVELS));
+    let ell = LEVELS;
+    let sweep_primitives = ["Add", "PtMult", "Rescale", "KeySwitch", "Rotate", "Mult"];
+    let mut rows = Vec::new();
+    for limbs in [1u64, 2, 4, 8, 16, 32] {
+        let hw = HardwareConfig::gpu().with_cache_mb(limbs as f64 * limb_mb);
+        let capacity = (hw.on_chip_mb * 1024.0 * 1024.0) as u64;
+        let caching = CachingLevel::best_for_cache(hw.on_chip_mb, alpha, beta, limb_mb);
+        let m = CostModel::new(
+            params,
+            MadConfig {
+                caching,
+                algo: AlgoOpts {
+                    modup_hoist: true,
+                    ..AlgoOpts::none()
+                },
+            },
+        );
+        for name in sweep_primitives {
+            let modeled = match name {
+                "Add" => m.add(ell),
+                "PtMult" => m.pt_mult(ell),
+                "Rescale" => m.rescale(ell),
+                "KeySwitch" => m.keyswitch(ell),
+                "Rotate" => m.rotate(ell),
+                "Mult" => m.mult(ell),
+                _ => unreachable!(),
+            };
+            let seg = segments
+                .iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("no trace segment for primitive {name}"));
+            let measured = replay(&seg.1, &CacheConfig::pin_keys(capacity, LIMB_BYTES));
+            rows.push(SweepRow {
+                primitive: name.to_string(),
+                cache_mb: hw.on_chip_mb,
+                caching: caching.to_string(),
+                modeled_bytes: modeled.dram_total(),
+                measured_bytes: measured.dram_total(),
+            });
+        }
+    }
+    rows
+}
+
+/// Options of the `simfhe trace` subcommand.
+pub struct TraceOptions {
+    /// Tolerance file path; `None` uses the committed defaults.
+    pub tolerances: Option<String>,
+    /// Where to write the Perfetto (Chrome trace-event) JSON.
+    pub perfetto_out: String,
+    /// Where to write the cache-sweep CSV.
+    pub sweep_out: String,
+    /// Optional path for the validation JSON (also printed to stdout).
+    pub report_out: Option<String>,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        Self {
+            tolerances: None,
+            perfetto_out: "simfhe-trace.json".into(),
+            sweep_out: "trace-sweep.csv".into(),
+            report_out: None,
+        }
+    }
+}
+
+/// Runs the full trace pipeline: capture, Perfetto export, cache sweep,
+/// and tolerance-gated validation. Returns the process exit code.
+pub fn run_trace_command(opts: &TraceOptions) -> i32 {
+    let tol_text = match &opts.tolerances {
+        Some(p) => match std::fs::read_to_string(p) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("cannot read {p}: {e}");
+                return 2;
+            }
+        },
+        None => DEFAULT_TOLERANCES.to_string(),
+    };
+    let tol = match Tolerances::parse(&tol_text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bad tolerance file: {e}");
+            return 2;
+        }
+    };
+
+    let events = capture_trace();
+    if let Err(e) = std::fs::write(&opts.perfetto_out, chrome_trace_json(&events)) {
+        eprintln!("cannot write {}: {e}", opts.perfetto_out);
+        return 2;
+    }
+    eprintln!(
+        "trace: wrote {} ({} events) — load in ui.perfetto.dev",
+        opts.perfetto_out,
+        events.len()
+    );
+    let sweep = run_sweep(&events);
+    if let Err(e) = std::fs::write(&opts.sweep_out, sweep_table(&sweep).to_csv()) {
+        eprintln!("cannot write {}: {e}", opts.sweep_out);
+        return 2;
+    }
+    eprintln!(
+        "trace: wrote {} ({} sweep rows)",
+        opts.sweep_out,
+        sweep.len()
+    );
+
+    let report = run_trace_validation(&events, &default_gate_config());
+    let json = report.to_json(&tol);
+    print!("{json}");
+    if let Some(p) = &opts.report_out {
+        if let Err(e) = std::fs::write(p, &json) {
+            eprintln!("cannot write {p}: {e}");
+            return 2;
+        }
+    }
+    let violations = report.evaluate(&tol);
+    for v in &violations {
+        eprintln!("FAIL {}", v.reason);
+    }
+    if violations.is_empty() {
+        eprintln!(
+            "trace: all {} primitives within DRAM-byte tolerance",
+            report.primitives.len()
+        );
+        0
+    } else {
+        eprintln!("trace: {} violation(s)", violations.len());
+        1
+    }
+}

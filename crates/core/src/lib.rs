@@ -40,6 +40,8 @@
 
 pub mod area;
 pub mod bootstrap;
+#[cfg(feature = "trace")]
+pub mod capture;
 pub mod cost;
 pub mod hardware;
 pub mod matvec;
@@ -49,6 +51,7 @@ pub mod primitives;
 pub mod report;
 pub mod search;
 pub mod throughput;
+pub mod trace;
 #[cfg(feature = "validate")]
 pub mod validate;
 pub mod workload;

@@ -1,0 +1,134 @@
+//! End-to-end check of the memory-trace pipeline (`--features trace`):
+//! captures the real kernels' limb touches, replays them through the
+//! cache simulator at the committed gate configuration, and asserts the
+//! measured DRAM bytes stay within the committed tolerances — the same
+//! gate the CI `trace-validation` job runs via `simfhe trace`.
+
+#![cfg(feature = "trace")]
+
+use std::sync::Mutex;
+
+use simfhe::capture::{
+    capture_trace as capture_trace_raw, default_gate_config, run_sweep, run_trace_validation,
+    DEFAULT_TOLERANCES,
+};
+use simfhe::trace::{chrome_trace_json, split_top_level, TraceEvent};
+use simfhe::validate::Tolerances;
+
+/// The telemetry trace buffer is process-global, so concurrent captures
+/// from the test harness's worker threads would interleave; serialize
+/// them.
+static CAPTURE_LOCK: Mutex<()> = Mutex::new(());
+
+fn capture_trace() -> Vec<TraceEvent> {
+    let _guard = CAPTURE_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    capture_trace_raw()
+}
+
+#[test]
+fn replayed_dram_bytes_match_model_within_committed_tolerances() {
+    let events = capture_trace();
+    let report = run_trace_validation(&events, &default_gate_config());
+    let tol = Tolerances::parse(DEFAULT_TOLERANCES).expect("committed tolerances parse");
+    let violations = report.evaluate(&tol);
+    assert!(
+        violations.is_empty(),
+        "cache-replayed DRAM bytes drifted from the model:\n{}",
+        violations
+            .iter()
+            .map(|v| format!("  {}/{}: {}", v.primitive, v.metric, v.reason))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    // Every Table-2 primitive the issue gates on must be present.
+    let names: Vec<&str> = report.primitives.iter().map(|p| p.name.as_str()).collect();
+    for expected in [
+        "Add",
+        "PtAdd",
+        "PtMult",
+        "Rescale",
+        "PModUp",
+        "KeySwitch",
+        "Rotate",
+        "Mult",
+        "MultMerged",
+        "BsgsMatVec",
+        "HelrMicro",
+        "ResNetMicro",
+    ] {
+        assert!(names.contains(&expected), "missing primitive {expected}");
+    }
+}
+
+#[test]
+fn capture_is_deterministic() {
+    // The gate must be stable run-to-run or CI would flake. Raw events
+    // are not literally comparable (operand ids come from a global
+    // counter and span timestamps are wall-clock), so compare what the
+    // gate actually consumes: the replayed per-segment traffic.
+    let measure = |events: &[TraceEvent]| -> Vec<(String, u64, u64)> {
+        split_top_level(events)
+            .iter()
+            .map(|(name, seg)| {
+                let s = simfhe::trace::replay(seg, &default_gate_config());
+                (name.clone(), s.dram_read(), s.dram_write())
+            })
+            .collect()
+    };
+    assert_eq!(measure(&capture_trace()), measure(&capture_trace()));
+}
+
+#[test]
+fn perfetto_export_has_balanced_spans_and_counter_track() {
+    let events = capture_trace();
+    let json = chrome_trace_json(&events);
+    let begins = json.matches("\"ph\": \"B\"").count();
+    let ends = json.matches("\"ph\": \"E\"").count();
+    assert!(begins > 0, "no spans exported");
+    assert_eq!(begins, ends, "unbalanced B/E span events");
+    assert!(
+        json.matches("\"ph\": \"C\"").count() > 0,
+        "no counter track"
+    );
+    assert!(json.contains("\"displayTimeUnit\""));
+    // Cheap structural sanity in place of a JSON parser: balanced
+    // braces/brackets and no trailing comma before a closing bracket.
+    assert_eq!(json.matches('{').count(), json.matches('}').count());
+    assert_eq!(json.matches('[').count(), json.matches(']').count());
+    assert!(!json.contains(",\n]"));
+}
+
+#[test]
+fn sweep_covers_all_sizes_and_larger_caches_never_cost_more() {
+    let events = capture_trace();
+    let rows = run_sweep(&events);
+    assert_eq!(rows.len(), 36, "6 primitives x 6 cache sizes");
+    // For a fixed primitive, measured DRAM traffic is non-increasing in
+    // cache size (LRU with pinning has no Belady anomaly here because
+    // capacities are nested and the trace is identical).
+    for name in ["Add", "PtMult", "Rescale", "KeySwitch", "Rotate", "Mult"] {
+        let series: Vec<u64> = rows
+            .iter()
+            .filter(|r| r.primitive == name)
+            .map(|r| r.measured_bytes)
+            .collect();
+        assert_eq!(series.len(), 6);
+        for w in series.windows(2) {
+            assert!(
+                w[1] <= w[0],
+                "{name}: measured bytes grew with cache size: {series:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn trace_segments_cover_every_gated_primitive_once() {
+    let events = capture_trace();
+    let segments = split_top_level(&events);
+    assert_eq!(segments.len(), 12);
+    let mut names: Vec<&str> = segments.iter().map(|(n, _)| n.as_str()).collect();
+    names.sort_unstable();
+    names.dedup();
+    assert_eq!(names.len(), 12, "duplicate top-level span names");
+}

@@ -36,11 +36,30 @@ pub enum Representation {
 
 /// A polynomial in `∏ Z_{q_i}[x]/(x^N + 1)`, stored as one contiguous
 /// limb-major `Vec<u64>`.
-#[derive(Clone)]
 pub struct RnsPoly {
     basis: Arc<RnsBasis>,
     rep: Representation,
     data: Vec<u64>,
+    /// Memory-trace identity (stable id + paper traffic class). Exists only
+    /// under the `telemetry` feature so the default layout is unchanged.
+    #[cfg(feature = "telemetry")]
+    tag: telemetry::OperandTag,
+}
+
+impl Clone for RnsPoly {
+    fn clone(&self) -> Self {
+        Self {
+            basis: self.basis.clone(),
+            rep: self.rep,
+            data: self.data.clone(),
+            // A clone is a distinct buffer: same class, fresh identity.
+            #[cfg(feature = "telemetry")]
+            tag: telemetry::OperandTag {
+                class: self.tag.class,
+                id: telemetry::new_operand_id(),
+            },
+        }
+    }
 }
 
 impl fmt::Debug for RnsPoly {
@@ -61,6 +80,8 @@ impl RnsPoly {
             basis,
             rep,
             data: vec![0u64; len],
+            #[cfg(feature = "telemetry")]
+            tag: telemetry::OperandTag::scratch(),
         }
     }
 
@@ -72,6 +93,8 @@ impl RnsPoly {
             basis,
             rep,
             data: pool.take_vec(len),
+            #[cfg(feature = "telemetry")]
+            tag: telemetry::OperandTag::scratch(),
         }
     }
 
@@ -98,6 +121,8 @@ impl RnsPoly {
             basis,
             rep: Representation::Coefficient,
             data,
+            #[cfg(feature = "telemetry")]
+            tag: telemetry::OperandTag::scratch(),
         }
     }
 
@@ -124,7 +149,13 @@ impl RnsPoly {
                 "limb {i} contains unreduced residues"
             );
         }
-        Self { basis, rep, data }
+        Self {
+            basis,
+            rep,
+            data,
+            #[cfg(feature = "telemetry")]
+            tag: telemetry::OperandTag::scratch(),
+        }
     }
 
     /// The RNS basis.
@@ -198,6 +229,65 @@ impl RnsPoly {
         pool.recycle_vec(self.data);
     }
 
+    /// This polynomial's memory-trace identity.
+    ///
+    /// With the `telemetry` feature off, a zero-id scratch tag.
+    #[inline(always)]
+    pub fn operand_tag(&self) -> telemetry::OperandTag {
+        #[cfg(feature = "telemetry")]
+        {
+            self.tag
+        }
+        #[cfg(not(feature = "telemetry"))]
+        telemetry::OperandTag {
+            class: telemetry::OperandClass::Scratch,
+            id: 0,
+        }
+    }
+
+    /// Reclassifies this polynomial for memory-access tracing (e.g. when a
+    /// kernel output is wrapped into a ciphertext or key). Emits a
+    /// [`telemetry::TraceRecord::Retag`] if a trace is active; no-op with
+    /// the feature off.
+    #[inline(always)]
+    pub fn set_operand_class(&mut self, class: telemetry::OperandClass) {
+        #[cfg(feature = "telemetry")]
+        {
+            self.tag.class = class;
+            telemetry::record_retag(self.tag.id, class);
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = class;
+    }
+
+    /// Records a whole-buffer streamed touch of this operand for the
+    /// memory-access trace (no-op unless a trace is active).
+    #[inline(always)]
+    pub fn trace_touch(&self, write: bool) {
+        #[cfg(feature = "telemetry")]
+        telemetry::record_touch(self.tag, write, 0, 8 * self.data.len() as u64);
+        #[cfg(not(feature = "telemetry"))]
+        let _ = write;
+    }
+
+    /// Records a streamed touch of `limb_count` limbs starting at
+    /// `first_limb` (no-op unless a trace is active).
+    #[inline(always)]
+    pub fn trace_touch_limbs(&self, write: bool, first_limb: usize, limb_count: usize) {
+        #[cfg(feature = "telemetry")]
+        {
+            let n = self.basis.degree() as u64;
+            telemetry::record_touch(
+                self.tag,
+                write,
+                8 * n * first_limb as u64,
+                8 * n * limb_count as u64,
+            );
+        }
+        #[cfg(not(feature = "telemetry"))]
+        let _ = (write, first_limb, limb_count);
+    }
+
     fn assert_compatible(&self, other: &RnsPoly) {
         assert_eq!(self.rep, other.rep, "representation mismatch");
         assert_eq!(self.limb_count(), other.limb_count(), "limb count mismatch");
@@ -217,6 +307,8 @@ impl RnsPoly {
         if self.rep == Representation::Evaluation {
             return;
         }
+        self.trace_touch(false);
+        self.trace_touch(true);
         let n = self.basis.degree();
         let basis = &self.basis;
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
@@ -231,6 +323,8 @@ impl RnsPoly {
         if self.rep == Representation::Coefficient {
             return;
         }
+        self.trace_touch(false);
+        self.trace_touch(true);
         let n = self.basis.degree();
         let basis = &self.basis;
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
@@ -247,6 +341,9 @@ impl RnsPoly {
         let basis = &self.basis;
         telemetry::record_ops(0, self.data.len() as u64);
         telemetry::record_transfer(16 * self.data.len() as u64, 8 * self.data.len() as u64);
+        self.trace_touch(false);
+        other.trace_touch(false);
+        self.trace_touch(true);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
             let m = basis.modulus(i);
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
@@ -262,6 +359,9 @@ impl RnsPoly {
         let basis = &self.basis;
         telemetry::record_ops(0, self.data.len() as u64);
         telemetry::record_transfer(16 * self.data.len() as u64, 8 * self.data.len() as u64);
+        self.trace_touch(false);
+        other.trace_touch(false);
+        self.trace_touch(true);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
             let m = basis.modulus(i);
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
@@ -276,6 +376,8 @@ impl RnsPoly {
         let basis = &self.basis;
         telemetry::record_ops(0, self.data.len() as u64);
         telemetry::record_transfer(8 * self.data.len() as u64, 8 * self.data.len() as u64);
+        self.trace_touch(false);
+        self.trace_touch(true);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
             let m = basis.modulus(i);
             for x in limb.iter_mut() {
@@ -300,6 +402,9 @@ impl RnsPoly {
         let basis = &self.basis;
         telemetry::record_ops(self.data.len() as u64, 0);
         telemetry::record_transfer(16 * self.data.len() as u64, 8 * self.data.len() as u64);
+        self.trace_touch(false);
+        other.trace_touch(false);
+        self.trace_touch(true);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
             let m = basis.modulus(i);
             for (d, &s) in dst.iter_mut().zip(src.iter()) {
@@ -332,6 +437,9 @@ impl RnsPoly {
         let b = &other.data;
         telemetry::record_ops(a.len() as u64, 0);
         telemetry::record_transfer(16 * a.len() as u64, 8 * a.len() as u64);
+        self.trace_touch(false);
+        other.trace_touch(false);
+        out.trace_touch(true);
         parallel::for_each_limb_mut(&mut out.data, n, |i, dst| {
             let m = basis.modulus(i);
             let off = i * n;
@@ -347,6 +455,8 @@ impl RnsPoly {
         let basis = &self.basis;
         telemetry::record_ops(self.data.len() as u64, 0);
         telemetry::record_transfer(8 * self.data.len() as u64, 8 * self.data.len() as u64);
+        self.trace_touch(false);
+        self.trace_touch(true);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
             let m = basis.modulus(i);
             let s = m.reduce(scalar);
@@ -369,6 +479,8 @@ impl RnsPoly {
         let basis = &self.basis;
         telemetry::record_ops(self.data.len() as u64, 0);
         telemetry::record_transfer(8 * self.data.len() as u64, 8 * self.data.len() as u64);
+        self.trace_touch(false);
+        self.trace_touch(true);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
             let m = basis.modulus(i);
             let s = m.reduce(scalars[i]);
@@ -402,6 +514,8 @@ impl RnsPoly {
         let src = &self.data;
         // A pure permutation: no modular ops, only streamed limb traffic.
         telemetry::record_transfer(8 * src.len() as u64, 8 * src.len() as u64);
+        self.trace_touch(false);
+        out.trace_touch(true);
         parallel::for_each_limb_mut(&mut out.data, n, |i, dst| {
             let s = &src[i * n..(i + 1) * n];
             match rep {
@@ -421,11 +535,16 @@ impl RnsPoly {
     pub fn drop_to(&self, keep: usize) -> RnsPoly {
         assert!(keep >= 1 && keep <= self.limb_count());
         let n = self.basis.degree();
-        RnsPoly {
+        self.trace_touch_limbs(false, 0, keep);
+        let out = RnsPoly {
             basis: Arc::new(self.basis.prefix(keep)),
             rep: self.rep,
             data: self.data[..keep * n].to_vec(),
-        }
+            #[cfg(feature = "telemetry")]
+            tag: telemetry::OperandTag::scratch(),
+        };
+        out.trace_touch(true);
+        out
     }
 
     /// In-place version of [`RnsPoly::drop_to`]: truncates the buffer to the
@@ -522,6 +641,7 @@ pub fn rescale_with(poly: &RnsPoly, pool: &ScratchPool) -> RnsPoly {
     let kept = (l - 1) as u64;
     telemetry::record_ops(kept * n as u64, 2 * kept * n as u64);
     telemetry::record_transfer(8 * (n as u64) * (1 + kept), 8 * n as u64);
+    poly.trace_touch(false);
 
     // iNTT the dropped limb.
     let mut last = pool.take(n);
@@ -532,7 +652,10 @@ pub fn rescale_with(poly: &RnsPoly, pool: &ScratchPool) -> RnsPoly {
         basis: Arc::new(basis.prefix(l - 1)),
         rep: Representation::Evaluation,
         data: pool.take_vec((l - 1) * n),
+        #[cfg(feature = "telemetry")]
+        tag: telemetry::OperandTag::scratch(),
     };
+    out.trace_touch(true);
     let src = poly.flat();
     let last = &last;
     parallel::for_each_limb_mut(&mut out.data, n, |i, limb| {
@@ -663,6 +786,7 @@ pub fn mod_down_with(poly: &RnsPoly, ctx: &ModDownContext, pool: &ScratchPool) -
         ((ctx.p_len + 2 * ctx.q_len) * n) as u64,
     );
     telemetry::record_transfer(8 * ((ctx.p_len + ctx.q_len) * n) as u64, 0);
+    poly.trace_touch(false);
 
     // Step 1: iNTT the special limbs (limb-wise), then apply the centering
     // trick — add P/2 before conversion and subtract (P/2 mod q_i) after,
@@ -684,7 +808,10 @@ pub fn mod_down_with(poly: &RnsPoly, ctx: &ModDownContext, pool: &ScratchPool) -
         basis: ctx.out_basis.clone(),
         rep: Representation::Evaluation,
         data: pool.take_vec(ctx.q_len * n),
+        #[cfg(feature = "telemetry")]
+        tag: telemetry::OperandTag::scratch(),
     };
+    out.trace_touch(true);
     ctx.extender.extend_flat(&special, &mut out.data, n);
 
     // Step 3: un-center, NTT the converted limbs, combine (limb-wise).
@@ -736,11 +863,15 @@ pub fn pmod_up_with(poly: &RnsPoly, raised_basis: Arc<RnsBasis>, pool: &ScratchP
     );
     telemetry::record_ops((l * n) as u64, 0);
     telemetry::record_transfer(8 * (l * n) as u64, 8 * (raised_basis.len() * n) as u64);
+    poly.trace_touch(false);
     let mut out = RnsPoly {
         rep: poly.representation(),
         data: pool.take_vec(raised_basis.len() * n),
         basis: raised_basis,
+        #[cfg(feature = "telemetry")]
+        tag: telemetry::OperandTag::scratch(),
     };
+    out.trace_touch(true);
     let out_basis = out.basis.clone();
     let src = poly.flat();
     // The appended B' limbs stay zero; scale the B limbs by [P]_{q_i}.
@@ -801,6 +932,7 @@ pub fn mod_up_with(
     // Transforms and the NewLimb conversion are recorded by their own
     // hooks; the two pass-through copies are pure limb traffic.
     telemetry::record_transfer(16 * (l * n) as u64, 16 * (l * n) as u64);
+    poly.trace_touch(false);
 
     let mut coeff = pool.take(l * n);
     coeff.copy_from_slice(poly.flat());
@@ -812,7 +944,10 @@ pub fn mod_up_with(
         rep: Representation::Evaluation,
         data: pool.take_vec(raised_basis.len() * n),
         basis: raised_basis,
+        #[cfg(feature = "telemetry")]
+        tag: telemetry::OperandTag::scratch(),
     };
+    out.trace_touch(true);
     out.data[..l * n].copy_from_slice(poly.flat());
     let (_, new_limbs) = out.data.split_at_mut(l * n);
     extender.extend_flat(&coeff, new_limbs, n);

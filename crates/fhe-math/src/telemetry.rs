@@ -1,10 +1,11 @@
-//! Feature-gated op-count and traffic telemetry for the ring kernels.
+//! Feature-gated op-count, traffic, and memory-access-trace telemetry for
+//! the ring kernels.
 //!
 //! The MAD paper's conclusions rest on SimFHE's analytical op counts and
 //! DRAM-transfer estimates (`simfhe::primitives`); this module measures what
 //! the functional kernels *actually* execute so the two can be
-//! cross-validated (the `validate` binary in `crates/core`). Counters follow
-//! the paper's accounting granularity:
+//! cross-validated (the `validate` and `simfhe trace` binaries in
+//! `crates/core`). Counters follow the paper's accounting granularity:
 //!
 //! - **Modular multiplications / additions** (Section 4.1: "SimFHE tracks
 //!   compute at the modular arithmetic level"). Butterflies count as
@@ -14,10 +15,12 @@
 //!   `ℓ` limbs runs `d` inverse and `ℓ + k − d` forward transforms).
 //! - **Basis-extension terms** — the `src·dst` `NewLimb` inner-product
 //!   terms of Eq. 1, the slot-wise kernel's work measure.
-//! - **Bytes touched** — a DRAM-traffic proxy: every instrumented kernel
-//!   records the limb-buffer bytes it streams (reads/writes), and
-//!   [`crate::scratch::ScratchPool`] records leased bytes. See DESIGN.md
-//!   for how this maps onto the paper's per-`CachingLevel` DRAM model.
+//! - **Transfer bytes** — a DRAM-traffic proxy: every instrumented kernel
+//!   records the limb-buffer bytes it streams (reads/writes). Separately,
+//!   [`crate::scratch::ScratchPool`] records leased bytes
+//!   ([`Snapshot::scratch_lease_bytes`]) so working-set pressure and
+//!   streamed traffic can be told apart. See DESIGN.md for how this maps
+//!   onto the paper's per-`CachingLevel` DRAM model.
 //!
 //! With the `telemetry` cargo feature **off** (the default) every recording
 //! function is an empty `#[inline(always)]` stub and [`Span`] is a
@@ -50,6 +53,28 @@
 //! assert_eq!(telemetry::spans()[0].total.adds, 20);
 //! # }
 //! ```
+//!
+//! # Memory-access tracing
+//!
+//! On top of the aggregate counters, the module can record an *ordered
+//! trace* of limb-buffer touches for cache-replay simulation
+//! (`simfhe::trace`). Each [`RnsPoly`](crate::poly::RnsPoly) carries an
+//! [`OperandTag`] — a stable [`new_operand_id`] plus an [`OperandClass`]
+//! matching the paper's DRAM categories (ciphertext limb, switching-key
+//! digit, plaintext constant, scratch) — and the instrumented kernels emit
+//! one [`TraceRecord::Touch`] per operand streamed. Because kernels write
+//! their outputs *before* the `ckks` layer wraps them in a ciphertext or
+//! key, classes may be assigned late: [`record_retag`] appends a
+//! [`TraceRecord::Retag`] and replay resolves each id to its **last**
+//! recorded class.
+//!
+//! Tracing is runtime-gated on top of the compile-time feature: records
+//! are only buffered between [`trace_start`] and [`trace_stop`], so the
+//! plain `telemetry` configuration (op-count validation) never pays for
+//! trace storage. [`Span`]s emit [`TraceRecord::SpanBegin`]/
+//! [`TraceRecord::SpanEnd`] pairs with microsecond timestamps while a
+//! trace is active, which `simfhe trace` exports as Chrome trace-event
+//! JSON for Perfetto.
 
 /// Whether the `telemetry` cargo feature is compiled in.
 pub const fn enabled() -> bool {
@@ -76,8 +101,9 @@ pub struct Snapshot {
     pub bytes_written: u64,
     /// Buffers leased from a [`crate::ScratchPool`].
     pub scratch_leases: u64,
-    /// Total bytes of those leases.
-    pub scratch_bytes: u64,
+    /// Total bytes of those leases (working-set pressure, *not* streamed
+    /// traffic — see [`Snapshot::transfer_bytes`] for that).
+    pub scratch_lease_bytes: u64,
 }
 
 impl Snapshot {
@@ -91,8 +117,11 @@ impl Snapshot {
         self.ntt_fwd + self.ntt_inv
     }
 
-    /// Total limb-buffer bytes touched (`bytes_read + bytes_written`).
-    pub fn bytes_touched(&self) -> u64 {
+    /// Total limb-buffer bytes streamed by instrumented kernels
+    /// (`bytes_read + bytes_written`) — the DRAM-traffic proxy. Scratch
+    /// leases are accounted separately in
+    /// [`scratch_lease_bytes`](Snapshot::scratch_lease_bytes).
+    pub fn transfer_bytes(&self) -> u64 {
         self.bytes_read + self.bytes_written
     }
 
@@ -108,7 +137,9 @@ impl Snapshot {
             bytes_read: self.bytes_read.saturating_sub(earlier.bytes_read),
             bytes_written: self.bytes_written.saturating_sub(earlier.bytes_written),
             scratch_leases: self.scratch_leases.saturating_sub(earlier.scratch_leases),
-            scratch_bytes: self.scratch_bytes.saturating_sub(earlier.scratch_bytes),
+            scratch_lease_bytes: self
+                .scratch_lease_bytes
+                .saturating_sub(earlier.scratch_lease_bytes),
         }
     }
 
@@ -122,16 +153,106 @@ impl Snapshot {
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.scratch_leases += other.scratch_leases;
-        self.scratch_bytes += other.scratch_bytes;
+        self.scratch_lease_bytes += other.scratch_lease_bytes;
     }
+}
+
+/// The paper's DRAM-traffic operand categories (Table 2 columns
+/// `ct_read`/`ct_write`/`key_read`/`pt_read`), used to attribute each
+/// traced memory touch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum OperandClass {
+    /// A ciphertext component (`c_0`/`c_1`) or tensor leg.
+    Ciphertext,
+    /// Switching-key material (digit pairs, public key, embedded secret).
+    Key,
+    /// An encoded plaintext / constant.
+    Plaintext,
+    /// An untagged intermediate (raised digits, pool temporaries).
+    Scratch,
+}
+
+impl OperandClass {
+    /// Stable lowercase name (used in exports and reports).
+    pub fn name(self) -> &'static str {
+        match self {
+            OperandClass::Ciphertext => "ct",
+            OperandClass::Key => "key",
+            OperandClass::Plaintext => "pt",
+            OperandClass::Scratch => "scratch",
+        }
+    }
+}
+
+/// The identity of one traced limb buffer: a stable id (unique per
+/// allocation, from [`new_operand_id`]) plus its current [`OperandClass`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct OperandTag {
+    /// Paper traffic category.
+    pub class: OperandClass,
+    /// Process-unique buffer identity.
+    pub id: u64,
+}
+
+impl OperandTag {
+    /// A fresh scratch-class tag with a new unique id — the birth state of
+    /// every polynomial until a `ckks` wrapper reclassifies it.
+    pub fn scratch() -> Self {
+        OperandTag {
+            class: OperandClass::Scratch,
+            id: new_operand_id(),
+        }
+    }
+}
+
+/// One event in a recorded memory-access trace (in program order).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceRecord {
+    /// A kernel streamed `bytes` of the operand starting at byte `offset`
+    /// within its buffer.
+    Touch {
+        /// Operand identity at touch time (class may be superseded by a
+        /// later [`TraceRecord::Retag`]).
+        tag: OperandTag,
+        /// True for a write, false for a read.
+        write: bool,
+        /// Byte offset of the touched range within the operand.
+        offset: u64,
+        /// Length of the touched range in bytes.
+        bytes: u64,
+    },
+    /// Operand `id` was reclassified (e.g. a scratch output wrapped into a
+    /// ciphertext). Replay resolves each id to its *last* recorded class.
+    Retag {
+        /// The operand being reclassified.
+        id: u64,
+        /// Its new class.
+        class: OperandClass,
+    },
+    /// An RAII [`Span`] named `name` opened `ts_us` microseconds after
+    /// [`trace_start`].
+    SpanBegin {
+        /// Span name.
+        name: &'static str,
+        /// Microseconds since the trace started.
+        ts_us: u64,
+    },
+    /// The matching span close.
+    SpanEnd {
+        /// Span name.
+        name: &'static str,
+        /// Microseconds since the trace started.
+        ts_us: u64,
+    },
 }
 
 #[cfg(feature = "telemetry")]
 mod state {
-    use super::Snapshot;
+    use super::{Snapshot, TraceRecord};
     use std::collections::BTreeMap;
-    use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
     use std::sync::Mutex;
+    use std::time::Instant;
 
     pub(super) static MULTS: AtomicU64 = AtomicU64::new(0);
     pub(super) static ADDS: AtomicU64 = AtomicU64::new(0);
@@ -147,10 +268,38 @@ mod state {
     pub(super) static SPANS: Mutex<BTreeMap<&'static str, (u64, Snapshot)>> =
         Mutex::new(BTreeMap::new());
 
+    /// Monotonic operand-id source (0 is reserved as "untagged").
+    pub(super) static NEXT_OPERAND_ID: AtomicU64 = AtomicU64::new(1);
+
+    /// Fast path: is a trace being recorded right now?
+    pub(super) static TRACE_ON: AtomicBool = AtomicBool::new(false);
+
+    pub(super) struct TraceState {
+        pub start: Instant,
+        pub records: Vec<TraceRecord>,
+    }
+
+    pub(super) static TRACE: Mutex<Option<TraceState>> = Mutex::new(None);
+
     pub(super) fn add(counter: &AtomicU64, v: u64) {
         if v != 0 {
             counter.fetch_add(v, Relaxed);
         }
+    }
+
+    pub(super) fn push_trace(record: TraceRecord) {
+        if let Some(ts) = TRACE.lock().expect("poisoned").as_mut() {
+            ts.records.push(record);
+        }
+    }
+
+    pub(super) fn trace_elapsed_us() -> u64 {
+        TRACE
+            .lock()
+            .expect("poisoned")
+            .as_ref()
+            .map(|ts| ts.start.elapsed().as_micros() as u64)
+            .unwrap_or(0)
     }
 
     pub(super) fn read_all() -> Snapshot {
@@ -163,7 +312,7 @@ mod state {
             bytes_read: BYTES_READ.load(Relaxed),
             bytes_written: BYTES_WRITTEN.load(Relaxed),
             scratch_leases: SCRATCH_LEASES.load(Relaxed),
-            scratch_bytes: SCRATCH_BYTES.load(Relaxed),
+            scratch_lease_bytes: SCRATCH_BYTES.load(Relaxed),
         }
     }
 }
@@ -244,6 +393,101 @@ pub fn record_scratch_lease(bytes: u64) {
     let _ = bytes;
 }
 
+/// Allocates a fresh process-unique operand id (never 0).
+///
+/// With the feature off this returns 0 — callers only mint ids from
+/// feature-gated code, so the stub is never observable.
+#[inline(always)]
+pub fn new_operand_id() -> u64 {
+    #[cfg(feature = "telemetry")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        state::NEXT_OPERAND_ID.fetch_add(1, Relaxed)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    0
+}
+
+/// True while a trace is being recorded ([`trace_start`] .. [`trace_stop`]).
+#[inline(always)]
+pub fn trace_active() -> bool {
+    #[cfg(feature = "telemetry")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        state::TRACE_ON.load(Relaxed)
+    }
+    #[cfg(not(feature = "telemetry"))]
+    false
+}
+
+/// Begins recording a memory-access trace, discarding any prior one.
+///
+/// No-op with the feature off.
+pub fn trace_start() {
+    #[cfg(feature = "telemetry")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut trace = state::TRACE.lock().expect("poisoned");
+        *trace = Some(state::TraceState {
+            start: std::time::Instant::now(),
+            records: Vec::new(),
+        });
+        state::TRACE_ON.store(true, Relaxed);
+    }
+}
+
+/// Stops recording and returns the trace in program order.
+///
+/// Returns an empty vector if no trace was active (or the feature is off).
+pub fn trace_stop() -> Vec<TraceRecord> {
+    #[cfg(feature = "telemetry")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        state::TRACE_ON.store(false, Relaxed);
+        state::TRACE
+            .lock()
+            .expect("poisoned")
+            .take()
+            .map(|ts| ts.records)
+            .unwrap_or_default()
+    }
+    #[cfg(not(feature = "telemetry"))]
+    Vec::new()
+}
+
+/// Records one streamed touch of `bytes` bytes at `offset` within the
+/// operand identified by `tag`. Only buffered while a trace is active.
+#[inline(always)]
+pub fn record_touch(tag: OperandTag, write: bool, offset: u64, bytes: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        if trace_active() && bytes != 0 {
+            state::push_trace(TraceRecord::Touch {
+                tag,
+                write,
+                offset,
+                bytes,
+            });
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (tag, write, offset, bytes);
+}
+
+/// Records that operand `id` now belongs to `class` (last retag wins at
+/// replay). Only buffered while a trace is active.
+#[inline(always)]
+pub fn record_retag(id: u64, class: OperandClass) {
+    #[cfg(feature = "telemetry")]
+    {
+        if trace_active() && id != 0 {
+            state::push_trace(TraceRecord::Retag { id, class });
+        }
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = (id, class);
+}
+
 /// Reads every counter.
 ///
 /// Always available; with the feature off all fields are zero.
@@ -257,6 +501,8 @@ pub fn snapshot() -> Snapshot {
 }
 
 /// Zeroes every counter and clears the span table.
+///
+/// Does **not** touch an in-flight trace; use [`trace_stop`] for that.
 pub fn reset() {
     #[cfg(feature = "telemetry")]
     {
@@ -310,6 +556,9 @@ pub fn span_report(name: &str) -> Option<SpanReport> {
 /// An RAII measurement region: snapshots the counters now, records the
 /// delta under `name` when dropped. See the module docs for nesting
 /// semantics. Zero-sized no-op with the feature off.
+///
+/// While a trace is active the span additionally emits
+/// [`TraceRecord::SpanBegin`]/[`TraceRecord::SpanEnd`] markers.
 #[must_use = "a span measures until dropped"]
 pub struct Span {
     #[cfg(feature = "telemetry")]
@@ -322,6 +571,10 @@ pub struct Span {
 pub fn span(name: &'static str) -> Span {
     #[cfg(feature = "telemetry")]
     {
+        if trace_active() {
+            let ts_us = state::trace_elapsed_us();
+            state::push_trace(TraceRecord::SpanBegin { name, ts_us });
+        }
         Span {
             name,
             start: snapshot(),
@@ -343,6 +596,14 @@ impl Drop for Span {
             let entry = spans.entry(self.name).or_insert((0, Snapshot::default()));
             entry.0 += 1;
             entry.1.accumulate(&delta);
+            drop(spans);
+            if trace_active() {
+                let ts_us = state::trace_elapsed_us();
+                state::push_trace(TraceRecord::SpanEnd {
+                    name: self.name,
+                    ts_us,
+                });
+            }
         }
     }
 }
@@ -387,13 +648,31 @@ mod tests {
             bytes_read: 6,
             bytes_written: 7,
             scratch_leases: 8,
-            scratch_bytes: 9,
+            scratch_lease_bytes: 9,
         };
         acc.accumulate(&x);
         acc.accumulate(&x);
         assert_eq!(acc.ntt_fwd, 6);
         assert_eq!(acc.transforms(), 14);
-        assert_eq!(acc.bytes_touched(), 26);
-        assert_eq!(acc.scratch_bytes, 18);
+        assert_eq!(acc.transfer_bytes(), 26);
+        assert_eq!(acc.scratch_lease_bytes, 18);
+    }
+
+    #[test]
+    fn operand_class_names_are_stable() {
+        assert_eq!(OperandClass::Ciphertext.name(), "ct");
+        assert_eq!(OperandClass::Key.name(), "key");
+        assert_eq!(OperandClass::Plaintext.name(), "pt");
+        assert_eq!(OperandClass::Scratch.name(), "scratch");
+    }
+
+    #[test]
+    fn fresh_tags_are_scratch_class() {
+        let t = OperandTag::scratch();
+        assert_eq!(t.class, OperandClass::Scratch);
+        if enabled() {
+            assert_ne!(t.id, 0, "ids start at 1 so 0 can mean untagged");
+            assert_ne!(t.id, OperandTag::scratch().id, "ids are unique");
+        }
     }
 }

@@ -58,7 +58,7 @@ fn counter_and_span_semantics() {
     let _guard = pool.take(64);
     let snap = telemetry::snapshot();
     assert_eq!(snap.scratch_leases, 2);
-    assert_eq!(snap.scratch_bytes, 8 * (128 + 64));
+    assert_eq!(snap.scratch_lease_bytes, 8 * (128 + 64));
 
     // --- spans: delta capture and aggregation by name ------------------
     telemetry::reset();
