@@ -7,10 +7,12 @@
 
 pub mod datasets;
 pub mod figure6;
+pub mod helr_enc;
 pub mod lr;
 pub mod resnet;
 
 pub use datasets::{synthetic_cifar_like, synthetic_mnist_like, BinaryDataset, Image};
 pub use figure6::{design_bars, figure6_groups, Fig6Bar, Fig6Workload};
+pub use helr_enc::{encrypted_lr_step, lr_fold_steps, plain_lr_step};
 pub use lr::{helr_workload, HelrShape, PlainLr};
 pub use resnet::{resnet20_layers, resnet20_workload, ConvLayer, PlainConv};

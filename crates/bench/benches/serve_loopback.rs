@@ -1,0 +1,165 @@
+//! Serving-runtime benchmarks over a loopback socket at `N = 2^13`:
+//!
+//! 1. **Key access, cached vs regenerate-from-seed** — the same rotation
+//!    served with a key cache big enough to hold both Galois keys versus
+//!    one too small for even two, so every request pays the seeded
+//!    expansion. The gap is the paper's compute-for-memory trade measured
+//!    end to end through the server.
+//! 2. **Requests/sec vs worker count** — four concurrent clients issuing
+//!    homomorphic adds against 1, 2 and 4 workers.
+
+use ckks::{Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, KeyGenerator};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fhe_math::cfft::Complex;
+use fhe_serve::{Client, EvictionPolicy, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::{Arc, Mutex};
+
+fn ctx_2_13() -> Arc<CkksContext> {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_degree(13)
+            .levels(4)
+            .scale_bits(40)
+            .first_modulus_bits(50)
+            .special_modulus_bits(50)
+            .dnum(2)
+            .build()
+            .unwrap(),
+    )
+}
+
+struct Tenant {
+    client: Client,
+    sid: u64,
+    ct: Ciphertext,
+}
+
+fn setup_tenant(ctx: &Arc<CkksContext>, server: &Server, steps: &[i64], seed: u64) -> Tenant {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let values: Vec<Complex> = (0..ctx.params().slots())
+        .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
+        .collect();
+    let pt = encoder
+        .encode(&values, ctx.params().levels(), ctx.params().scale())
+        .unwrap();
+    let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+    let mut client = Client::connect(server.local_addr(), ctx.clone()).unwrap();
+    let sid = client.hello().unwrap();
+    if !steps.is_empty() {
+        let gk = kg.galois_keys_compressed(&mut rng, &sk, steps, false);
+        client.upload_galois(sid, &gk).unwrap();
+    }
+    Tenant { client, sid, ct }
+}
+
+fn bench_key_cache(c: &mut Criterion) {
+    let ctx = ctx_2_13();
+    let mut group = c.benchmark_group("serve/key_access");
+
+    // Generous budget: both rotation keys stay expanded after first use.
+    let server = Server::start(
+        ctx.clone(),
+        ServeConfig {
+            workers: 1,
+            key_cache_budget: 1 << 30,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut t = setup_tenant(&ctx, &server, &[1, 2], 1);
+    // Warm the cache so the measured loop is all hits.
+    t.client.rotate(t.sid, &t.ct, 1).unwrap();
+    t.client.rotate(t.sid, &t.ct, 2).unwrap();
+    group.bench_function("rotate_cached", |b| {
+        let mut flip = 1i64;
+        b.iter(|| {
+            flip = 3 - flip; // alternate 1, 2
+            black_box(t.client.rotate(t.sid, &t.ct, flip).unwrap())
+        })
+    });
+    let stats = server.cache_stats();
+    assert!(
+        stats.hits > 0 && stats.evictions == 0,
+        "cached run: {stats:?}"
+    );
+    server.shutdown();
+
+    // Budget below two expanded keys: alternating rotations evict each
+    // other, so every request regenerates its key from the seed.
+    let server = Server::start(
+        ctx.clone(),
+        ServeConfig {
+            workers: 1,
+            key_cache_budget: 1,
+            eviction: EvictionPolicy::Lru,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut t = setup_tenant(&ctx, &server, &[1, 2], 1);
+    t.client.rotate(t.sid, &t.ct, 1).unwrap();
+    t.client.rotate(t.sid, &t.ct, 2).unwrap();
+    group.bench_function("rotate_regen_from_seed", |b| {
+        let mut flip = 1i64;
+        b.iter(|| {
+            flip = 3 - flip;
+            black_box(t.client.rotate(t.sid, &t.ct, flip).unwrap())
+        })
+    });
+    let stats = server.cache_stats();
+    assert!(stats.evictions > 0, "regen run must thrash: {stats:?}");
+    server.shutdown();
+    group.finish();
+}
+
+fn bench_throughput_vs_workers(c: &mut Criterion) {
+    let ctx = ctx_2_13();
+    const CLIENTS: usize = 4;
+    const REQS_PER_CLIENT: usize = 4;
+    let mut group = c.benchmark_group("serve/throughput");
+    group.throughput(Throughput::Elements((CLIENTS * REQS_PER_CLIENT) as u64));
+    for workers in [1usize, 2, 4] {
+        let server = Server::start(
+            ctx.clone(),
+            ServeConfig {
+                workers,
+                queue_capacity: 64,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let tenants: Vec<Mutex<Tenant>> = (0..CLIENTS)
+            .map(|i| Mutex::new(setup_tenant(&ctx, &server, &[], 10 + i as u64)))
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::new("add_reqs_per_sec", workers),
+            &workers,
+            |b, _| {
+                b.iter(|| {
+                    std::thread::scope(|s| {
+                        for tm in &tenants {
+                            s.spawn(move || {
+                                let mut t = tm.lock().unwrap();
+                                let Tenant { client, sid, ct } = &mut *t;
+                                for _ in 0..REQS_PER_CLIENT {
+                                    black_box(client.add(*sid, ct, ct).unwrap());
+                                }
+                            });
+                        }
+                    })
+                })
+            },
+        );
+        server.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_key_cache, bench_throughput_vs_workers);
+criterion_main!(benches);

@@ -94,6 +94,12 @@ impl LinearTransform {
         self.diagonals.keys().copied().collect()
     }
 
+    /// The stored diagonal at offset `d`, if nonzero — lets a wire
+    /// protocol re-serialize the transform without densifying it.
+    pub fn diagonal(&self, d: usize) -> Option<&[Complex]> {
+        self.diagonals.get(&d).map(|v| v.as_slice())
+    }
+
     /// Slot dimension.
     pub fn slots(&self) -> usize {
         self.slots

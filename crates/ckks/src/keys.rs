@@ -105,9 +105,13 @@ impl SwitchingKey {
 }
 
 /// A set of Galois (rotation/conjugation) keys indexed by Galois element.
+///
+/// Keys are reference-counted so a serving runtime can assemble a
+/// per-request key set from a shared cache without copying polynomial
+/// material (see [`GaloisKeys::insert_shared`]).
 #[derive(Default)]
 pub struct GaloisKeys {
-    pub(crate) keys: HashMap<u64, SwitchingKey>,
+    pub(crate) keys: HashMap<u64, Arc<SwitchingKey>>,
 }
 
 impl fmt::Debug for GaloisKeys {
@@ -117,9 +121,32 @@ impl fmt::Debug for GaloisKeys {
 }
 
 impl GaloisKeys {
+    /// An empty key set; populate with [`GaloisKeys::insert`]. Used by
+    /// deserialization and by servers assembling a set from individually
+    /// cached keys.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts (or replaces) the key for Galois element `element`.
+    pub fn insert(&mut self, element: u64, key: SwitchingKey) {
+        self.keys.insert(element, Arc::new(key));
+    }
+
+    /// Inserts an already-shared key without copying its polynomials —
+    /// how a key cache lends a cached expansion to one request.
+    pub fn insert_shared(&mut self, element: u64, key: Arc<SwitchingKey>) {
+        self.keys.insert(element, key);
+    }
+
+    /// The shared handle for Galois element `k`, if present.
+    pub fn get_shared(&self, k: u64) -> Option<&Arc<SwitchingKey>> {
+        self.keys.get(&k)
+    }
+
     /// Iterates over `(galois_element, key)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &SwitchingKey)> {
-        self.keys.iter().map(|(&k, v)| (k, v))
+        self.keys.iter().map(|(&k, v)| (k, v.as_ref()))
     }
 
     /// Total serialized size of the set in bytes, honouring each key's
@@ -139,7 +166,7 @@ impl GaloisKeys {
 
     /// The key for Galois element `k`, if generated.
     pub fn get(&self, k: u64) -> Option<&SwitchingKey> {
-        self.keys.get(&k)
+        self.keys.get(&k).map(|a| a.as_ref())
     }
 
     /// Number of keys held.
@@ -163,6 +190,13 @@ impl fmt::Debug for RelinKey {
 }
 
 impl RelinKey {
+    /// Wraps a switching key (e.g. one restored by
+    /// [`crate::serialize::deserialize_switching_key`]) as a
+    /// relinearization key.
+    pub fn from_switching_key(key: SwitchingKey) -> Self {
+        RelinKey(key)
+    }
+
     /// The underlying switching key.
     pub fn switching_key(&self) -> &SwitchingKey {
         &self.0
@@ -377,12 +411,12 @@ impl KeyGenerator {
         for &s in steps {
             let k = self.ctx.rotation_element(s);
             keys.entry(k)
-                .or_insert_with(|| self.galois_key_compressed(rng, sk, k));
+                .or_insert_with(|| Arc::new(self.galois_key_compressed(rng, sk, k)));
         }
         if with_conjugation {
             let k = self.ctx.conjugation_element();
             keys.entry(k)
-                .or_insert_with(|| self.galois_key_compressed(rng, sk, k));
+                .or_insert_with(|| Arc::new(self.galois_key_compressed(rng, sk, k)));
         }
         GaloisKeys { keys }
     }
@@ -399,11 +433,13 @@ impl KeyGenerator {
         let mut keys = HashMap::new();
         for &s in steps {
             let k = self.ctx.rotation_element(s);
-            keys.entry(k).or_insert_with(|| self.galois_key(rng, sk, k));
+            keys.entry(k)
+                .or_insert_with(|| Arc::new(self.galois_key(rng, sk, k)));
         }
         if with_conjugation {
             let k = self.ctx.conjugation_element();
-            keys.entry(k).or_insert_with(|| self.galois_key(rng, sk, k));
+            keys.entry(k)
+                .or_insert_with(|| Arc::new(self.galois_key(rng, sk, k)));
         }
         GaloisKeys { keys }
     }

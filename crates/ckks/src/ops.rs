@@ -257,10 +257,17 @@ impl Evaluator {
     /// `Mult` (Table 2), standard sequence (Figure 4a): tensor,
     /// relinearize (KeySwitch with its own `ModDown`), then `Rescale`.
     pub fn mul(&self, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        self.mul_with_key(a, b, rlk.switching_key())
+    }
+
+    /// [`Evaluator::mul`] taking the raw `s² → s` switching key — the form
+    /// a serving runtime holds after expanding a cached compressed key,
+    /// where no [`RelinKey`] wrapper exists.
+    pub fn mul_with_key(&self, a: &Ciphertext, b: &Ciphertext, ksk: &SwitchingKey) -> Ciphertext {
         let _span = telemetry::span("Mult");
         let pool = self.ctx.scratch();
         let (mut d0, mut d1, d2, scale) = self.tensor(a, b);
-        let (v, u) = crate::keyswitch::keyswitch(&self.ctx, &d2, rlk.switching_key());
+        let (v, u) = crate::keyswitch::keyswitch(&self.ctx, &d2, ksk);
         d2.recycle(pool);
         d0.add_assign(&v);
         d1.add_assign(&u);
@@ -277,6 +284,17 @@ impl Evaluator {
     /// added to the key-switch intermediate, and a single `ModDown` divides
     /// by `P·q_{ℓ-1}` — saving one orientation switch and `ℓ` NTTs.
     pub fn mul_merged(&self, a: &Ciphertext, b: &Ciphertext, rlk: &RelinKey) -> Ciphertext {
+        self.mul_merged_with_key(a, b, rlk.switching_key())
+    }
+
+    /// [`Evaluator::mul_merged`] taking the raw switching key (see
+    /// [`Evaluator::mul_with_key`]).
+    pub fn mul_merged_with_key(
+        &self,
+        a: &Ciphertext,
+        b: &Ciphertext,
+        ksk: &SwitchingKey,
+    ) -> Ciphertext {
         let _span = telemetry::span("MultMerged");
         let pool = self.ctx.scratch();
         let (d0, d1, d2, scale) = self.tensor(a, b);
@@ -286,7 +304,7 @@ impl Evaluator {
             "merged multiplication needs a limb to rescale into"
         );
         let digits = crate::keyswitch::decompose_and_raise(&self.ctx, &d2);
-        let mut raised = crate::keyswitch::inner_product(&self.ctx, &digits, rlk.switching_key());
+        let mut raised = crate::keyswitch::inner_product(&self.ctx, &digits, ksk);
         for d in digits {
             d.recycle(pool);
         }

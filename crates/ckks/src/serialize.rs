@@ -1,19 +1,23 @@
-//! Binary serialization for ciphertexts and switching keys.
+//! Binary serialization for plaintexts, ciphertexts, switching keys, and
+//! Galois (rotation) key bundles.
 //!
 //! The switching-key format makes the paper's **key compression**
 //! (§3.2) concrete: a seeded key serializes as the 32-byte seed plus only
 //! the `b` polynomials — exactly half the bytes of an expanded key — and
 //! deserialization regenerates every `a_j` from the seed. This is the
 //! "transfer the short PRNG key in place of the first switching key
-//! polynomial" folklore the paper measures.
+//! polynomial" folklore the paper measures. [`serialize_galois_keys`]
+//! extends the same trade to a whole rotation-key set, so a client can
+//! ship every hoisting key in one framed message and the server can keep
+//! them compressed until an operation actually needs one.
 //!
 //! Format (little-endian throughout): a 4-byte magic, a format version,
 //! the shape header (degree, limb count, limb moduli for validation), the
 //! scale as IEEE-754 bits, then the raw limb words.
 
 use crate::context::CkksContext;
-use crate::keys::{DigitKey, SwitchingKey};
-use crate::plaintext::Ciphertext;
+use crate::keys::{DigitKey, GaloisKeys, SwitchingKey};
+use crate::plaintext::{Ciphertext, Plaintext};
 use fhe_math::poly::{Representation, RnsPoly};
 use fhe_math::rns::RnsBasis;
 use fhe_math::sampling::sample_uniform_flat;
@@ -30,8 +34,10 @@ const VERSION: u8 = 1;
 pub enum SerializeError {
     /// The buffer is shorter than its header claims.
     Truncated,
-    /// Magic or version mismatch.
+    /// Magic mismatch or a malformed structural field.
     BadHeader,
+    /// The magic matched but the format version is not supported.
+    VersionMismatch(u8),
     /// The limb moduli do not match the context's chain.
     ModulusMismatch,
     /// A residue was out of range for its modulus.
@@ -42,7 +48,10 @@ impl fmt::Display for SerializeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SerializeError::Truncated => write!(f, "buffer shorter than its header claims"),
-            SerializeError::BadHeader => write!(f, "bad magic or unsupported version"),
+            SerializeError::BadHeader => write!(f, "bad magic or malformed header"),
+            SerializeError::VersionMismatch(v) => {
+                write!(f, "unsupported format version {v} (expected {VERSION})")
+            }
             SerializeError::ModulusMismatch => {
                 write!(f, "limb moduli do not match the context")
             }
@@ -84,8 +93,14 @@ struct Reader<'a> {
 
 impl<'a> Reader<'a> {
     fn new(buf: &'a [u8]) -> Result<Self, SerializeError> {
-        if buf.len() < 5 || &buf[..4] != MAGIC || buf[4] != VERSION {
+        if buf.len() < 5 {
+            return Err(SerializeError::Truncated);
+        }
+        if &buf[..4] != MAGIC {
             return Err(SerializeError::BadHeader);
+        }
+        if buf[4] != VERSION {
+            return Err(SerializeError::VersionMismatch(buf[4]));
         }
         Ok(Reader { buf, pos: 5 })
     }
@@ -186,6 +201,38 @@ pub fn deserialize_ciphertext(
     Ok(Ciphertext::new(c0, c1, scale))
 }
 
+/// Serializes a plaintext (one encoded polynomial plus its scale).
+pub fn serialize_plaintext(pt: &Plaintext) -> Vec<u8> {
+    let mut w = Writer::new();
+    write_basis_header(&mut w, pt.poly().basis());
+    w.u64(pt.scale().to_bits());
+    w.poly_limbs(pt.poly());
+    w.0
+}
+
+/// Deserializes a plaintext against a context (the limb count selects the
+/// level basis).
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed input or a modulus-chain
+/// mismatch.
+pub fn deserialize_plaintext(ctx: &CkksContext, bytes: &[u8]) -> Result<Plaintext, SerializeError> {
+    let mut r = Reader::new(bytes)?;
+    if bytes.len() < 13 {
+        return Err(SerializeError::Truncated);
+    }
+    let ell = u32::from_le_bytes(bytes[9..13].try_into().expect("4 bytes")) as usize;
+    if ell == 0 || ell > ctx.params().levels() {
+        return Err(SerializeError::ModulusMismatch);
+    }
+    let basis = ctx.level_basis(ell).clone();
+    check_basis_header(&mut r, &basis)?;
+    let scale = f64::from_bits(r.u64()?);
+    let poly = r.poly(&basis)?;
+    Ok(Plaintext { poly, scale })
+}
+
 /// Serializes a switching key. A seeded key is written in compressed form:
 /// the seed plus only the `b` polynomials (half the bytes); an unseeded
 /// key writes both polynomials per digit.
@@ -263,6 +310,68 @@ pub fn deserialize_switching_key(
         }
         Ok(SwitchingKey { digits, seed: None })
     }
+}
+
+/// Serializes a whole Galois (rotation) key set as one framed message:
+/// a count followed by `(galois_element, length, switching-key bytes)`
+/// entries. Each entry is a complete [`serialize_switching_key`] message,
+/// so seeded keys stay at half size inside the bundle — the transferable
+/// form of uploading every hoisting key at once.
+pub fn serialize_galois_keys(keys: &GaloisKeys) -> Vec<u8> {
+    let mut w = Writer::new();
+    let mut entries: Vec<(u64, &SwitchingKey)> = keys.iter().collect();
+    // Canonical element order so equal sets serialize identically.
+    entries.sort_by_key(|&(k, _)| k);
+    w.u32(entries.len() as u32);
+    for (element, key) in entries {
+        let bytes = serialize_switching_key(key);
+        w.u64(element);
+        w.u32(bytes.len() as u32);
+        w.0.extend_from_slice(&bytes);
+    }
+    w.0
+}
+
+/// Splits a serialized Galois key set into `(galois_element, key bytes)`
+/// entries *without* expanding any key — each returned slice is a complete
+/// switching-key message. This is what lets a server file keys away in
+/// compressed form and regenerate them lazily.
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed input.
+pub fn galois_key_set_entries(bytes: &[u8]) -> Result<Vec<(u64, &[u8])>, SerializeError> {
+    let mut r = Reader::new(bytes)?;
+    let count = r.u32()? as usize;
+    // A key entry is ≥ 16 bytes; cap the count by what could even fit.
+    if count > bytes.len() / 16 {
+        return Err(SerializeError::BadHeader);
+    }
+    let mut entries = Vec::with_capacity(count);
+    for _ in 0..count {
+        let element = r.u64()?;
+        let len = r.u32()? as usize;
+        entries.push((element, r.bytes(len)?));
+    }
+    Ok(entries)
+}
+
+/// Deserializes a Galois key set, regenerating seeded keys' `a` components
+/// from their seeds.
+///
+/// # Errors
+///
+/// Returns [`SerializeError`] on malformed input or a modulus-chain
+/// mismatch.
+pub fn deserialize_galois_keys(
+    ctx: &CkksContext,
+    bytes: &[u8],
+) -> Result<GaloisKeys, SerializeError> {
+    let mut keys = GaloisKeys::default();
+    for (element, key_bytes) in galois_key_set_entries(bytes)? {
+        keys.insert(element, deserialize_switching_key(ctx, key_bytes)?);
+    }
+    Ok(keys)
 }
 
 #[cfg(test)]
@@ -409,6 +518,89 @@ mod tests {
     }
 
     #[test]
+    fn version_mismatch_is_its_own_error() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(14);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let pt = encoder
+            .encode(&[Complex::new(0.25, 0.0)], 1, ctx.params().scale())
+            .unwrap();
+        let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+        let mut bytes = serialize_ciphertext(&ct);
+        bytes[4] = VERSION + 1;
+        assert!(matches!(
+            deserialize_ciphertext(&ctx, &bytes),
+            Err(SerializeError::VersionMismatch(v)) if v == VERSION + 1
+        ));
+        // A short buffer is Truncated, not a header error.
+        assert!(matches!(
+            deserialize_ciphertext(&ctx, &bytes[..3]),
+            Err(SerializeError::Truncated)
+        ));
+    }
+
+    #[test]
+    fn plaintext_roundtrip_bit_exact() {
+        let ctx = ctx();
+        let encoder = Encoder::new(ctx.clone());
+        let values: Vec<Complex> = (0..encoder.slots())
+            .map(|i| Complex::new(0.1 * i as f64 - 0.4, (i as f64 * 0.7).sin()))
+            .collect();
+        let pt = encoder.encode(&values, 2, ctx.params().scale()).unwrap();
+        let bytes = serialize_plaintext(&pt);
+        let back = deserialize_plaintext(&ctx, &bytes).unwrap();
+        assert_eq!(back.scale(), pt.scale());
+        assert_eq!(back.limb_count(), pt.limb_count());
+        for i in 0..pt.limb_count() {
+            assert_eq!(back.poly().limb(i), pt.poly().limb(i));
+        }
+    }
+
+    #[test]
+    fn galois_key_set_roundtrips_and_splits_without_expansion() {
+        let ctx = ctx();
+        let mut rng = StdRng::seed_from_u64(15);
+        let keygen = KeyGenerator::new(ctx.clone());
+        let sk = keygen.secret_key(&mut rng);
+        let gk = keygen.galois_keys_compressed(&mut rng, &sk, &[1, 2, -1], true);
+        let bytes = serialize_galois_keys(&gk);
+
+        // Splitting yields one compressed entry per key, cheaply.
+        let entries = galois_key_set_entries(&bytes).unwrap();
+        assert_eq!(entries.len(), gk.len());
+        for (element, key_bytes) in &entries {
+            assert!(gk.get(*element).is_some());
+            let key = deserialize_switching_key(&ctx, key_bytes).unwrap();
+            assert!(key.is_compressed());
+        }
+
+        // Full deserialization reproduces every key bit-exactly.
+        let back = deserialize_galois_keys(&ctx, &bytes).unwrap();
+        assert_eq!(back.len(), gk.len());
+        for (element, key) in gk.iter() {
+            let restored = back.get(element).unwrap();
+            for (orig, got) in key.digits.iter().zip(&restored.digits) {
+                for i in 0..orig.a.limb_count() {
+                    assert_eq!(orig.a.limb(i), got.a.limb(i));
+                    assert_eq!(orig.b.limb(i), got.b.limb(i));
+                }
+            }
+        }
+
+        // Corrupt bundle headers are rejected, not panicked on.
+        let mut bad = bytes.clone();
+        bad[5] = 0xff; // absurd count
+        assert!(galois_key_set_entries(&bad).is_err());
+        assert!(matches!(
+            galois_key_set_entries(&bytes[..bytes.len() - 9]),
+            Err(SerializeError::Truncated)
+        ));
+    }
+
+    #[test]
     fn random_garbage_never_panics() {
         let ctx = ctx();
         let mut rng = StdRng::seed_from_u64(13);
@@ -416,6 +608,9 @@ mod tests {
             let garbage: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
             let _ = deserialize_ciphertext(&ctx, &garbage);
             let _ = deserialize_switching_key(&ctx, &garbage);
+            let _ = deserialize_plaintext(&ctx, &garbage);
+            let _ = galois_key_set_entries(&garbage);
+            let _ = deserialize_galois_keys(&ctx, &garbage);
         }
     }
 }

@@ -263,6 +263,8 @@ mod state {
     pub(super) static BYTES_WRITTEN: AtomicU64 = AtomicU64::new(0);
     pub(super) static SCRATCH_LEASES: AtomicU64 = AtomicU64::new(0);
     pub(super) static SCRATCH_BYTES: AtomicU64 = AtomicU64::new(0);
+    pub(super) static KEY_EXPANSIONS: AtomicU64 = AtomicU64::new(0);
+    pub(super) static KEY_EXPANSION_BYTES: AtomicU64 = AtomicU64::new(0);
 
     /// Aggregated span deltas keyed by span name.
     pub(super) static SPANS: Mutex<BTreeMap<&'static str, (u64, Snapshot)>> =
@@ -393,6 +395,37 @@ pub fn record_scratch_lease(bytes: u64) {
     let _ = bytes;
 }
 
+/// Records one switching-key expansion: a compute-for-memory event where a
+/// seeded (compressed) key was regenerated into its full `2 × dnum`
+/// polynomial form, producing `bytes` bytes of expanded key material. The
+/// serving runtime's key cache calls this on every miss, making the
+/// paper's §3.2 regeneration trade visible next to the kernel counters.
+#[inline(always)]
+pub fn record_key_expansion(bytes: u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        state::add(&state::KEY_EXPANSIONS, 1);
+        state::add(&state::KEY_EXPANSION_BYTES, bytes);
+    }
+    #[cfg(not(feature = "telemetry"))]
+    let _ = bytes;
+}
+
+/// Totals recorded by [`record_key_expansion`] since the last [`reset`]:
+/// `(expansion count, expanded bytes)`. Zero with the feature off.
+pub fn key_expansion_totals() -> (u64, u64) {
+    #[cfg(feature = "telemetry")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        (
+            state::KEY_EXPANSIONS.load(Relaxed),
+            state::KEY_EXPANSION_BYTES.load(Relaxed),
+        )
+    }
+    #[cfg(not(feature = "telemetry"))]
+    (0, 0)
+}
+
 /// Allocates a fresh process-unique operand id (never 0).
 ///
 /// With the feature off this returns 0 — callers only mint ids from
@@ -516,6 +549,8 @@ pub fn reset() {
         state::BYTES_WRITTEN.store(0, Relaxed);
         state::SCRATCH_LEASES.store(0, Relaxed);
         state::SCRATCH_BYTES.store(0, Relaxed);
+        state::KEY_EXPANSIONS.store(0, Relaxed);
+        state::KEY_EXPANSION_BYTES.store(0, Relaxed);
         state::SPANS.lock().expect("poisoned").clear();
     }
 }

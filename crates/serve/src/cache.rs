@@ -1,0 +1,323 @@
+//! The byte-budgeted switching-key cache — the paper's compute-for-memory
+//! trade made operational.
+//!
+//! Sessions store keys only in their seeded-compressed wire form (half
+//! size, §3.2). An evaluation op asks the cache for the *expanded* key;
+//! on a miss the cache regenerates the `a_j` polynomials from the seed,
+//! charges the expanded bytes against its budget, and evicts other
+//! entries until it fits. A later request for an evicted key pays the
+//! expansion again — exactly the regenerate-from-seed cost the
+//! `serve_loopback` bench measures against a cache hit.
+//!
+//! Two eviction policies mirror the `simfhe` trace cache's
+//! `CachePolicy::{Lru, PinKeys}`: plain LRU, and a pin-hot-keys variant
+//! that keeps frequently used keys (bootstrapping's working set in the
+//! paper) and sheds cold ones first.
+
+use crate::protocol::ErrorCode;
+use ckks::serialize::deserialize_switching_key;
+use ckks::{CkksContext, SwitchingKey};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// Which key a cache entry holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyKind {
+    /// The session's relinearization key (`s² → s`).
+    Relin,
+    /// The Galois key for this element.
+    Galois(u64),
+}
+
+/// Eviction policy for [`KeyCache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used expansion.
+    Lru,
+    /// Pin hot keys: evict the entry with the fewest hits, breaking ties
+    /// toward the least recently used — the serving analogue of the trace
+    /// simulator's pin-keys cache policy.
+    PinHot,
+}
+
+struct Entry {
+    key: Arc<SwitchingKey>,
+    bytes: u64,
+    last_used: u64,
+    hits: u64,
+}
+
+struct Inner {
+    entries: HashMap<(u64, KeyKind), Entry>,
+    bytes: u64,
+    clock: u64,
+}
+
+/// Counters exported by [`KeyCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from an existing expansion.
+    pub hits: u64,
+    /// Lookups that had to expand from the compressed form.
+    pub misses: u64,
+    /// Expansions evicted to fit the budget.
+    pub evictions: u64,
+    /// Expanded bytes currently resident.
+    pub resident_bytes: u64,
+    /// Number of resident expansions.
+    pub resident_keys: u64,
+}
+
+/// A byte-budgeted cache of expanded switching keys, shared by every
+/// worker.
+///
+/// One mutex guards the whole cache, held across expansion on a miss.
+/// That serializes concurrent misses — a deliberate simplification at
+/// this scale (it also prevents two workers from expanding the same key
+/// twice); a production server would expand outside the lock with a
+/// per-entry in-flight marker.
+pub struct KeyCache {
+    budget_bytes: u64,
+    policy: EvictionPolicy,
+    inner: Mutex<Inner>,
+    stats: Mutex<CacheStats>,
+}
+
+impl KeyCache {
+    /// A cache that keeps at most `budget_bytes` of expanded key material.
+    pub fn new(budget_bytes: u64, policy: EvictionPolicy) -> Self {
+        Self {
+            budget_bytes,
+            policy,
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                bytes: 0,
+                clock: 0,
+            }),
+            stats: Mutex::new(CacheStats::default()),
+        }
+    }
+
+    /// The configured budget.
+    pub fn budget_bytes(&self) -> u64 {
+        self.budget_bytes
+    }
+
+    /// Returns the expanded key for `(session, kind)`, expanding
+    /// `compressed` (a serialized switching-key message, typically seeded)
+    /// on a miss and evicting per policy to stay within budget.
+    ///
+    /// # Errors
+    ///
+    /// [`ErrorCode::Malformed`] if the stored compressed bytes fail to
+    /// deserialize against `ctx`.
+    pub fn get_or_expand(
+        &self,
+        ctx: &CkksContext,
+        session: u64,
+        kind: KeyKind,
+        compressed: &[u8],
+    ) -> Result<Arc<SwitchingKey>, ErrorCode> {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        inner.clock += 1;
+        let now = inner.clock;
+        if let Some(e) = inner.entries.get_mut(&(session, kind)) {
+            e.last_used = now;
+            e.hits += 1;
+            let key = e.key.clone();
+            self.stats.lock().expect("stats poisoned").hits += 1;
+            return Ok(key);
+        }
+        // Miss: regenerate the full key from its compressed form. The
+        // telemetry counter records the compute-for-memory price paid.
+        let key = deserialize_switching_key(ctx, compressed).map_err(|_| ErrorCode::Malformed)?;
+        let bytes = key.size_bytes();
+        fhe_math::telemetry::record_key_expansion(bytes);
+        let key = Arc::new(key);
+        inner.entries.insert(
+            (session, kind),
+            Entry {
+                key: key.clone(),
+                bytes,
+                last_used: now,
+                hits: 1,
+            },
+        );
+        inner.bytes += bytes;
+        let evicted = self.evict_to_budget(&mut inner, (session, kind));
+        let mut stats = self.stats.lock().expect("stats poisoned");
+        stats.misses += 1;
+        stats.evictions += evicted;
+        stats.resident_bytes = inner.bytes;
+        stats.resident_keys = inner.entries.len() as u64;
+        Ok(key)
+    }
+
+    /// Evicts entries (never `keep`) until within budget; returns how many
+    /// were dropped. If `keep` alone exceeds the budget it stays resident —
+    /// the request needs it regardless — and everything else goes.
+    fn evict_to_budget(&self, inner: &mut Inner, keep: (u64, KeyKind)) -> u64 {
+        let mut evicted = 0;
+        while inner.bytes > self.budget_bytes {
+            let victim = inner
+                .entries
+                .iter()
+                .filter(|(k, _)| **k != keep)
+                .min_by_key(|(_, e)| match self.policy {
+                    EvictionPolicy::Lru => (e.last_used, 0),
+                    EvictionPolicy::PinHot => (e.hits, e.last_used),
+                })
+                .map(|(k, _)| *k);
+            match victim {
+                Some(k) => {
+                    let e = inner.entries.remove(&k).expect("victim exists");
+                    inner.bytes -= e.bytes;
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+
+    /// Drops every expansion belonging to `session` (session close).
+    pub fn purge_session(&self, session: u64) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let gone: Vec<(u64, KeyKind)> = inner
+            .entries
+            .keys()
+            .filter(|(s, _)| *s == session)
+            .copied()
+            .collect();
+        for k in gone {
+            let e = inner.entries.remove(&k).expect("key exists");
+            inner.bytes -= e.bytes;
+        }
+        let mut stats = self.stats.lock().expect("stats poisoned");
+        stats.resident_bytes = inner.bytes;
+        stats.resident_keys = inner.entries.len() as u64;
+    }
+
+    /// A snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        *self.stats.lock().expect("stats poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ckks::serialize::serialize_switching_key;
+    use ckks::{CkksParams, KeyGenerator};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn setup() -> (Arc<CkksContext>, Vec<Vec<u8>>) {
+        let ctx = CkksContext::new(
+            CkksParams::builder()
+                .log_degree(5)
+                .levels(3)
+                .scale_bits(30)
+                .first_modulus_bits(36)
+                .dnum(2)
+                .build()
+                .unwrap(),
+        );
+        let mut rng = StdRng::seed_from_u64(42);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let gk = kg.galois_keys_compressed(&mut rng, &sk, &[1, 2, 4], false);
+        let blobs = gk.iter().map(|(_, k)| serialize_switching_key(k)).collect();
+        (ctx, blobs)
+    }
+
+    #[test]
+    fn hit_after_miss_and_eviction_under_budget() {
+        let (ctx, blobs) = setup();
+        let one_key = deserialize_switching_key(&ctx, &blobs[0])
+            .unwrap()
+            .size_bytes();
+        // Budget fits exactly two expanded keys.
+        let cache = KeyCache::new(2 * one_key, EvictionPolicy::Lru);
+        for (i, b) in blobs.iter().enumerate() {
+            cache
+                .get_or_expand(&ctx, 1, KeyKind::Galois(i as u64), b)
+                .unwrap();
+        }
+        let s = cache.stats();
+        assert_eq!(s.misses, 3);
+        assert_eq!(s.evictions, 1, "third insert evicts the LRU entry");
+        assert!(s.resident_bytes <= 2 * one_key);
+        // Key 0 was evicted; key 2 is resident.
+        cache
+            .get_or_expand(&ctx, 1, KeyKind::Galois(2), &blobs[2])
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        cache
+            .get_or_expand(&ctx, 1, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        let s = cache.stats();
+        assert_eq!(s.misses, 4, "evicted key must be re-expanded");
+        assert_eq!(
+            s.hits + s.misses,
+            5,
+            "accesses partition into hits and misses"
+        );
+    }
+
+    #[test]
+    fn pin_hot_keeps_the_frequently_used_key() {
+        let (ctx, blobs) = setup();
+        let one_key = deserialize_switching_key(&ctx, &blobs[0])
+            .unwrap()
+            .size_bytes();
+        let cache = KeyCache::new(2 * one_key, EvictionPolicy::PinHot);
+        // Make key 0 hot, then stream keys 1 and 2 through.
+        for _ in 0..5 {
+            cache
+                .get_or_expand(&ctx, 1, KeyKind::Galois(0), &blobs[0])
+                .unwrap();
+        }
+        cache
+            .get_or_expand(&ctx, 1, KeyKind::Galois(1), &blobs[1])
+            .unwrap();
+        cache
+            .get_or_expand(&ctx, 1, KeyKind::Galois(2), &blobs[2])
+            .unwrap();
+        // Key 0 must still be a hit (LRU would have evicted it as oldest).
+        let before = cache.stats().misses;
+        cache
+            .get_or_expand(&ctx, 1, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        assert_eq!(cache.stats().misses, before, "hot key stayed pinned");
+    }
+
+    #[test]
+    fn purge_drops_only_that_session() {
+        let (ctx, blobs) = setup();
+        let cache = KeyCache::new(u64::MAX, EvictionPolicy::Lru);
+        cache
+            .get_or_expand(&ctx, 1, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        cache
+            .get_or_expand(&ctx, 2, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        assert_eq!(cache.stats().resident_keys, 2);
+        cache.purge_session(1);
+        assert_eq!(cache.stats().resident_keys, 1);
+        cache
+            .get_or_expand(&ctx, 2, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1, "session 2's expansion survived");
+    }
+
+    #[test]
+    fn garbage_compressed_bytes_are_malformed_not_panic() {
+        let (ctx, _) = setup();
+        let cache = KeyCache::new(u64::MAX, EvictionPolicy::Lru);
+        assert!(matches!(
+            cache.get_or_expand(&ctx, 1, KeyKind::Relin, b"not a key"),
+            Err(ErrorCode::Malformed)
+        ));
+    }
+}

@@ -1,0 +1,322 @@
+//! A blocking client for the serving protocol.
+//!
+//! The client shares the server's `CkksContext` by construction (both
+//! sides build it from the same published parameters), serializes
+//! payloads with [`ckks::serialize`], and exposes one method per opcode.
+//! Every call is strict request/response on one connection; open several
+//! clients for concurrency.
+
+use crate::protocol::{
+    read_frame, write_frame, BodyReader, BodyWriter, ErrorCode, FrameRead, Opcode,
+    DEFAULT_MAX_FRAME_BYTES,
+};
+use ckks::hoisting::LinearTransform;
+use ckks::serialize::{
+    deserialize_ciphertext, serialize_ciphertext, serialize_galois_keys, serialize_plaintext,
+    serialize_switching_key, SerializeError,
+};
+use ckks::{Ciphertext, CkksContext, GaloisKeys, Plaintext, SwitchingKey};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+
+/// Client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure.
+    Io(std::io::Error),
+    /// The server answered with a structured error.
+    Server {
+        /// Decoded error code.
+        code: ErrorCode,
+        /// The server's diagnostic message.
+        message: String,
+    },
+    /// The response frame itself made no sense.
+    Protocol(String),
+    /// A returned payload failed to deserialize.
+    Serialize(SerializeError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "transport: {e}"),
+            ClientError::Server { code, message } => write!(f, "server: {code}: {message}"),
+            ClientError::Protocol(m) => write!(f, "protocol: {m}"),
+            ClientError::Serialize(e) => write!(f, "payload: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<SerializeError> for ClientError {
+    fn from(e: SerializeError) -> Self {
+        ClientError::Serialize(e)
+    }
+}
+
+/// One connection to a serving runtime.
+pub struct Client {
+    stream: TcpStream,
+    ctx: Arc<CkksContext>,
+}
+
+impl Client {
+    /// Connects to a server that evaluates under `ctx`'s parameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connection I/O errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A, ctx: Arc<CkksContext>) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Self { stream, ctx })
+    }
+
+    /// Sends one raw frame and returns the response body on success.
+    /// Public so protocol tests (and fuzzing drivers) can send frames no
+    /// well-behaved method would.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Server`] for structured errors, [`ClientError::Io`]
+    /// / [`ClientError::Protocol`] for transport trouble.
+    pub fn call_raw(&mut self, tag: u8, body: &[u8]) -> Result<Vec<u8>, ClientError> {
+        write_frame(&mut self.stream, tag, body)?;
+        match read_frame(&mut self.stream, DEFAULT_MAX_FRAME_BYTES)? {
+            FrameRead::Frame(f) => {
+                if f.tag == 0 {
+                    Ok(f.body)
+                } else {
+                    let code = ErrorCode::from_u8(f.tag).ok_or_else(|| {
+                        ClientError::Protocol(format!("unknown status {}", f.tag))
+                    })?;
+                    Err(ClientError::Server {
+                        code,
+                        message: String::from_utf8_lossy(&f.body).into_owned(),
+                    })
+                }
+            }
+            FrameRead::Eof => Err(ClientError::Protocol("server closed connection".into())),
+            FrameRead::TooLarge(n) => Err(ClientError::Protocol(format!(
+                "oversize response ({n} bytes)"
+            ))),
+        }
+    }
+
+    fn call(&mut self, op: Opcode, body: &[u8]) -> Result<Vec<u8>, ClientError> {
+        self.call_raw(op as u8, body)
+    }
+
+    fn call_ct(&mut self, op: Opcode, body: &[u8]) -> Result<Ciphertext, ClientError> {
+        let resp = self.call(op, body)?;
+        Ok(deserialize_ciphertext(&self.ctx, &resp)?)
+    }
+
+    /// Opens a session; the returned id scopes all uploaded keys.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn hello(&mut self) -> Result<u64, ClientError> {
+        let resp = self.call(Opcode::Hello, &[])?;
+        let bytes: [u8; 8] = resp
+            .as_slice()
+            .try_into()
+            .map_err(|_| ClientError::Protocol("short session id".into()))?;
+        Ok(u64::from_le_bytes(bytes))
+    }
+
+    /// Uploads the relinearization key (send the seeded/compressed form —
+    /// it is half the bytes and the server stores it compressed).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn upload_relin(&mut self, session: u64, key: &SwitchingKey) -> Result<(), ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session).raw(&serialize_switching_key(key));
+        self.call(Opcode::UploadRelin, &w.0).map(|_| ())
+    }
+
+    /// Uploads a Galois key bundle in one frame.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn upload_galois(&mut self, session: u64, keys: &GaloisKeys) -> Result<(), ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session).raw(&serialize_galois_keys(keys));
+        self.call(Opcode::UploadGalois, &w.0).map(|_| ())
+    }
+
+    /// Closes a session, dropping its keys server-side.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn close_session(&mut self, session: u64) -> Result<(), ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session);
+        self.call(Opcode::CloseSession, &w.0).map(|_| ())
+    }
+
+    /// Homomorphic addition.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn add(
+        &mut self,
+        session: u64,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<Ciphertext, ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session)
+            .blob(&serialize_ciphertext(a))
+            .blob(&serialize_ciphertext(b));
+        self.call_ct(Opcode::Add, &w.0)
+    }
+
+    /// Ciphertext × plaintext multiplication (rescaled).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn pt_mult(
+        &mut self,
+        session: u64,
+        ct: &Ciphertext,
+        pt: &Plaintext,
+    ) -> Result<Ciphertext, ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session)
+            .blob(&serialize_ciphertext(ct))
+            .blob(&serialize_plaintext(pt));
+        self.call_ct(Opcode::PtMult, &w.0)
+    }
+
+    /// Ciphertext multiplication using the session's relin key.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn mult(
+        &mut self,
+        session: u64,
+        a: &Ciphertext,
+        b: &Ciphertext,
+    ) -> Result<Ciphertext, ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session)
+            .blob(&serialize_ciphertext(a))
+            .blob(&serialize_ciphertext(b));
+        self.call_ct(Opcode::Mult, &w.0)
+    }
+
+    /// Slot rotation by `steps` using the session's Galois keys.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn rotate(
+        &mut self,
+        session: u64,
+        ct: &Ciphertext,
+        steps: i64,
+    ) -> Result<Ciphertext, ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session).i64(steps).raw(&serialize_ciphertext(ct));
+        self.call_ct(Opcode::Rotate, &w.0)
+    }
+
+    /// Drops one scale limb.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn rescale(&mut self, session: u64, ct: &Ciphertext) -> Result<Ciphertext, ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session).raw(&serialize_ciphertext(ct));
+        self.call_ct(Opcode::Rescale, &w.0)
+    }
+
+    /// BSGS plaintext matrix–vector product with baby dimension `n1`. The
+    /// transform's diagonals travel in the request; the session must hold
+    /// Galois keys for [`ckks::hoisting::bsgs_required_steps`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn bsgs(
+        &mut self,
+        session: u64,
+        ct: &Ciphertext,
+        lt: &LinearTransform,
+        n1: usize,
+    ) -> Result<Ciphertext, ClientError> {
+        let mut w = BodyWriter::new();
+        let offsets = lt.offsets();
+        w.u64(session).u32(n1 as u32).u32(offsets.len() as u32);
+        for d in offsets {
+            let diag = lt.diagonal(d).expect("offset listed by the transform");
+            w.u32(d as u32);
+            for c in diag {
+                w.f64(c.re).f64(c.im);
+            }
+        }
+        w.raw(&serialize_ciphertext(ct));
+        self.call_ct(Opcode::Bsgs, &w.0)
+    }
+
+    /// One encrypted HELR training step server-side; returns the updated
+    /// weight ciphertexts.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn helr_step(
+        &mut self,
+        session: u64,
+        weights: &[Ciphertext],
+        xs: &[Ciphertext],
+        y01: &Ciphertext,
+        learning_rate: f64,
+    ) -> Result<Vec<Ciphertext>, ClientError> {
+        assert_eq!(weights.len(), xs.len(), "one feature column per weight");
+        let mut w = BodyWriter::new();
+        w.u64(session).f64(learning_rate).u32(weights.len() as u32);
+        for ct in weights.iter().chain(xs) {
+            w.blob(&serialize_ciphertext(ct));
+        }
+        w.blob(&serialize_ciphertext(y01));
+        let resp = self.call(Opcode::HelrStep, &w.0)?;
+        let mut r = BodyReader::new(&resp);
+        let mut out = Vec::with_capacity(weights.len());
+        for _ in 0..weights.len() {
+            let bytes = r
+                .blob()
+                .ok_or_else(|| ClientError::Protocol("short HELR response".into()))?;
+            out.push(deserialize_ciphertext(&self.ctx, bytes)?);
+        }
+        Ok(out)
+    }
+
+    /// Fetches the server's plain-text metrics dump.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let resp = self.call(Opcode::Metrics, &[])?;
+        String::from_utf8(resp).map_err(|_| ClientError::Protocol("metrics not UTF-8".into()))
+    }
+}

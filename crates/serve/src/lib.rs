@@ -1,0 +1,62 @@
+#![warn(missing_docs)]
+
+//! A multi-tenant FHE evaluation server built on the `ckks` crate —
+//! the MAD paper's memory-aware techniques turned into a service.
+//!
+//! The paper's key observation is that FHE at scale is bound by key and
+//! ciphertext *bytes*, not modular multiplies. A serving runtime faces
+//! the same wall one level up: every tenant brings megabytes of
+//! switching keys, and the host cannot keep them all expanded. This
+//! crate operationalizes the paper's two memory levers:
+//!
+//! - **Key compression (§3.2)** on the wire and at rest: clients upload
+//!   seeded keys at half size, sessions store only that compressed form,
+//!   and the [`cache::KeyCache`] regenerates full keys from seeds on
+//!   demand under a server-wide byte budget — trading compute for
+//!   resident key memory, with LRU or pin-hot eviction mirroring the
+//!   trace simulator's cache policies.
+//! - **Deterministic evaluation** end to end: seeded expansion is
+//!   bit-exact and every evaluator op is deterministic, so a result
+//!   computed through the server is *bit-identical* to the same calls
+//!   made locally — which the loopback integration test asserts.
+//!
+//! The stack is std-only: a framed TCP protocol ([`protocol`]) over the
+//! `MADf` serialization, a session manager ([`session`]), a bounded
+//! worker pool with backpressure and deadlines ([`server`]), and
+//! plain-text metrics ([`metrics`]). [`client::Client`] is the matching
+//! blocking client.
+//!
+//! ```no_run
+//! use fhe_serve::{Client, ServeConfig, Server};
+//! use ckks::{CkksContext, CkksParams};
+//!
+//! let ctx = CkksContext::new(
+//!     CkksParams::builder()
+//!         .log_degree(5)
+//!         .levels(3)
+//!         .scale_bits(30)
+//!         .first_modulus_bits(36)
+//!         .dnum(2)
+//!         .build()
+//!         .unwrap(),
+//! );
+//! let server = Server::start(ctx.clone(), ServeConfig::default()).unwrap();
+//! let mut client = Client::connect(server.local_addr(), ctx).unwrap();
+//! let session = client.hello().unwrap();
+//! // … upload keys, evaluate, then:
+//! client.close_session(session).unwrap();
+//! server.shutdown();
+//! ```
+
+pub mod cache;
+pub mod client;
+pub mod metrics;
+pub mod protocol;
+pub mod server;
+pub mod session;
+
+pub use cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
+pub use client::{Client, ClientError};
+pub use protocol::{ErrorCode, Opcode, PROTOCOL_VERSION};
+pub use server::{ServeConfig, Server};
+pub use session::{Session, SessionManager};

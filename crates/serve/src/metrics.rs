@@ -1,0 +1,240 @@
+//! Server observability: per-op latency histograms, queue and wire
+//! gauges, and a plain-text dump in a Prometheus-flavoured format.
+//!
+//! Everything is lock-free atomics so the hot path (one histogram update
+//! and a few counter bumps per request) never contends. The dump also
+//! folds in the key cache's counters and, when the `telemetry` feature is
+//! on, the `fhe-math` key-expansion totals — tying the serving layer's
+//! view ("cache miss") to the library's view ("bytes regenerated").
+
+use crate::cache::CacheStats;
+use crate::protocol::Opcode;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of log2 microsecond buckets: bucket `i` counts latencies in
+/// `[2^i, 2^{i+1})` µs, with the last bucket open-ended (≈ 35 minutes).
+const BUCKETS: usize = 22;
+
+/// A log2 latency histogram with total count and sum.
+#[derive(Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe(&self, d: Duration) {
+        let us = d.as_micros() as u64;
+        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of recorded latencies in microseconds.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    fn dump_into(&self, out: &mut String, op: &str) {
+        let mut cumulative = 0;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            let le = 1u64 << (i + 1);
+            let _ = writeln!(
+                out,
+                "serve_op_latency_us_bucket{{op=\"{op}\",le=\"{le}\"}} {cumulative}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "serve_op_latency_us_count{{op=\"{op}\"}} {}",
+            self.count()
+        );
+        let _ = writeln!(
+            out,
+            "serve_op_latency_us_sum{{op=\"{op}\"}} {}",
+            self.sum_us()
+        );
+    }
+}
+
+/// All server-side counters; one instance shared by every thread.
+#[derive(Default)]
+pub struct Metrics {
+    latency: [Histogram; Opcode::ALL.len()],
+    /// Requests accepted into the queue.
+    pub requests_total: AtomicU64,
+    /// Responses carrying a non-zero status.
+    pub errors_total: AtomicU64,
+    /// Requests rejected at enqueue because the queue was full.
+    pub rejected_overload: AtomicU64,
+    /// Requests dropped at dequeue because their deadline had passed.
+    pub rejected_deadline: AtomicU64,
+    /// Frame bytes read off the wire (including headers).
+    pub bytes_read: AtomicU64,
+    /// Frame bytes written to the wire (including headers).
+    pub bytes_written: AtomicU64,
+    /// Requests currently queued (enqueued, not yet picked up).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of `queue_depth`.
+    pub queue_peak: AtomicU64,
+    /// Connections accepted.
+    pub connections_total: AtomicU64,
+}
+
+impl Metrics {
+    /// Fresh, zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The latency histogram for one opcode.
+    pub fn latency(&self, op: Opcode) -> &Histogram {
+        let idx = Opcode::ALL.iter().position(|&o| o == op).expect("in table");
+        &self.latency[idx]
+    }
+
+    /// Marks a request entering the queue.
+    pub fn enqueued(&self) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let depth = self.queue_depth.fetch_add(1, Ordering::Relaxed) + 1;
+        self.queue_peak.fetch_max(depth, Ordering::Relaxed);
+    }
+
+    /// Marks a request leaving the queue.
+    pub fn dequeued(&self) {
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Undoes [`Metrics::enqueued`] when the bounded queue rejected the
+    /// request (callers count the enqueue *before* the send so a worker
+    /// can never observe a negative depth).
+    pub fn retracted(&self) {
+        self.requests_total.fetch_sub(1, Ordering::Relaxed);
+        self.queue_depth.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Renders every counter, plus the cache's, as plain text. Lines are
+    /// `name{labels} value`, one metric per line, stable names.
+    pub fn dump(&self, cache: &CacheStats) -> String {
+        let mut out = String::new();
+        let g = |out: &mut String, name: &str, v: u64| {
+            let _ = writeln!(out, "{name} {v}");
+        };
+        g(
+            &mut out,
+            "serve_requests_total",
+            self.requests_total.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_errors_total",
+            self.errors_total.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_rejected_overload_total",
+            self.rejected_overload.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_rejected_deadline_total",
+            self.rejected_deadline.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_bytes_read_total",
+            self.bytes_read.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_bytes_written_total",
+            self.bytes_written.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_queue_depth",
+            self.queue_depth.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_queue_depth_peak",
+            self.queue_peak.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_connections_total",
+            self.connections_total.load(Ordering::Relaxed),
+        );
+        g(&mut out, "serve_key_cache_hits_total", cache.hits);
+        g(&mut out, "serve_key_cache_misses_total", cache.misses);
+        g(&mut out, "serve_key_cache_evictions_total", cache.evictions);
+        g(
+            &mut out,
+            "serve_key_cache_resident_bytes",
+            cache.resident_bytes,
+        );
+        g(
+            &mut out,
+            "serve_key_cache_resident_keys",
+            cache.resident_keys,
+        );
+        let (expansions, expansion_bytes) = fhe_math::telemetry::key_expansion_totals();
+        g(&mut out, "serve_key_expansions_total", expansions);
+        g(&mut out, "serve_key_expansion_bytes_total", expansion_bytes);
+        for op in Opcode::ALL {
+            let h = self.latency(op);
+            if h.count() > 0 {
+                h.dump_into(&mut out, op.name());
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_log2_and_cumulative() {
+        let h = Histogram::default();
+        h.observe(Duration::from_micros(1));
+        h.observe(Duration::from_micros(3));
+        h.observe(Duration::from_micros(1000));
+        h.observe(Duration::from_secs(7200)); // clamps to the last bucket
+        assert_eq!(h.count(), 4);
+        let m = Metrics::new();
+        m.latency(Opcode::Add).observe(Duration::from_micros(5));
+        let dump = m.dump(&CacheStats::default());
+        assert!(dump.contains("serve_op_latency_us_count{op=\"add\"} 1"));
+        assert!(dump.contains("serve_requests_total 0"));
+        assert!(dump.contains("serve_key_cache_hits_total 0"));
+    }
+
+    #[test]
+    fn queue_gauges_track_depth_and_peak() {
+        let m = Metrics::new();
+        m.enqueued();
+        m.enqueued();
+        m.dequeued();
+        m.enqueued();
+        assert_eq!(m.queue_depth.load(Ordering::Relaxed), 2);
+        assert_eq!(m.queue_peak.load(Ordering::Relaxed), 2);
+        assert_eq!(m.requests_total.load(Ordering::Relaxed), 3);
+    }
+}

@@ -1,0 +1,415 @@
+//! The wire protocol: length-prefixed frames over the `MADf`
+//! serialization.
+//!
+//! Every message — request or response — is one frame:
+//!
+//! ```text
+//! [u32 length][u8 protocol version][u8 opcode | status][body…]
+//! ```
+//!
+//! with the length counting everything after itself (so `2 + body`),
+//! little-endian throughout like the `MADf` payloads it carries. Requests
+//! put an [`Opcode`] in the tag byte; responses put a status there — zero
+//! for success, otherwise an [`ErrorCode`] with a UTF-8 diagnostic as the
+//! body. Ciphertexts, plaintexts and keys travel as their
+//! [`ckks::serialize`] byte forms, nested inside the frame body with
+//! `u32` length prefixes wherever more than one payload shares a body.
+
+use std::io::{Read, Write};
+
+/// Protocol version carried in every frame.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Default ceiling on a single frame's length field (64 MiB) — large
+/// enough for a full rotation-key bundle at demo scale, small enough to
+/// reject garbage lengths before allocating.
+pub const DEFAULT_MAX_FRAME_BYTES: u32 = 64 << 20;
+
+/// Request opcodes. Session management sits below 0x10, evaluation ops at
+/// 0x10–0x1f, introspection at 0x20.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Opcode {
+    /// Open a session; response body is the `u64` session id.
+    Hello = 0x01,
+    /// Upload the relinearization key (compressed seeded form welcome).
+    UploadRelin = 0x02,
+    /// Upload a Galois (rotation) key bundle.
+    UploadGalois = 0x03,
+    /// Close a session and drop its keys from store and cache.
+    CloseSession = 0x04,
+    /// Homomorphic addition of two ciphertexts.
+    Add = 0x10,
+    /// Ciphertext × plaintext multiplication (with rescale).
+    PtMult = 0x12,
+    /// Ciphertext × ciphertext multiplication (needs the relin key).
+    Mult = 0x13,
+    /// Slot rotation (needs the matching Galois key).
+    Rotate = 0x14,
+    /// Drop one scale limb.
+    Rescale = 0x15,
+    /// BSGS plaintext matrix–vector product.
+    Bsgs = 0x16,
+    /// One encrypted HELR logistic-regression training step.
+    HelrStep = 0x17,
+    /// Fetch the server's plain-text metrics dump.
+    Metrics = 0x20,
+}
+
+impl Opcode {
+    /// Decodes a tag byte.
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            0x01 => Opcode::Hello,
+            0x02 => Opcode::UploadRelin,
+            0x03 => Opcode::UploadGalois,
+            0x04 => Opcode::CloseSession,
+            0x10 => Opcode::Add,
+            0x12 => Opcode::PtMult,
+            0x13 => Opcode::Mult,
+            0x14 => Opcode::Rotate,
+            0x15 => Opcode::Rescale,
+            0x16 => Opcode::Bsgs,
+            0x17 => Opcode::HelrStep,
+            0x20 => Opcode::Metrics,
+            _ => return None,
+        })
+    }
+
+    /// Short lower-case name used as the metrics label.
+    pub fn name(self) -> &'static str {
+        match self {
+            Opcode::Hello => "hello",
+            Opcode::UploadRelin => "upload_relin",
+            Opcode::UploadGalois => "upload_galois",
+            Opcode::CloseSession => "close_session",
+            Opcode::Add => "add",
+            Opcode::PtMult => "pt_mult",
+            Opcode::Mult => "mult",
+            Opcode::Rotate => "rotate",
+            Opcode::Rescale => "rescale",
+            Opcode::Bsgs => "bsgs",
+            Opcode::HelrStep => "helr_step",
+            Opcode::Metrics => "metrics",
+        }
+    }
+
+    /// Every opcode, for metrics registration.
+    pub const ALL: [Opcode; 12] = [
+        Opcode::Hello,
+        Opcode::UploadRelin,
+        Opcode::UploadGalois,
+        Opcode::CloseSession,
+        Opcode::Add,
+        Opcode::PtMult,
+        Opcode::Mult,
+        Opcode::Rotate,
+        Opcode::Rescale,
+        Opcode::Bsgs,
+        Opcode::HelrStep,
+        Opcode::Metrics,
+    ];
+}
+
+/// Structured error codes carried in the response status byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum ErrorCode {
+    /// Frame shorter than its header, or the length field lied.
+    BadFrame = 1,
+    /// The frame's protocol version byte is not [`PROTOCOL_VERSION`].
+    UnsupportedVersion = 2,
+    /// The opcode byte names no operation.
+    UnknownOpcode = 3,
+    /// The session id is unknown (never opened, or closed).
+    NoSession = 4,
+    /// The operation needs a key the session has not uploaded.
+    MissingKey = 5,
+    /// The body failed structural validation (bad `MADf` payload,
+    /// mismatched lengths, out-of-range field).
+    Malformed = 6,
+    /// The request queue is full — back off and retry.
+    Overloaded = 7,
+    /// The request sat in the queue past its deadline.
+    DeadlineExceeded = 8,
+    /// The operation panicked or otherwise failed server-side.
+    Internal = 9,
+    /// The frame length exceeds the server's configured maximum.
+    FrameTooLarge = 10,
+}
+
+impl ErrorCode {
+    /// Decodes a status byte (zero is success, not an error code).
+    pub fn from_u8(v: u8) -> Option<Self> {
+        Some(match v {
+            1 => ErrorCode::BadFrame,
+            2 => ErrorCode::UnsupportedVersion,
+            3 => ErrorCode::UnknownOpcode,
+            4 => ErrorCode::NoSession,
+            5 => ErrorCode::MissingKey,
+            6 => ErrorCode::Malformed,
+            7 => ErrorCode::Overloaded,
+            8 => ErrorCode::DeadlineExceeded,
+            9 => ErrorCode::Internal,
+            10 => ErrorCode::FrameTooLarge,
+            _ => return None,
+        })
+    }
+}
+
+impl std::fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ErrorCode::BadFrame => "bad frame",
+            ErrorCode::UnsupportedVersion => "unsupported protocol version",
+            ErrorCode::UnknownOpcode => "unknown opcode",
+            ErrorCode::NoSession => "no such session",
+            ErrorCode::MissingKey => "required key not uploaded",
+            ErrorCode::Malformed => "malformed request body",
+            ErrorCode::Overloaded => "server overloaded",
+            ErrorCode::DeadlineExceeded => "request deadline exceeded",
+            ErrorCode::Internal => "internal server error",
+            ErrorCode::FrameTooLarge => "frame exceeds size limit",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Writes one frame: `[len][version][tag][body]`.
+pub fn write_frame<W: Write>(w: &mut W, tag: u8, body: &[u8]) -> std::io::Result<()> {
+    let len = (2 + body.len()) as u32;
+    w.write_all(&len.to_le_bytes())?;
+    w.write_all(&[PROTOCOL_VERSION, tag])?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+/// A decoded frame.
+#[derive(Debug)]
+pub struct Frame {
+    /// The version byte as sent (the reader does not reject mismatches —
+    /// that is the server's job, so it can answer with a structured error).
+    pub version: u8,
+    /// Opcode (requests) or status (responses).
+    pub tag: u8,
+    /// Frame body.
+    pub body: Vec<u8>,
+}
+
+/// Outcome of [`read_frame`].
+#[derive(Debug)]
+pub enum FrameRead {
+    /// A complete frame arrived.
+    Frame(Frame),
+    /// The peer closed the connection cleanly between frames.
+    Eof,
+    /// The frame's length field exceeds `max_len`; the connection is no
+    /// longer in sync and must be dropped after an error response.
+    TooLarge(u32),
+}
+
+/// Reads one frame. `max_len` bounds the length field; I/O errors
+/// (including read timeouts) surface as `Err`.
+pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> std::io::Result<FrameRead> {
+    let mut len_buf = [0u8; 4];
+    // Distinguish clean EOF (no bytes at all) from a torn frame.
+    match r.read(&mut len_buf) {
+        Ok(0) => return Ok(FrameRead::Eof),
+        Ok(n) => r.read_exact(&mut len_buf[n..])?,
+        Err(e) => return Err(e),
+    }
+    let len = u32::from_le_bytes(len_buf);
+    if len < 2 {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "frame length below header size",
+        ));
+    }
+    if len > max_len {
+        return Ok(FrameRead::TooLarge(len));
+    }
+    let mut rest = vec![0u8; len as usize];
+    r.read_exact(&mut rest)?;
+    let body = rest.split_off(2);
+    Ok(FrameRead::Frame(Frame {
+        version: rest[0],
+        tag: rest[1],
+        body,
+    }))
+}
+
+/// Incremental little-endian body writer for multi-payload requests.
+#[derive(Default)]
+pub struct BodyWriter(pub Vec<u8>);
+
+impl BodyWriter {
+    /// An empty body.
+    pub fn new() -> Self {
+        Self::default()
+    }
+    /// Appends a `u32`.
+    pub fn u32(&mut self, v: u32) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    /// Appends a `u64`.
+    pub fn u64(&mut self, v: u64) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    /// Appends an `i64`.
+    pub fn i64(&mut self, v: i64) -> &mut Self {
+        self.0.extend_from_slice(&v.to_le_bytes());
+        self
+    }
+    /// Appends an `f64` as IEEE-754 bits.
+    pub fn f64(&mut self, v: f64) -> &mut Self {
+        self.0.extend_from_slice(&v.to_bits().to_le_bytes());
+        self
+    }
+    /// Appends raw bytes with no length prefix (trailing payload).
+    pub fn raw(&mut self, bytes: &[u8]) -> &mut Self {
+        self.0.extend_from_slice(bytes);
+        self
+    }
+    /// Appends a `u32` length prefix followed by the bytes.
+    pub fn blob(&mut self, bytes: &[u8]) -> &mut Self {
+        self.u32(bytes.len() as u32);
+        self.0.extend_from_slice(bytes);
+        self
+    }
+}
+
+/// Incremental body reader; every method fails `Malformed`-style with
+/// `None` on underrun rather than panicking.
+pub struct BodyReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BodyReader<'a> {
+    /// Wraps a body slice.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+    /// Bytes not yet consumed (a trailing payload).
+    pub fn rest(self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+    /// True when everything was consumed.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        if self.pos + n > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Some(s)
+    }
+    /// Reads a `u32`.
+    pub fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().unwrap()))
+    }
+    /// Reads a `u64`.
+    pub fn u64(&mut self) -> Option<u64> {
+        self.take(8)
+            .map(|b| u64::from_le_bytes(b.try_into().unwrap()))
+    }
+    /// Reads an `i64`.
+    pub fn i64(&mut self) -> Option<i64> {
+        self.take(8)
+            .map(|b| i64::from_le_bytes(b.try_into().unwrap()))
+    }
+    /// Reads an `f64` from IEEE-754 bits.
+    pub fn f64(&mut self) -> Option<f64> {
+        self.u64().map(f64::from_bits)
+    }
+    /// Reads a `u32`-length-prefixed byte blob.
+    pub fn blob(&mut self) -> Option<&'a [u8]> {
+        let len = self.u32()? as usize;
+        self.take(len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, Opcode::Add as u8, b"payload").unwrap();
+        let mut cursor = &buf[..];
+        match read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap() {
+            FrameRead::Frame(f) => {
+                assert_eq!(f.version, PROTOCOL_VERSION);
+                assert_eq!(f.tag, Opcode::Add as u8);
+                assert_eq!(f.body, b"payload");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A second read on the drained cursor is a clean EOF.
+        assert!(matches!(
+            read_frame(&mut cursor, DEFAULT_MAX_FRAME_BYTES).unwrap(),
+            FrameRead::Eof
+        ));
+    }
+
+    #[test]
+    fn oversize_frames_are_flagged_not_allocated() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        buf.extend_from_slice(&[PROTOCOL_VERSION, 0x10]);
+        let mut cursor = &buf[..];
+        assert!(matches!(
+            read_frame(&mut cursor, 1024).unwrap(),
+            FrameRead::TooLarge(len) if len == u32::MAX
+        ));
+    }
+
+    #[test]
+    fn torn_length_prefix_is_an_error_not_eof() {
+        let mut cursor: &[u8] = &[3u8, 0];
+        assert!(read_frame(&mut cursor, 1024).is_err());
+    }
+
+    #[test]
+    fn opcode_and_error_tables_roundtrip() {
+        for op in Opcode::ALL {
+            assert_eq!(Opcode::from_u8(op as u8), Some(op));
+            assert!(!op.name().is_empty());
+        }
+        assert_eq!(Opcode::from_u8(0xee), None);
+        for v in 1..=10u8 {
+            let code = ErrorCode::from_u8(v).unwrap();
+            assert_eq!(code as u8, v);
+            assert!(!code.to_string().is_empty());
+        }
+        assert_eq!(ErrorCode::from_u8(0), None);
+        assert_eq!(ErrorCode::from_u8(99), None);
+    }
+
+    #[test]
+    fn body_reader_fails_closed_on_underrun() {
+        let mut w = BodyWriter::new();
+        w.u64(7).blob(b"abc").i64(-2).f64(0.5);
+        let bytes = w.0.clone();
+        let mut r = BodyReader::new(&bytes);
+        assert_eq!(r.u64(), Some(7));
+        assert_eq!(r.blob(), Some(&b"abc"[..]));
+        assert_eq!(r.i64(), Some(-2));
+        assert_eq!(r.f64(), Some(0.5));
+        assert!(r.is_empty());
+        // Truncate anywhere: reads return None, never panic.
+        for cut in 0..bytes.len() {
+            let mut r = BodyReader::new(&bytes[..cut]);
+            let _ = r.u64();
+            let _ = r.blob();
+            let _ = r.i64();
+            let _ = r.f64();
+        }
+    }
+}

@@ -1,0 +1,630 @@
+//! The server: an acceptor, per-connection reader threads, and a bounded
+//! worker pool executing FHE ops against shared session/cache state.
+//!
+//! Threading model (all `std::thread`, no async runtime):
+//!
+//! - The **acceptor** owns the listener and spawns one reader thread per
+//!   connection.
+//! - A **reader** parses frames and enqueues jobs on a bounded
+//!   [`sync_channel`]; a full queue is answered immediately with
+//!   [`ErrorCode::Overloaded`] (backpressure), never buffered. The reader
+//!   then blocks for that job's reply and writes it, so each connection
+//!   sees strict request/response ordering.
+//! - **Workers** pop jobs, drop any whose deadline passed while queued,
+//!   and run the op under `catch_unwind` so a panic (e.g. a scale
+//!   mismatch assertion deep in the evaluator) becomes a structured
+//!   [`ErrorCode::Internal`] instead of a dead worker.
+//!
+//! Shutdown is a graceful drain: readers stop accepting new frames,
+//! in-queue jobs still execute and their replies are delivered, then
+//! every thread is joined.
+
+use crate::cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
+use crate::metrics::Metrics;
+use crate::protocol::{
+    read_frame, write_frame, BodyReader, ErrorCode, FrameRead, Opcode, DEFAULT_MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+};
+use crate::session::{Session, SessionManager};
+use ckks::hoisting::{apply_bsgs, bsgs_required_steps, LinearTransform};
+use ckks::serialize::{
+    deserialize_ciphertext, deserialize_plaintext, deserialize_switching_key,
+    galois_key_set_entries, serialize_ciphertext,
+};
+use ckks::{Ciphertext, CkksContext, Encoder, Evaluator, GaloisKeys};
+use fhe_apps::{encrypted_lr_step, lr_fold_steps};
+use fhe_math::cfft::Complex;
+use std::collections::BTreeMap;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads executing FHE ops.
+    pub workers: usize,
+    /// Bounded queue length; a full queue rejects with `Overloaded`.
+    pub queue_capacity: usize,
+    /// Byte budget for expanded switching keys ([`KeyCache`]).
+    pub key_cache_budget: u64,
+    /// Cache eviction policy.
+    pub eviction: EvictionPolicy,
+    /// Maximum time a request may wait in the queue before a worker
+    /// starts it; exceeded requests answer `DeadlineExceeded`.
+    pub request_deadline: Duration,
+    /// Ceiling on a single frame.
+    pub max_frame_bytes: u32,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_capacity: 32,
+            key_cache_budget: 64 << 20,
+            eviction: EvictionPolicy::Lru,
+            request_deadline: Duration::from_secs(30),
+            max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+        }
+    }
+}
+
+/// State shared by every thread.
+pub(crate) struct ServerState {
+    pub(crate) ctx: Arc<CkksContext>,
+    pub(crate) evaluator: Evaluator,
+    pub(crate) encoder: Encoder,
+    pub(crate) sessions: SessionManager,
+    pub(crate) cache: KeyCache,
+    pub(crate) metrics: Metrics,
+}
+
+struct Job {
+    op: Opcode,
+    body: Vec<u8>,
+    enqueued: Instant,
+    reply: std::sync::mpsc::Sender<(u8, Vec<u8>)>,
+}
+
+/// A running server; dropping without [`Server::shutdown`] aborts
+/// non-gracefully (threads are detached), so call `shutdown`.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    queue: Option<SyncSender<Job>>,
+}
+
+impl Server {
+    /// Binds a loopback listener on an OS-assigned port and starts the
+    /// acceptor and worker threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-creation I/O errors.
+    pub fn start(ctx: Arc<CkksContext>, config: ServeConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let state = Arc::new(ServerState {
+            evaluator: Evaluator::new(ctx.clone()),
+            encoder: Encoder::new(ctx.clone()),
+            ctx,
+            sessions: SessionManager::new(),
+            cache: KeyCache::new(config.key_cache_budget, config.eviction),
+            metrics: Metrics::new(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = sync_channel::<Job>(config.queue_capacity);
+        let rx = Arc::new(Mutex::new(rx));
+
+        let workers = (0..config.workers.max(1))
+            .map(|i| {
+                let state = state.clone();
+                let rx = rx.clone();
+                let deadline = config.request_deadline;
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&state, &rx, deadline))
+                    .expect("spawn worker")
+            })
+            .collect();
+
+        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
+        let acceptor = {
+            let state = state.clone();
+            let shutdown = shutdown.clone();
+            let conn_handles = conn_handles.clone();
+            let tx = tx.clone();
+            let max_frame = config.max_frame_bytes;
+            std::thread::Builder::new()
+                .name("serve-acceptor".into())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let Ok(stream) = stream else { continue };
+                        state
+                            .metrics
+                            .connections_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        let state = state.clone();
+                        let shutdown = shutdown.clone();
+                        let tx = tx.clone();
+                        let handle = std::thread::Builder::new()
+                            .name("serve-conn".into())
+                            .spawn(move || {
+                                connection_loop(&state, &shutdown, &tx, stream, max_frame)
+                            })
+                            .expect("spawn connection thread");
+                        conn_handles.lock().expect("handles poisoned").push(handle);
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+
+        Ok(Server {
+            addr,
+            state,
+            shutdown,
+            acceptor: Some(acceptor),
+            workers,
+            conn_handles,
+            queue: Some(tx),
+        })
+    }
+
+    /// The bound address to hand to [`crate::client::Client::connect`].
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Key-cache counters (also part of the metrics dump).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.cache.stats()
+    }
+
+    /// The current metrics dump, server-side (the `Metrics` opcode
+    /// returns the same text over the wire).
+    pub fn metrics_dump(&self) -> String {
+        self.state.metrics.dump(&self.state.cache.stats())
+    }
+
+    /// Graceful drain: stop accepting, let queued requests finish and
+    /// their replies flush, then join every thread.
+    pub fn shutdown(mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Unblock the acceptor's blocking `accept`.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        let handles = std::mem::take(&mut *self.conn_handles.lock().expect("handles poisoned"));
+        for h in handles {
+            let _ = h.join();
+        }
+        // All reader-held senders are gone; dropping ours disconnects the
+        // channel once the queue drains, and the workers exit.
+        drop(self.queue.take());
+        for h in std::mem::take(&mut self.workers) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(state: &ServerState, rx: &Arc<Mutex<Receiver<Job>>>, deadline: Duration) {
+    loop {
+        let job = {
+            let rx = rx.lock().expect("queue poisoned");
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        state.metrics.dequeued();
+        if job.enqueued.elapsed() > deadline {
+            state
+                .metrics
+                .rejected_deadline
+                .fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send((
+                ErrorCode::DeadlineExceeded as u8,
+                format!("queued longer than {deadline:?}").into_bytes(),
+            ));
+            continue;
+        }
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(|| handle(state, job.op, &job.body)));
+        state.metrics.latency(job.op).observe(start.elapsed());
+        let (status, body) = match result {
+            Ok(Ok(body)) => (0u8, body),
+            Ok(Err((code, msg))) => (code as u8, msg.into_bytes()),
+            Err(_) => (ErrorCode::Internal as u8, b"operation panicked".to_vec()),
+        };
+        let _ = job.reply.send((status, body));
+    }
+}
+
+/// Blocks through read timeouts, polling the shutdown flag, so an idle
+/// connection wakes up promptly at shutdown while a slow frame mid-body
+/// still completes.
+struct PatientReader<'a> {
+    stream: &'a TcpStream,
+    shutdown: &'a AtomicBool,
+}
+
+impl Read for PatientReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        loop {
+            let mut stream = self.stream;
+            match stream.read(buf) {
+                Err(e)
+                    if e.kind() == std::io::ErrorKind::WouldBlock
+                        || e.kind() == std::io::ErrorKind::TimedOut =>
+                {
+                    if self.shutdown.load(Ordering::SeqCst) {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            "server shutting down",
+                        ));
+                    }
+                }
+                r => return r,
+            }
+        }
+    }
+}
+
+fn connection_loop(
+    state: &ServerState,
+    shutdown: &AtomicBool,
+    queue: &SyncSender<Job>,
+    mut stream: TcpStream,
+    max_frame: u32,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let _ = stream.set_nodelay(true);
+    let respond = |stream: &mut TcpStream, status: u8, body: &[u8]| {
+        if status != 0 {
+            state.metrics.errors_total.fetch_add(1, Ordering::Relaxed);
+        }
+        state
+            .metrics
+            .bytes_written
+            .fetch_add(6 + body.len() as u64, Ordering::Relaxed);
+        write_frame(stream, status, body).is_ok()
+    };
+    loop {
+        let mut reader = PatientReader {
+            stream: &stream,
+            shutdown,
+        };
+        match read_frame(&mut reader, max_frame) {
+            Ok(FrameRead::Frame(frame)) => {
+                state
+                    .metrics
+                    .bytes_read
+                    .fetch_add(6 + frame.body.len() as u64, Ordering::Relaxed);
+                if frame.version != PROTOCOL_VERSION {
+                    let msg = format!("version {} unsupported", frame.version);
+                    if !respond(
+                        &mut stream,
+                        ErrorCode::UnsupportedVersion as u8,
+                        msg.as_bytes(),
+                    ) {
+                        break;
+                    }
+                    continue;
+                }
+                let Some(op) = Opcode::from_u8(frame.tag) else {
+                    let msg = format!("opcode {:#04x}", frame.tag);
+                    if !respond(&mut stream, ErrorCode::UnknownOpcode as u8, msg.as_bytes()) {
+                        break;
+                    }
+                    continue;
+                };
+                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let job = Job {
+                    op,
+                    body: frame.body,
+                    enqueued: Instant::now(),
+                    reply: reply_tx,
+                };
+                // Count before sending: a worker may pop (and decrement)
+                // the instant `try_send` returns.
+                state.metrics.enqueued();
+                match queue.try_send(job) {
+                    Ok(()) => {
+                        let (status, body) = reply_rx.recv().unwrap_or((
+                            ErrorCode::Internal as u8,
+                            b"worker dropped the request".to_vec(),
+                        ));
+                        if !respond(&mut stream, status, &body) {
+                            break;
+                        }
+                    }
+                    Err(TrySendError::Full(_)) => {
+                        state.metrics.retracted();
+                        state
+                            .metrics
+                            .rejected_overload
+                            .fetch_add(1, Ordering::Relaxed);
+                        if !respond(
+                            &mut stream,
+                            ErrorCode::Overloaded as u8,
+                            b"queue full, retry later",
+                        ) {
+                            break;
+                        }
+                    }
+                    Err(TrySendError::Disconnected(_)) => {
+                        state.metrics.retracted();
+                        break;
+                    }
+                }
+            }
+            Ok(FrameRead::Eof) => break,
+            Ok(FrameRead::TooLarge(len)) => {
+                // The unread body leaves the stream out of sync: answer,
+                // then drop the connection.
+                let msg = format!("frame of {len} bytes exceeds limit {max_frame}");
+                respond(&mut stream, ErrorCode::FrameTooLarge as u8, msg.as_bytes());
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+type OpResult = Result<Vec<u8>, (ErrorCode, String)>;
+
+fn fail<T>(code: ErrorCode, msg: impl Into<String>) -> Result<T, (ErrorCode, String)> {
+    Err((code, msg.into()))
+}
+
+fn handle(state: &ServerState, op: Opcode, body: &[u8]) -> OpResult {
+    match op {
+        Opcode::Hello => {
+            let sid = state.sessions.create();
+            Ok(sid.to_le_bytes().to_vec())
+        }
+        Opcode::UploadRelin => {
+            let mut r = BodyReader::new(body);
+            let (_sid, session) = need_session(state, &mut r)?;
+            let key_bytes = r.rest();
+            // Validate against the context before filing it away, so MULT
+            // never trips over garbage later.
+            if deserialize_switching_key(&state.ctx, key_bytes).is_err() {
+                return fail(ErrorCode::Malformed, "relin key bytes rejected");
+            }
+            session.set_relin(key_bytes.to_vec());
+            Ok(Vec::new())
+        }
+        Opcode::UploadGalois => {
+            let mut r = BodyReader::new(body);
+            let (_sid, session) = need_session(state, &mut r)?;
+            let bundle = r.rest();
+            let entries = match galois_key_set_entries(bundle) {
+                Ok(e) if !e.is_empty() => e,
+                _ => return fail(ErrorCode::Malformed, "galois bundle rejected"),
+            };
+            // Keys are stored compressed, split but unexpanded — the
+            // cache pays for expansion on first use.
+            for (element, key_bytes) in entries {
+                session.set_galois(element, key_bytes.to_vec());
+            }
+            Ok(Vec::new())
+        }
+        Opcode::CloseSession => {
+            let mut r = BodyReader::new(body);
+            let sid = r.u64().ok_or_else(malformed)?;
+            state
+                .sessions
+                .close(sid)
+                .map_err(|c| (c, format!("session {sid}")))?;
+            state.cache.purge_session(sid);
+            Ok(Vec::new())
+        }
+        Opcode::Add => {
+            let mut r = BodyReader::new(body);
+            let (_sid, _session) = need_session(state, &mut r)?;
+            let a = read_ct(state, r.blob().ok_or_else(malformed)?)?;
+            let b = read_ct(state, r.blob().ok_or_else(malformed)?)?;
+            let (a, b) = state.evaluator.align_levels(&a, &b);
+            Ok(serialize_ciphertext(&state.evaluator.add(&a, &b)))
+        }
+        Opcode::PtMult => {
+            let mut r = BodyReader::new(body);
+            let (_sid, _session) = need_session(state, &mut r)?;
+            let ct = read_ct(state, r.blob().ok_or_else(malformed)?)?;
+            let pt = deserialize_plaintext(&state.ctx, r.blob().ok_or_else(malformed)?)
+                .map_err(|e| (ErrorCode::Malformed, e.to_string()))?;
+            if ct.limb_count() != pt.limb_count() || ct.limb_count() < 2 {
+                return fail(ErrorCode::Malformed, "plaintext level mismatch");
+            }
+            Ok(serialize_ciphertext(&state.evaluator.mul_plain(&ct, &pt)))
+        }
+        Opcode::Mult => {
+            let mut r = BodyReader::new(body);
+            let (sid, session) = need_session(state, &mut r)?;
+            let a = read_ct(state, r.blob().ok_or_else(malformed)?)?;
+            let b = read_ct(state, r.blob().ok_or_else(malformed)?)?;
+            if a.limb_count().min(b.limb_count()) < 2 {
+                return fail(ErrorCode::Malformed, "no level left to multiply at");
+            }
+            let rlk = expand_key(state, sid, &session, KeyKind::Relin)?;
+            let (a, b) = state.evaluator.align_levels(&a, &b);
+            Ok(serialize_ciphertext(
+                &state.evaluator.mul_with_key(&a, &b, &rlk),
+            ))
+        }
+        Opcode::Rotate => {
+            let mut r = BodyReader::new(body);
+            let (sid, session) = need_session(state, &mut r)?;
+            let steps = r.i64().ok_or_else(malformed)?;
+            let ct = read_ct(state, r.rest())?;
+            if steps == 0 {
+                return Ok(serialize_ciphertext(&ct));
+            }
+            let gk = assemble_galois(state, sid, &session, &[steps])?;
+            Ok(serialize_ciphertext(
+                &state.evaluator.rotate(&ct, steps, &gk),
+            ))
+        }
+        Opcode::Rescale => {
+            let mut r = BodyReader::new(body);
+            let (_sid, _session) = need_session(state, &mut r)?;
+            let ct = read_ct(state, r.rest())?;
+            if ct.limb_count() < 2 {
+                return fail(ErrorCode::Malformed, "no limb left to rescale away");
+            }
+            Ok(serialize_ciphertext(&state.evaluator.rescale(&ct)))
+        }
+        Opcode::Bsgs => {
+            let mut r = BodyReader::new(body);
+            let (sid, session) = need_session(state, &mut r)?;
+            let slots = state.ctx.params().slots();
+            let n1 = r.u32().ok_or_else(malformed)? as usize;
+            let diag_count = r.u32().ok_or_else(malformed)? as usize;
+            if n1 == 0 || n1 > slots || diag_count == 0 || diag_count > slots {
+                return fail(ErrorCode::Malformed, "bad BSGS dimensions");
+            }
+            let mut diagonals = BTreeMap::new();
+            for _ in 0..diag_count {
+                let offset = r.u32().ok_or_else(malformed)? as usize;
+                if offset >= slots {
+                    return fail(ErrorCode::Malformed, "diagonal offset out of range");
+                }
+                let mut diag = Vec::with_capacity(slots);
+                for _ in 0..slots {
+                    let re = r.f64().ok_or_else(malformed)?;
+                    let im = r.f64().ok_or_else(malformed)?;
+                    diag.push(Complex::new(re, im));
+                }
+                diagonals.insert(offset, diag);
+            }
+            let ct = read_ct(state, r.rest())?;
+            let lt = LinearTransform::from_diagonals(diagonals, slots);
+            let steps = bsgs_required_steps(&lt, n1);
+            let gk = assemble_galois(state, sid, &session, &steps)?;
+            Ok(serialize_ciphertext(&apply_bsgs(
+                &state.evaluator,
+                &state.encoder,
+                &ct,
+                &lt,
+                &gk,
+                n1,
+            )))
+        }
+        Opcode::HelrStep => {
+            let mut r = BodyReader::new(body);
+            let (sid, session) = need_session(state, &mut r)?;
+            let learning_rate = r.f64().ok_or_else(malformed)?;
+            let dim = r.u32().ok_or_else(malformed)? as usize;
+            if dim == 0 || dim > 64 {
+                return fail(ErrorCode::Malformed, "feature dimension out of range");
+            }
+            let read_cts = |n: usize,
+                            r: &mut BodyReader<'_>|
+             -> Result<Vec<Ciphertext>, (ErrorCode, String)> {
+                (0..n)
+                    .map(|_| read_ct(state, r.blob().ok_or_else(malformed)?))
+                    .collect()
+            };
+            let mut weights = read_cts(dim, &mut r)?;
+            let xs = read_cts(dim, &mut r)?;
+            let y01 = read_ct(state, r.blob().ok_or_else(malformed)?)?;
+            let slots = state.ctx.params().slots();
+            if weights[0].limb_count() <= fhe_apps::helr_enc::LR_STEP_DEPTH {
+                return fail(ErrorCode::Malformed, "not enough levels for a step");
+            }
+            let rlk = expand_key(state, sid, &session, KeyKind::Relin)?;
+            let gk = assemble_galois(state, sid, &session, &lr_fold_steps(slots))?;
+            encrypted_lr_step(
+                &state.evaluator,
+                &rlk,
+                &gk,
+                &mut weights,
+                &xs,
+                &y01,
+                slots,
+                learning_rate,
+            );
+            let mut out = crate::protocol::BodyWriter::new();
+            for w in &weights {
+                out.blob(&serialize_ciphertext(w));
+            }
+            Ok(out.0)
+        }
+        Opcode::Metrics => Ok(state.metrics.dump(&state.cache.stats()).into_bytes()),
+    }
+}
+
+fn malformed() -> (ErrorCode, String) {
+    (ErrorCode::Malformed, "truncated request body".into())
+}
+
+fn need_session(
+    state: &ServerState,
+    r: &mut BodyReader<'_>,
+) -> Result<(u64, Arc<Session>), (ErrorCode, String)> {
+    let sid = r.u64().ok_or_else(malformed)?;
+    let session = state
+        .sessions
+        .get(sid)
+        .map_err(|c| (c, format!("session {sid}")))?;
+    Ok((sid, session))
+}
+
+fn read_ct(state: &ServerState, bytes: &[u8]) -> Result<Ciphertext, (ErrorCode, String)> {
+    deserialize_ciphertext(&state.ctx, bytes).map_err(|e| (ErrorCode::Malformed, e.to_string()))
+}
+
+/// Fetches one expanded key via the cache, resolving the compressed bytes
+/// from the session store.
+fn expand_key(
+    state: &ServerState,
+    sid: u64,
+    session: &Session,
+    kind: KeyKind,
+) -> Result<Arc<ckks::SwitchingKey>, (ErrorCode, String)> {
+    let bytes = session
+        .key_bytes(kind)
+        .map_err(|c| (c, format!("{kind:?} for session {sid}")))?;
+    state
+        .cache
+        .get_or_expand(&state.ctx, sid, kind, &bytes)
+        .map_err(|c| (c, format!("{kind:?} failed to expand")))
+}
+
+/// Builds a per-request Galois key set for `steps` from cached shared
+/// expansions, failing with `MissingKey` *before* any evaluator call can
+/// panic on an absent key.
+fn assemble_galois(
+    state: &ServerState,
+    sid: u64,
+    session: &Session,
+    steps: &[i64],
+) -> Result<GaloisKeys, (ErrorCode, String)> {
+    let mut gk = GaloisKeys::new();
+    for &s in steps {
+        if s == 0 {
+            continue;
+        }
+        let element = state.ctx.rotation_element(s);
+        if gk.get_shared(element).is_some() {
+            continue;
+        }
+        let key = expand_key(state, sid, session, KeyKind::Galois(element))
+            .map_err(|(c, _)| (c, format!("rotation step {s} (element {element})")))?;
+        gk.insert_shared(element, key);
+    }
+    Ok(gk)
+}

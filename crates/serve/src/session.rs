@@ -1,0 +1,176 @@
+//! Multi-tenant session state.
+//!
+//! A session owns nothing but its uploaded key material, and keeps it in
+//! *compressed wire form only* — the 32-byte seed plus the `b`
+//! polynomials, exactly as received. Expanded keys live exclusively in
+//! the shared [`crate::cache::KeyCache`], so the per-tenant resident
+//! footprint is the paper's halved key size and the expansion budget is
+//! a single server-wide knob.
+
+use crate::cache::KeyKind;
+use crate::protocol::ErrorCode;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One tenant's uploaded keys, in compressed serialized form.
+#[derive(Default)]
+pub struct Session {
+    relin: Mutex<Option<Arc<Vec<u8>>>>,
+    galois: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+}
+
+impl Session {
+    /// Stores (or replaces) the relinearization key bytes.
+    pub fn set_relin(&self, bytes: Vec<u8>) {
+        *self.relin.lock().expect("session poisoned") = Some(Arc::new(bytes));
+    }
+
+    /// Stores (or replaces) the Galois key bytes for one element.
+    pub fn set_galois(&self, element: u64, bytes: Vec<u8>) {
+        self.galois
+            .lock()
+            .expect("session poisoned")
+            .insert(element, Arc::new(bytes));
+    }
+
+    /// The compressed bytes backing `kind`, or [`ErrorCode::MissingKey`].
+    pub fn key_bytes(&self, kind: KeyKind) -> Result<Arc<Vec<u8>>, ErrorCode> {
+        match kind {
+            KeyKind::Relin => self
+                .relin
+                .lock()
+                .expect("session poisoned")
+                .clone()
+                .ok_or(ErrorCode::MissingKey),
+            KeyKind::Galois(element) => self
+                .galois
+                .lock()
+                .expect("session poisoned")
+                .get(&element)
+                .cloned()
+                .ok_or(ErrorCode::MissingKey),
+        }
+    }
+
+    /// Total compressed key bytes this session stores.
+    pub fn stored_bytes(&self) -> u64 {
+        let relin = self
+            .relin
+            .lock()
+            .expect("session poisoned")
+            .as_ref()
+            .map_or(0, |b| b.len() as u64);
+        let galois: u64 = self
+            .galois
+            .lock()
+            .expect("session poisoned")
+            .values()
+            .map(|b| b.len() as u64)
+            .sum();
+        relin + galois
+    }
+}
+
+/// Allocates session ids and resolves them to sessions.
+pub struct SessionManager {
+    next_id: AtomicU64,
+    sessions: Mutex<HashMap<u64, Arc<Session>>>,
+}
+
+impl Default for SessionManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SessionManager {
+    /// An empty manager; ids start at 1 so 0 never names a session.
+    pub fn new() -> Self {
+        Self {
+            next_id: AtomicU64::new(1),
+            sessions: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Opens a session and returns its id.
+    pub fn create(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.sessions
+            .lock()
+            .expect("sessions poisoned")
+            .insert(id, Arc::new(Session::default()));
+        id
+    }
+
+    /// Resolves an id, or [`ErrorCode::NoSession`].
+    pub fn get(&self, id: u64) -> Result<Arc<Session>, ErrorCode> {
+        self.sessions
+            .lock()
+            .expect("sessions poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(ErrorCode::NoSession)
+    }
+
+    /// Closes a session; the caller must also purge the key cache.
+    pub fn close(&self, id: u64) -> Result<(), ErrorCode> {
+        self.sessions
+            .lock()
+            .expect("sessions poisoned")
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(ErrorCode::NoSession)
+    }
+
+    /// Number of open sessions.
+    pub fn len(&self) -> usize {
+        self.sessions.lock().expect("sessions poisoned").len()
+    }
+
+    /// True when no sessions are open.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Sum of compressed key bytes across all open sessions.
+    pub fn stored_bytes(&self) -> u64 {
+        self.sessions
+            .lock()
+            .expect("sessions poisoned")
+            .values()
+            .map(|s| s.stored_bytes())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_and_key_lookup() {
+        let mgr = SessionManager::new();
+        assert!(mgr.is_empty());
+        let id = mgr.create();
+        assert_ne!(id, 0);
+        let s = mgr.get(id).unwrap();
+        assert!(matches!(
+            s.key_bytes(KeyKind::Relin),
+            Err(ErrorCode::MissingKey)
+        ));
+        s.set_relin(vec![1, 2, 3]);
+        s.set_galois(9, vec![4, 5]);
+        assert_eq!(*s.key_bytes(KeyKind::Relin).unwrap(), vec![1, 2, 3]);
+        assert_eq!(*s.key_bytes(KeyKind::Galois(9)).unwrap(), vec![4, 5]);
+        assert!(matches!(
+            s.key_bytes(KeyKind::Galois(10)),
+            Err(ErrorCode::MissingKey)
+        ));
+        assert_eq!(s.stored_bytes(), 5);
+        assert_eq!(mgr.stored_bytes(), 5);
+        mgr.close(id).unwrap();
+        assert!(matches!(mgr.get(id), Err(ErrorCode::NoSession)));
+        assert!(matches!(mgr.close(id), Err(ErrorCode::NoSession)));
+    }
+}

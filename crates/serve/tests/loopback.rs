@@ -1,0 +1,244 @@
+//! End-to-end loopback test: K concurrent tenants share one server whose
+//! key-cache budget is deliberately smaller than the tenants' aggregate
+//! expanded key bytes, so the cache must evict and regenerate from seeds
+//! mid-run — and every result must still be bit-identical to the same
+//! operations executed directly against the library.
+
+use ckks::serialize::{deserialize_switching_key, serialize_ciphertext, serialize_switching_key};
+use ckks::{Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator};
+use fhe_apps::{encrypted_lr_step, lr_fold_steps};
+use fhe_math::cfft::Complex;
+use fhe_serve::{Client, EvictionPolicy, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn helr_ctx() -> Arc<CkksContext> {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_degree(5)
+            .levels(10)
+            .scale_bits(30)
+            .first_modulus_bits(40)
+            .special_modulus_bits(34)
+            .dnum(5)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn encrypt_vec(
+    ctx: &Arc<CkksContext>,
+    encoder: &Encoder,
+    encryptor: &Encryptor,
+    sk: &ckks::SecretKey,
+    rng: &mut StdRng,
+    v: &[f64],
+) -> Ciphertext {
+    let cv: Vec<Complex> = v.iter().map(|&x| Complex::new(x, 0.0)).collect();
+    let pt = encoder
+        .encode(&cv, ctx.params().levels(), ctx.params().scale())
+        .unwrap();
+    encryptor.encrypt_symmetric(rng, &pt, sk)
+}
+
+#[test]
+fn concurrent_tenants_bit_identical_under_tight_budget() {
+    const TENANTS: u64 = 4;
+    let ctx = helr_ctx();
+    let slots = ctx.params().slots();
+
+    // Measure one expanded key so the budget can be set in key units:
+    // every switching key here has the same full-basis shape.
+    let probe_bytes = {
+        let mut rng = StdRng::seed_from_u64(999);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let rlk = kg.relin_key_compressed(&mut rng, &sk);
+        let wire = serialize_switching_key(rlk.switching_key());
+        deserialize_switching_key(&ctx, &wire).unwrap().size_bytes()
+    };
+    // Each tenant uploads 1 relin + 4 fold keys = 5 expanded keys; 4
+    // tenants need 20. Six keys of budget forces steady eviction.
+    let budget = 6 * probe_bytes;
+
+    let server = Server::start(
+        ctx.clone(),
+        ServeConfig {
+            workers: 3,
+            queue_capacity: 16,
+            key_cache_budget: budget,
+            eviction: EvictionPolicy::Lru,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+
+    let handles: Vec<_> = (0..TENANTS)
+        .map(|tenant| {
+            let ctx = ctx.clone();
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(1000 + tenant);
+                let kg = KeyGenerator::new(ctx.clone());
+                let sk = kg.secret_key(&mut rng);
+                let rlk = kg.relin_key_compressed(&mut rng, &sk);
+                let gk = kg.galois_keys_compressed(&mut rng, &sk, &lr_fold_steps(slots), false);
+                let encoder = Encoder::new(ctx.clone());
+                let encryptor = Encryptor::new(ctx.clone());
+                let ev = Evaluator::new(ctx.clone());
+
+                let mut client = Client::connect(addr, ctx.clone()).unwrap();
+                let sid = client.hello().unwrap();
+                client.upload_relin(sid, rlk.switching_key()).unwrap();
+                client.upload_galois(sid, &gk).unwrap();
+
+                let xs_plain: Vec<f64> = (0..slots)
+                    .map(|i| (i as f64 * 0.37 + tenant as f64).sin() * 0.4)
+                    .collect();
+                let ys_plain: Vec<f64> = (0..slots).map(|i| ((i % 2) as f64) * 0.5).collect();
+                let a = encrypt_vec(&ctx, &encoder, &encryptor, &sk, &mut rng, &xs_plain);
+                let b = encrypt_vec(&ctx, &encoder, &encryptor, &sk, &mut rng, &ys_plain);
+
+                // Each pair: remote result must equal the local library
+                // call byte for byte.
+                let remote = client.add(sid, &a, &b).unwrap();
+                assert_eq!(
+                    serialize_ciphertext(&remote),
+                    serialize_ciphertext(&ev.add(&a, &b)),
+                    "tenant {tenant}: add diverged"
+                );
+
+                let remote = client.mult(sid, &a, &b).unwrap();
+                assert_eq!(
+                    serialize_ciphertext(&remote),
+                    serialize_ciphertext(&ev.mul(&a, &b, &rlk)),
+                    "tenant {tenant}: mult diverged"
+                );
+
+                for steps in [1i64, 4, 8] {
+                    let remote = client.rotate(sid, &a, steps).unwrap();
+                    assert_eq!(
+                        serialize_ciphertext(&remote),
+                        serialize_ciphertext(&ev.rotate(&a, steps, &gk)),
+                        "tenant {tenant}: rotate {steps} diverged"
+                    );
+                }
+
+                let remote = client.rescale(sid, &a).unwrap();
+                assert_eq!(
+                    serialize_ciphertext(&remote),
+                    serialize_ciphertext(&ev.rescale(&a)),
+                    "tenant {tenant}: rescale diverged"
+                );
+
+                // A whole HELR training step server-side.
+                let dim = 2;
+                let cols: Vec<Vec<f64>> = (0..dim)
+                    .map(|d| (0..slots).map(|i| ((i + d) % 5) as f64 * 0.1).collect())
+                    .collect();
+                let xs: Vec<Ciphertext> = cols
+                    .iter()
+                    .map(|c| encrypt_vec(&ctx, &encoder, &encryptor, &sk, &mut rng, c))
+                    .collect();
+                let y01 = encrypt_vec(&ctx, &encoder, &encryptor, &sk, &mut rng, &ys_plain);
+                let weights: Vec<Ciphertext> = (0..dim)
+                    .map(|_| {
+                        encrypt_vec(&ctx, &encoder, &encryptor, &sk, &mut rng, &vec![0.0; slots])
+                    })
+                    .collect();
+                let remote = client.helr_step(sid, &weights, &xs, &y01, 1.0).unwrap();
+                let mut local = weights.clone();
+                encrypted_lr_step(
+                    &ev,
+                    rlk.switching_key(),
+                    &gk,
+                    &mut local,
+                    &xs,
+                    &y01,
+                    slots,
+                    1.0,
+                );
+                for (d, (r, l)) in remote.iter().zip(&local).enumerate() {
+                    assert_eq!(
+                        serialize_ciphertext(r),
+                        serialize_ciphertext(l),
+                        "tenant {tenant}: HELR weight {d} diverged"
+                    );
+                }
+                client.close_session(sid).unwrap();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("tenant thread panicked");
+    }
+
+    // The budget was smaller than the working set, so the cache must have
+    // both hit (within a tenant's burst) and evicted (across tenants).
+    let stats = server.cache_stats();
+    assert!(stats.misses >= TENANTS, "each tenant expands at least once");
+    assert!(
+        stats.evictions > 0,
+        "aggregate keys exceed the budget, evictions required: {stats:?}"
+    );
+    assert!(
+        stats.resident_bytes <= budget,
+        "cache overran its budget: {} > {budget}",
+        stats.resident_bytes
+    );
+    // Sessions were closed, so nothing of theirs should remain resident.
+    assert_eq!(stats.resident_keys, 0, "closed sessions must purge");
+
+    // With no contention, back-to-back key use must hit the cache: the
+    // second MULT reuses the relin expansion the first one paid for.
+    let mut client = Client::connect(addr, ctx.clone()).unwrap();
+    {
+        let mut rng = StdRng::seed_from_u64(5000);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let rlk = kg.relin_key_compressed(&mut rng, &sk);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let sid = client.hello().unwrap();
+        client.upload_relin(sid, rlk.switching_key()).unwrap();
+        let v: Vec<f64> = (0..slots).map(|i| i as f64 * 0.01).collect();
+        let ct = encrypt_vec(&ctx, &encoder, &encryptor, &sk, &mut rng, &v);
+        let before = server.cache_stats();
+        client.mult(sid, &ct, &ct).unwrap();
+        client.mult(sid, &ct, &ct).unwrap();
+        let after = server.cache_stats();
+        assert_eq!(after.misses, before.misses + 1, "first mult expands");
+        assert!(after.hits > before.hits, "second mult must hit");
+        client.close_session(sid).unwrap();
+    }
+    let dump = client.metrics().unwrap();
+    for needle in [
+        "serve_requests_total",
+        "serve_key_cache_evictions_total",
+        "serve_op_latency_us_count{op=\"helr_step\"}",
+        "serve_bytes_written_total",
+    ] {
+        assert!(
+            dump.contains(needle),
+            "metrics dump missing {needle}:\n{dump}"
+        );
+    }
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_then_connect_refused() {
+    let ctx = helr_ctx();
+    let server = Server::start(ctx.clone(), ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr, ctx.clone()).unwrap();
+    let sid = client.hello().unwrap();
+    assert!(sid > 0);
+    server.shutdown();
+    // The listener is gone: a fresh connection must fail.
+    assert!(
+        std::net::TcpStream::connect(addr).is_err(),
+        "post-shutdown connect should be refused"
+    );
+}

@@ -1,0 +1,167 @@
+//! Error-path coverage for the wire protocol: every structured error code
+//! a client can provoke, plus the echo shortcut and deadline rejection.
+
+use ckks::serialize::serialize_ciphertext;
+use ckks::{CkksContext, CkksParams, Encoder, Encryptor, KeyGenerator};
+use fhe_math::cfft::Complex;
+use fhe_serve::protocol::{read_frame, BodyWriter, FrameRead, Opcode, DEFAULT_MAX_FRAME_BYTES};
+use fhe_serve::{Client, ClientError, ErrorCode, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::Write;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn small_ctx() -> Arc<CkksContext> {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_degree(5)
+            .levels(3)
+            .scale_bits(30)
+            .first_modulus_bits(36)
+            .dnum(2)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn expect_code(result: Result<Vec<u8>, ClientError>, want: ErrorCode) {
+    match result {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, want),
+        other => panic!("expected {want:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn structured_errors_cover_the_misuse_space() {
+    let ctx = small_ctx();
+    let server = Server::start(ctx.clone(), ServeConfig::default()).unwrap();
+    let mut client = Client::connect(server.local_addr(), ctx.clone()).unwrap();
+
+    // Unknown opcode.
+    expect_code(client.call_raw(0xee, &[]), ErrorCode::UnknownOpcode);
+
+    // Unknown session.
+    let mut w = BodyWriter::new();
+    w.u64(424242).blob(b"x").blob(b"y");
+    expect_code(
+        client.call_raw(Opcode::Add as u8, &w.0),
+        ErrorCode::NoSession,
+    );
+
+    let sid = client.hello().unwrap();
+
+    // Truncated body.
+    let mut w = BodyWriter::new();
+    w.u64(sid);
+    expect_code(
+        client.call_raw(Opcode::Add as u8, &w.0),
+        ErrorCode::Malformed,
+    );
+
+    // Garbage ciphertext bytes.
+    let mut w = BodyWriter::new();
+    w.u64(sid).blob(b"not MADf").blob(b"also not");
+    expect_code(
+        client.call_raw(Opcode::Add as u8, &w.0),
+        ErrorCode::Malformed,
+    );
+
+    // Garbage key upload.
+    let mut w = BodyWriter::new();
+    w.u64(sid).raw(b"garbage key");
+    expect_code(
+        client.call_raw(Opcode::UploadRelin as u8, &w.0),
+        ErrorCode::Malformed,
+    );
+
+    // Ops needing keys the session never uploaded.
+    let mut rng = StdRng::seed_from_u64(7);
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let pt = encoder
+        .encode(&[Complex::new(0.5, 0.0)], 3, ctx.params().scale())
+        .unwrap();
+    let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+    match client.mult(sid, &ct, &ct) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::MissingKey),
+        other => panic!("expected MissingKey, got {other:?}"),
+    }
+    match client.rotate(sid, &ct, 1) {
+        Err(ClientError::Server { code, .. }) => assert_eq!(code, ErrorCode::MissingKey),
+        other => panic!("expected MissingKey, got {other:?}"),
+    }
+
+    // Rotation by zero needs no key at all and echoes the input.
+    let echoed = client.rotate(sid, &ct, 0).unwrap();
+    assert_eq!(serialize_ciphertext(&echoed), serialize_ciphertext(&ct));
+
+    server.shutdown();
+}
+
+#[test]
+fn version_mismatch_is_answered_not_dropped() {
+    let ctx = small_ctx();
+    let server = Server::start(ctx, ServeConfig::default()).unwrap();
+    let mut stream = std::net::TcpStream::connect(server.local_addr()).unwrap();
+    // Hand-rolled frame with a bad version byte.
+    let body = [0u8; 0];
+    let len = (2 + body.len()) as u32;
+    stream.write_all(&len.to_le_bytes()).unwrap();
+    stream.write_all(&[99, Opcode::Hello as u8]).unwrap();
+    stream.flush().unwrap();
+    match read_frame(&mut stream, DEFAULT_MAX_FRAME_BYTES).unwrap() {
+        FrameRead::Frame(f) => {
+            assert_eq!(f.tag, ErrorCode::UnsupportedVersion as u8);
+        }
+        other => panic!("expected a frame, got {other:?}"),
+    }
+    server.shutdown();
+}
+
+#[test]
+fn oversize_frame_is_rejected_and_connection_closed() {
+    let ctx = small_ctx();
+    let server = Server::start(
+        ctx.clone(),
+        ServeConfig {
+            max_frame_bytes: 1024,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr(), ctx).unwrap();
+    expect_code(
+        client.call_raw(Opcode::Hello as u8, &vec![0u8; 4096]),
+        ErrorCode::FrameTooLarge,
+    );
+    // The server dropped the out-of-sync connection; the next call fails.
+    assert!(client.call_raw(Opcode::Hello as u8, &[]).is_err());
+    server.shutdown();
+}
+
+#[test]
+fn zero_deadline_rejects_every_queued_request() {
+    let ctx = small_ctx();
+    let server = Server::start(
+        ctx.clone(),
+        ServeConfig {
+            request_deadline: Duration::ZERO,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut client = Client::connect(server.local_addr(), ctx).unwrap();
+    expect_code(
+        client.call_raw(Opcode::Hello as u8, &[]),
+        ErrorCode::DeadlineExceeded,
+    );
+    let dump = server.metrics_dump();
+    assert!(
+        dump.contains("serve_rejected_deadline_total 1"),
+        "deadline rejection must be counted:\n{dump}"
+    );
+    server.shutdown();
+}

@@ -2,18 +2,19 @@
 //! miniature version of the paper's HELR workload (Figure 6a–e).
 //!
 //! The server holds encrypted features, encrypted labels and encrypted
-//! weights; every gradient step happens under encryption. After two
-//! steps the decrypted weights are checked against a plaintext run of the
-//! identical algorithm, and the simulator reports what full-scale HELR
-//! training would cost with and without the MAD optimizations.
+//! weights; every gradient step happens under encryption (the step itself
+//! is `mad::apps::encrypted_lr_step`, the same routine the serving
+//! runtime executes as its HELR job). After two steps the decrypted
+//! weights are checked against a plaintext run of the identical
+//! algorithm, and the simulator reports what full-scale HELR training
+//! would cost with and without the MAD optimizations.
 //!
 //! Run with: `cargo run --release --example encrypted_logistic_regression`
 
-use mad::apps::synthetic_mnist_like;
+use mad::apps::{encrypted_lr_step, lr_fold_steps, plain_lr_step, synthetic_mnist_like};
 use mad::math::cfft::Complex;
 use mad::scheme::{
-    Ciphertext, CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, GaloisKeys,
-    KeyGenerator, RelinKey,
+    Ciphertext, CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator,
 };
 use mad::sim::hardware::HardwareConfig;
 use mad::sim::{CostModel, MadConfig, SchemeParams};
@@ -23,90 +24,6 @@ use rand::SeedableRng;
 const FEATURES: usize = 4;
 const ITERATIONS: usize = 2;
 const LEARNING_RATE: f64 = 1.0;
-// σ(x) ≈ C0 + C1·x + C3·x³ (HELR-style degree-3 approximation).
-const C0: f64 = 0.5;
-const C1: f64 = 0.197;
-const C3: f64 = -0.004;
-
-struct Machine {
-    ctx: std::sync::Arc<CkksContext>,
-    encoder: Encoder,
-    evaluator: Evaluator,
-    rlk: RelinKey,
-    gk: GaloisKeys,
-}
-
-impl Machine {
-    /// Mean over all slots via a rotate-and-add fold; the mean ends up
-    /// replicated in every slot.
-    fn slot_mean(&self, ct: &Ciphertext, slots: usize) -> Ciphertext {
-        let mut acc = ct.clone();
-        let mut step = 1i64;
-        while (step as usize) < slots {
-            let rotated = self.evaluator.rotate(&acc, step, &self.gk);
-            acc = self.evaluator.add(&acc, &rotated);
-            step *= 2;
-        }
-        let scaled = self.evaluator.mul_scalar_no_rescale(
-            &acc,
-            1.0 / slots as f64,
-            self.ctx.params().scale(),
-        );
-        self.evaluator.rescale(&scaled)
-    }
-
-    /// One encrypted gradient-descent step. `xs[d]` holds feature `d` for
-    /// every sample in the batch (one sample per slot); `y01` holds the
-    /// 0/1 labels. Weights are replicated scalars, one ciphertext each.
-    fn step(&self, weights: &mut [Ciphertext], xs: &[Ciphertext], y01: &Ciphertext, slots: usize) {
-        let ev = &self.evaluator;
-        let scale = self.ctx.params().scale();
-        // z = Σ_d w_d ⊙ x_d
-        let mut z: Option<Ciphertext> = None;
-        for (w, x) in weights.iter().zip(xs) {
-            let (wa, xa) = ev.align_levels(w, x);
-            let term = ev.mul(&wa, &xa, &self.rlk);
-            z = Some(match z {
-                None => term,
-                Some(a) => ev.add(&a, &term),
-            });
-        }
-        let z = z.expect("at least one feature");
-        // s = σ(z) = C0 + C1·z + C3·z³
-        let z2 = ev.mul(&z, &z, &self.rlk);
-        let (z2a, za) = ev.align_levels(&z2, &z);
-        let z3 = ev.mul(&z2a, &za, &self.rlk);
-        let c1z = ev.rescale(&ev.mul_scalar_no_rescale(&z, C1, scale));
-        let c3z3 = ev.rescale(&ev.mul_scalar_no_rescale(&z3, C3, scale));
-        let (a, b) = ev.align_levels(&c1z, &c3z3);
-        let s = ev.add_scalar(&ev.add(&a, &b), C0);
-        // r = s − y
-        let (sa, ya) = ev.align_levels(&s, y01);
-        let r = ev.sub(&sa, &ya);
-        // Per-feature gradient and update.
-        for (w, x) in weights.iter_mut().zip(xs) {
-            let (ra, xa) = ev.align_levels(&r, x);
-            let g = ev.mul(&ra, &xa, &self.rlk);
-            let g_mean = self.slot_mean(&g, slots);
-            let update = ev.rescale(&ev.mul_scalar_no_rescale(&g_mean, LEARNING_RATE, scale));
-            let (wa, ua) = ev.align_levels(w, &update);
-            *w = ev.sub(&wa, &ua);
-        }
-    }
-}
-
-/// The identical algorithm in the clear — the correctness reference.
-fn plain_step(weights: &mut [f64], xs: &[Vec<f64>], y01: &[f64]) {
-    let slots = y01.len();
-    let z: Vec<f64> = (0..slots)
-        .map(|b| (0..weights.len()).map(|d| weights[d] * xs[d][b]).sum())
-        .collect();
-    let s: Vec<f64> = z.iter().map(|&v| C0 + C1 * v + C3 * v * v * v).collect();
-    for (d, w) in weights.iter_mut().enumerate() {
-        let g: f64 = (0..slots).map(|b| (s[b] - y01[b]) * xs[d][b]).sum::<f64>() / slots as f64;
-        *w -= LEARNING_RATE * g;
-    }
-}
 
 fn main() {
     let ctx = CkksContext::new(
@@ -127,21 +44,11 @@ fn main() {
     let keygen = KeyGenerator::new(ctx.clone());
     let sk = keygen.secret_key(&mut rng);
     let rlk = keygen.relin_key(&mut rng, &sk);
-    let fold_steps: Vec<i64> = (0..)
-        .map(|i| 1i64 << i)
-        .take_while(|&s| (s as usize) < slots)
-        .collect();
-    let gk = keygen.galois_keys(&mut rng, &sk, &fold_steps, false);
+    let gk = keygen.galois_keys(&mut rng, &sk, &lr_fold_steps(slots), false);
     let encoder = Encoder::new(ctx.clone());
     let encryptor = Encryptor::new(ctx.clone());
     let decryptor = Decryptor::new(ctx.clone());
-    let machine = Machine {
-        evaluator: Evaluator::new(ctx.clone()),
-        encoder,
-        rlk,
-        gk,
-        ctx: ctx.clone(),
-    };
+    let evaluator = Evaluator::new(ctx.clone());
 
     // Pack: xs[d] = feature d across the batch, y01 = labels as 0/1.
     let levels = ctx.params().levels();
@@ -152,7 +59,7 @@ fn main() {
     let y01: Vec<f64> = data.labels.iter().map(|&l| (l + 1.0) / 2.0).collect();
     let encrypt_vec = |v: &[f64], rng: &mut StdRng| {
         let cv: Vec<Complex> = v.iter().map(|&x| Complex::new(x, 0.0)).collect();
-        let pt = machine.encoder.encode(&cv, levels, scale).expect("encodes");
+        let pt = encoder.encode(&cv, levels, scale).expect("encodes");
         encryptor.encrypt_symmetric(rng, &pt, &sk)
     };
     let xs: Vec<Ciphertext> = columns.iter().map(|c| encrypt_vec(c, &mut rng)).collect();
@@ -164,8 +71,17 @@ fn main() {
 
     println!("training {ITERATIONS} encrypted iterations on {slots} samples × {FEATURES} features");
     for it in 0..ITERATIONS {
-        machine.step(&mut weights, &xs, &y_ct, slots);
-        plain_step(&mut plain_weights, &columns, &y01);
+        encrypted_lr_step(
+            &evaluator,
+            rlk.switching_key(),
+            &gk,
+            &mut weights,
+            &xs,
+            &y_ct,
+            slots,
+            LEARNING_RATE,
+        );
+        plain_lr_step(&mut plain_weights, &columns, &y01, LEARNING_RATE);
         println!(
             "  iteration {} done (weights at {} limbs)",
             it + 1,
@@ -176,7 +92,7 @@ fn main() {
     // Decrypt and compare to the plaintext run of the same algorithm.
     let decrypted: Vec<f64> = weights
         .iter()
-        .map(|w| machine.encoder.decode(&decryptor.decrypt(w, &sk))[0].re)
+        .map(|w| encoder.decode(&decryptor.decrypt(w, &sk))[0].re)
         .collect();
     println!("encrypted weights: {decrypted:?}");
     println!("plaintext weights: {plain_weights:?}");

@@ -2,7 +2,7 @@
 
 //! # MAD: Memory-Aware Design Techniques for Accelerating FHE
 //!
-//! Umbrella crate for the MICRO '23 reproduction. Re-exports the four
+//! Umbrella crate for the MICRO '23 reproduction. Re-exports the five
 //! component crates:
 //!
 //! - [`math`] (`fhe-math`): modular arithmetic, NTT, RNS, canonical-
@@ -13,6 +13,8 @@
 //!   hardware designs, throughput metric and parameter search.
 //! - [`apps`] (`fhe-apps`): HELR logistic regression and ResNet-20
 //!   workloads.
+//! - [`serve`] (`fhe-serve`): the multi-tenant serving runtime with its
+//!   byte-budgeted switching-key cache.
 //!
 //! See `README.md` for a tour, `DESIGN.md` for the system inventory, and
 //! `EXPERIMENTS.md` for the paper-vs-measured record.
@@ -30,4 +32,5 @@
 pub use ckks as scheme;
 pub use fhe_apps as apps;
 pub use fhe_math as math;
+pub use fhe_serve as serve;
 pub use simfhe as sim;
