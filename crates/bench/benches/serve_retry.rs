@@ -1,0 +1,84 @@
+//! Overhead of the hardened client path: the same homomorphic add served
+//! over loopback through the raw [`Client`] versus the
+//! [`RetryingClient`]. On a healthy server every retrying call takes the
+//! zero-retry fast path, so the gap is the pure bookkeeping price of the
+//! retry machinery (attempt accounting, operand re-serialization into the
+//! per-attempt closure) — the number that says whether hardening the
+//! client by default would cost anything.
+
+use ckks::{Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, KeyGenerator};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use fhe_math::cfft::Complex;
+use fhe_serve::{Client, RetryPolicy, RetryingClient, ServeConfig, Server};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn ctx_2_13() -> Arc<CkksContext> {
+    CkksContext::new(
+        CkksParams::builder()
+            .log_degree(13)
+            .levels(4)
+            .scale_bits(40)
+            .first_modulus_bits(50)
+            .special_modulus_bits(50)
+            .dnum(2)
+            .build()
+            .unwrap(),
+    )
+}
+
+fn make_ct(ctx: &Arc<CkksContext>, seed: u64) -> Ciphertext {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let values: Vec<Complex> = (0..ctx.params().slots())
+        .map(|i| Complex::new((i as f64 * 0.01).sin(), 0.0))
+        .collect();
+    let pt = encoder
+        .encode(&values, ctx.params().levels(), ctx.params().scale())
+        .unwrap();
+    encryptor.encrypt_symmetric(&mut rng, &pt, &sk)
+}
+
+fn bench_retry_overhead(c: &mut Criterion) {
+    let ctx = ctx_2_13();
+    let server = Server::start(
+        ctx.clone(),
+        ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr();
+    let ct = make_ct(&ctx, 1);
+
+    let mut group = c.benchmark_group("serve/retry_overhead");
+
+    let mut raw = Client::connect(addr, ctx.clone()).unwrap();
+    let sid = raw.hello().unwrap();
+    group.bench_function("add_raw_client", |b| {
+        b.iter(|| black_box(raw.add(sid, &ct, &ct).unwrap()))
+    });
+    raw.close_session(sid).unwrap();
+
+    let mut retrying = RetryingClient::connect(addr, ctx.clone(), RetryPolicy::default()).unwrap();
+    group.bench_function("add_retrying_client", |b| {
+        b.iter(|| black_box(retrying.add(&ct, &ct).unwrap()))
+    });
+    // A healthy server must never have triggered the retry path: the
+    // comparison above is only the fast-path overhead if this holds.
+    let stats = retrying.stats();
+    assert_eq!(stats.retries, 0, "retries on a healthy server: {stats:?}");
+    assert_eq!(stats.reconnects, 0, "reconnects on loopback: {stats:?}");
+    retrying.close().unwrap();
+
+    group.finish();
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_retry_overhead);
+criterion_main!(benches);

@@ -111,6 +111,78 @@ fn bootstrapped_ciphertext_supports_multiplication() {
 }
 
 #[test]
+fn bootstrap_precision_is_pinned_per_slot() {
+    // Precision *regression* pin: everything here is deterministic (fixed
+    // seed, fixed params, deterministic evaluator), so the per-slot error
+    // profile of a bootstrap is a constant of the implementation. The
+    // bounds below were measured on the current implementation and pinned
+    // at roughly 2× the observed values — loose enough to tolerate
+    // legitimate refactors that reorder floating-point reductions, tight
+    // enough that a quietly broken EvalMod or FFT phase (which moves the
+    // error by orders of magnitude) fails loudly.
+    let levels = 26;
+    let ctx = boot_ctx(levels);
+    let mut rng = StdRng::seed_from_u64(20260805);
+    let keygen = KeyGenerator::new(ctx.clone());
+    let sk = keygen.secret_key_sparse(&mut rng, 8);
+    let rlk = keygen.relin_key(&mut rng, &sk);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let decryptor = Decryptor::new(ctx.clone());
+    let evaluator = Evaluator::new(ctx.clone());
+
+    let bootstrapper = Bootstrapper::new(
+        ctx.clone(),
+        BootstrapConfig {
+            fft_iters: 2,
+            eval_mod_degree: 119,
+            k_range: 9.0,
+        },
+    );
+    let gk = keygen.galois_keys(&mut rng, &sk, &bootstrapper.required_rotations(), true);
+
+    let slots = encoder.slots();
+    let values: Vec<Complex> = (0..slots)
+        .map(|i| Complex::new(0.5 * (i as f64 * 0.9).sin(), 0.3 * (i as f64 * 0.4).cos()))
+        .collect();
+    let pt = encoder.encode(&values, 1, ctx.params().scale()).unwrap();
+    let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
+
+    let refreshed = bootstrapper.bootstrap(&evaluator, &encoder, &ct, &gk, &rlk);
+
+    // The level budget left after bootstrapping is part of the contract:
+    // a depth regression in EvalMod or the FFT phases shows up here first.
+    const PINNED_LIMBS: usize = 6;
+    assert_eq!(
+        refreshed.limb_count(),
+        PINNED_LIMBS,
+        "bootstrap depth changed: output has {} limbs, pinned {}",
+        refreshed.limb_count(),
+        PINNED_LIMBS
+    );
+
+    let back = encoder.decode(&decryptor.decrypt(&refreshed, &sk));
+    let mut max_err = 0.0f64;
+    let mut sum_err = 0.0f64;
+    for (i, (g, w)) in back.iter().zip(&values).enumerate() {
+        let err = (*g - *w).abs();
+        sum_err += err;
+        max_err = max_err.max(err);
+        const PER_SLOT_BOUND: f64 = 3.5e-3;
+        assert!(
+            err < PER_SLOT_BOUND,
+            "slot {i}: error {err:.3e} exceeds pinned bound {PER_SLOT_BOUND:.1e}"
+        );
+    }
+    let mean_err = sum_err / slots as f64;
+    const MEAN_BOUND: f64 = 3.3e-3;
+    assert!(
+        mean_err < MEAN_BOUND,
+        "mean error {mean_err:.3e} exceeds pinned bound {MEAN_BOUND:.1e} (max {max_err:.3e})"
+    );
+}
+
+#[test]
 fn coeff_to_slot_then_slot_to_coeff_is_identity() {
     // The two linear phases, run back to back on a fresh ciphertext,
     // must return (approximately) the original message.

@@ -180,6 +180,60 @@ impl KeyCache {
         evicted
     }
 
+    /// Forcibly evicts every resident expansion (a chaos "eviction
+    /// storm", or an operator flushing the cache). Later lookups re-expand
+    /// from the compressed forms bit-exactly; only the compute price is
+    /// paid again. Returns how many expansions were dropped.
+    pub fn evict_all(&self) -> u64 {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        let dropped = inner.entries.len() as u64;
+        inner.entries.clear();
+        inner.bytes = 0;
+        let mut stats = self.stats.lock().expect("stats poisoned");
+        stats.evictions += dropped;
+        stats.resident_bytes = 0;
+        stats.resident_keys = 0;
+        dropped
+    }
+
+    /// Asserts the cache's internal invariants and returns a consistent
+    /// stats snapshot. Both locks are taken in writer order, so the view
+    /// cannot tear against a concurrent insert, storm, or purge:
+    ///
+    /// - the byte ledger equals the sum of resident entry sizes,
+    /// - the stats mirror (`resident_bytes`/`resident_keys`) matches,
+    /// - the budget holds, except when a single entry alone exceeds it
+    ///   (the in-flight request needs that key regardless).
+    ///
+    /// Used by the concurrency stress and chaos suites; cheap enough to
+    /// call mid-storm.
+    pub fn check_invariants(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache poisoned");
+        let sum: u64 = inner.entries.values().map(|e| e.bytes).sum();
+        assert_eq!(
+            sum, inner.bytes,
+            "byte ledger diverged from resident entries"
+        );
+        let stats = *self.stats.lock().expect("stats poisoned");
+        assert_eq!(
+            stats.resident_bytes, inner.bytes,
+            "stats byte mirror diverged"
+        );
+        assert_eq!(
+            stats.resident_keys,
+            inner.entries.len() as u64,
+            "stats key-count mirror diverged"
+        );
+        assert!(
+            inner.bytes <= self.budget_bytes || inner.entries.len() == 1,
+            "budget exceeded by {} resident keys: {} > {}",
+            inner.entries.len(),
+            inner.bytes,
+            self.budget_bytes
+        );
+        stats
+    }
+
     /// Drops every expansion belonging to `session` (session close).
     pub fn purge_session(&self, session: u64) {
         let mut inner = self.inner.lock().expect("cache poisoned");
@@ -309,6 +363,28 @@ mod tests {
             .get_or_expand(&ctx, 2, KeyKind::Galois(0), &blobs[0])
             .unwrap();
         assert_eq!(cache.stats().hits, 1, "session 2's expansion survived");
+    }
+
+    #[test]
+    fn evict_all_zeroes_residency_and_counts_evictions() {
+        let (ctx, blobs) = setup();
+        let cache = KeyCache::new(u64::MAX, EvictionPolicy::Lru);
+        for (i, b) in blobs.iter().enumerate() {
+            cache
+                .get_or_expand(&ctx, 1, KeyKind::Galois(i as u64), b)
+                .unwrap();
+        }
+        assert_eq!(cache.check_invariants().resident_keys, 3);
+        assert_eq!(cache.evict_all(), 3);
+        let s = cache.check_invariants();
+        assert_eq!(s.resident_keys, 0);
+        assert_eq!(s.resident_bytes, 0);
+        assert_eq!(s.evictions, 3);
+        // The storm is not destructive: the next lookup re-expands.
+        cache
+            .get_or_expand(&ctx, 1, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        assert_eq!(cache.check_invariants().misses, 4);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! Every call is strict request/response on one connection; open several
 //! clients for concurrency.
 
+use crate::fault::XorShift64;
 use crate::protocol::{
     read_frame, write_frame, BodyReader, BodyWriter, ErrorCode, FrameRead, Opcode,
     DEFAULT_MAX_FRAME_BYTES,
@@ -16,8 +17,9 @@ use ckks::serialize::{
     serialize_switching_key, SerializeError,
 };
 use ckks::{Ciphertext, CkksContext, GaloisKeys, Plaintext, SwitchingKey};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Client-side failure.
 #[derive(Debug)]
@@ -78,6 +80,18 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Self { stream, ctx })
+    }
+
+    /// Bounds how long any single response read may block (`None` blocks
+    /// forever, the default). [`RetryingClient`] sets this to its
+    /// per-operation timeout so a stalled server surfaces as a timed-out
+    /// [`ClientError::Io`] instead of a hang.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the socket option error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.stream.set_read_timeout(timeout)
     }
 
     /// Sends one raw frame and returns the response body on success.
@@ -318,5 +332,448 @@ impl Client {
     pub fn metrics(&mut self) -> Result<String, ClientError> {
         let resp = self.call(Opcode::Metrics, &[])?;
         String::from_utf8(resp).map_err(|_| ClientError::Protocol("metrics not UTF-8".into()))
+    }
+}
+
+/// How [`RetryingClient`] paces its attempts: capped exponential backoff
+/// with deterministic jitter (a seeded [`XorShift64`], no OS entropy, so
+/// a chaos run replays bit-for-bit), a per-attempt read timeout, and a
+/// ceiling on attempts per operation.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Maximum attempts per operation before giving up with the last
+    /// error; at least 1.
+    pub max_attempts: u32,
+    /// First backoff; each retry doubles it until [`RetryPolicy::max_backoff`].
+    pub base_backoff: Duration,
+    /// Backoff ceiling.
+    pub max_backoff: Duration,
+    /// Read timeout applied to every connection, bounding how long one
+    /// attempt can block on a response.
+    pub op_timeout: Option<Duration>,
+    /// Seed for the jitter RNG.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self {
+            max_attempts: 8,
+            base_backoff: Duration::from_millis(5),
+            max_backoff: Duration::from_millis(500),
+            op_timeout: Some(Duration::from_secs(30)),
+            jitter_seed: 0x4d41_4466, // "MADf"
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The sleep before retry number `retry` (0-based): exponential
+    /// growth capped at [`RetryPolicy::max_backoff`], then jittered
+    /// uniformly over the upper half of the interval so synchronized
+    /// clients fan out instead of stampeding in lockstep.
+    pub fn backoff(&self, retry: u32, rng: &mut XorShift64) -> Duration {
+        let base = self.base_backoff.as_micros().max(1) as u64;
+        let cap = self.max_backoff.as_micros().max(1) as u64;
+        let exp = base.saturating_mul(1u64 << retry.min(32)).min(cap);
+        let half = exp / 2;
+        Duration::from_micros(half + rng.below(exp - half + 1))
+    }
+}
+
+/// Counters describing what the retry machinery had to do.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RetryStats {
+    /// Individual attempts, including first tries.
+    pub attempts: u64,
+    /// Attempts that failed retryably and were re-issued.
+    pub retries: u64,
+    /// Reconnects (connection loss or server-side session loss), each
+    /// followed by session re-setup and compressed-key re-upload.
+    pub reconnects: u64,
+    /// Operations that exhausted [`RetryPolicy::max_attempts`].
+    pub gave_up: u64,
+}
+
+enum RetryClass {
+    /// Do not retry: re-sending the same bytes would fail the same way.
+    Fatal,
+    /// Back off and re-send on the existing connection.
+    Backoff,
+    /// The connection or the server-side session is gone: reconnect,
+    /// open a fresh session, re-upload the stored compressed keys, then
+    /// re-send.
+    Reconnect,
+}
+
+fn classify(e: &ClientError) -> RetryClass {
+    match e {
+        // Transport trouble (drops, torn frames, timeouts) and nonsense
+        // responses: assume the connection is poisoned.
+        ClientError::Io(_) | ClientError::Protocol(_) => RetryClass::Reconnect,
+        ClientError::Server { code, .. } if !code.is_retryable() => RetryClass::Fatal,
+        // A retryable NoSession means the server lost our session (e.g.
+        // a restart or a chaos session reset): full re-setup.
+        ClientError::Server { code, .. } if *code == ErrorCode::NoSession => RetryClass::Reconnect,
+        ClientError::Server { .. } => RetryClass::Backoff,
+        ClientError::Serialize(_) => RetryClass::Fatal,
+    }
+}
+
+/// A [`Client`] hardened for unreliable networks and overloaded servers.
+///
+/// Owns one logical session and survives connection loss transparently:
+/// on reconnect it opens a fresh server session and re-uploads the
+/// *stored compressed wire bytes* of every key, so the server state after
+/// recovery is byte-identical to the original upload (seeded keys expand
+/// bit-exactly). Transient server errors (`Overloaded`,
+/// `DeadlineExceeded`, `Internal`, `NoSession`) are retried under
+/// [`RetryPolicy`]; client-side mistakes are surfaced immediately.
+///
+/// **Idempotency guard:** every operation serializes its operands exactly
+/// once and each retry re-sends those same bytes (only the session-id
+/// prefix is re-stamped after a re-setup). Because every evaluation
+/// opcode is a pure function of its request body, a retried `Mult` or
+/// `Rotate` is *re-sent*, never re-applied — a response that was computed
+/// but lost in transit is simply recomputed bit-identically.
+pub struct RetryingClient {
+    addr: SocketAddr,
+    ctx: Arc<CkksContext>,
+    policy: RetryPolicy,
+    rng: XorShift64,
+    conn: Option<(Client, u64)>,
+    relin: Option<Vec<u8>>,
+    galois: Option<Vec<u8>>,
+    stats: RetryStats,
+}
+
+impl RetryingClient {
+    /// Connects (with retries) and opens the logical session.
+    ///
+    /// # Errors
+    ///
+    /// The last [`ClientError`] once [`RetryPolicy::max_attempts`] is
+    /// exhausted, or immediately on address-resolution failure.
+    pub fn connect<A: ToSocketAddrs>(
+        addr: A,
+        ctx: Arc<CkksContext>,
+        policy: RetryPolicy,
+    ) -> Result<Self, ClientError> {
+        let addr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| ClientError::Protocol("address resolved to nothing".into()))?;
+        let rng = XorShift64::new(policy.jitter_seed);
+        let mut me = Self {
+            addr,
+            ctx,
+            policy,
+            rng,
+            conn: None,
+            relin: None,
+            galois: None,
+            stats: RetryStats::default(),
+        };
+        me.with_retry(|_, _| Ok(()))?;
+        Ok(me)
+    }
+
+    /// The server-side id of the current session incarnation (changes
+    /// after a reconnect), or `None` while disconnected.
+    pub fn session_id(&self) -> Option<u64> {
+        self.conn.as_ref().map(|(_, sid)| *sid)
+    }
+
+    /// What the retry machinery has done so far.
+    pub fn stats(&self) -> RetryStats {
+        self.stats
+    }
+
+    /// (Re)establishes the connection, session, and uploaded keys.
+    fn ensure(&mut self) -> Result<(&mut Client, u64), ClientError> {
+        if self.conn.is_none() {
+            let client = Client::connect(self.addr, self.ctx.clone())?;
+            client.set_read_timeout(self.policy.op_timeout)?;
+            let mut client = client;
+            let sid = client.hello()?;
+            // Re-upload the stored compressed key bytes verbatim: the
+            // recovered session is byte-identical to the lost one.
+            if let Some(bytes) = &self.relin {
+                let mut w = BodyWriter::new();
+                w.u64(sid).raw(bytes);
+                client.call_raw(Opcode::UploadRelin as u8, &w.0)?;
+            }
+            if let Some(bytes) = &self.galois {
+                let mut w = BodyWriter::new();
+                w.u64(sid).raw(bytes);
+                client.call_raw(Opcode::UploadGalois as u8, &w.0)?;
+            }
+            self.conn = Some((client, sid));
+        }
+        let (client, sid) = self.conn.as_mut().expect("just ensured");
+        Ok((client, *sid))
+    }
+
+    /// Runs `f` until it succeeds, retrying per policy. `f` receives the
+    /// live connection and the *current* session id and must re-stamp the
+    /// id into the request on every call — nothing else in the request
+    /// may change between attempts.
+    fn with_retry<T>(
+        &mut self,
+        f: impl Fn(&mut Client, u64) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.stats.attempts += 1;
+            let result = match self.ensure() {
+                Ok((client, sid)) => f(client, sid),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let class = classify(&err);
+            if matches!(class, RetryClass::Fatal) || attempt >= self.policy.max_attempts.max(1) {
+                if !matches!(class, RetryClass::Fatal) {
+                    self.stats.gave_up += 1;
+                }
+                return Err(err);
+            }
+            if matches!(class, RetryClass::Reconnect) {
+                self.conn = None;
+                self.stats.reconnects += 1;
+            }
+            self.stats.retries += 1;
+            std::thread::sleep(self.policy.backoff(attempt - 1, &mut self.rng));
+        }
+    }
+
+    /// Uploads (and stores for re-upload) the relinearization key.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn upload_relin(&mut self, key: &SwitchingKey) -> Result<(), ClientError> {
+        let bytes = serialize_switching_key(key);
+        self.relin = Some(bytes.clone());
+        self.with_retry(move |client, sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).raw(&bytes);
+            client.call_raw(Opcode::UploadRelin as u8, &w.0).map(|_| ())
+        })
+    }
+
+    /// Uploads (and stores for re-upload) a Galois key bundle.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn upload_galois(&mut self, keys: &GaloisKeys) -> Result<(), ClientError> {
+        let bytes = serialize_galois_keys(keys);
+        self.galois = Some(bytes.clone());
+        self.with_retry(move |client, sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).raw(&bytes);
+            client
+                .call_raw(Opcode::UploadGalois as u8, &w.0)
+                .map(|_| ())
+        })
+    }
+
+    fn call_ct(
+        &mut self,
+        op: Opcode,
+        make_body: impl Fn(u64) -> Vec<u8>,
+    ) -> Result<Ciphertext, ClientError> {
+        let ctx = self.ctx.clone();
+        let resp = self.with_retry(|client, sid| client.call_raw(op as u8, &make_body(sid)))?;
+        Ok(deserialize_ciphertext(&ctx, &resp)?)
+    }
+
+    /// Homomorphic addition, with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn add(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, ClientError> {
+        let (ab, bb) = (serialize_ciphertext(a), serialize_ciphertext(b));
+        self.call_ct(Opcode::Add, move |sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).blob(&ab).blob(&bb);
+            w.0
+        })
+    }
+
+    /// Ciphertext multiplication, with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn mult(&mut self, a: &Ciphertext, b: &Ciphertext) -> Result<Ciphertext, ClientError> {
+        let (ab, bb) = (serialize_ciphertext(a), serialize_ciphertext(b));
+        self.call_ct(Opcode::Mult, move |sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).blob(&ab).blob(&bb);
+            w.0
+        })
+    }
+
+    /// Ciphertext × plaintext multiplication, with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn pt_mult(&mut self, ct: &Ciphertext, pt: &Plaintext) -> Result<Ciphertext, ClientError> {
+        let (cb, pb) = (serialize_ciphertext(ct), serialize_plaintext(pt));
+        self.call_ct(Opcode::PtMult, move |sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).blob(&cb).blob(&pb);
+            w.0
+        })
+    }
+
+    /// Slot rotation, with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn rotate(&mut self, ct: &Ciphertext, steps: i64) -> Result<Ciphertext, ClientError> {
+        let cb = serialize_ciphertext(ct);
+        self.call_ct(Opcode::Rotate, move |sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).i64(steps).raw(&cb);
+            w.0
+        })
+    }
+
+    /// Drops one scale limb, with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn rescale(&mut self, ct: &Ciphertext) -> Result<Ciphertext, ClientError> {
+        let cb = serialize_ciphertext(ct);
+        self.call_ct(Opcode::Rescale, move |sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).raw(&cb);
+            w.0
+        })
+    }
+
+    /// Fetches the server's metrics dump, with retries.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        let resp = self.with_retry(|client, sid| {
+            let _ = sid; // metrics is session-free
+            client.call_raw(Opcode::Metrics as u8, &[])
+        })?;
+        String::from_utf8(resp).map_err(|_| ClientError::Protocol("metrics not UTF-8".into()))
+    }
+
+    /// Closes the logical session and forgets the stored keys. A retried
+    /// close that reconnects opens a throwaway session (re-uploading
+    /// keys) and closes it, so the server never leaks the *current*
+    /// incarnation; sessions orphaned by earlier crashes stay until an
+    /// operator sweep.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn close(mut self) -> Result<(), ClientError> {
+        let r = self.with_retry(|client, sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid);
+            client
+                .call_raw(Opcode::CloseSession as u8, &w.0)
+                .map(|_| ())
+        });
+        self.conn = None;
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_grows_caps_and_jitters_within_bounds() {
+        let policy = RetryPolicy {
+            base_backoff: Duration::from_millis(4),
+            max_backoff: Duration::from_millis(100),
+            ..RetryPolicy::default()
+        };
+        let mut rng = XorShift64::new(1);
+        let mut prev_cap = Duration::ZERO;
+        for retry in 0..12 {
+            let exp = Duration::from_millis(4)
+                .saturating_mul(1 << retry.min(31))
+                .min(Duration::from_millis(100));
+            let d = policy.backoff(retry, &mut rng);
+            assert!(d >= exp / 2, "retry {retry}: {d:?} below half of {exp:?}");
+            assert!(d <= exp, "retry {retry}: {d:?} above cap {exp:?}");
+            assert!(exp >= prev_cap, "cap must be monotone");
+            prev_cap = exp;
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let policy = RetryPolicy::default();
+        let mut a = XorShift64::new(99);
+        let mut b = XorShift64::new(99);
+        for retry in 0..20 {
+            assert_eq!(policy.backoff(retry, &mut a), policy.backoff(retry, &mut b));
+        }
+    }
+
+    #[test]
+    fn classification_matches_retryability() {
+        assert!(matches!(
+            classify(&ClientError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                "t"
+            ))),
+            RetryClass::Reconnect
+        ));
+        assert!(matches!(
+            classify(&ClientError::Protocol("server closed connection".into())),
+            RetryClass::Reconnect
+        ));
+        let server = |code| ClientError::Server {
+            code,
+            message: String::new(),
+        };
+        assert!(matches!(
+            classify(&server(ErrorCode::Overloaded)),
+            RetryClass::Backoff
+        ));
+        assert!(matches!(
+            classify(&server(ErrorCode::DeadlineExceeded)),
+            RetryClass::Backoff
+        ));
+        assert!(matches!(
+            classify(&server(ErrorCode::Internal)),
+            RetryClass::Backoff
+        ));
+        assert!(matches!(
+            classify(&server(ErrorCode::NoSession)),
+            RetryClass::Reconnect
+        ));
+        for fatal in [
+            ErrorCode::Malformed,
+            ErrorCode::MissingKey,
+            ErrorCode::UnknownOpcode,
+            ErrorCode::UnsupportedVersion,
+            ErrorCode::FrameTooLarge,
+            ErrorCode::BadFrame,
+        ] {
+            assert!(matches!(classify(&server(fatal)), RetryClass::Fatal));
+        }
     }
 }

@@ -24,7 +24,16 @@
 //! `MADf` serialization, a session manager ([`session`]), a bounded
 //! worker pool with backpressure and deadlines ([`server`]), and
 //! plain-text metrics ([`metrics`]). [`client::Client`] is the matching
-//! blocking client.
+//! blocking client, and [`client::RetryingClient`] wraps it with capped
+//! exponential backoff, per-op timeouts, and transparent reconnect with
+//! session re-setup and compressed-key re-upload.
+//!
+//! Building with `--features chaos` adds a deterministic fault-injection
+//! layer ([`fault`]): a seeded [`fault::FaultPlan`] wired into
+//! [`ServeConfig`] injects I/O errors, torn frames, latency, eviction
+//! storms, overload rejections, and worker panics on a fixed schedule,
+//! so every failure a test observes replays bit-for-bit from its seed.
+//! The default build compiles none of the injection sites.
 //!
 //! ```no_run
 //! use fhe_serve::{Client, ServeConfig, Server};
@@ -50,13 +59,15 @@
 
 pub mod cache;
 pub mod client;
+pub mod fault;
 pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod session;
 
 pub use cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
-pub use client::{Client, ClientError};
+pub use client::{Client, ClientError, RetryPolicy, RetryStats, RetryingClient};
+pub use fault::{FaultDecision, FaultMix, FaultPlan, InjectedFault};
 pub use protocol::{ErrorCode, Opcode, PROTOCOL_VERSION};
 pub use server::{ServeConfig, Server};
 pub use session::{Session, SessionManager};

@@ -13,9 +13,13 @@ use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
-/// Number of log2 microsecond buckets: bucket `i` counts latencies in
-/// `[2^i, 2^{i+1})` µs, with the last bucket open-ended (≈ 35 minutes).
-const BUCKETS: usize = 22;
+/// Number of log2 microsecond buckets. Bucket 0 is the labeled floor:
+/// everything at or below 1 µs (sub-microsecond requests included, not
+/// collapsed into an unlabeled slot). Bucket `i ≥ 1` counts latencies in
+/// `(2^{i-1}, 2^i]` µs, so every bucket's upper bound is its `le` label.
+/// The final slot is an unlabeled overflow (> 2^{BUCKETS-2} µs ≈ 4.2 s)
+/// that only ever surfaces through the `le="+Inf"` line of the dump.
+const BUCKETS: usize = 24;
 
 /// A log2 latency histogram with total count and sum.
 #[derive(Default)]
@@ -26,10 +30,15 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    /// Records one observation.
+    /// Records one observation, clamping sub-microsecond durations into
+    /// the labeled `le="1"` floor bucket.
     pub fn observe(&self, d: Duration) {
         let us = d.as_micros() as u64;
-        let idx = (63 - us.max(1).leading_zeros() as usize).min(BUCKETS - 1);
+        let idx = if us <= 1 {
+            0
+        } else {
+            (64 - (us - 1).leading_zeros() as usize).min(BUCKETS - 1)
+        };
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
         self.sum_us.fetch_add(us, Ordering::Relaxed);
@@ -47,18 +56,26 @@ impl Histogram {
 
     fn dump_into(&self, out: &mut String, op: &str) {
         let mut cumulative = 0;
-        for (i, b) in self.buckets.iter().enumerate() {
+        // The last slot is the unlabeled overflow bucket: it is rendered
+        // only through the `+Inf` line below, never with a numeric `le`
+        // it would violate.
+        for (i, b) in self.buckets.iter().take(BUCKETS - 1).enumerate() {
             let n = b.load(Ordering::Relaxed);
             if n == 0 {
                 continue;
             }
             cumulative += n;
-            let le = 1u64 << (i + 1);
+            let le = 1u64 << i;
             let _ = writeln!(
                 out,
                 "serve_op_latency_us_bucket{{op=\"{op}\",le=\"{le}\"}} {cumulative}"
             );
         }
+        let _ = writeln!(
+            out,
+            "serve_op_latency_us_bucket{{op=\"{op}\",le=\"+Inf\"}} {}",
+            self.count()
+        );
         let _ = writeln!(
             out,
             "serve_op_latency_us_count{{op=\"{op}\"}} {}",
@@ -94,6 +111,9 @@ pub struct Metrics {
     pub queue_peak: AtomicU64,
     /// Connections accepted.
     pub connections_total: AtomicU64,
+    /// Faults deliberately injected by a chaos [`crate::fault::FaultPlan`]
+    /// (always present in the dump; stays zero outside `chaos` builds).
+    pub faults_injected: AtomicU64,
 }
 
 impl Metrics {
@@ -180,6 +200,11 @@ impl Metrics {
             "serve_connections_total",
             self.connections_total.load(Ordering::Relaxed),
         );
+        g(
+            &mut out,
+            "serve_faults_injected_total",
+            self.faults_injected.load(Ordering::Relaxed),
+        );
         g(&mut out, "serve_key_cache_hits_total", cache.hits);
         g(&mut out, "serve_key_cache_misses_total", cache.misses);
         g(&mut out, "serve_key_cache_evictions_total", cache.evictions);
@@ -216,14 +241,82 @@ mod tests {
         h.observe(Duration::from_micros(1));
         h.observe(Duration::from_micros(3));
         h.observe(Duration::from_micros(1000));
-        h.observe(Duration::from_secs(7200)); // clamps to the last bucket
+        h.observe(Duration::from_secs(7200)); // lands in the +Inf overflow
         assert_eq!(h.count(), 4);
         let m = Metrics::new();
         m.latency(Opcode::Add).observe(Duration::from_micros(5));
         let dump = m.dump(&CacheStats::default());
         assert!(dump.contains("serve_op_latency_us_count{op=\"add\"} 1"));
+        assert!(dump.contains("serve_op_latency_us_bucket{op=\"add\",le=\"+Inf\"} 1"));
         assert!(dump.contains("serve_requests_total 0"));
+        assert!(dump.contains("serve_faults_injected_total 0"));
         assert!(dump.contains("serve_key_cache_hits_total 0"));
+    }
+
+    /// Parses `(le, cumulative)` pairs for one op out of a dump.
+    fn bucket_lines(dump: &str, op: &str) -> Vec<(Option<u64>, u64)> {
+        let prefix = format!("serve_op_latency_us_bucket{{op=\"{op}\",le=\"");
+        dump.lines()
+            .filter_map(|l| l.strip_prefix(&prefix))
+            .map(|rest| {
+                let (le, val) = rest.split_once("\"} ").expect("well-formed bucket line");
+                (le.parse::<u64>().ok(), val.parse::<u64>().unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sub_microsecond_lands_in_labeled_floor_bucket() {
+        let m = Metrics::new();
+        let h = m.latency(Opcode::Rotate);
+        h.observe(Duration::from_nanos(0));
+        h.observe(Duration::from_nanos(300));
+        h.observe(Duration::from_micros(1));
+        let dump = m.dump(&CacheStats::default());
+        let lines = bucket_lines(&dump, "rotate");
+        assert_eq!(
+            lines.first(),
+            Some(&(Some(1), 3)),
+            "all three observations belong to the le=\"1\" floor bucket: {lines:?}"
+        );
+    }
+
+    #[test]
+    fn bucket_labels_are_monotone_and_cover_every_observation() {
+        let m = Metrics::new();
+        let h = m.latency(Opcode::Mult);
+        // One observation per decade from sub-µs into the overflow range.
+        let samples_us: [u64; 9] = [0, 1, 2, 17, 999, 65_000, 1 << 19, 1 << 20, 1 << 30];
+        for us in samples_us {
+            h.observe(Duration::from_micros(us));
+        }
+        let dump = m.dump(&CacheStats::default());
+        let lines = bucket_lines(&dump, "mult");
+        assert!(lines.len() >= 2);
+        // Every rendered bucket is labeled except the final +Inf; labels
+        // strictly increase and cumulative counts never decrease.
+        let (last_le, last_cum) = lines.last().unwrap();
+        assert!(last_le.is_none(), "dump must end with le=\"+Inf\"");
+        assert_eq!(*last_cum, h.count(), "+Inf must cover every observation");
+        let mut prev_le = 0u64;
+        let mut prev_cum = 0u64;
+        for (le, cum) in &lines[..lines.len() - 1] {
+            let le = le.expect("only the final bucket may be +Inf");
+            assert!(le > prev_le, "le labels must strictly increase");
+            assert!(*cum >= prev_cum, "cumulative counts must not decrease");
+            prev_le = le;
+            prev_cum = *cum;
+        }
+        // Each labeled observation sits in a bucket whose le bounds it:
+        // cumulative at le must count exactly the samples ≤ le.
+        for (le, cum) in &lines[..lines.len() - 1] {
+            let le = le.unwrap();
+            let expect = samples_us.iter().filter(|&&s| s <= le).count() as u64;
+            assert_eq!(
+                *cum, expect,
+                "cumulative at le={le} miscounts the samples ≤ {le}"
+            );
+        }
     }
 
     #[test]

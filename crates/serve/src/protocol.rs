@@ -157,6 +157,29 @@ impl ErrorCode {
     }
 }
 
+impl ErrorCode {
+    /// Whether a client may transparently retry after this error.
+    ///
+    /// Transient conditions — pushback ([`ErrorCode::Overloaded`]), queue
+    /// congestion ([`ErrorCode::DeadlineExceeded`]), an isolated worker
+    /// panic ([`ErrorCode::Internal`]), or a lost server-side session
+    /// ([`ErrorCode::NoSession`], which additionally needs session
+    /// re-setup) — are retryable: every evaluation opcode is a pure
+    /// function of its request body, so re-sending the same bytes cannot
+    /// double-apply anything. Client-side mistakes (malformed payloads,
+    /// missing keys, protocol misuse) are not: resending identical bytes
+    /// would fail identically.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Overloaded
+                | ErrorCode::DeadlineExceeded
+                | ErrorCode::Internal
+                | ErrorCode::NoSession
+        )
+    }
+}
+
 impl std::fmt::Display for ErrorCode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {
@@ -182,6 +205,18 @@ pub fn write_frame<W: Write>(w: &mut W, tag: u8, body: &[u8]) -> std::io::Result
     w.write_all(&[PROTOCOL_VERSION, tag])?;
     w.write_all(body)?;
     w.flush()
+}
+
+/// The exact byte sequence [`write_frame`] would emit, as one buffer.
+/// Used where a frame must be manipulated before hitting the wire — the
+/// chaos layer's torn-frame injection, fuzzers mutating valid frames.
+pub fn frame_bytes(tag: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(6 + body.len());
+    out.extend_from_slice(&((2 + body.len()) as u32).to_le_bytes());
+    out.push(PROTOCOL_VERSION);
+    out.push(tag);
+    out.extend_from_slice(body);
+    out
 }
 
 /// A decoded frame.
@@ -390,6 +425,28 @@ mod tests {
         }
         assert_eq!(ErrorCode::from_u8(0), None);
         assert_eq!(ErrorCode::from_u8(99), None);
+    }
+
+    #[test]
+    fn frame_bytes_matches_write_frame() {
+        let mut streamed = Vec::new();
+        write_frame(&mut streamed, Opcode::Mult as u8, b"abc").unwrap();
+        assert_eq!(streamed, frame_bytes(Opcode::Mult as u8, b"abc"));
+    }
+
+    #[test]
+    fn retryable_errors_are_exactly_the_transient_ones() {
+        for v in 1..=10u8 {
+            let code = ErrorCode::from_u8(v).unwrap();
+            let transient = matches!(
+                code,
+                ErrorCode::Overloaded
+                    | ErrorCode::DeadlineExceeded
+                    | ErrorCode::Internal
+                    | ErrorCode::NoSession
+            );
+            assert_eq!(code.is_retryable(), transient, "{code:?}");
+        }
     }
 
     #[test]

@@ -20,6 +20,8 @@
 //! every thread is joined.
 
 use crate::cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
+#[cfg(feature = "chaos")]
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::metrics::Metrics;
 use crate::protocol::{
     read_frame, write_frame, BodyReader, ErrorCode, FrameRead, Opcode, DEFAULT_MAX_FRAME_BYTES,
@@ -60,6 +62,12 @@ pub struct ServeConfig {
     pub request_deadline: Duration,
     /// Ceiling on a single frame.
     pub max_frame_bytes: u32,
+    /// Deterministic fault schedule threaded through the connection
+    /// handler and worker pool; `None` (the default) serves faithfully.
+    /// Only present when built with the `chaos` feature, so the default
+    /// build carries no injection branches.
+    #[cfg(feature = "chaos")]
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for ServeConfig {
@@ -71,6 +79,8 @@ impl Default for ServeConfig {
             eviction: EvictionPolicy::Lru,
             request_deadline: Duration::from_secs(30),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            #[cfg(feature = "chaos")]
+            fault_plan: None,
         }
     }
 }
@@ -83,6 +93,8 @@ pub(crate) struct ServerState {
     pub(crate) sessions: SessionManager,
     pub(crate) cache: KeyCache,
     pub(crate) metrics: Metrics,
+    #[cfg(feature = "chaos")]
+    pub(crate) fault: Option<Arc<FaultPlan>>,
 }
 
 struct Job {
@@ -90,6 +102,9 @@ struct Job {
     body: Vec<u8>,
     enqueued: Instant,
     reply: std::sync::mpsc::Sender<(u8, Vec<u8>)>,
+    /// A worker-side fault drawn for this request by the chaos plan.
+    #[cfg(feature = "chaos")]
+    chaos: Option<FaultDecision>,
 }
 
 /// A running server; dropping without [`Server::shutdown`] aborts
@@ -121,6 +136,8 @@ impl Server {
             sessions: SessionManager::new(),
             cache: KeyCache::new(config.key_cache_budget, config.eviction),
             metrics: Metrics::new(),
+            #[cfg(feature = "chaos")]
+            fault: config.fault_plan.clone(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let (tx, rx) = sync_channel::<Job>(config.queue_capacity);
@@ -193,6 +210,14 @@ impl Server {
         self.state.cache.stats()
     }
 
+    /// Asserts the key cache's internal invariants (byte ledger, stats
+    /// mirror, budget) and returns a consistent snapshot. Panics on
+    /// violation — used by the chaos and stress suites, safe to call on
+    /// a live server.
+    pub fn assert_cache_consistent(&self) -> CacheStats {
+        self.state.cache.check_invariants()
+    }
+
     /// The current metrics dump, server-side (the `Metrics` opcode
     /// returns the same text over the wire).
     pub fn metrics_dump(&self) -> String {
@@ -229,6 +254,25 @@ fn worker_loop(state: &ServerState, rx: &Arc<Mutex<Receiver<Job>>>, deadline: Du
         };
         let Ok(job) = job else { break };
         state.metrics.dequeued();
+        #[cfg(feature = "chaos")]
+        if let Some(fault) = job.chaos {
+            match fault {
+                // Slept *before* the deadline check so injected latency
+                // counts against the request deadline exactly like real
+                // queueing delay.
+                FaultDecision::Delay(d) => std::thread::sleep(d),
+                FaultDecision::EvictionStorm => {
+                    state.cache.evict_all();
+                }
+                FaultDecision::SessionReset => {
+                    state.sessions.close_all();
+                    state.cache.evict_all();
+                }
+                // WorkerPanic fires inside catch_unwind below; reader-side
+                // faults never reach the queue.
+                _ => {}
+            }
+        }
         if job.enqueued.elapsed() > deadline {
             state
                 .metrics
@@ -241,7 +285,13 @@ fn worker_loop(state: &ServerState, rx: &Arc<Mutex<Receiver<Job>>>, deadline: Du
             continue;
         }
         let start = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| handle(state, job.op, &job.body)));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "chaos")]
+            if matches!(job.chaos, Some(FaultDecision::WorkerPanic)) {
+                panic!("injected chaos panic");
+            }
+            handle(state, job.op, &job.body)
+        }));
         state.metrics.latency(job.op).observe(start.elapsed());
         let (status, body) = match result {
             Ok(Ok(body)) => (0u8, body),
@@ -330,12 +380,53 @@ fn connection_loop(
                     }
                     continue;
                 };
+                // Chaos: exactly one plan decision per parsed frame.
+                // Reader-side faults act right here; worker-side faults
+                // ride on the job; write aborts fire when the reply comes
+                // back.
+                #[cfg(feature = "chaos")]
+                let mut worker_fault = None;
+                #[cfg(feature = "chaos")]
+                let mut write_fault = None;
+                #[cfg(feature = "chaos")]
+                if let Some(plan) = &state.fault {
+                    if let Some(fault) = plan.decide(op) {
+                        state
+                            .metrics
+                            .faults_injected
+                            .fetch_add(1, Ordering::Relaxed);
+                        match fault {
+                            // A failed socket read: the connection dies
+                            // with no reply at all.
+                            FaultDecision::ReadError => break,
+                            // Synthetic admission-control pushback.
+                            FaultDecision::Overloaded => {
+                                state
+                                    .metrics
+                                    .rejected_overload
+                                    .fetch_add(1, Ordering::Relaxed);
+                                if !respond(
+                                    &mut stream,
+                                    ErrorCode::Overloaded as u8,
+                                    b"injected overload, retry later",
+                                ) {
+                                    break;
+                                }
+                                continue;
+                            }
+                            FaultDecision::WriteAbort { .. } => write_fault = Some(fault),
+                            other => worker_fault = Some(other),
+                        }
+                    }
+                }
                 let (reply_tx, reply_rx) = std::sync::mpsc::channel();
                 let job = Job {
                     op,
                     body: frame.body,
                     enqueued: Instant::now(),
                     reply: reply_tx,
+                    #[cfg(feature = "chaos")]
+                    chaos: worker_fault,
                 };
                 // Count before sending: a worker may pop (and decrement)
                 // the instant `try_send` returns.
@@ -346,6 +437,17 @@ fn connection_loop(
                             ErrorCode::Internal as u8,
                             b"worker dropped the request".to_vec(),
                         ));
+                        #[cfg(feature = "chaos")]
+                        if let Some(FaultDecision::WriteAbort { keep }) = write_fault {
+                            // Torn frame: a strict prefix of the real
+                            // response, then the connection drops.
+                            use std::io::Write as _;
+                            let bytes = crate::protocol::frame_bytes(status, &body);
+                            let keep = keep.min(bytes.len().saturating_sub(1));
+                            let _ = (&stream).write_all(&bytes[..keep]);
+                            let _ = (&stream).flush();
+                            break;
+                        }
                         if !respond(&mut stream, status, &body) {
                             break;
                         }

@@ -123,6 +123,16 @@ impl SessionManager {
             .ok_or(ErrorCode::NoSession)
     }
 
+    /// Drops every open session at once (a chaos session-table loss, or
+    /// an operator reset); returns how many were closed. Callers must
+    /// also purge the key cache, exactly as with [`SessionManager::close`].
+    pub fn close_all(&self) -> usize {
+        let mut sessions = self.sessions.lock().expect("sessions poisoned");
+        let n = sessions.len();
+        sessions.clear();
+        n
+    }
+
     /// Number of open sessions.
     pub fn len(&self) -> usize {
         self.sessions.lock().expect("sessions poisoned").len()
@@ -172,5 +182,20 @@ mod tests {
         mgr.close(id).unwrap();
         assert!(matches!(mgr.get(id), Err(ErrorCode::NoSession)));
         assert!(matches!(mgr.close(id), Err(ErrorCode::NoSession)));
+    }
+
+    #[test]
+    fn close_all_empties_the_table() {
+        let mgr = SessionManager::new();
+        let a = mgr.create();
+        let b = mgr.create();
+        assert_eq!(mgr.close_all(), 2);
+        assert!(mgr.is_empty());
+        assert!(matches!(mgr.get(a), Err(ErrorCode::NoSession)));
+        assert!(matches!(mgr.get(b), Err(ErrorCode::NoSession)));
+        // Ids keep monotonically increasing across a reset.
+        let c = mgr.create();
+        assert!(c > b);
+        assert_eq!(mgr.close_all(), 1);
     }
 }
