@@ -1,0 +1,84 @@
+//! Scalar-vs-unrolled bit-identity of a full HELR training step.
+//!
+//! The deepest end-to-end check of the backend contract: one
+//! [`encrypted_lr_step`] runs every hot kernel — encode, encrypt, the
+//! rotation folds, relinearization (ModUp/ModDown), and rescale — and the
+//! resulting weight ciphertexts must be byte-for-byte identical no matter
+//! which [`BackendKind`] the context was built with.
+
+use ckks::{Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator};
+use fhe_apps::helr_enc::{encrypted_lr_step, lr_fold_steps};
+use fhe_math::cfft::Complex;
+use fhe_math::BackendKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Flattens a ciphertext to its raw words so equality is bit-equality.
+fn words(ct: &Ciphertext) -> Vec<u64> {
+    let mut out = ct.c0().flat().to_vec();
+    out.extend_from_slice(ct.c1().flat());
+    out
+}
+
+fn lr_step_words(kind: BackendKind) -> Vec<u64> {
+    let ctx = CkksContext::with_backend(
+        CkksParams::builder()
+            .log_degree(5)
+            .levels(10)
+            .scale_bits(30)
+            .first_modulus_bits(40)
+            .special_modulus_bits(34)
+            .dnum(5)
+            .build()
+            .unwrap(),
+        Some(kind),
+    );
+    let slots = ctx.params().slots();
+    let levels = ctx.params().levels();
+    let scale = ctx.params().scale();
+    let mut rng = StdRng::seed_from_u64(31);
+    let keygen = KeyGenerator::new(ctx.clone());
+    let sk = keygen.secret_key(&mut rng);
+    let rlk = keygen.relin_key(&mut rng, &sk);
+    let gk = keygen.galois_keys(&mut rng, &sk, &lr_fold_steps(slots), false);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let ev = Evaluator::new(ctx.clone());
+
+    let dim = 3;
+    let xs_plain: Vec<Vec<f64>> = (0..dim)
+        .map(|d| {
+            (0..slots)
+                .map(|b| ((b * 7 + d * 3) % 5) as f64 * 0.2 - 0.4)
+                .collect()
+        })
+        .collect();
+    let y01: Vec<f64> = (0..slots).map(|b| ((b % 3) == 0) as u8 as f64).collect();
+    let mut encrypt_vec = |v: &[f64]| {
+        let cv: Vec<Complex> = v.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let pt = encoder.encode(&cv, levels, scale).unwrap();
+        encryptor.encrypt_symmetric(&mut rng, &pt, &sk)
+    };
+    let xs: Vec<Ciphertext> = xs_plain.iter().map(|c| encrypt_vec(c)).collect();
+    let y_ct = encrypt_vec(&y01);
+    let mut weights: Vec<Ciphertext> = (0..dim).map(|_| encrypt_vec(&vec![0.0; slots])).collect();
+
+    encrypted_lr_step(
+        &ev,
+        rlk.switching_key(),
+        &gk,
+        &mut weights,
+        &xs,
+        &y_ct,
+        slots,
+        1.0,
+    );
+    weights.iter().flat_map(words).collect()
+}
+
+#[test]
+fn helr_step_is_bit_identical_across_backends() {
+    let scalar = lr_step_words(BackendKind::Scalar);
+    let unrolled = lr_step_words(BackendKind::Unrolled);
+    assert_eq!(scalar, unrolled, "HELR step diverged between backends");
+}

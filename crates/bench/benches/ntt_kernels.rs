@@ -54,6 +54,77 @@ fn bench_ntt(c: &mut Criterion) {
     group.finish();
 }
 
+/// Scalar vs unrolled (lazy-reduction, blocked) kernel backends on the
+/// single-limb NTT — the headline readout for the `KernelBackend` layer.
+/// N = 2^15 is the production ring size the backend work targets.
+fn bench_backend_comparison(c: &mut Criterion) {
+    use fhe_math::BackendKind;
+    for log_n in [12u32, 15] {
+        let n = 1usize << log_n;
+        let q = generate_ntt_primes(1, 50, n)[0];
+        let mut rng = StdRng::seed_from_u64(5);
+        let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..q)).collect();
+        let mut group = c.benchmark_group(format!("ntt_backends_n{n}"));
+        group.throughput(Throughput::Elements(n as u64));
+        for kind in [BackendKind::Scalar, BackendKind::Unrolled] {
+            let table = NttTable::with_backend(q, n, kind.instance()).unwrap();
+            group.bench_function(
+                BenchmarkId::new(format!("{}/forward", kind.name()), n),
+                |b| {
+                    b.iter_batched(
+                        || data.clone(),
+                        |mut d| {
+                            table.forward(&mut d);
+                            d
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+            group.bench_function(
+                BenchmarkId::new(format!("{}/inverse", kind.name()), n),
+                |b| {
+                    b.iter_batched(
+                        || {
+                            let mut d = data.clone();
+                            table.forward(&mut d);
+                            d
+                        },
+                        |mut d| {
+                            table.inverse(&mut d);
+                            d
+                        },
+                        criterion::BatchSize::SmallInput,
+                    )
+                },
+            );
+        }
+        group.finish();
+    }
+
+    // The fused basis-extension inner loops, per backend.
+    let n = 1usize << 12;
+    let src_primes = generate_ntt_primes(8, 45, n);
+    let dst_primes = generate_ntt_primes_excluding(4, 46, n, &src_primes);
+    let mut rng = StdRng::seed_from_u64(6);
+    let src = sample_uniform_flat(&mut rng, &src_primes, n);
+    let mut group = c.benchmark_group(format!("basis_ext_backends_n{n}"));
+    group.throughput(Throughput::Elements(n as u64));
+    for kind in [BackendKind::Scalar, BackendKind::Unrolled] {
+        let src_basis = RnsBasis::with_backend(&src_primes, n, kind.instance()).unwrap();
+        let dst_basis = RnsBasis::with_backend(&dst_primes, n, kind.instance()).unwrap();
+        let ext = BasisExtender::new(&src_basis, &dst_basis);
+        group.bench_function(BenchmarkId::new(kind.name(), n), |b| {
+            let mut out = vec![0u64; dst_primes.len() * n];
+            b.iter(|| {
+                ext.extend_flat(&src, &mut out, n);
+                out.last().copied()
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_basis_extension(c: &mut Criterion) {
     let mut group = c.benchmark_group("basis_extension");
     let n = 1usize << 12;
@@ -163,6 +234,7 @@ fn bench_serial_vs_parallel(_c: &mut Criterion) {}
 criterion_group!(
     benches,
     bench_ntt,
+    bench_backend_comparison,
     bench_basis_extension,
     bench_serial_vs_parallel
 );

@@ -1,0 +1,167 @@
+//! Scalar-vs-unrolled bit-identity of the full scheme pipeline.
+//!
+//! Mirrors `parallel_identity.rs`, but instead of toggling the thread
+//! count it builds one context per [`BackendKind`] (the explicit
+//! preference beats any `MAD_KERNEL_BACKEND` the CI matrix exports) and
+//! asserts the keygen → encrypt → multiply/relinearize → rescale → rotate
+//! → hoisted-rotation → BSGS pipeline produces byte-for-byte identical
+//! ciphertexts on both.
+
+use ckks::hoisting::{apply_bsgs, bsgs_required_steps, rotate_hoisted, LinearTransform};
+use ckks::{Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator};
+use fhe_math::cfft::Complex;
+use fhe_math::BackendKind;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+
+fn ctx(kind: BackendKind) -> Arc<CkksContext> {
+    CkksContext::with_backend(
+        CkksParams::builder()
+            .log_degree(6)
+            .levels(4)
+            .scale_bits(32)
+            .first_modulus_bits(40)
+            .special_modulus_bits(36)
+            .dnum(2)
+            .build()
+            .unwrap(),
+        Some(kind),
+    )
+}
+
+/// Flattens a ciphertext to its raw words so equality is bit-equality.
+fn words(ct: &Ciphertext) -> Vec<u64> {
+    let mut out = ct.c0().flat().to_vec();
+    out.extend_from_slice(ct.c1().flat());
+    out
+}
+
+/// Runs `f` once per backend and asserts bit-equal outputs.
+fn assert_backends_agree(f: impl Fn(Arc<CkksContext>) -> Vec<u64>) {
+    let scalar = f(ctx(BackendKind::Scalar));
+    let unrolled = f(ctx(BackendKind::Unrolled));
+    assert_eq!(scalar, unrolled, "scalar and unrolled pipelines diverged");
+}
+
+#[test]
+fn encrypt_decrypt_is_bit_identical() {
+    assert_backends_agree(|ctx| {
+        let mut rng = StdRng::seed_from_u64(404);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let scale = ctx.params().scale();
+        let values: Vec<Complex> = (0..encoder.slots())
+            .map(|i| Complex::new((i as f64 / 4.0).sin(), (i as f64 / 6.0).cos()))
+            .collect();
+        let ct =
+            encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&values, 3, scale).unwrap(), &sk);
+        words(&ct)
+    });
+}
+
+#[test]
+fn multiply_relinearize_rotate_rescale_are_bit_identical() {
+    assert_backends_agree(|ctx| {
+        let mut rng = StdRng::seed_from_u64(101);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let rlk = kg.relin_key(&mut rng, &sk);
+        let gk = kg.galois_keys(&mut rng, &sk, &[3], false);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let ev = Evaluator::new(ctx.clone());
+        let scale = ctx.params().scale();
+        let a: Vec<Complex> = (0..encoder.slots())
+            .map(|i| Complex::new((i as f64 / 5.0).sin(), (i as f64 / 9.0).cos()))
+            .collect();
+        let b: Vec<Complex> = (0..encoder.slots())
+            .map(|i| Complex::new((i as f64 / 7.0).cos(), -(i as f64 / 3.0).sin()))
+            .collect();
+        let ca = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&a, 3, scale).unwrap(), &sk);
+        let cb = encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&b, 3, scale).unwrap(), &sk);
+        let prod = ev.mul(&ca, &cb, &rlk);
+        let merged = ev.mul_merged(&ca, &cb, &rlk);
+        let rot = ev.rotate(&prod, 3, &gk);
+        let scaled = ev.rescale(&ev.mul_scalar_no_rescale(&rot, 0.75, scale));
+        let mut all = words(&prod);
+        all.extend(words(&merged));
+        all.extend(words(&rot));
+        all.extend(words(&scaled));
+        all
+    });
+}
+
+#[test]
+fn hoisted_rotations_are_bit_identical() {
+    assert_backends_agree(|ctx| {
+        let mut rng = StdRng::seed_from_u64(202);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let steps = [1i64, 2, 5];
+        let gk = kg.galois_keys(&mut rng, &sk, &steps, false);
+        let encoder = Encoder::new(ctx.clone());
+        let encryptor = Encryptor::new(ctx.clone());
+        let ev = Evaluator::new(ctx.clone());
+        let scale = ctx.params().scale();
+        let values: Vec<Complex> = (0..encoder.slots())
+            .map(|i| Complex::new(i as f64 * 0.01, 1.0 - i as f64 * 0.02))
+            .collect();
+        let ct =
+            encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&values, 2, scale).unwrap(), &sk);
+        let rotated = rotate_hoisted(&ev, &ct, &steps, &gk);
+        rotated.iter().flat_map(words).collect()
+    });
+}
+
+#[test]
+fn bsgs_matvec_is_bit_identical() {
+    assert_backends_agree(|ctx| {
+        let mut rng = StdRng::seed_from_u64(303);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let encoder = Encoder::new(ctx.clone());
+        let slots = encoder.slots();
+        // A small banded matrix so only a handful of diagonals are
+        // populated.
+        let matrix: Vec<Vec<Complex>> = (0..slots)
+            .map(|r| {
+                (0..slots)
+                    .map(|c| {
+                        let d = (c + slots - r) % slots;
+                        if d <= 3 {
+                            Complex::new(0.1 + r as f64 * 0.01, d as f64 * 0.05)
+                        } else {
+                            Complex::new(0.0, 0.0)
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let lt = LinearTransform::from_matrix(&matrix);
+        let n1 = 2usize;
+        let steps = bsgs_required_steps(&lt, n1);
+        let gk = kg.galois_keys(&mut rng, &sk, &steps, false);
+        let encryptor = Encryptor::new(ctx.clone());
+        let ev = Evaluator::new(ctx.clone());
+        let scale = ctx.params().scale();
+        let values: Vec<Complex> = (0..slots)
+            .map(|i| Complex::new((i as f64 * 0.3).cos(), (i as f64 * 0.2).sin()))
+            .collect();
+        let ct =
+            encryptor.encrypt_symmetric(&mut rng, &encoder.encode(&values, 3, scale).unwrap(), &sk);
+        words(&apply_bsgs(&ev, &encoder, &ct, &lt, &gk, n1))
+    });
+}
+
+#[test]
+fn keyswitch_and_rescale_under_env_override_still_honor_explicit_choice() {
+    // `with_backend(_, Some(kind))` must pin the kind regardless of the
+    // process environment; both contexts here must report their own name.
+    let scalar = ctx(BackendKind::Scalar);
+    let unrolled = ctx(BackendKind::Unrolled);
+    assert_eq!(scalar.kernel_backend().name(), "scalar");
+    assert_eq!(unrolled.kernel_backend().name(), "unrolled");
+}

@@ -1,0 +1,815 @@
+//! Pluggable kernel backends for the hot ring kernels.
+//!
+//! The MAD paper's thesis is that FHE throughput is decided by how the hot
+//! kernels — negacyclic NTT/iNTT butterflies, Barrett/Shoup modular
+//! multiplication, and the `NewLimb` basis-extension inner products — move
+//! data. This module makes those kernels *pluggable*: every call site that
+//! used to open-code a modmul loop now dispatches through the
+//! [`KernelBackend`] trait, selected per [`NttTable`]/[`crate::rns::RnsBasis`] (and, one
+//! layer up, per `ckks::CkksContext`) at construction time.
+//!
+//! Two implementations ship today:
+//!
+//! - [`ScalarBackend`] — the original scalar loops, moved verbatim behind
+//!   the trait. Every value is kept fully reduced in `[0, q)` at every step.
+//! - [`UnrolledBackend`] — processes butterflies in fixed-width blocks with
+//!   **lazy (deferred) reduction**: operands are kept in the half-reduced
+//!   range `[0, 2q)` across butterfly stages (transiently `[0, 4q)` inside a
+//!   butterfly, which is why [`crate::modular::MAX_MODULUS_BITS`] is 62),
+//!   and the single conditional subtraction down to `[0, q)` happens once at
+//!   transform exit. The inner loops are branch-light straight-line blocks
+//!   that LLVM can unroll and auto-vectorize — no nightly `std::simd`
+//!   dependency.
+//!
+//! Both backends compute the exact same mathematical results and emit fully
+//! reduced canonical residues, so their outputs are **bit-identical** — the
+//! `backend_identity` test suites assert this end to end (NTT round-trips,
+//! key switching, rescaling, hoisted rotation, a full HELR step), the same
+//! way the `parallel_identity` suites gate the limb-parallel kernels.
+//!
+//! # Selection
+//!
+//! [`resolve`] picks a backend with precedence: explicit caller choice
+//! (e.g. `CkksContext::with_backend`) > the `MAD_KERNEL_BACKEND` environment
+//! variable (`scalar` or `unrolled`) > the built-in default (the best
+//! available implementation, currently [`UnrolledBackend`]). The env
+//! override lets CI run the entire tier-1 test suite once per backend
+//! without touching any call site.
+//!
+//! # Telemetry contract
+//!
+//! Backends perform **no telemetry recording**. Butterfly, multiplication,
+//! and basis-extension counters are recorded by the dispatching layer
+//! ([`NttTable::forward`], `BasisExtender::extend_flat`, the `RnsPoly`
+//! ops) in units of *logical* operations, so measured counts are identical
+//! across backends by construction — a blocked backend must not inflate
+//! counters with per-block increments. The `backend_counters_identical`
+//! regression test pins this.
+//!
+//! # Adding a backend
+//!
+//! Implement [`KernelBackend`] (the contract for each method is documented
+//! on the trait), add a [`BackendKind`] variant wired into
+//! [`BackendKind::instance`] and [`BackendKind::from_name`], and the whole
+//! stack — `RnsPoly`, key switching, the serving runtime — picks it up
+//! through construction-time selection. A GPU or `std::simd` backend is a
+//! single new impl; correctness is gated by running the existing
+//! `backend_identity` suites under `MAD_KERNEL_BACKEND=<name>`.
+
+use crate::modular::Modulus;
+use crate::ntt::NttTable;
+use std::fmt;
+use std::ops::Range;
+use std::sync::{Arc, OnceLock};
+
+/// A constant multiplicand paired with its Shoup companion
+/// `⌊value·2^64/q⌋`.
+///
+/// This is the **single precomputation path** for Shoup constants: the NTT
+/// twiddle tables (`ntt.rs`), the basis-extension `Q̃_i` factors (`rns.rs`),
+/// and the scalar/rescale multipliers (`poly.rs`) all store `ShoupPair`s
+/// built here instead of each computing and carrying parallel
+/// `(value, shoup)` vectors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShoupPair {
+    /// The reduced constant `value < q`.
+    pub value: u64,
+    /// `⌊value·2^64/q⌋`, the Shoup companion for single-word modmul.
+    pub shoup: u64,
+}
+
+impl ShoupPair {
+    /// Precomputes the Shoup companion of `value` (must be reduced mod
+    /// `m`).
+    #[inline]
+    pub fn new(m: &Modulus, value: u64) -> Self {
+        Self {
+            value,
+            shoup: m.shoup(value),
+        }
+    }
+
+    /// Precomputes a table of Shoup pairs for a slice of reduced constants.
+    pub fn table(m: &Modulus, values: &[u64]) -> Vec<ShoupPair> {
+        values.iter().map(|&v| Self::new(m, v)).collect()
+    }
+}
+
+/// Borrowed view of a `BasisExtender`'s precomputed constants, handed to
+/// [`KernelBackend::basis_ext_block`] so backends can fuse the `NewLimb`
+/// inner loops without `rns.rs` exposing its fields.
+pub struct BasisExtView<'a> {
+    /// `Q̃_i = (Q/q_i)^{-1} mod q_i` with Shoup companions, per source limb.
+    pub q_tilde: &'a [ShoupPair],
+    /// `1/q_i` as `f64`, for the conversion-excess estimate.
+    pub q_inv_f64: &'a [f64],
+    /// `Q_i^* = Q/q_i mod p_j`, indexed `[target][source]`.
+    pub q_star: &'a [Vec<u64>],
+    /// `Q mod p_j` per target limb, used to subtract the excess `e·Q`.
+    pub q_mod_target: &'a [u64],
+    /// The source limb moduli `q_i`.
+    pub source_moduli: &'a [Modulus],
+    /// The target limb moduli `p_j`.
+    pub target_moduli: &'a [Modulus],
+}
+
+/// The pluggable hot-kernel implementation.
+///
+/// Every method must produce **fully reduced canonical residues**
+/// (`< q`) in its outputs, regardless of internal representation — this is
+/// what makes backends interchangeable bit-for-bit. Inputs are always
+/// canonical. Backends must not record telemetry (see the module docs).
+pub trait KernelBackend: Send + Sync + fmt::Debug {
+    /// Stable lowercase identifier (`"scalar"`, `"unrolled"`), used for
+    /// env selection, metrics labels, and bench IDs.
+    fn name(&self) -> &'static str;
+
+    /// In-place forward negacyclic NTT over one limb (Cooley–Tukey
+    /// decimation-in-time, bit-reversed output), using `table`'s
+    /// precomputed twiddles. `data.len() == table.size()`.
+    fn ntt_forward(&self, table: &NttTable, data: &mut [u64]);
+
+    /// In-place inverse negacyclic NTT (Gentleman–Sande, bit-reversed
+    /// input, natural output), including the final `N^{-1}` scaling.
+    fn ntt_inverse(&self, table: &NttTable, data: &mut [u64]);
+
+    /// `dst[k] = dst[k] + src[k] mod q`.
+    fn pointwise_add(&self, m: &Modulus, dst: &mut [u64], src: &[u64]);
+
+    /// `dst[k] = dst[k] - src[k] mod q`.
+    fn pointwise_sub(&self, m: &Modulus, dst: &mut [u64], src: &[u64]);
+
+    /// `dst[k] = -dst[k] mod q`.
+    fn pointwise_neg(&self, m: &Modulus, dst: &mut [u64]);
+
+    /// `dst[k] = dst[k] · src[k] mod q` (Barrett).
+    fn pointwise_mul(&self, m: &Modulus, dst: &mut [u64], src: &[u64]);
+
+    /// `out[k] = a[k] · b[k] mod q`, leaving both inputs untouched.
+    fn pointwise_mul_into(&self, m: &Modulus, a: &[u64], b: &[u64], out: &mut [u64]);
+
+    /// `dst[k] = dst[k] · c mod q` with a precomputed Shoup constant.
+    fn scale_shoup(&self, m: &Modulus, dst: &mut [u64], c: ShoupPair);
+
+    /// The fused rescale/`ModDown` combine:
+    /// `dst[k] = (minuend[k] - dst[k]) · c mod q`.
+    fn sub_scale_shoup(&self, m: &Modulus, minuend: &[u64], dst: &mut [u64], c: ShoupPair);
+
+    /// `dst[k] = dst[k] + c mod q` for a reduced constant `c` (the
+    /// `ModDown` centering trick).
+    fn add_scalar(&self, m: &Modulus, dst: &mut [u64], c: u64);
+
+    /// `dst[k] = dst[k] - c mod q` for a reduced constant `c`.
+    fn sub_scalar(&self, m: &Modulus, dst: &mut [u64], c: u64);
+
+    /// The key-switch inner-product step for one limb and digit:
+    /// `u[k] += d[k]·a[k]` and `v[k] += d[k]·b[k]`, all mod q.
+    fn fma_pair(&self, m: &Modulus, d: &[u64], a: &[u64], b: &[u64], u: &mut [u64], v: &mut [u64]);
+
+    /// The fused `NewLimb` (Eq. 1) inner loops over a block of slots.
+    ///
+    /// `src` is the whole flat limb-major source buffer (`source_moduli`
+    /// limbs of length `n`); `range` is the slot block to convert and
+    /// `cols[j]` is the matching window (`range.len()` long) into target
+    /// limb `j`. Implementations must reproduce the scalar conversion
+    /// exactly, **including the excess estimate**: `Σ_i y_i/q_i` must be
+    /// accumulated in ascending source-limb order so the float rounding —
+    /// and therefore the recovered excess `e` — is identical across
+    /// backends.
+    fn basis_ext_block(
+        &self,
+        ext: &BasisExtView<'_>,
+        src: &[u64],
+        n: usize,
+        range: Range<usize>,
+        cols: &mut [&mut [u64]],
+    );
+}
+
+/// Named backend selector (the construction-time configuration surface).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BackendKind {
+    /// The original fully-reduced scalar loops.
+    Scalar,
+    /// Fixed-width blocked butterflies with lazy reduction.
+    Unrolled,
+}
+
+impl BackendKind {
+    /// Parses a backend name as used by `MAD_KERNEL_BACKEND`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Self::Scalar),
+            "unrolled" | "vectorized" => Some(Self::Unrolled),
+            "" | "auto" | "default" | "best" => Some(best_available()),
+            _ => None,
+        }
+    }
+
+    /// The shared instance of this backend.
+    pub fn instance(self) -> Arc<dyn KernelBackend> {
+        static SCALAR: OnceLock<Arc<dyn KernelBackend>> = OnceLock::new();
+        static UNROLLED: OnceLock<Arc<dyn KernelBackend>> = OnceLock::new();
+        match self {
+            Self::Scalar => SCALAR.get_or_init(|| Arc::new(ScalarBackend)).clone(),
+            Self::Unrolled => UNROLLED.get_or_init(|| Arc::new(UnrolledBackend)).clone(),
+        }
+    }
+
+    /// The backend's stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Scalar => "scalar",
+            Self::Unrolled => "unrolled",
+        }
+    }
+}
+
+/// The best implementation available on this build (the default when
+/// neither the caller nor the environment picks one).
+pub const fn best_available() -> BackendKind {
+    BackendKind::Unrolled
+}
+
+/// The backend selected by `MAD_KERNEL_BACKEND`, if the variable is set to
+/// a recognized name. Parsed once per process.
+pub fn env_override() -> Option<BackendKind> {
+    static ENV: OnceLock<Option<BackendKind>> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        let raw = std::env::var("MAD_KERNEL_BACKEND").ok()?;
+        match BackendKind::from_name(&raw) {
+            Some(k) => Some(k),
+            None => {
+                eprintln!(
+                    "warning: unknown MAD_KERNEL_BACKEND={raw:?} (expected \
+                     \"scalar\" or \"unrolled\"); using the default backend"
+                );
+                None
+            }
+        }
+    })
+}
+
+/// Resolves the backend to use: explicit `prefer` > `MAD_KERNEL_BACKEND` >
+/// [`best_available`].
+///
+/// An explicit preference wins over the environment so that identity tests
+/// can pin *both* backends inside one process even when CI exports the env
+/// override for the rest of the suite.
+pub fn resolve(prefer: Option<BackendKind>) -> Arc<dyn KernelBackend> {
+    prefer
+        .or_else(env_override)
+        .unwrap_or(best_available())
+        .instance()
+}
+
+/// The process-default backend ([`resolve`] with no explicit preference).
+pub fn default_backend() -> Arc<dyn KernelBackend> {
+    resolve(None)
+}
+
+// ---------------------------------------------------------------------------
+// Scalar backend: the original fully-reduced loops.
+// ---------------------------------------------------------------------------
+
+/// The original scalar kernels: every intermediate value is fully reduced.
+///
+/// This is the reference implementation the lazy-reduction backends are
+/// gated against; it favors obviousness over speed.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScalarBackend;
+
+impl KernelBackend for ScalarBackend {
+    fn name(&self) -> &'static str {
+        "scalar"
+    }
+
+    fn ntt_forward(&self, table: &NttTable, data: &mut [u64]) {
+        let n = table.size();
+        let q = table.modulus();
+        let roots = table.forward_roots();
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let w = roots[m + i];
+                let base = 2 * i * t;
+                for j in base..base + t {
+                    let u = data[j];
+                    let v = q.mul_shoup(data[j + t], w.value, w.shoup);
+                    data[j] = q.add(u, v);
+                    data[j + t] = q.sub(u, v);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    fn ntt_inverse(&self, table: &NttTable, data: &mut [u64]) {
+        let n = table.size();
+        let q = table.modulus();
+        let roots = table.inverse_roots();
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut base = 0usize;
+            for i in 0..h {
+                let w = roots[h + i];
+                for j in base..base + t {
+                    let u = data[j];
+                    let v = data[j + t];
+                    data[j] = q.add(u, v);
+                    data[j + t] = q.mul_shoup(q.sub(u, v), w.value, w.shoup);
+                }
+                base += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+        let n_inv = table.n_inv();
+        for x in data.iter_mut() {
+            *x = q.mul_shoup(*x, n_inv.value, n_inv.shoup);
+        }
+    }
+
+    fn pointwise_add(&self, m: &Modulus, dst: &mut [u64], src: &[u64]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = m.add(*d, s);
+        }
+    }
+
+    fn pointwise_sub(&self, m: &Modulus, dst: &mut [u64], src: &[u64]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = m.sub(*d, s);
+        }
+    }
+
+    fn pointwise_neg(&self, m: &Modulus, dst: &mut [u64]) {
+        for d in dst.iter_mut() {
+            *d = m.neg(*d);
+        }
+    }
+
+    fn pointwise_mul(&self, m: &Modulus, dst: &mut [u64], src: &[u64]) {
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = m.mul(*d, s);
+        }
+    }
+
+    fn pointwise_mul_into(&self, m: &Modulus, a: &[u64], b: &[u64], out: &mut [u64]) {
+        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+            *o = m.mul(x, y);
+        }
+    }
+
+    fn scale_shoup(&self, m: &Modulus, dst: &mut [u64], c: ShoupPair) {
+        for d in dst.iter_mut() {
+            *d = m.mul_shoup(*d, c.value, c.shoup);
+        }
+    }
+
+    fn sub_scale_shoup(&self, m: &Modulus, minuend: &[u64], dst: &mut [u64], c: ShoupPair) {
+        for (d, &s) in dst.iter_mut().zip(minuend) {
+            *d = m.mul_shoup(m.sub(s, *d), c.value, c.shoup);
+        }
+    }
+
+    fn add_scalar(&self, m: &Modulus, dst: &mut [u64], c: u64) {
+        for d in dst.iter_mut() {
+            *d = m.add(*d, c);
+        }
+    }
+
+    fn sub_scalar(&self, m: &Modulus, dst: &mut [u64], c: u64) {
+        for d in dst.iter_mut() {
+            *d = m.sub(*d, c);
+        }
+    }
+
+    fn fma_pair(&self, m: &Modulus, d: &[u64], a: &[u64], b: &[u64], u: &mut [u64], v: &mut [u64]) {
+        for t in 0..d.len() {
+            u[t] = m.mul_add(d[t], a[t], u[t]);
+        }
+        for t in 0..d.len() {
+            v[t] = m.mul_add(d[t], b[t], v[t]);
+        }
+    }
+
+    fn basis_ext_block(
+        &self,
+        ext: &BasisExtView<'_>,
+        src: &[u64],
+        n: usize,
+        range: Range<usize>,
+        cols: &mut [&mut [u64]],
+    ) {
+        let l = ext.source_moduli.len();
+        let base = range.start;
+        let mut y = [0u64; 64];
+        for k in range {
+            // y_i = [x · Q̃_i]_{q_i}, plus the float excess estimate,
+            // accumulated in ascending limb order (see the trait contract).
+            let mut excess_est = 0.0f64;
+            for i in 0..l {
+                let c = ext.q_tilde[i];
+                y[i] = ext.source_moduli[i].mul_shoup(src[i * n + k], c.value, c.shoup);
+                excess_est += y[i] as f64 * ext.q_inv_f64[i];
+            }
+            let e = excess_est as u64;
+            for (j, col) in cols.iter_mut().enumerate() {
+                let pj = &ext.target_moduli[j];
+                let mut acc = 0u128;
+                for i in 0..l {
+                    acc += y[i] as u128 * ext.q_star[j][i] as u128;
+                    // Accumulate lazily; reduce when nearing overflow.
+                    if i % 4 == 3 {
+                        acc = pj.reduce_u128(acc) as u128;
+                    }
+                }
+                let raw = pj.reduce_u128(acc);
+                let correction = pj.mul(pj.reduce(e), ext.q_mod_target[j]);
+                col[k - base] = pj.sub(raw, correction);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Unrolled backend: fixed-width blocks, lazy reduction.
+// ---------------------------------------------------------------------------
+
+/// Butterfly block width. Eight 64-bit lanes fill one AVX-512 register or
+/// two AVX2 registers; the remainder loops handle shorter tails so any
+/// power-of-two transform size stays exact.
+const BLOCK: usize = 8;
+
+/// Conditional subtraction — the only "reduction" the lazy kernels perform
+/// per butterfly. Branchless-friendly: LLVM lowers this to a compare+select
+/// in the blocked loops.
+#[inline(always)]
+fn csub(x: u64, q: u64) -> u64 {
+    if x >= q {
+        x - q
+    } else {
+        x
+    }
+}
+
+/// Shoup multiplication **without** the final conditional subtraction:
+/// returns `a·c mod q` as a half-reduced value in `[0, 2q)`. Valid for any
+/// `a < 2^64` and reduced `c.value < q` (Harvey's bound).
+#[inline(always)]
+fn mul_shoup_lazy(a: u64, c: ShoupPair, q: u64) -> u64 {
+    let q_hat = ((a as u128 * c.shoup as u128) >> 64) as u64;
+    a.wrapping_mul(c.value).wrapping_sub(q_hat.wrapping_mul(q))
+}
+
+/// Fixed-width blocked butterflies with lazy reduction.
+///
+/// Invariant: butterfly operands stay in the half-reduced range `[0, 2q)`
+/// across stages (values pass `[0, 4q)` transiently inside a butterfly,
+/// safe because `q < 2^62`); the reduction to canonical `[0, q)` is a
+/// single conditional subtraction at transform exit. The inner loops run in
+/// `BLOCK`-wide (eight-lane) straight-line chunks so LLVM unrolls and
+/// vectorizes them.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UnrolledBackend;
+
+impl UnrolledBackend {
+    /// Forward NTT leaving the output **half-reduced** in `[0, 2q)` — the
+    /// lazy core of [`KernelBackend::ntt_forward`], exposed so the range
+    /// invariant is directly testable (the `backend_proptests` suite
+    /// asserts every pre-reduction value is `< 2q`).
+    pub fn ntt_forward_lazy(&self, table: &NttTable, data: &mut [u64]) {
+        let n = table.size();
+        let q = table.modulus().value();
+        let two_q = 2 * q;
+        let roots = table.forward_roots();
+        let mut t = n;
+        let mut m = 1usize;
+        while m < n {
+            t >>= 1;
+            for i in 0..m {
+                let w = roots[m + i];
+                let base = 2 * i * t;
+                // Split the group into its (u, v) halves so the block loop
+                // walks two dense slices in lockstep.
+                let (us, vs) = data[base..base + 2 * t].split_at_mut(t);
+                let mut ub = us.chunks_exact_mut(BLOCK);
+                let mut vb = vs.chunks_exact_mut(BLOCK);
+                for (uc, vc) in (&mut ub).zip(&mut vb) {
+                    for k in 0..BLOCK {
+                        let u0 = uc[k];
+                        let tv = mul_shoup_lazy(vc[k], w, q);
+                        uc[k] = csub(u0 + tv, two_q);
+                        vc[k] = csub(u0 + two_q - tv, two_q);
+                    }
+                }
+                for (u, v) in ub.into_remainder().iter_mut().zip(vb.into_remainder()) {
+                    let u0 = *u;
+                    let tv = mul_shoup_lazy(*v, w, q);
+                    *u = csub(u0 + tv, two_q);
+                    *v = csub(u0 + two_q - tv, two_q);
+                }
+            }
+            m <<= 1;
+        }
+    }
+
+    /// Inverse NTT butterflies **without** the final `N^{-1}` scaling,
+    /// leaving the output half-reduced in `[0, 2q)` (testable range
+    /// invariant, like [`UnrolledBackend::ntt_forward_lazy`]).
+    pub fn ntt_inverse_lazy(&self, table: &NttTable, data: &mut [u64]) {
+        let n = table.size();
+        let q = table.modulus().value();
+        let two_q = 2 * q;
+        let roots = table.inverse_roots();
+        let mut t = 1usize;
+        let mut m = n;
+        while m > 1 {
+            let h = m >> 1;
+            let mut base = 0usize;
+            for i in 0..h {
+                let w = roots[h + i];
+                let (us, vs) = data[base..base + 2 * t].split_at_mut(t);
+                let mut ub = us.chunks_exact_mut(BLOCK);
+                let mut vb = vs.chunks_exact_mut(BLOCK);
+                for (uc, vc) in (&mut ub).zip(&mut vb) {
+                    for k in 0..BLOCK {
+                        let u0 = uc[k];
+                        let v0 = vc[k];
+                        uc[k] = csub(u0 + v0, two_q);
+                        vc[k] = mul_shoup_lazy(u0 + two_q - v0, w, q);
+                    }
+                }
+                for (u, v) in ub.into_remainder().iter_mut().zip(vb.into_remainder()) {
+                    let u0 = *u;
+                    let v0 = *v;
+                    *u = csub(u0 + v0, two_q);
+                    *v = mul_shoup_lazy(u0 + two_q - v0, w, q);
+                }
+                base += 2 * t;
+            }
+            t <<= 1;
+            m = h;
+        }
+    }
+}
+
+impl KernelBackend for UnrolledBackend {
+    fn name(&self) -> &'static str {
+        "unrolled"
+    }
+
+    fn ntt_forward(&self, table: &NttTable, data: &mut [u64]) {
+        self.ntt_forward_lazy(table, data);
+        // Stage exit: the single conditional subtraction back to [0, q).
+        let q = table.modulus().value();
+        for x in data.iter_mut() {
+            *x = csub(*x, q);
+        }
+    }
+
+    fn ntt_inverse(&self, table: &NttTable, data: &mut [u64]) {
+        self.ntt_inverse_lazy(table, data);
+        // Fold the final reduction into the N^{-1} normalization pass.
+        let q = table.modulus().value();
+        let n_inv = table.n_inv();
+        for x in data.iter_mut() {
+            *x = csub(mul_shoup_lazy(*x, n_inv, q), q);
+        }
+    }
+
+    fn pointwise_add(&self, m: &Modulus, dst: &mut [u64], src: &[u64]) {
+        let q = m.value();
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = csub(*d + s, q);
+        }
+    }
+
+    fn pointwise_sub(&self, m: &Modulus, dst: &mut [u64], src: &[u64]) {
+        let q = m.value();
+        for (d, &s) in dst.iter_mut().zip(src) {
+            *d = csub(*d + q - s, q);
+        }
+    }
+
+    fn pointwise_neg(&self, m: &Modulus, dst: &mut [u64]) {
+        let q = m.value();
+        for d in dst.iter_mut() {
+            // q - x is in (0, q] for x in (0, q); csub maps q (x = 0) to 0.
+            *d = csub(q - *d, q);
+        }
+    }
+
+    fn pointwise_mul(&self, m: &Modulus, dst: &mut [u64], src: &[u64]) {
+        let mut db = dst.chunks_exact_mut(BLOCK);
+        let mut sb = src.chunks_exact(BLOCK);
+        for (dc, sc) in (&mut db).zip(&mut sb) {
+            for k in 0..BLOCK {
+                dc[k] = m.mul(dc[k], sc[k]);
+            }
+        }
+        for (d, &s) in db.into_remainder().iter_mut().zip(sb.remainder()) {
+            *d = m.mul(*d, s);
+        }
+    }
+
+    fn pointwise_mul_into(&self, m: &Modulus, a: &[u64], b: &[u64], out: &mut [u64]) {
+        let mut ob = out.chunks_exact_mut(BLOCK);
+        let mut ab = a.chunks_exact(BLOCK);
+        let mut bb = b.chunks_exact(BLOCK);
+        for ((oc, ac), bc) in (&mut ob).zip(&mut ab).zip(&mut bb) {
+            for k in 0..BLOCK {
+                oc[k] = m.mul(ac[k], bc[k]);
+            }
+        }
+        for ((o, &x), &y) in ob
+            .into_remainder()
+            .iter_mut()
+            .zip(ab.remainder())
+            .zip(bb.remainder())
+        {
+            *o = m.mul(x, y);
+        }
+    }
+
+    fn scale_shoup(&self, m: &Modulus, dst: &mut [u64], c: ShoupPair) {
+        let q = m.value();
+        for d in dst.iter_mut() {
+            *d = csub(mul_shoup_lazy(*d, c, q), q);
+        }
+    }
+
+    fn sub_scale_shoup(&self, m: &Modulus, minuend: &[u64], dst: &mut [u64], c: ShoupPair) {
+        let q = m.value();
+        for (d, &s) in dst.iter_mut().zip(minuend) {
+            // Feed the half-reduced difference (< 2q) straight into the lazy
+            // multiply — mul_shoup_lazy accepts any u64 multiplicand.
+            *d = csub(mul_shoup_lazy(s + q - *d, c, q), q);
+        }
+    }
+
+    fn add_scalar(&self, m: &Modulus, dst: &mut [u64], c: u64) {
+        let q = m.value();
+        for d in dst.iter_mut() {
+            *d = csub(*d + c, q);
+        }
+    }
+
+    fn sub_scalar(&self, m: &Modulus, dst: &mut [u64], c: u64) {
+        let q = m.value();
+        for d in dst.iter_mut() {
+            *d = csub(*d + q - c, q);
+        }
+    }
+
+    fn fma_pair(&self, m: &Modulus, d: &[u64], a: &[u64], b: &[u64], u: &mut [u64], v: &mut [u64]) {
+        let mut db = d.chunks_exact(BLOCK);
+        let mut ab = a.chunks_exact(BLOCK);
+        let mut bb = b.chunks_exact(BLOCK);
+        let mut ub = u.chunks_exact_mut(BLOCK);
+        let mut vb = v.chunks_exact_mut(BLOCK);
+        for ((((dc, ac), bc), uc), vc) in (&mut db)
+            .zip(&mut ab)
+            .zip(&mut bb)
+            .zip(&mut ub)
+            .zip(&mut vb)
+        {
+            for k in 0..BLOCK {
+                uc[k] = m.mul_add(dc[k], ac[k], uc[k]);
+            }
+            for k in 0..BLOCK {
+                vc[k] = m.mul_add(dc[k], bc[k], vc[k]);
+            }
+        }
+        let (dr, ar, br) = (db.remainder(), ab.remainder(), bb.remainder());
+        let ur = ub.into_remainder();
+        let vr = vb.into_remainder();
+        for k in 0..dr.len() {
+            ur[k] = m.mul_add(dr[k], ar[k], ur[k]);
+            vr[k] = m.mul_add(dr[k], br[k], vr[k]);
+        }
+    }
+
+    fn basis_ext_block(
+        &self,
+        ext: &BasisExtView<'_>,
+        src: &[u64],
+        n: usize,
+        range: Range<usize>,
+        cols: &mut [&mut [u64]],
+    ) {
+        let l = ext.source_moduli.len();
+        let base = range.start;
+        // Process the slot block in fixed-width chunks: compute the y row
+        // and the excess estimate for BLOCK slots at a time, then sweep the
+        // target limbs over the chunk. The excess estimate accumulates in
+        // ascending limb order per slot — identical float rounding to the
+        // scalar path (trait contract), so the recovered excess matches
+        // bit-for-bit.
+        let mut k = range.start;
+        let mut y = [[0u64; 64]; BLOCK];
+        let mut e = [0u64; BLOCK];
+        while k < range.end {
+            let w = BLOCK.min(range.end - k);
+            for (s, (ys, es)) in y.iter_mut().zip(e.iter_mut()).enumerate().take(w) {
+                let mut est = 0.0f64;
+                let col = k + s;
+                for i in 0..l {
+                    let c = ext.q_tilde[i];
+                    let qi = ext.source_moduli[i].value();
+                    let yi = csub(mul_shoup_lazy(src[i * n + col], c, qi), qi);
+                    ys[i] = yi;
+                    est += yi as f64 * ext.q_inv_f64[i];
+                }
+                *es = est as u64;
+            }
+            for (j, col_out) in cols.iter_mut().enumerate() {
+                let pj = &ext.target_moduli[j];
+                let row = &ext.q_star[j];
+                for s in 0..w {
+                    let ys = &y[s];
+                    let mut acc = 0u128;
+                    for i in 0..l {
+                        acc += ys[i] as u128 * row[i] as u128;
+                        if i % 4 == 3 {
+                            acc = pj.reduce_u128(acc) as u128;
+                        }
+                    }
+                    let raw = pj.reduce_u128(acc);
+                    let correction = pj.mul(pj.reduce(e[s]), ext.q_mod_target[j]);
+                    col_out[k + s - base] = pj.sub(raw, correction);
+                }
+            }
+            k += w;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prime::generate_ntt_primes;
+
+    #[test]
+    fn selection_precedence_and_names() {
+        assert_eq!(BackendKind::from_name("scalar"), Some(BackendKind::Scalar));
+        assert_eq!(
+            BackendKind::from_name("UNROLLED"),
+            Some(BackendKind::Unrolled)
+        );
+        assert_eq!(BackendKind::from_name("auto"), Some(best_available()));
+        assert_eq!(BackendKind::from_name("gpu"), None);
+        assert_eq!(
+            resolve(Some(BackendKind::Scalar)).name(),
+            "scalar",
+            "explicit preference must win"
+        );
+        assert_eq!(BackendKind::Scalar.name(), "scalar");
+        assert_eq!(BackendKind::Unrolled.name(), "unrolled");
+    }
+
+    #[test]
+    fn shoup_pair_matches_modulus_shoup() {
+        let m = Modulus::new((1 << 50) - 27).unwrap();
+        let pairs = ShoupPair::table(&m, &[1, 42, m.value() - 1]);
+        for p in pairs {
+            assert_eq!(p.shoup, m.shoup(p.value));
+        }
+    }
+
+    #[test]
+    fn lazy_mul_is_half_reduced() {
+        let m = Modulus::new((1 << 61) - 1).unwrap();
+        let q = m.value();
+        let c = ShoupPair::new(&m, 0x1234_5678_9abc % q);
+        for a in [0u64, 1, q - 1, q, 2 * q - 1, u64::MAX] {
+            let r = mul_shoup_lazy(a, c, q);
+            assert!(r < 2 * q, "a={a}: {r} >= 2q");
+            assert_eq!(csub(r, q), m.mul(m.reduce(a), c.value));
+        }
+    }
+
+    #[test]
+    fn unrolled_matches_scalar_on_odd_sizes() {
+        // Sizes below/around the block width exercise every remainder loop.
+        for n in [2usize, 4, 8, 16, 32] {
+            let q = generate_ntt_primes(1, 40, n)[0];
+            let ts = NttTable::with_backend(q, n, BackendKind::Scalar.instance()).unwrap();
+            let tu = NttTable::with_backend(q, n, BackendKind::Unrolled.instance()).unwrap();
+            let data: Vec<u64> = (0..n as u64).map(|i| (i * 7 + 3) % q).collect();
+            let mut a = data.clone();
+            let mut b = data.clone();
+            ts.forward(&mut a);
+            tu.forward(&mut b);
+            assert_eq!(a, b, "forward n={n}");
+            ts.inverse(&mut a);
+            tu.inverse(&mut b);
+            assert_eq!(a, b, "inverse n={n}");
+            assert_eq!(a, data, "round trip n={n}");
+        }
+    }
+}

@@ -10,6 +10,11 @@
 //!
 //! - [`modular`]: arithmetic in 64-bit prime fields (Barrett reduction,
 //!   Shoup multiplication, modular inverses and exponentiation).
+//! - [`backend`]: the pluggable [`KernelBackend`] trait routing every hot
+//!   kernel (NTT butterflies, pointwise modmul, fused basis extension)
+//!   through a per-context implementation — the fully-reduced scalar
+//!   reference and a lazy-reduction blocked variant that LLVM
+//!   auto-vectorizes.
 //! - [`prime`]: deterministic Miller–Rabin primality testing and generation
 //!   of NTT-friendly primes (`q ≡ 1 mod 2N`).
 //! - [`ntt`]: negacyclic number-theoretic transforms over
@@ -55,6 +60,7 @@
 //! ```
 
 pub mod automorph;
+pub mod backend;
 pub mod bigint;
 pub mod cfft;
 pub mod modular;
@@ -67,6 +73,7 @@ pub mod sampling;
 pub mod scratch;
 pub mod telemetry;
 
+pub use backend::{BackendKind, KernelBackend, ShoupPair};
 pub use modular::Modulus;
 pub use ntt::NttTable;
 pub use poly::{Representation, RnsPoly};

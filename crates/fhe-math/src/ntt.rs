@@ -13,10 +13,12 @@
 //! pre/post scaling passes. All butterfly constants carry precomputed Shoup
 //! companions.
 
+use crate::backend::{self, KernelBackend, ShoupPair};
 use crate::modular::Modulus;
 use crate::prime::{is_prime, primitive_root_of_unity};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Global counters of limb transforms executed, for cross-validating the
 /// `simfhe` cost model against the functional library (the paper's op
@@ -69,17 +71,17 @@ pub struct NttTable {
     modulus: Modulus,
     n: usize,
     log_n: u32,
-    /// ψ^br(i) for CT forward butterflies, bit-reverse ordered.
-    fwd_roots: Vec<u64>,
-    fwd_roots_shoup: Vec<u64>,
+    /// ψ^br(i) for CT forward butterflies, bit-reverse ordered, with Shoup
+    /// companions.
+    fwd_roots: Vec<ShoupPair>,
     /// ψ^{-br(i)} for GS inverse butterflies.
-    inv_roots: Vec<u64>,
-    inv_roots_shoup: Vec<u64>,
+    inv_roots: Vec<ShoupPair>,
     /// N^{-1} mod q for the final inverse scaling.
-    n_inv: u64,
-    n_inv_shoup: u64,
+    n_inv: ShoupPair,
     /// ψ, kept for callers that need evaluation-point bookkeeping.
     psi: u64,
+    /// The kernel implementation butterflies dispatch to.
+    backend: Arc<dyn KernelBackend>,
 }
 
 impl fmt::Debug for NttTable {
@@ -126,6 +128,22 @@ impl NttTable {
     /// Returns [`NttError`] if `n` is not a power of two or `q` is not a
     /// prime with `q ≡ 1 (mod 2n)`.
     pub fn new(q: u64, n: usize) -> Result<Self, NttError> {
+        Self::with_backend(q, n, backend::default_backend())
+    }
+
+    /// Builds NTT tables that dispatch butterflies to an explicit kernel
+    /// backend (see [`crate::backend`]); [`NttTable::new`] uses the
+    /// process-default backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NttError`] if `n` is not a power of two or `q` is not a
+    /// prime with `q ≡ 1 (mod 2n)`.
+    pub fn with_backend(
+        q: u64,
+        n: usize,
+        backend: Arc<dyn KernelBackend>,
+    ) -> Result<Self, NttError> {
         if !n.is_power_of_two() || n < 2 {
             return Err(NttError::InvalidDegree(n));
         }
@@ -154,21 +172,19 @@ impl NttTable {
             fwd_roots[i] = fwd_natural[r];
             inv_roots[i] = inv_natural[r];
         }
-        let fwd_roots_shoup = fwd_roots.iter().map(|&r| modulus.shoup(r)).collect();
-        let inv_roots_shoup = inv_roots.iter().map(|&r| modulus.shoup(r)).collect();
+        let fwd_roots = ShoupPair::table(&modulus, &fwd_roots);
+        let inv_roots = ShoupPair::table(&modulus, &inv_roots);
         let n_inv = modulus.inv(n as u64).expect("n invertible mod prime q");
-        let n_inv_shoup = modulus.shoup(n_inv);
+        let n_inv = ShoupPair::new(&modulus, n_inv);
         Ok(Self {
             modulus,
             n,
             log_n,
             fwd_roots,
-            fwd_roots_shoup,
             inv_roots,
-            inv_roots_shoup,
             n_inv,
-            n_inv_shoup,
             psi,
+            backend,
         })
     }
 
@@ -190,6 +206,32 @@ impl NttTable {
         self.psi
     }
 
+    /// The kernel backend this table dispatches butterflies to.
+    #[inline]
+    pub fn backend(&self) -> &Arc<dyn KernelBackend> {
+        &self.backend
+    }
+
+    /// Forward twiddles `ψ^br(i)` in bit-reversed order, with Shoup
+    /// companions (consumed by [`crate::backend::KernelBackend`] impls).
+    #[inline]
+    pub fn forward_roots(&self) -> &[ShoupPair] {
+        &self.fwd_roots
+    }
+
+    /// Inverse twiddles `ψ^{-br(i)}` with Shoup companions.
+    #[inline]
+    pub fn inverse_roots(&self) -> &[ShoupPair] {
+        &self.inv_roots
+    }
+
+    /// `N^{-1} mod q` with its Shoup companion, for the final inverse
+    /// scaling pass.
+    #[inline]
+    pub fn n_inv(&self) -> ShoupPair {
+        self.n_inv
+    }
+
     /// In-place forward negacyclic NTT (coefficient → evaluation,
     /// bit-reversed output order).
     ///
@@ -198,26 +240,11 @@ impl NttTable {
     /// Panics if `data.len() != self.size()`.
     pub fn forward(&self, data: &mut [u64]) {
         assert_eq!(data.len(), self.n, "NTT size mismatch");
+        // Counters and telemetry are recorded here — at the dispatch site,
+        // in logical units — so every backend reports identical counts.
         counters::FORWARD.fetch_add(1, Ordering::Relaxed);
         crate::telemetry::record_ntt(true, self.butterfly_count(), self.n as u64);
-        let q = &self.modulus;
-        let mut t = self.n;
-        let mut m = 1usize;
-        while m < self.n {
-            t >>= 1;
-            for i in 0..m {
-                let w = self.fwd_roots[m + i];
-                let ws = self.fwd_roots_shoup[m + i];
-                let base = 2 * i * t;
-                for j in base..base + t {
-                    let u = data[j];
-                    let v = q.mul_shoup(data[j + t], w, ws);
-                    data[j] = q.add(u, v);
-                    data[j + t] = q.sub(u, v);
-                }
-            }
-            m <<= 1;
-        }
+        self.backend.ntt_forward(self, data);
     }
 
     /// In-place inverse negacyclic NTT (evaluation → coefficient, consumes
@@ -234,29 +261,7 @@ impl NttTable {
         // beyond the model's butterfly count (an optimized kernel folds it
         // into the last stage); record it so measured counts stay honest.
         crate::telemetry::record_ops(self.n as u64, 0);
-        let q = &self.modulus;
-        let mut t = 1usize;
-        let mut m = self.n;
-        while m > 1 {
-            let h = m >> 1;
-            let mut base = 0usize;
-            for i in 0..h {
-                let w = self.inv_roots[h + i];
-                let ws = self.inv_roots_shoup[h + i];
-                for j in base..base + t {
-                    let u = data[j];
-                    let v = data[j + t];
-                    data[j] = q.add(u, v);
-                    data[j + t] = q.mul_shoup(q.sub(u, v), w, ws);
-                }
-                base += 2 * t;
-            }
-            t <<= 1;
-            m = h;
-        }
-        for x in data.iter_mut() {
-            *x = q.mul_shoup(*x, self.n_inv, self.n_inv_shoup);
-        }
+        self.backend.ntt_inverse(self, data);
     }
 
     /// Number of butterfly operations in one transform: `(N/2)·log2 N`.

@@ -17,6 +17,7 @@
 //! these patterns.
 
 use crate::automorph::Automorphism;
+use crate::backend::ShoupPair;
 use crate::bigint::{IBig, UBig};
 use crate::parallel;
 use crate::rns::{BasisExtender, RnsBasis};
@@ -345,10 +346,7 @@ impl RnsPoly {
         other.trace_touch(false);
         self.trace_touch(true);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
-            let m = basis.modulus(i);
-            for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d = m.add(*d, s);
-            }
+            basis.backend().pointwise_add(basis.modulus(i), dst, src);
         });
     }
 
@@ -363,10 +361,7 @@ impl RnsPoly {
         other.trace_touch(false);
         self.trace_touch(true);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
-            let m = basis.modulus(i);
-            for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d = m.sub(*d, s);
-            }
+            basis.backend().pointwise_sub(basis.modulus(i), dst, src);
         });
     }
 
@@ -379,10 +374,7 @@ impl RnsPoly {
         self.trace_touch(false);
         self.trace_touch(true);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
-            let m = basis.modulus(i);
-            for x in limb.iter_mut() {
-                *x = m.neg(*x);
-            }
+            basis.backend().pointwise_neg(basis.modulus(i), limb);
         });
     }
 
@@ -406,10 +398,7 @@ impl RnsPoly {
         other.trace_touch(false);
         self.trace_touch(true);
         parallel::for_each_limb_pair_mut(&mut self.data, &other.data, n, |i, dst, src| {
-            let m = basis.modulus(i);
-            for (d, &s) in dst.iter_mut().zip(src.iter()) {
-                *d = m.mul(*d, s);
-            }
+            basis.backend().pointwise_mul(basis.modulus(i), dst, src);
         });
     }
 
@@ -441,11 +430,13 @@ impl RnsPoly {
         other.trace_touch(false);
         out.trace_touch(true);
         parallel::for_each_limb_mut(&mut out.data, n, |i, dst| {
-            let m = basis.modulus(i);
             let off = i * n;
-            for (k, d) in dst.iter_mut().enumerate() {
-                *d = m.mul(a[off + k], b[off + k]);
-            }
+            basis.backend().pointwise_mul_into(
+                basis.modulus(i),
+                &a[off..off + n],
+                &b[off..off + n],
+                dst,
+            );
         });
     }
 
@@ -459,11 +450,8 @@ impl RnsPoly {
         self.trace_touch(true);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
             let m = basis.modulus(i);
-            let s = m.reduce(scalar);
-            let s_shoup = m.shoup(s);
-            for x in limb.iter_mut() {
-                *x = m.mul_shoup(*x, s, s_shoup);
-            }
+            let s = ShoupPair::new(m, m.reduce(scalar));
+            basis.backend().scale_shoup(m, limb, s);
         });
     }
 
@@ -483,11 +471,8 @@ impl RnsPoly {
         self.trace_touch(true);
         parallel::for_each_limb_mut(&mut self.data, n, |i, limb| {
             let m = basis.modulus(i);
-            let s = m.reduce(scalars[i]);
-            let s_shoup = m.shoup(s);
-            for x in limb.iter_mut() {
-                *x = m.mul_shoup(*x, s, s_shoup);
-            }
+            let s = ShoupPair::new(m, m.reduce(scalars[i]));
+            basis.backend().scale_shoup(m, limb, s);
         });
     }
 
@@ -663,7 +648,7 @@ pub fn rescale_with(poly: &RnsPoly, pool: &ScratchPool) -> RnsPoly {
         let inv = qi
             .inv(qi.reduce(q_last.value()))
             .expect("limb moduli are coprime");
-        let inv_shoup = qi.shoup(inv);
+        let inv = ShoupPair::new(qi, inv);
         // Centered image of the dropped limb in q_i, NTT'd in place inside
         // the output limb — no per-limb temporary needed.
         for (x, &c) in limb.iter_mut().zip(last.iter()) {
@@ -671,9 +656,9 @@ pub fn rescale_with(poly: &RnsPoly, pool: &ScratchPool) -> RnsPoly {
         }
         basis.ntt_table(i).forward(limb);
         let off = i * n;
-        for (k, x) in limb.iter_mut().enumerate() {
-            *x = qi.mul_shoup(qi.sub(src[off + k], *x), inv, inv_shoup);
-        }
+        basis
+            .backend()
+            .sub_scale_shoup(qi, &src[off..off + n], limb, inv);
     });
     out
 }
@@ -691,9 +676,8 @@ pub struct ModDownContext {
     extender: BasisExtender,
     /// The output basis `B` (shared so `mod_down` allocates nothing).
     out_basis: Arc<RnsBasis>,
-    /// `P^{-1} mod q_i` for each limb of `B`.
-    p_inv: Vec<u64>,
-    p_inv_shoup: Vec<u64>,
+    /// `P^{-1} mod q_i` for each limb of `B`, with Shoup companions.
+    p_inv: Vec<ShoupPair>,
     /// `⌊P/2⌋ mod q_i` for each limb of `B` (centering trick).
     half_p_mod_q: Vec<u64>,
     /// `⌊P/2⌋ mod p_j` for each limb of `B'`.
@@ -708,15 +692,13 @@ impl ModDownContext {
     pub fn new(q_basis: Arc<RnsBasis>, p_basis: &RnsBasis) -> Self {
         let extender = BasisExtender::new(p_basis, &q_basis);
         let mut p_inv = Vec::with_capacity(q_basis.len());
-        let mut p_inv_shoup = Vec::with_capacity(q_basis.len());
         for qi in q_basis.moduli() {
             let mut p_mod = 1u64;
             for pj in p_basis.moduli() {
                 p_mod = qi.mul(p_mod, qi.reduce(pj.value()));
             }
             let inv = qi.inv(p_mod).expect("P coprime to q_i");
-            p_inv.push(inv);
-            p_inv_shoup.push(qi.shoup(inv));
+            p_inv.push(ShoupPair::new(qi, inv));
         }
         // Centering trick constants: ⌊P/2⌋ reduced into every modulus.
         let half_p = UBig::product(
@@ -743,7 +725,6 @@ impl ModDownContext {
             p_len: p_basis.len(),
             out_basis: q_basis,
             p_inv,
-            p_inv_shoup,
             half_p_mod_q,
             half_p_mod_p,
         }
@@ -796,10 +777,7 @@ pub fn mod_down_with(poly: &RnsPoly, ctx: &ModDownContext, pool: &ScratchPool) -
     parallel::for_each_limb_mut(&mut special, n, |j, limb| {
         let pj = basis.modulus(ctx.q_len + j);
         basis.ntt_table(ctx.q_len + j).inverse(limb);
-        let half = ctx.half_p_mod_p[j];
-        for x in limb.iter_mut() {
-            *x = pj.add(*x, half);
-        }
+        basis.backend().add_scalar(pj, limb, ctx.half_p_mod_p[j]);
     });
 
     // Step 2: NewLimb into each q_i (slot-wise), written straight into the
@@ -818,15 +796,12 @@ pub fn mod_down_with(poly: &RnsPoly, ctx: &ModDownContext, pool: &ScratchPool) -
     let src = poly.flat();
     parallel::for_each_limb_mut(&mut out.data, n, |i, limb| {
         let qi = basis.modulus(i);
-        let half = ctx.half_p_mod_q[i];
-        for x in limb.iter_mut() {
-            *x = qi.sub(*x, half);
-        }
+        basis.backend().sub_scalar(qi, limb, ctx.half_p_mod_q[i]);
         basis.ntt_table(i).forward(limb);
         let off = i * n;
-        for (k, x) in limb.iter_mut().enumerate() {
-            *x = qi.mul_shoup(qi.sub(src[off + k], *x), ctx.p_inv[i], ctx.p_inv_shoup[i]);
-        }
+        basis
+            .backend()
+            .sub_scale_shoup(qi, &src[off..off + n], limb, ctx.p_inv[i]);
     });
     out
 }
@@ -881,11 +856,10 @@ pub fn pmod_up_with(poly: &RnsPoly, raised_basis: Arc<RnsBasis>, pool: &ScratchP
         for pj in &out_basis.moduli()[l..] {
             p_mod = qi.mul(p_mod, qi.reduce(pj.value()));
         }
-        let p_shoup = qi.shoup(p_mod);
+        let p = ShoupPair::new(qi, p_mod);
         let off = i * n;
-        for (k, x) in limb.iter_mut().enumerate() {
-            *x = qi.mul_shoup(src[off + k], p_mod, p_shoup);
-        }
+        limb.copy_from_slice(&src[off..off + n]);
+        basis.backend().scale_shoup(qi, limb, p);
     });
     out
 }

@@ -12,6 +12,7 @@
 //! this excess into the noise; the exact-CRT tests in this module quantify
 //! it.
 
+use crate::backend::{self, BasisExtView, KernelBackend, ShoupPair};
 use crate::bigint::UBig;
 use crate::modular::Modulus;
 use crate::ntt::NttTable;
@@ -24,6 +25,7 @@ pub struct RnsBasis {
     moduli: Vec<Modulus>,
     ntt_tables: Vec<Arc<NttTable>>,
     degree: usize,
+    backend: Arc<dyn KernelBackend>,
 }
 
 impl fmt::Debug for RnsBasis {
@@ -67,6 +69,24 @@ impl RnsBasis {
     /// Returns [`RnsError`] if `primes` is empty, contains duplicates, or
     /// contains a value that is not an NTT-friendly prime for `degree`.
     pub fn new(primes: &[u64], degree: usize) -> Result<Self, RnsError> {
+        Self::with_backend(primes, degree, backend::default_backend())
+    }
+
+    /// Builds a basis whose limbs dispatch their kernels (NTT butterflies,
+    /// pointwise ops, basis extension) to an explicit backend;
+    /// [`RnsBasis::new`] uses the process-default backend. Sub-bases formed
+    /// by [`RnsBasis::prefix`]/[`RnsBasis::select`]/[`RnsBasis::concat`]
+    /// inherit the backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RnsError`] if `primes` is empty, contains duplicates, or
+    /// contains a value that is not an NTT-friendly prime for `degree`.
+    pub fn with_backend(
+        primes: &[u64],
+        degree: usize,
+        backend: Arc<dyn KernelBackend>,
+    ) -> Result<Self, RnsError> {
         if primes.is_empty() {
             return Err(RnsError::Empty);
         }
@@ -76,7 +96,8 @@ impl RnsBasis {
             if primes[..i].contains(&q) {
                 return Err(RnsError::DuplicateLimb(q));
             }
-            let table = NttTable::new(q, degree).map_err(|_| RnsError::BadLimb(q))?;
+            let table = NttTable::with_backend(q, degree, backend.clone())
+                .map_err(|_| RnsError::BadLimb(q))?;
             moduli.push(*table.modulus());
             ntt_tables.push(Arc::new(table));
         }
@@ -84,7 +105,15 @@ impl RnsBasis {
             moduli,
             ntt_tables,
             degree,
+            backend,
         })
+    }
+
+    /// The kernel backend this basis (and every polynomial over it)
+    /// dispatches to.
+    #[inline]
+    pub fn backend(&self) -> &Arc<dyn KernelBackend> {
+        &self.backend
     }
 
     /// Number of limbs `ℓ`.
@@ -144,6 +173,7 @@ impl RnsBasis {
             moduli: self.moduli[..count].to_vec(),
             ntt_tables: self.ntt_tables[..count].to_vec(),
             degree: self.degree,
+            backend: self.backend.clone(),
         }
     }
 
@@ -169,6 +199,7 @@ impl RnsBasis {
                 .map(|&i| self.ntt_tables[i].clone())
                 .collect(),
             degree: self.degree,
+            backend: self.backend.clone(),
         }
     }
 
@@ -190,6 +221,7 @@ impl RnsBasis {
             moduli: [self.moduli.clone(), other.moduli.clone()].concat(),
             ntt_tables: [self.ntt_tables.clone(), other.ntt_tables.clone()].concat(),
             degree: self.degree,
+            backend: self.backend.clone(),
         }
     }
 
@@ -239,9 +271,9 @@ impl RnsBasis {
 /// `[x]_p` of the source value `x ∈ [0, Q)`.
 #[derive(Clone)]
 pub struct BasisExtender {
-    /// `Q̃_i = (Q/q_i)^{-1} mod q_i`, one per source limb.
-    q_tilde: Vec<u64>,
-    q_tilde_shoup: Vec<u64>,
+    /// `Q̃_i = (Q/q_i)^{-1} mod q_i` with Shoup companions, one per source
+    /// limb.
+    q_tilde: Vec<ShoupPair>,
     /// `1 / q_i` as `f64`, for the excess estimate.
     q_inv_f64: Vec<f64>,
     /// `Q_i^* = Q/q_i mod p_j`, indexed `[target][source]`.
@@ -250,6 +282,9 @@ pub struct BasisExtender {
     q_mod_target: Vec<u64>,
     source_moduli: Vec<Modulus>,
     target_moduli: Vec<Modulus>,
+    /// Backend the fused flat conversion dispatches to (inherited from the
+    /// source basis).
+    backend: Arc<dyn KernelBackend>,
 }
 
 impl fmt::Debug for BasisExtender {
@@ -277,8 +312,7 @@ impl BasisExtender {
             );
         }
         let l = source.len();
-        let mut q_tilde = vec![0u64; l];
-        let mut q_tilde_shoup = vec![0u64; l];
+        let mut q_tilde = Vec::with_capacity(l);
         for i in 0..l {
             let qi = source.modulus(i);
             // Q_i^* mod q_i = ∏_{j≠i} q_j mod q_i
@@ -289,8 +323,7 @@ impl BasisExtender {
                 }
             }
             let inv = qi.inv(prod).expect("limb primes are coprime");
-            q_tilde[i] = inv;
-            q_tilde_shoup[i] = qi.shoup(inv);
+            q_tilde.push(ShoupPair::new(qi, inv));
         }
         let mut q_star = Vec::with_capacity(target.len());
         let mut q_mod_target = Vec::with_capacity(target.len());
@@ -319,12 +352,26 @@ impl BasisExtender {
             .collect();
         Self {
             q_tilde,
-            q_tilde_shoup,
             q_inv_f64,
             q_star,
             q_mod_target,
             source_moduli: source.moduli().to_vec(),
             target_moduli: target.moduli().to_vec(),
+            backend: source.backend().clone(),
+        }
+    }
+
+    /// Borrowed view of the precomputed constants, in the shape
+    /// [`crate::backend::KernelBackend::basis_ext_block`] consumes.
+    #[inline]
+    pub fn view(&self) -> BasisExtView<'_> {
+        BasisExtView {
+            q_tilde: &self.q_tilde,
+            q_inv_f64: &self.q_inv_f64,
+            q_star: &self.q_star,
+            q_mod_target: &self.q_mod_target,
+            source_moduli: &self.source_moduli,
+            target_moduli: &self.target_moduli,
         }
     }
 
@@ -362,11 +409,8 @@ impl BasisExtender {
         assert!(l <= 64, "basis too large for stack buffer");
         let mut excess_est = 0.0f64;
         for i in 0..l {
-            y[i] = self.source_moduli[i].mul_shoup(
-                residues[i],
-                self.q_tilde[i],
-                self.q_tilde_shoup[i],
-            );
+            let c = self.q_tilde[i];
+            y[i] = self.source_moduli[i].mul_shoup(residues[i], c.value, c.shoup);
             excess_est += y[i] as f64 * self.q_inv_f64[i];
         }
         // Σ y_i Q_i^* = x + e·Q, and Σ y_i/q_i = e + x/Q with x/Q ∈ [0,1),
@@ -408,20 +452,13 @@ impl BasisExtender {
         assert_eq!(src.len(), l * n, "source buffer length mismatch");
         assert_eq!(dst.len(), t * n, "target buffer length mismatch");
         assert!(t <= 64, "target basis too large for stack buffer");
+        assert!(l <= 64, "source basis too large for stack buffer");
+        // Telemetry is recorded here — at the dispatch site, in logical
+        // units — so every backend reports identical counts.
         crate::telemetry::record_basis_ext(l as u64, t as u64, n as u64);
+        let ext = self.view();
         crate::parallel::for_each_slot_block(dst, n, |range, cols| {
-            let mut y = [0u64; 64];
-            let mut out = [0u64; 64];
-            let base = range.start;
-            for k in range {
-                for i in 0..l {
-                    y[i] = src[i * n + k];
-                }
-                self.extend_coeff(&y[..l], &mut out[..t]);
-                for (j, col) in cols.iter_mut().enumerate() {
-                    col[k - base] = out[j];
-                }
-            }
+            self.backend.basis_ext_block(&ext, src, n, range, cols);
         });
     }
 }

@@ -1,0 +1,181 @@
+//! Property-based backend equivalence: for random NTT-friendly moduli
+//! (50–61 bits — [`generate_ntt_primes`] caps prime sizes at 61 so the
+//! lazy-reduction bound `4q < 2^64` always holds) and random sizes
+//! `2^4..=2^12`, the scalar and unrolled backends must agree bit-for-bit,
+//! and the unrolled backend's *lazy* transform entry points must keep every
+//! intermediate in the half-reduced range `[0, 2q)`.
+
+use fhe_math::backend::UnrolledBackend;
+use fhe_math::poly::{Representation, RnsPoly};
+use fhe_math::prime::{generate_ntt_primes, generate_ntt_primes_excluding};
+use fhe_math::rns::{BasisExtender, RnsBasis};
+use fhe_math::{BackendKind, KernelBackend, Modulus, NttTable};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A random transform size `2^4..=2^12` (the ISSUE's proptest envelope).
+fn size_strategy() -> impl Strategy<Value = usize> {
+    (4u32..=12).prop_map(|log_n| 1usize << log_n)
+}
+
+/// A random 50–61 bit NTT prime for degree `n`: `seed` picks one of the
+/// first three primes of that width so cases see different moduli.
+fn ntt_prime(bits: u32, n: usize, seed: u64) -> u64 {
+    *generate_ntt_primes((seed % 3) as usize + 1, bits, n)
+        .last()
+        .unwrap()
+}
+
+/// Deterministic residues below `q`.
+fn random_residues(seed: u64, q: u64, n: usize) -> Vec<u64> {
+    (0..n as u64)
+        .map(|k| {
+            seed.wrapping_mul(0x9e3779b97f4a7c15)
+                .wrapping_add(k)
+                .wrapping_mul(0xd1342543de82ef95)
+                % q
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ntt_forward_and_inverse_agree_across_backends(
+        bits in 50u32..=61,
+        n in size_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let q = ntt_prime(bits, n, seed);
+        let input = random_residues(seed, q, n);
+        let scalar = NttTable::with_backend(q, n, BackendKind::Scalar.instance()).unwrap();
+        let unrolled = NttTable::with_backend(q, n, BackendKind::Unrolled.instance()).unwrap();
+
+        let mut fs = input.clone();
+        scalar.forward(&mut fs);
+        let mut fu = input.clone();
+        unrolled.forward(&mut fu);
+        prop_assert_eq!(&fs, &fu);
+
+        let mut is_ = fs.clone();
+        scalar.inverse(&mut is_);
+        let mut iu = fu.clone();
+        unrolled.inverse(&mut iu);
+        prop_assert_eq!(&is_, &input);
+        prop_assert_eq!(&iu, &input);
+    }
+
+    #[test]
+    fn lazy_transforms_stay_below_2q_and_reduce_to_the_scalar_result(
+        bits in 50u32..=61,
+        n in size_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let q = ntt_prime(bits, n, seed);
+        let input = random_residues(seed ^ 0xabcd, q, n);
+        let scalar = NttTable::with_backend(q, n, BackendKind::Scalar.instance()).unwrap();
+        let lazy_table = NttTable::with_backend(q, n, BackendKind::Unrolled.instance()).unwrap();
+
+        let mut reference = input.clone();
+        scalar.forward(&mut reference);
+
+        let mut lazy = input.clone();
+        UnrolledBackend.ntt_forward_lazy(&lazy_table, &mut lazy);
+        for &x in &lazy {
+            prop_assert!(x < 2 * q, "forward lazy value {x} >= 2q (q={q})");
+        }
+        let reduced: Vec<u64> = lazy.iter().map(|&x| if x >= q { x - q } else { x }).collect();
+        prop_assert_eq!(&reduced, &reference);
+
+        // Inverse: feed the canonical spectrum, check the pre-reduction
+        // range, then apply the `N^{-1}` normalization the lazy entry
+        // point defers and check the result round-trips.
+        let mut lazy_inv = reference.clone();
+        UnrolledBackend.ntt_inverse_lazy(&lazy_table, &mut lazy_inv);
+        for &x in &lazy_inv {
+            prop_assert!(x < 2 * q, "inverse lazy value {x} >= 2q (q={q})");
+        }
+        let m = Modulus::new(q).unwrap();
+        let n_inv = lazy_table.n_inv();
+        let normalized: Vec<u64> = lazy_inv
+            .iter()
+            .map(|&x| {
+                let x = if x >= q { x - q } else { x };
+                m.mul_shoup(x, n_inv.value, n_inv.shoup)
+            })
+            .collect();
+        prop_assert_eq!(&normalized, &input);
+    }
+
+    #[test]
+    fn pointwise_kernels_agree_across_backends(
+        bits in 50u32..=61,
+        n in size_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let q = ntt_prime(bits, n, seed);
+        let m = Modulus::new(q).unwrap();
+        let a = random_residues(seed, q, n);
+        let b = random_residues(seed ^ 0x5555, q, n);
+        let scalar = BackendKind::Scalar.instance();
+        let unrolled = BackendKind::Unrolled.instance();
+
+        let run = |be: &Arc<dyn KernelBackend>| {
+            let mut add = a.clone();
+            be.pointwise_add(&m, &mut add, &b);
+            let mut mul = a.clone();
+            be.pointwise_mul(&m, &mut mul, &b);
+            let (mut u, mut v) = (b.clone(), a.clone());
+            be.fma_pair(&m, &mul, &a, &b, &mut u, &mut v);
+            (add, mul, u, v)
+        };
+        prop_assert_eq!(run(&scalar), run(&unrolled));
+    }
+
+    #[test]
+    fn basis_extension_agrees_across_backends(
+        bits in 50u32..=60,
+        n in size_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let src_primes = generate_ntt_primes(2, bits, n);
+        let dst_primes = generate_ntt_primes_excluding(2, bits + 1, n, &src_primes);
+        let mut flat = Vec::with_capacity(2 * n);
+        for (i, &q) in src_primes.iter().enumerate() {
+            flat.extend(random_residues(seed ^ (i as u64), q, n));
+        }
+        let run = |kind: BackendKind| {
+            let src = RnsBasis::with_backend(&src_primes, n, kind.instance()).unwrap();
+            let dst = RnsBasis::with_backend(&dst_primes, n, kind.instance()).unwrap();
+            let ext = BasisExtender::new(&src, &dst);
+            let mut out = vec![0u64; dst_primes.len() * n];
+            ext.extend_flat(&flat, &mut out, n);
+            out
+        };
+        prop_assert_eq!(run(BackendKind::Scalar), run(BackendKind::Unrolled));
+    }
+
+    #[test]
+    fn poly_round_trip_agrees_across_backends(
+        bits in 50u32..=61,
+        n in size_strategy(),
+        seed in any::<u64>(),
+    ) {
+        let primes = generate_ntt_primes(2, bits, n);
+        let mut flat = Vec::with_capacity(2 * n);
+        for (i, &q) in primes.iter().enumerate() {
+            flat.extend(random_residues(seed ^ (i as u64), q, n));
+        }
+        let run = |kind: BackendKind| {
+            let basis = Arc::new(RnsBasis::with_backend(&primes, n, kind.instance()).unwrap());
+            let mut p = RnsPoly::from_flat(basis, flat.clone(), Representation::Coefficient);
+            p.to_eval();
+            let eval = p.flat().to_vec();
+            p.to_coeff();
+            prop_assert_eq!(p.flat(), &flat[..]);
+            Ok(eval)
+        };
+        prop_assert_eq!(run(BackendKind::Scalar)?, run(BackendKind::Unrolled)?);
+    }
+}

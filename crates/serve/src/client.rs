@@ -140,12 +140,23 @@ impl Client {
     ///
     /// See [`Client::call_raw`].
     pub fn hello(&mut self) -> Result<u64, ClientError> {
+        self.hello_info().map(|(sid, _)| sid)
+    }
+
+    /// Opens a session, also returning the server's active kernel-backend
+    /// name (empty if the server predates the backend field).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn hello_info(&mut self) -> Result<(u64, String), ClientError> {
         let resp = self.call(Opcode::Hello, &[])?;
-        let bytes: [u8; 8] = resp
-            .as_slice()
-            .try_into()
-            .map_err(|_| ClientError::Protocol("short session id".into()))?;
-        Ok(u64::from_le_bytes(bytes))
+        if resp.len() < 8 {
+            return Err(ClientError::Protocol("short session id".into()));
+        }
+        let sid = u64::from_le_bytes(resp[..8].try_into().expect("8 bytes"));
+        let backend = String::from_utf8_lossy(&resp[8..]).into_owned();
+        Ok((sid, backend))
     }
 
     /// Uploads the relinearization key (send the seeded/compressed form —

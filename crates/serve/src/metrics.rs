@@ -149,12 +149,15 @@ impl Metrics {
     }
 
     /// Renders every counter, plus the cache's, as plain text. Lines are
-    /// `name{labels} value`, one metric per line, stable names.
-    pub fn dump(&self, cache: &CacheStats) -> String {
+    /// `name{labels} value`, one metric per line, stable names. `backend`
+    /// is the context's active kernel backend, exported as an info-style
+    /// gauge so dashboards can attribute latency shifts to kernel changes.
+    pub fn dump(&self, cache: &CacheStats, backend: &str) -> String {
         let mut out = String::new();
         let g = |out: &mut String, name: &str, v: u64| {
             let _ = writeln!(out, "{name} {v}");
         };
+        let _ = writeln!(out, "serve_kernel_backend{{backend=\"{backend}\"}} 1");
         g(
             &mut out,
             "serve_requests_total",
@@ -245,7 +248,7 @@ mod tests {
         assert_eq!(h.count(), 4);
         let m = Metrics::new();
         m.latency(Opcode::Add).observe(Duration::from_micros(5));
-        let dump = m.dump(&CacheStats::default());
+        let dump = m.dump(&CacheStats::default(), "scalar");
         assert!(dump.contains("serve_op_latency_us_count{op=\"add\"} 1"));
         assert!(dump.contains("serve_op_latency_us_bucket{op=\"add\",le=\"+Inf\"} 1"));
         assert!(dump.contains("serve_requests_total 0"));
@@ -272,7 +275,7 @@ mod tests {
         h.observe(Duration::from_nanos(0));
         h.observe(Duration::from_nanos(300));
         h.observe(Duration::from_micros(1));
-        let dump = m.dump(&CacheStats::default());
+        let dump = m.dump(&CacheStats::default(), "scalar");
         let lines = bucket_lines(&dump, "rotate");
         assert_eq!(
             lines.first(),
@@ -290,7 +293,7 @@ mod tests {
         for us in samples_us {
             h.observe(Duration::from_micros(us));
         }
-        let dump = m.dump(&CacheStats::default());
+        let dump = m.dump(&CacheStats::default(), "scalar");
         let lines = bucket_lines(&dump, "mult");
         assert!(lines.len() >= 2);
         // Every rendered bucket is labeled except the final +Inf; labels

@@ -221,7 +221,16 @@ impl Server {
     /// The current metrics dump, server-side (the `Metrics` opcode
     /// returns the same text over the wire).
     pub fn metrics_dump(&self) -> String {
-        self.state.metrics.dump(&self.state.cache.stats())
+        self.state
+            .metrics
+            .dump(&self.state.cache.stats(), self.kernel_backend_name())
+    }
+
+    /// The name of the kernel backend the serving context dispatches its
+    /// hot kernels to (also reported in the `Hello` reply and the metrics
+    /// dump).
+    pub fn kernel_backend_name(&self) -> &'static str {
+        self.state.ctx.kernel_backend().name()
     }
 
     /// Graceful drain: stop accepting, let queued requests finish and
@@ -495,7 +504,11 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8]) -> OpResult {
     match op {
         Opcode::Hello => {
             let sid = state.sessions.create();
-            Ok(sid.to_le_bytes().to_vec())
+            // 8 LE bytes of session id, then the active kernel-backend name
+            // in UTF-8. Pre-backend clients read only the first 8 bytes.
+            let mut reply = sid.to_le_bytes().to_vec();
+            reply.extend_from_slice(state.ctx.kernel_backend().name().as_bytes());
+            Ok(reply)
         }
         Opcode::UploadRelin => {
             let mut r = BodyReader::new(body);
@@ -665,7 +678,10 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8]) -> OpResult {
             }
             Ok(out.0)
         }
-        Opcode::Metrics => Ok(state.metrics.dump(&state.cache.stats()).into_bytes()),
+        Opcode::Metrics => Ok(state
+            .metrics
+            .dump(&state.cache.stats(), state.ctx.kernel_backend().name())
+            .into_bytes()),
     }
 }
 
