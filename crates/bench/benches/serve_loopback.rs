@@ -7,14 +7,21 @@
 //!    end to end through the server.
 //! 2. **Requests/sec vs worker count** — four concurrent clients issuing
 //!    homomorphic adds against 1, 2 and 4 workers.
+//! 3. **Rotation fan-in, scheduler off vs on** — three clients rotating
+//!    the same ciphertext under a one-key cache budget. Unbatched, the
+//!    rotations thrash the cache; batched, the scheduler groups them,
+//!    pins the key-set once and shares one hoisted decomposition. The
+//!    cells also print the measured key expansions per request — the
+//!    counter the batching scheduler exists to lower.
 
 use ckks::{Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, KeyGenerator};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fhe_math::cfft::Complex;
-use fhe_serve::{Client, EvictionPolicy, ServeConfig, Server};
+use fhe_serve::{BatchConfig, BatchHint, Client, EvictionPolicy, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 fn ctx_2_13() -> Arc<CkksContext> {
     CkksContext::new(
@@ -37,6 +44,16 @@ struct Tenant {
 }
 
 fn setup_tenant(ctx: &Arc<CkksContext>, server: &Server, steps: &[i64], seed: u64) -> Tenant {
+    setup_tenant_hinted(ctx, server, steps, seed, BatchHint::Auto)
+}
+
+fn setup_tenant_hinted(
+    ctx: &Arc<CkksContext>,
+    server: &Server,
+    steps: &[i64],
+    seed: u64,
+    hint: BatchHint,
+) -> Tenant {
     let mut rng = StdRng::seed_from_u64(seed);
     let kg = KeyGenerator::new(ctx.clone());
     let sk = kg.secret_key(&mut rng);
@@ -50,7 +67,7 @@ fn setup_tenant(ctx: &Arc<CkksContext>, server: &Server, steps: &[i64], seed: u6
         .unwrap();
     let ct = encryptor.encrypt_symmetric(&mut rng, &pt, &sk);
     let mut client = Client::connect(server.local_addr(), ctx.clone()).unwrap();
-    let sid = client.hello().unwrap();
+    let sid = client.hello_ext(hint).unwrap().session;
     if !steps.is_empty() {
         let gk = kg.galois_keys_compressed(&mut rng, &sk, steps, false);
         client.upload_galois(sid, &gk).unwrap();
@@ -161,5 +178,113 @@ fn bench_throughput_vs_workers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_key_cache, bench_throughput_vs_workers);
+fn bench_batching_fanin(c: &mut Criterion) {
+    let ctx = ctx_2_13();
+    const FANIN: usize = 3;
+    const STEPS: [i64; FANIN] = [1, 2, 1];
+    let mut group = c.benchmark_group("serve/batching");
+    group.throughput(Throughput::Elements(FANIN as u64));
+
+    // A budget of exactly one expanded key: the {1, 2} keys evict each
+    // other unbatched, while a batch pins both and keeps one resident
+    // for the next round.
+    // Every switching key here has the same full-basis shape, so the
+    // relin key is a valid size probe for one expanded Galois key.
+    let one_key_bytes = {
+        let mut rng = StdRng::seed_from_u64(999);
+        let kg = KeyGenerator::new(ctx.clone());
+        let sk = kg.secret_key(&mut rng);
+        let rlk = kg.relin_key_compressed(&mut rng, &sk);
+        let wire = ckks::serialize::serialize_switching_key(rlk.switching_key());
+        ckks::serialize::deserialize_switching_key(&ctx, &wire)
+            .unwrap()
+            .size_bytes()
+    };
+
+    let mut misses_per_req = [0f64; 2];
+    for (cell, batch) in [
+        (
+            0usize,
+            BatchConfig {
+                enabled: false,
+                ..BatchConfig::baseline()
+            },
+        ),
+        (
+            1usize,
+            BatchConfig {
+                enabled: true,
+                max_batch: FANIN,
+                max_delay: Duration::from_millis(500),
+            },
+        ),
+    ] {
+        let hint = if batch.enabled {
+            BatchHint::Throughput
+        } else {
+            BatchHint::Auto
+        };
+        let label = if batch.enabled {
+            "rotate_fanin_on"
+        } else {
+            "rotate_fanin_off"
+        };
+        // One-key budget: without batching, the {1, 2} rotation keys
+        // evict each other on nearly every request.
+        let server = Server::start(
+            ctx.clone(),
+            ServeConfig {
+                workers: 1,
+                queue_capacity: 64,
+                key_cache_budget: one_key_bytes,
+                eviction: EvictionPolicy::Lru,
+                batch,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap();
+        let t = setup_tenant_hinted(&ctx, &server, &[1, 2], 1, hint);
+        let sid = t.sid;
+        let ct = t.ct.clone();
+        let clients: Vec<Mutex<Client>> = (0..FANIN)
+            .map(|_| Mutex::new(Client::connect(server.local_addr(), ctx.clone()).unwrap()))
+            .collect();
+        let mut iters = 0u64;
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                iters += 1;
+                std::thread::scope(|s| {
+                    for (i, cm) in clients.iter().enumerate() {
+                        let ct = &ct;
+                        s.spawn(move || {
+                            let mut client = cm.lock().unwrap();
+                            black_box(client.rotate(sid, ct, STEPS[i]).unwrap())
+                        });
+                    }
+                })
+            })
+        });
+        let stats = server.cache_stats();
+        misses_per_req[cell] = stats.misses as f64 / (iters * FANIN as u64) as f64;
+        println!(
+            "serve/batching/{label}: {:.3} key expansions per request",
+            misses_per_req[cell]
+        );
+        server.shutdown();
+    }
+    assert!(
+        misses_per_req[1] < misses_per_req[0],
+        "batching must lower key expansions per request (off {:.3}, on {:.3})",
+        misses_per_req[0],
+        misses_per_req[1]
+    );
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_key_cache,
+    bench_throughput_vs_workers,
+    bench_batching_fanin
+);
 criterion_main!(benches);

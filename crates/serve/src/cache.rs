@@ -45,6 +45,11 @@ struct Entry {
     bytes: u64,
     last_used: u64,
     hits: u64,
+    /// Active batch pins. A pinned entry is never evicted — not by budget
+    /// pressure, not by an eviction storm — so a batch executing against
+    /// it cannot lose the expansion mid-flight. Pinned bytes may push the
+    /// cache transiently over budget; [`KeyCache::unpin`] re-evicts.
+    pins: u32,
 }
 
 struct Inner {
@@ -66,6 +71,8 @@ pub struct CacheStats {
     pub resident_bytes: u64,
     /// Number of resident expansions.
     pub resident_keys: u64,
+    /// Resident expansions currently pinned by an executing batch.
+    pub pinned_keys: u64,
 }
 
 /// A byte-budgeted cache of expanded switching keys, shared by every
@@ -118,14 +125,47 @@ impl KeyCache {
         kind: KeyKind,
         compressed: &[u8],
     ) -> Result<Arc<SwitchingKey>, ErrorCode> {
+        self.lookup(ctx, session, kind, compressed, false)
+    }
+
+    /// Like [`KeyCache::get_or_expand`], but additionally takes a pin on
+    /// the entry before releasing the cache lock. A pinned entry survives
+    /// budget eviction, eviction storms, and policy pressure until every
+    /// pin is released via [`KeyCache::unpin`]. The batch executor pins a
+    /// group's whole key-set up front so back-to-back requests in the
+    /// batch can never re-expand a key mid-flight.
+    pub fn get_or_expand_pinned(
+        &self,
+        ctx: &CkksContext,
+        session: u64,
+        kind: KeyKind,
+        compressed: &[u8],
+    ) -> Result<Arc<SwitchingKey>, ErrorCode> {
+        self.lookup(ctx, session, kind, compressed, true)
+    }
+
+    fn lookup(
+        &self,
+        ctx: &CkksContext,
+        session: u64,
+        kind: KeyKind,
+        compressed: &[u8],
+        pin: bool,
+    ) -> Result<Arc<SwitchingKey>, ErrorCode> {
         let mut inner = self.inner.lock().expect("cache poisoned");
         inner.clock += 1;
         let now = inner.clock;
         if let Some(e) = inner.entries.get_mut(&(session, kind)) {
             e.last_used = now;
             e.hits += 1;
-            let key = e.key.clone();
-            self.stats.lock().expect("stats poisoned").hits += 1;
+            if pin {
+                e.pins += 1;
+            }
+            let pinned = Self::pinned_count(&inner);
+            let key = inner.entries[&(session, kind)].key.clone();
+            let mut stats = self.stats.lock().expect("stats poisoned");
+            stats.hits += 1;
+            stats.pinned_keys = pinned;
             return Ok(key);
         }
         // Miss: regenerate the full key from its compressed form. The
@@ -141,28 +181,52 @@ impl KeyCache {
                 bytes,
                 last_used: now,
                 hits: 1,
+                pins: u32::from(pin),
             },
         );
         inner.bytes += bytes;
-        let evicted = self.evict_to_budget(&mut inner, (session, kind));
+        let evicted = self.evict_to_budget(&mut inner, Some((session, kind)));
         let mut stats = self.stats.lock().expect("stats poisoned");
         stats.misses += 1;
         stats.evictions += evicted;
         stats.resident_bytes = inner.bytes;
         stats.resident_keys = inner.entries.len() as u64;
+        stats.pinned_keys = Self::pinned_count(&inner);
         Ok(key)
     }
 
-    /// Evicts entries (never `keep`) until within budget; returns how many
-    /// were dropped. If `keep` alone exceeds the budget it stays resident —
-    /// the request needs it regardless — and everything else goes.
-    fn evict_to_budget(&self, inner: &mut Inner, keep: (u64, KeyKind)) -> u64 {
+    fn pinned_count(inner: &Inner) -> u64 {
+        inner.entries.values().filter(|e| e.pins > 0).count() as u64
+    }
+
+    /// Releases one pin on `(session, kind)`. Dropping the last pin makes
+    /// the entry evictable again and immediately re-evicts to budget, so
+    /// any transient pinned overage ends with the batch that caused it.
+    /// Unpinning an entry that was purged or never pinned is a no-op.
+    pub fn unpin(&self, session: u64, kind: KeyKind) {
+        let mut inner = self.inner.lock().expect("cache poisoned");
+        if let Some(e) = inner.entries.get_mut(&(session, kind)) {
+            e.pins = e.pins.saturating_sub(1);
+        }
+        let evicted = self.evict_to_budget(&mut inner, None);
+        let mut stats = self.stats.lock().expect("stats poisoned");
+        stats.evictions += evicted;
+        stats.resident_bytes = inner.bytes;
+        stats.resident_keys = inner.entries.len() as u64;
+        stats.pinned_keys = Self::pinned_count(&inner);
+    }
+
+    /// Evicts unpinned entries (never `keep`) until within budget; returns
+    /// how many were dropped. If the surviving set — `keep` plus anything
+    /// pinned — alone exceeds the budget it stays resident (the in-flight
+    /// requests need those keys regardless) and everything else goes.
+    fn evict_to_budget(&self, inner: &mut Inner, keep: Option<(u64, KeyKind)>) -> u64 {
         let mut evicted = 0;
         while inner.bytes > self.budget_bytes {
             let victim = inner
                 .entries
                 .iter()
-                .filter(|(k, _)| **k != keep)
+                .filter(|(k, e)| Some(**k) != keep && e.pins == 0)
                 .min_by_key(|(_, e)| match self.policy {
                     EvictionPolicy::Lru => (e.last_used, 0),
                     EvictionPolicy::PinHot => (e.hits, e.last_used),
@@ -180,19 +244,24 @@ impl KeyCache {
         evicted
     }
 
-    /// Forcibly evicts every resident expansion (a chaos "eviction
-    /// storm", or an operator flushing the cache). Later lookups re-expand
-    /// from the compressed forms bit-exactly; only the compute price is
-    /// paid again. Returns how many expansions were dropped.
+    /// Forcibly evicts every resident *unpinned* expansion (a chaos
+    /// "eviction storm", or an operator flushing the cache). Entries
+    /// pinned by an in-flight batch survive — the batch holds `Arc`s to
+    /// them anyway, so evicting would only lie about residency. Later
+    /// lookups re-expand from the compressed forms bit-exactly; only the
+    /// compute price is paid again. Returns how many expansions were
+    /// dropped.
     pub fn evict_all(&self) -> u64 {
         let mut inner = self.inner.lock().expect("cache poisoned");
-        let dropped = inner.entries.len() as u64;
-        inner.entries.clear();
-        inner.bytes = 0;
+        let before = inner.entries.len() as u64;
+        inner.entries.retain(|_, e| e.pins > 0);
+        inner.bytes = inner.entries.values().map(|e| e.bytes).sum();
+        let dropped = before - inner.entries.len() as u64;
         let mut stats = self.stats.lock().expect("stats poisoned");
         stats.evictions += dropped;
-        stats.resident_bytes = 0;
-        stats.resident_keys = 0;
+        stats.resident_bytes = inner.bytes;
+        stats.resident_keys = inner.entries.len() as u64;
+        stats.pinned_keys = Self::pinned_count(&inner);
         dropped
     }
 
@@ -201,9 +270,13 @@ impl KeyCache {
     /// cannot tear against a concurrent insert, storm, or purge:
     ///
     /// - the byte ledger equals the sum of resident entry sizes,
-    /// - the stats mirror (`resident_bytes`/`resident_keys`) matches,
-    /// - the budget holds, except when a single entry alone exceeds it
-    ///   (the in-flight request needs that key regardless).
+    /// - the stats mirror (`resident_bytes`/`resident_keys`/`pinned_keys`)
+    ///   matches,
+    /// - the *unpinned* bytes fit the budget, except when a single
+    ///   unpinned entry alone exceeds it (the in-flight request needs
+    ///   that key regardless). Pinned bytes are exempt: a batch may pin a
+    ///   key-set larger than the budget for its duration, and
+    ///   [`KeyCache::unpin`] re-evicts the moment the batch ends.
     ///
     /// Used by the concurrency stress and chaos suites; cheap enough to
     /// call mid-storm.
@@ -224,17 +297,26 @@ impl KeyCache {
             inner.entries.len() as u64,
             "stats key-count mirror diverged"
         );
+        assert_eq!(
+            stats.pinned_keys,
+            Self::pinned_count(&inner),
+            "stats pin-count mirror diverged"
+        );
+        let unpinned: Vec<&Entry> = inner.entries.values().filter(|e| e.pins == 0).collect();
+        let unpinned_bytes: u64 = unpinned.iter().map(|e| e.bytes).sum();
         assert!(
-            inner.bytes <= self.budget_bytes || inner.entries.len() == 1,
-            "budget exceeded by {} resident keys: {} > {}",
-            inner.entries.len(),
-            inner.bytes,
+            unpinned_bytes <= self.budget_bytes || unpinned.len() == 1,
+            "budget exceeded by {} unpinned keys: {} > {}",
+            unpinned.len(),
+            unpinned_bytes,
             self.budget_bytes
         );
         stats
     }
 
-    /// Drops every expansion belonging to `session` (session close).
+    /// Drops every expansion belonging to `session` (session close),
+    /// pinned or not — the session is gone, and any batch still executing
+    /// against it keeps its `Arc`s alive independently of residency.
     pub fn purge_session(&self, session: u64) {
         let mut inner = self.inner.lock().expect("cache poisoned");
         let gone: Vec<(u64, KeyKind)> = inner
@@ -250,6 +332,7 @@ impl KeyCache {
         let mut stats = self.stats.lock().expect("stats poisoned");
         stats.resident_bytes = inner.bytes;
         stats.resident_keys = inner.entries.len() as u64;
+        stats.pinned_keys = Self::pinned_count(&inner);
     }
 
     /// A snapshot of the counters.
@@ -385,6 +468,44 @@ mod tests {
             .get_or_expand(&ctx, 1, KeyKind::Galois(0), &blobs[0])
             .unwrap();
         assert_eq!(cache.check_invariants().misses, 4);
+    }
+
+    #[test]
+    fn pinned_keys_survive_storms_and_budget_pressure_until_unpinned() {
+        let (ctx, blobs) = setup();
+        let one_key = deserialize_switching_key(&ctx, &blobs[0])
+            .unwrap()
+            .size_bytes();
+        // Budget fits a single key; pinning two must hold both resident.
+        let cache = KeyCache::new(one_key, EvictionPolicy::Lru);
+        cache
+            .get_or_expand_pinned(&ctx, 1, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        cache
+            .get_or_expand_pinned(&ctx, 1, KeyKind::Galois(1), &blobs[1])
+            .unwrap();
+        let s = cache.check_invariants();
+        assert_eq!(s.resident_keys, 2, "both pinned keys resident over budget");
+        assert_eq!(s.pinned_keys, 2);
+        // A storm mid-batch drops nothing pinned.
+        assert_eq!(cache.evict_all(), 0);
+        assert_eq!(cache.check_invariants().resident_keys, 2);
+        // A pinned hit takes a second pin; one unpin leaves it pinned.
+        cache
+            .get_or_expand_pinned(&ctx, 1, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        assert_eq!(cache.stats().hits, 1);
+        cache.unpin(1, KeyKind::Galois(0));
+        assert_eq!(cache.evict_all(), 0, "second pin still held");
+        // Releasing the last pins re-applies the budget.
+        cache.unpin(1, KeyKind::Galois(0));
+        cache.unpin(1, KeyKind::Galois(1));
+        let s = cache.check_invariants();
+        assert!(s.resident_bytes <= one_key, "unpin re-evicted to budget");
+        assert_eq!(s.pinned_keys, 0);
+        // Unpinning a purged entry is a harmless no-op.
+        cache.unpin(1, KeyKind::Galois(2));
+        cache.check_invariants();
     }
 
     #[test]

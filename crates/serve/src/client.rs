@@ -8,7 +8,7 @@
 
 use crate::fault::XorShift64;
 use crate::protocol::{
-    read_frame, write_frame, BodyReader, BodyWriter, ErrorCode, FrameRead, Opcode,
+    read_frame, write_frame, BatchHint, BodyReader, BodyWriter, ErrorCode, FrameRead, Opcode,
     DEFAULT_MAX_FRAME_BYTES,
 };
 use ckks::hoisting::LinearTransform;
@@ -62,6 +62,20 @@ impl From<SerializeError> for ClientError {
     fn from(e: SerializeError) -> Self {
         ClientError::Serialize(e)
     }
+}
+
+/// What a `Hello` handshake established: the session id plus what the
+/// server disclosed about itself.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HelloInfo {
+    /// The session id scoping all uploaded keys.
+    pub session: u64,
+    /// Whether the server runs the key-reuse batching scheduler (false
+    /// when talking to a server that predates the flags byte).
+    pub batching: bool,
+    /// The server's active kernel-backend name (empty if the server
+    /// predates the backend field).
+    pub backend: String,
 }
 
 /// One connection to a serving runtime.
@@ -150,13 +164,35 @@ impl Client {
     ///
     /// See [`Client::call_raw`].
     pub fn hello_info(&mut self) -> Result<(u64, String), ClientError> {
-        let resp = self.call(Opcode::Hello, &[])?;
+        self.hello_ext(BatchHint::Auto)
+            .map(|info| (info.session, info.backend))
+    }
+
+    /// Opens a session carrying a [`BatchHint`] for the scheduler, and
+    /// returns everything the server disclosed in the handshake.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn hello_ext(&mut self, hint: BatchHint) -> Result<HelloInfo, ClientError> {
+        let resp = self.call(Opcode::Hello, &[hint as u8])?;
         if resp.len() < 8 {
             return Err(ClientError::Protocol("short session id".into()));
         }
-        let sid = u64::from_le_bytes(resp[..8].try_into().expect("8 bytes"));
-        let backend = String::from_utf8_lossy(&resp[8..]).into_owned();
-        Ok((sid, backend))
+        let session = u64::from_le_bytes(resp[..8].try_into().expect("8 bytes"));
+        // Reply layout: sid, then an optional flags byte (bit 0 =
+        // batching scheduler active), then the backend name. Older
+        // servers stop after the sid.
+        let batching = resp.get(8).is_some_and(|flags| flags & 1 != 0);
+        let backend = resp
+            .get(9..)
+            .map(|b| String::from_utf8_lossy(b).into_owned())
+            .unwrap_or_default();
+        Ok(HelloInfo {
+            session,
+            batching,
+            backend,
+        })
     }
 
     /// Uploads the relinearization key (send the seeded/compressed form —
@@ -452,6 +488,7 @@ pub struct RetryingClient {
     ctx: Arc<CkksContext>,
     policy: RetryPolicy,
     rng: XorShift64,
+    hint: BatchHint,
     conn: Option<(Client, u64)>,
     relin: Option<Vec<u8>>,
     galois: Option<Vec<u8>>,
@@ -470,6 +507,22 @@ impl RetryingClient {
         ctx: Arc<CkksContext>,
         policy: RetryPolicy,
     ) -> Result<Self, ClientError> {
+        Self::connect_with_hint(addr, ctx, policy, BatchHint::Auto)
+    }
+
+    /// Like [`RetryingClient::connect`], but the session (and every
+    /// session opened by a later reconnect) carries `hint` for the
+    /// server's batching scheduler.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn connect_with_hint<A: ToSocketAddrs>(
+        addr: A,
+        ctx: Arc<CkksContext>,
+        policy: RetryPolicy,
+        hint: BatchHint,
+    ) -> Result<Self, ClientError> {
         let addr = addr
             .to_socket_addrs()?
             .next()
@@ -480,6 +533,7 @@ impl RetryingClient {
             ctx,
             policy,
             rng,
+            hint,
             conn: None,
             relin: None,
             galois: None,
@@ -506,7 +560,7 @@ impl RetryingClient {
             let client = Client::connect(self.addr, self.ctx.clone())?;
             client.set_read_timeout(self.policy.op_timeout)?;
             let mut client = client;
-            let sid = client.hello()?;
+            let sid = client.hello_ext(self.hint)?.session;
             // Re-upload the stored compressed key bytes verbatim: the
             // recovered session is byte-identical to the lost one.
             if let Some(bytes) = &self.relin {

@@ -21,12 +21,13 @@
 //!   made locally — which the loopback integration test asserts.
 //!
 //! The stack is std-only: a framed TCP protocol ([`protocol`]) over the
-//! `MADf` serialization, a session manager ([`session`]), a bounded
-//! worker pool with backpressure and deadlines ([`server`]), and
-//! plain-text metrics ([`metrics`]). [`client::Client`] is the matching
-//! blocking client, and [`client::RetryingClient`] wraps it with capped
-//! exponential backoff, per-op timeouts, and transparent reconnect with
-//! session re-setup and compressed-key re-upload.
+//! `MADf` serialization, a session manager ([`session`]), a key-reuse
+//! batching scheduler ([`batch`]) grouping requests that share switching
+//! keys, a bounded worker pool with backpressure and deadlines
+//! ([`server`]), and plain-text metrics ([`metrics`]). [`client::Client`]
+//! is the matching blocking client, and [`client::RetryingClient`] wraps
+//! it with capped exponential backoff, per-op timeouts, and transparent
+//! reconnect with session re-setup and compressed-key re-upload.
 //!
 //! Building with `--features chaos` adds a deterministic fault-injection
 //! layer ([`fault`]): a seeded [`fault::FaultPlan`] wired into
@@ -57,6 +58,7 @@
 //! server.shutdown();
 //! ```
 
+pub mod batch;
 pub mod cache;
 pub mod client;
 pub mod fault;
@@ -65,9 +67,10 @@ pub mod protocol;
 pub mod server;
 pub mod session;
 
+pub use batch::{BatchConfig, KeyClass};
 pub use cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
-pub use client::{Client, ClientError, RetryPolicy, RetryStats, RetryingClient};
+pub use client::{Client, ClientError, HelloInfo, RetryPolicy, RetryStats, RetryingClient};
 pub use fault::{FaultDecision, FaultMix, FaultPlan, InjectedFault};
-pub use protocol::{ErrorCode, Opcode, PROTOCOL_VERSION};
+pub use protocol::{BatchHint, ErrorCode, Opcode, PROTOCOL_VERSION};
 pub use server::{ServeConfig, Server};
 pub use session::{Session, SessionManager};

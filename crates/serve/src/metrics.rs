@@ -89,6 +89,59 @@ impl Histogram {
     }
 }
 
+/// Number of pow-2 batch-size buckets: `le = 1, 2, 4, …, 2^10`, plus an
+/// unlabeled overflow rendered only through `+Inf`.
+const SIZE_BUCKETS: usize = 12;
+
+/// A log2 histogram over small counts (batch sizes), mirroring
+/// [`Histogram`]'s cumulative dump format.
+#[derive(Default)]
+pub struct CountHistogram {
+    buckets: [AtomicU64; SIZE_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl CountHistogram {
+    /// Records one observation (`n ≥ 1`; zero clamps to the floor bucket).
+    pub fn observe(&self, n: u64) {
+        let idx = if n <= 1 {
+            0
+        } else {
+            (64 - (n - 1).leading_zeros() as usize).min(SIZE_BUCKETS - 1)
+        };
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn dump_into(&self, out: &mut String, name: &str) {
+        let mut cumulative = 0;
+        for (i, b) in self.buckets.iter().take(SIZE_BUCKETS - 1).enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            cumulative += n;
+            let le = 1u64 << i;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", self.count());
+        let _ = writeln!(out, "{name}_count {}", self.count());
+        let _ = writeln!(out, "{name}_sum {}", self.sum());
+    }
+}
+
 /// All server-side counters; one instance shared by every thread.
 #[derive(Default)]
 pub struct Metrics {
@@ -114,6 +167,24 @@ pub struct Metrics {
     /// Faults deliberately injected by a chaos [`crate::fault::FaultPlan`]
     /// (always present in the dump; stays zero outside `chaos` builds).
     pub faults_injected: AtomicU64,
+    /// 1 when the batching scheduler is active, 0 otherwise.
+    pub batching_enabled: AtomicU64,
+    /// Batches dispatched to the worker pool (singletons included).
+    pub batches_total: AtomicU64,
+    /// Requests that travelled inside a batch.
+    pub batch_jobs_total: AtomicU64,
+    /// Distribution of dispatched batch sizes.
+    pub batch_size: CountHistogram,
+    /// Keys pinned in the cache on behalf of a batch (one per key per
+    /// batch).
+    pub batch_keys_pinned: AtomicU64,
+    /// Cache fetches short-circuited because the key was already pinned
+    /// for the executing batch — each one is a lookup that, unbatched and
+    /// under budget pressure, could have been a fresh expansion.
+    pub batch_expansions_avoided: AtomicU64,
+    /// Rotations that reused another request's hoisted ModUp
+    /// decomposition (batch size minus one, per hoist-shared group).
+    pub batch_hoist_shared: AtomicU64,
 }
 
 impl Metrics {
@@ -208,6 +279,39 @@ impl Metrics {
             "serve_faults_injected_total",
             self.faults_injected.load(Ordering::Relaxed),
         );
+        g(
+            &mut out,
+            "serve_batching_enabled",
+            self.batching_enabled.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_batches_total",
+            self.batches_total.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_batch_jobs_total",
+            self.batch_jobs_total.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_batch_keys_pinned_total",
+            self.batch_keys_pinned.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_batch_expansions_avoided_total",
+            self.batch_expansions_avoided.load(Ordering::Relaxed),
+        );
+        g(
+            &mut out,
+            "serve_batch_hoist_shared_total",
+            self.batch_hoist_shared.load(Ordering::Relaxed),
+        );
+        if self.batch_size.count() > 0 {
+            self.batch_size.dump_into(&mut out, "serve_batch_size");
+        }
         g(&mut out, "serve_key_cache_hits_total", cache.hits);
         g(&mut out, "serve_key_cache_misses_total", cache.misses);
         g(&mut out, "serve_key_cache_evictions_total", cache.evictions);
@@ -221,6 +325,7 @@ impl Metrics {
             "serve_key_cache_resident_keys",
             cache.resident_keys,
         );
+        g(&mut out, "serve_key_cache_pinned_keys", cache.pinned_keys);
         let (expansions, expansion_bytes) = fhe_math::telemetry::key_expansion_totals();
         g(&mut out, "serve_key_expansions_total", expansions);
         g(&mut out, "serve_key_expansion_bytes_total", expansion_bytes);
@@ -320,6 +425,29 @@ mod tests {
                 "cumulative at le={le} miscounts the samples ≤ {le}"
             );
         }
+    }
+
+    #[test]
+    fn batch_size_histogram_buckets_by_pow2_and_dumps() {
+        let m = Metrics::new();
+        m.batch_size.observe(1);
+        m.batch_size.observe(3);
+        m.batch_size.observe(4);
+        m.batch_size.observe(9000); // overflow, +Inf only
+        m.batches_total.fetch_add(4, Ordering::Relaxed);
+        m.batch_jobs_total.fetch_add(9008, Ordering::Relaxed);
+        assert_eq!(m.batch_size.count(), 4);
+        assert_eq!(m.batch_size.sum(), 9008);
+        let dump = m.dump(&CacheStats::default(), "scalar");
+        assert!(dump.contains("serve_batch_size_bucket{le=\"1\"} 1"));
+        // 3 and 4 both land in le="4"; cumulative counts 1+2.
+        assert!(dump.contains("serve_batch_size_bucket{le=\"4\"} 3"));
+        assert!(dump.contains("serve_batch_size_bucket{le=\"+Inf\"} 4"));
+        assert!(dump.contains("serve_batch_size_count 4"));
+        assert!(dump.contains("serve_batches_total 4"));
+        assert!(dump.contains("serve_batch_jobs_total 9008"));
+        assert!(dump.contains("serve_batching_enabled 0"));
+        assert!(dump.contains("serve_key_cache_pinned_keys 0"));
     }
 
     #[test]

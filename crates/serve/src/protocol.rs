@@ -30,7 +30,12 @@ pub const DEFAULT_MAX_FRAME_BYTES: u32 = 64 << 20;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[repr(u8)]
 pub enum Opcode {
-    /// Open a session; response body is the `u64` session id.
+    /// Open a session. The request body may be empty, or carry an
+    /// optional leading [`BatchHint`] byte (unknown values and any extra
+    /// trailing bytes are tolerated and read as [`BatchHint::Auto`], so
+    /// older clients and fuzzed frames stay valid). The response body is
+    /// the `u64` session id, a flags byte (bit 0: batching scheduler
+    /// enabled), then the server's kernel-backend name in UTF-8.
     Hello = 0x01,
     /// Upload the relinearization key (compressed seeded form welcome).
     UploadRelin = 0x02,
@@ -109,6 +114,41 @@ impl Opcode {
         Opcode::HelrStep,
         Opcode::Metrics,
     ];
+}
+
+/// Per-session batching hint carried in the optional first byte of a
+/// [`Opcode::Hello`] body.
+///
+/// The hint tells the scheduler how to trade latency for key reuse on
+/// this session's keyed operations (Mult/Rotate/Bsgs/HelrStep):
+///
+/// - `Auto`: batch opportunistically — requests coalesce only while the
+///   worker pool is busy, so an idle server adds no hold latency.
+/// - `Interactive`: never hold a request to form a batch.
+/// - `Throughput`: always hold up to the configured max-batch-delay (or
+///   until the batch fills), maximizing key reuse.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[repr(u8)]
+pub enum BatchHint {
+    /// Batch only under load (the default).
+    #[default]
+    Auto = 0,
+    /// Latency first: dispatch immediately, never hold.
+    Interactive = 1,
+    /// Throughput first: always wait out the batching window.
+    Throughput = 2,
+}
+
+impl BatchHint {
+    /// Decodes a hint byte; unknown values read as [`BatchHint::Auto`]
+    /// so the Hello body stays forward-compatible.
+    pub fn from_u8(v: u8) -> Self {
+        match v {
+            1 => BatchHint::Interactive,
+            2 => BatchHint::Throughput,
+            _ => BatchHint::Auto,
+        }
+    }
 }
 
 /// Structured error codes carried in the response status byte.

@@ -1,5 +1,6 @@
-//! The server: an acceptor, per-connection reader threads, and a bounded
-//! worker pool executing FHE ops against shared session/cache state.
+//! The server: an acceptor, per-connection reader threads, a key-reuse
+//! batching scheduler, and a bounded worker pool executing FHE ops
+//! against shared session/cache state.
 //!
 //! Threading model (all `std::thread`, no async runtime):
 //!
@@ -9,39 +10,55 @@
 //!   [`sync_channel`]; a full queue is answered immediately with
 //!   [`ErrorCode::Overloaded`] (backpressure), never buffered. The reader
 //!   then blocks for that job's reply and writes it, so each connection
-//!   sees strict request/response ordering.
-//! - **Workers** pop jobs, drop any whose deadline passed while queued,
-//!   and run the op under `catch_unwind` so a panic (e.g. a scale
-//!   mismatch assertion deep in the evaluator) becomes a structured
-//!   [`ErrorCode::Internal`] instead of a dead worker.
+//!   sees strict request/response ordering. Keyed ops (Mult / Rotate /
+//!   Bsgs / HelrStep) go to the **scheduler**'s admission channel when
+//!   batching is enabled; everything else goes straight to the workers.
+//! - The **scheduler** groups keyed jobs by `(session, KeyClass)` and
+//!   dispatches a group as one `WorkItem::Batch` when it fills
+//!   (`max_batch`), when its window expires (`max_delay`), or eagerly
+//!   when the worker pool is idle (holding would buy nothing). A held
+//!   job's deadline clock restarts at dispatch — the batching window is
+//!   the scheduler's choice, not queue congestion, so it must not count
+//!   against the per-request deadline.
+//! - **Workers** pop work items, drop any job whose deadline passed
+//!   while queued, and run ops under `catch_unwind` so a panic (e.g. a
+//!   scale mismatch assertion deep in the evaluator) becomes a
+//!   structured [`ErrorCode::Internal`] instead of a dead worker. A
+//!   batch pins its whole expanded key-set in the [`KeyCache`] first,
+//!   executes its jobs back-to-back against the pinned `Arc`s, and
+//!   shares one hoisted ModUp decomposition across rotations of the
+//!   same ciphertext.
 //!
-//! Shutdown is a graceful drain: readers stop accepting new frames,
-//! in-queue jobs still execute and their replies are delivered, then
-//! every thread is joined.
+//! Shutdown is a graceful drain: readers stop accepting new frames, the
+//! scheduler flushes held groups, in-queue jobs still execute and their
+//! replies are delivered, then every thread is joined.
 
+use crate::batch::{
+    peek_bsgs_steps, peek_rotate_ct, peek_rotate_steps, peek_session, BatchConfig, KeyClass,
+};
 use crate::cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
 #[cfg(feature = "chaos")]
 use crate::fault::{FaultDecision, FaultPlan};
 use crate::metrics::Metrics;
 use crate::protocol::{
-    read_frame, write_frame, BodyReader, ErrorCode, FrameRead, Opcode, DEFAULT_MAX_FRAME_BYTES,
-    PROTOCOL_VERSION,
+    read_frame, write_frame, BatchHint, BodyReader, ErrorCode, FrameRead, Opcode,
+    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::session::{Session, SessionManager};
-use ckks::hoisting::{apply_bsgs, bsgs_required_steps, LinearTransform};
+use ckks::hoisting::{apply_bsgs, bsgs_required_steps, rotate_hoisted, LinearTransform};
 use ckks::serialize::{
     deserialize_ciphertext, deserialize_plaintext, deserialize_switching_key,
     galois_key_set_entries, serialize_ciphertext,
 };
-use ckks::{Ciphertext, CkksContext, Encoder, Evaluator, GaloisKeys};
+use ckks::{Ciphertext, CkksContext, Encoder, Evaluator, GaloisKeys, SwitchingKey};
 use fhe_apps::{encrypted_lr_step, lr_fold_steps};
 use fhe_math::cfft::Complex;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -62,6 +79,10 @@ pub struct ServeConfig {
     pub request_deadline: Duration,
     /// Ceiling on a single frame.
     pub max_frame_bytes: u32,
+    /// Key-reuse batching scheduler knobs. The default reads the
+    /// `MAD_SERVE_BATCHING` / `MAD_SERVE_BATCH_SIZE` /
+    /// `MAD_SERVE_BATCH_DELAY_MS` environment variables.
+    pub batch: BatchConfig,
     /// Deterministic fault schedule threaded through the connection
     /// handler and worker pool; `None` (the default) serves faithfully.
     /// Only present when built with the `chaos` feature, so the default
@@ -79,6 +100,7 @@ impl Default for ServeConfig {
             eviction: EvictionPolicy::Lru,
             request_deadline: Duration::from_secs(30),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
+            batch: BatchConfig::from_env(),
             #[cfg(feature = "chaos")]
             fault_plan: None,
         }
@@ -93,6 +115,8 @@ pub(crate) struct ServerState {
     pub(crate) sessions: SessionManager,
     pub(crate) cache: KeyCache,
     pub(crate) metrics: Metrics,
+    /// Whether the batching scheduler is wired in (reported in Hello).
+    pub(crate) batching: bool,
     #[cfg(feature = "chaos")]
     pub(crate) fault: Option<Arc<FaultPlan>>,
 }
@@ -100,11 +124,61 @@ pub(crate) struct ServerState {
 struct Job {
     op: Opcode,
     body: Vec<u8>,
-    enqueued: Instant,
+    /// When this request's deadline clock started. Readers stamp it at
+    /// enqueue; the scheduler re-stamps it at batch dispatch, because a
+    /// hold inside the batching window is the server's own choice and
+    /// must not be double-counted against the per-op deadline.
+    deadline_start: Instant,
     reply: std::sync::mpsc::Sender<(u8, Vec<u8>)>,
     /// A worker-side fault drawn for this request by the chaos plan.
     #[cfg(feature = "chaos")]
     chaos: Option<FaultDecision>,
+}
+
+/// One unit of worker-pool work: a lone request, or a scheduler-formed
+/// group sharing a session and key class.
+enum WorkItem {
+    Single(Job),
+    Batch {
+        sid: u64,
+        class: KeyClass,
+        jobs: Vec<Job>,
+    },
+}
+
+/// Where readers drop parsed jobs: keyed ops into the scheduler's
+/// admission channel (when batching is on), everything else straight to
+/// the worker queue. `backlog` counts work items sent to the workers but
+/// not yet finished — the scheduler's "is the pool idle" signal.
+struct JobSinks {
+    direct: SyncSender<WorkItem>,
+    batched: Option<SyncSender<Job>>,
+    backlog: Arc<AtomicU64>,
+}
+
+impl JobSinks {
+    /// Routes one job; `Err` mirrors the sync-channel try_send contract
+    /// (`Full` → Overloaded reply, `Disconnected` → drop connection).
+    fn dispatch(&self, job: Job) -> Result<(), TrySendError<()>> {
+        fn strip<T>(e: TrySendError<T>) -> TrySendError<()> {
+            match e {
+                TrySendError::Full(_) => TrySendError::Full(()),
+                TrySendError::Disconnected(_) => TrySendError::Disconnected(()),
+            }
+        }
+        let batchable = KeyClass::of(job.op).is_some() && peek_session(&job.body).is_some();
+        match &self.batched {
+            Some(tx) if batchable => tx.try_send(job).map_err(strip),
+            _ => {
+                self.backlog.fetch_add(1, Ordering::Relaxed);
+                let r = self.direct.try_send(WorkItem::Single(job));
+                if r.is_err() {
+                    self.backlog.fetch_sub(1, Ordering::Relaxed);
+                }
+                r.map_err(strip)
+            }
+        }
+    }
 }
 
 /// A running server; dropping without [`Server::shutdown`] aborts
@@ -114,9 +188,11 @@ pub struct Server {
     state: Arc<ServerState>,
     shutdown: Arc<AtomicBool>,
     acceptor: Option<JoinHandle<()>>,
+    scheduler: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    queue: Option<SyncSender<Job>>,
+    queue: Option<SyncSender<WorkItem>>,
+    batch_queue: Option<SyncSender<Job>>,
 }
 
 impl Server {
@@ -136,31 +212,57 @@ impl Server {
             sessions: SessionManager::new(),
             cache: KeyCache::new(config.key_cache_budget, config.eviction),
             metrics: Metrics::new(),
+            batching: config.batch.enabled,
             #[cfg(feature = "chaos")]
             fault: config.fault_plan.clone(),
         });
+        state
+            .metrics
+            .batching_enabled
+            .store(u64::from(config.batch.enabled), Ordering::Relaxed);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let (tx, rx) = sync_channel::<Job>(config.queue_capacity);
-        let rx = Arc::new(Mutex::new(rx));
+        let backlog = Arc::new(AtomicU64::new(0));
+        let (work_tx, work_rx) = sync_channel::<WorkItem>(config.queue_capacity);
+        let work_rx = Arc::new(Mutex::new(work_rx));
 
         let workers = (0..config.workers.max(1))
             .map(|i| {
                 let state = state.clone();
-                let rx = rx.clone();
+                let rx = work_rx.clone();
+                let backlog = backlog.clone();
                 let deadline = config.request_deadline;
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&state, &rx, deadline))
+                    .spawn(move || worker_loop(&state, &rx, &backlog, deadline))
                     .expect("spawn worker")
             })
             .collect();
+
+        let (batch_tx, scheduler) = if config.batch.enabled {
+            let (batch_tx, batch_rx) = sync_channel::<Job>(config.queue_capacity);
+            let state = state.clone();
+            let work_tx = work_tx.clone();
+            let backlog = backlog.clone();
+            let batch_cfg = config.batch.clone();
+            let handle = std::thread::Builder::new()
+                .name("serve-scheduler".into())
+                .spawn(move || scheduler_loop(&state, &batch_rx, &work_tx, &backlog, &batch_cfg))
+                .expect("spawn scheduler");
+            (Some(batch_tx), Some(handle))
+        } else {
+            (None, None)
+        };
 
         let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
         let acceptor = {
             let state = state.clone();
             let shutdown = shutdown.clone();
             let conn_handles = conn_handles.clone();
-            let tx = tx.clone();
+            let sinks = Arc::new(JobSinks {
+                direct: work_tx.clone(),
+                batched: batch_tx.clone(),
+                backlog,
+            });
             let max_frame = config.max_frame_bytes;
             std::thread::Builder::new()
                 .name("serve-acceptor".into())
@@ -176,11 +278,11 @@ impl Server {
                             .fetch_add(1, Ordering::Relaxed);
                         let state = state.clone();
                         let shutdown = shutdown.clone();
-                        let tx = tx.clone();
+                        let sinks = sinks.clone();
                         let handle = std::thread::Builder::new()
                             .name("serve-conn".into())
                             .spawn(move || {
-                                connection_loop(&state, &shutdown, &tx, stream, max_frame)
+                                connection_loop(&state, &shutdown, &sinks, stream, max_frame)
                             })
                             .expect("spawn connection thread");
                         conn_handles.lock().expect("handles poisoned").push(handle);
@@ -194,9 +296,11 @@ impl Server {
             state,
             shutdown,
             acceptor: Some(acceptor),
+            scheduler,
             workers,
             conn_handles,
-            queue: Some(tx),
+            queue: Some(work_tx),
+            batch_queue: batch_tx,
         })
     }
 
@@ -246,8 +350,15 @@ impl Server {
         for h in handles {
             let _ = h.join();
         }
-        // All reader-held senders are gone; dropping ours disconnects the
-        // channel once the queue drains, and the workers exit.
+        // All reader-held sink clones are gone. Dropping ours disconnects
+        // the scheduler's admission channel; it flushes held groups to
+        // the workers and exits.
+        drop(self.batch_queue.take());
+        if let Some(h) = self.scheduler.take() {
+            let _ = h.join();
+        }
+        // Now the last worker-queue sender goes away; workers drain the
+        // remaining items and exit.
         drop(self.queue.take());
         for h in std::mem::take(&mut self.workers) {
             let _ = h.join();
@@ -255,59 +366,459 @@ impl Server {
     }
 }
 
-fn worker_loop(state: &ServerState, rx: &Arc<Mutex<Receiver<Job>>>, deadline: Duration) {
+fn worker_loop(
+    state: &ServerState,
+    rx: &Arc<Mutex<Receiver<WorkItem>>>,
+    backlog: &AtomicU64,
+    deadline: Duration,
+) {
     loop {
-        let job = {
+        let item = {
             let rx = rx.lock().expect("queue poisoned");
             rx.recv()
         };
-        let Ok(job) = job else { break };
-        state.metrics.dequeued();
-        #[cfg(feature = "chaos")]
-        if let Some(fault) = job.chaos {
-            match fault {
-                // Slept *before* the deadline check so injected latency
-                // counts against the request deadline exactly like real
-                // queueing delay.
-                FaultDecision::Delay(d) => std::thread::sleep(d),
-                FaultDecision::EvictionStorm => {
-                    state.cache.evict_all();
+        let Ok(item) = item else { break };
+        match item {
+            WorkItem::Single(job) => {
+                state.metrics.dequeued();
+                if admit_job(state, &job, deadline) {
+                    execute_job(state, job, None);
                 }
-                FaultDecision::SessionReset => {
-                    state.sessions.close_all();
-                    state.cache.evict_all();
-                }
-                // WorkerPanic fires inside catch_unwind below; reader-side
-                // faults never reach the queue.
-                _ => {}
             }
+            WorkItem::Batch { sid, class, jobs } => run_batch(state, sid, class, jobs, deadline),
         }
-        if job.enqueued.elapsed() > deadline {
+        // Decremented after execution, not at pop: backlog == 0 means the
+        // pool is truly idle, which is the scheduler's eager-dispatch
+        // signal.
+        backlog.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Per-job admission: apply worker-side chaos faults, then check the
+/// deadline. Returns `false` (after replying `DeadlineExceeded`) if the
+/// job must not run.
+fn admit_job(state: &ServerState, job: &Job, deadline: Duration) -> bool {
+    #[cfg(feature = "chaos")]
+    if let Some(fault) = job.chaos {
+        match fault {
+            // Slept *before* the deadline check so injected latency
+            // counts against the request deadline exactly like real
+            // queueing delay.
+            FaultDecision::Delay(d) => std::thread::sleep(d),
+            FaultDecision::EvictionStorm => {
+                state.cache.evict_all();
+            }
+            FaultDecision::SessionReset => {
+                state.sessions.close_all();
+                state.cache.evict_all();
+            }
+            // WorkerPanic fires inside catch_unwind during execution;
+            // reader-side faults never reach the queue.
+            _ => {}
+        }
+    }
+    if job.deadline_start.elapsed() > deadline {
+        state
+            .metrics
+            .rejected_deadline
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = job.reply.send((
+            ErrorCode::DeadlineExceeded as u8,
+            format!("queued longer than {deadline:?}").into_bytes(),
+        ));
+        return false;
+    }
+    true
+}
+
+/// Runs one job to completion (chaos/deadline already applied) and
+/// delivers its reply.
+fn execute_job(state: &ServerState, job: Job, keys: Option<&BatchKeys>) {
+    let start = Instant::now();
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(feature = "chaos")]
+        if matches!(job.chaos, Some(FaultDecision::WorkerPanic)) {
+            panic!("injected chaos panic");
+        }
+        handle(state, job.op, &job.body, keys)
+    }));
+    state.metrics.latency(job.op).observe(start.elapsed());
+    let (status, body) = match result {
+        Ok(Ok(body)) => (0u8, body),
+        Ok(Err((code, msg))) => (code as u8, msg.into_bytes()),
+        Err(_) => (ErrorCode::Internal as u8, b"operation panicked".to_vec()),
+    };
+    let _ = job.reply.send((status, body));
+}
+
+/// The expanded keys a batch pinned up front, consulted by the handler
+/// before it ever touches the shared cache. Every hit here is a cache
+/// round-trip (and, under budget pressure, a potential re-expansion)
+/// avoided.
+#[derive(Default)]
+struct BatchKeys {
+    map: HashMap<KeyKind, Arc<SwitchingKey>>,
+}
+
+impl BatchKeys {
+    fn get(&self, kind: KeyKind) -> Option<&Arc<SwitchingKey>> {
+        self.map.get(&kind)
+    }
+}
+
+/// Executes a scheduler-formed batch: pin the union key-set, run the
+/// jobs back-to-back against the pinned expansions (rotations of the
+/// same ciphertext jointly, sharing one hoisted ModUp decomposition),
+/// then unpin.
+fn run_batch(state: &ServerState, sid: u64, class: KeyClass, jobs: Vec<Job>, deadline: Duration) {
+    state.metrics.batches_total.fetch_add(1, Ordering::Relaxed);
+    state
+        .metrics
+        .batch_jobs_total
+        .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+    state.metrics.batch_size.observe(jobs.len() as u64);
+
+    let mut runnable = Vec::with_capacity(jobs.len());
+    for job in jobs {
+        state.metrics.dequeued();
+        if admit_job(state, &job, deadline) {
+            runnable.push(job);
+        }
+    }
+    if runnable.is_empty() {
+        return;
+    }
+    // A dead session (closed, or chaos-reset while queued) fails every
+    // job through the ordinary per-job path, structured errors included.
+    let Ok(session) = state.sessions.get(sid) else {
+        for job in runnable {
+            execute_job(state, job, None);
+        }
+        return;
+    };
+
+    // Pin the union of the batch's key requirements. Peeks that fail on
+    // malformed bodies contribute nothing; those jobs error per-job.
+    let slots = state.ctx.params().slots();
+    let mut kinds: Vec<KeyKind> = Vec::new();
+    let want = |kinds: &mut Vec<KeyKind>, k: KeyKind| {
+        if !kinds.contains(&k) {
+            kinds.push(k);
+        }
+    };
+    for job in &runnable {
+        match job.op {
+            Opcode::Mult => want(&mut kinds, KeyKind::Relin),
+            Opcode::Rotate => {
+                if let Some(s) = peek_rotate_steps(&job.body) {
+                    if s != 0 {
+                        want(&mut kinds, KeyKind::Galois(state.ctx.rotation_element(s)));
+                    }
+                }
+            }
+            Opcode::Bsgs => {
+                for s in peek_bsgs_steps(&job.body, slots).unwrap_or_default() {
+                    want(&mut kinds, KeyKind::Galois(state.ctx.rotation_element(s)));
+                }
+            }
+            Opcode::HelrStep => {
+                want(&mut kinds, KeyKind::Relin);
+                for s in lr_fold_steps(slots) {
+                    if s != 0 {
+                        want(&mut kinds, KeyKind::Galois(state.ctx.rotation_element(s)));
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut keys = BatchKeys::default();
+    let mut pinned: Vec<KeyKind> = Vec::new();
+    for kind in kinds {
+        // A missing or corrupt key is a per-job error, surfaced with the
+        // right code when the job executes; the pin phase just skips it.
+        let Ok(bytes) = session.key_bytes(kind) else {
+            continue;
+        };
+        if let Ok(key) = state
+            .cache
+            .get_or_expand_pinned(&state.ctx, sid, kind, &bytes)
+        {
+            keys.map.insert(kind, key);
+            pinned.push(kind);
             state
                 .metrics
-                .rejected_deadline
+                .batch_keys_pinned
                 .fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send((
-                ErrorCode::DeadlineExceeded as u8,
-                format!("queued longer than {deadline:?}").into_bytes(),
-            ));
+        }
+    }
+
+    if class == KeyClass::Galois {
+        run_galois_batch(state, runnable, &keys);
+    } else {
+        for job in runnable {
+            execute_job(state, job, Some(&keys));
+        }
+    }
+
+    for kind in pinned {
+        state.cache.unpin(sid, kind);
+    }
+}
+
+/// Executes a Galois-class batch, folding rotations of bit-identical
+/// ciphertexts into one `rotate_hoisted` call so the ModUp decomposition
+/// of `c1` is computed once per distinct ciphertext instead of once per
+/// request. Jobs that cannot join a group (Bsgs, rotate-by-zero,
+/// malformed bodies, missing keys, chaos-panic carriers) run through the
+/// ordinary per-job path — still against the batch's pinned keys.
+fn run_galois_batch(state: &ServerState, runnable: Vec<Job>, keys: &BatchKeys) {
+    // Group joint-eligible rotations by ciphertext bytes.
+    let eligible = |job: &Job| -> bool {
+        #[cfg(feature = "chaos")]
+        if matches!(job.chaos, Some(FaultDecision::WorkerPanic)) {
+            return false;
+        }
+        job.op == Opcode::Rotate
+            && peek_rotate_ct(&job.body).is_some()
+            && peek_rotate_steps(&job.body).is_some_and(|s| {
+                s != 0
+                    && keys
+                        .get(KeyKind::Galois(state.ctx.rotation_element(s)))
+                        .is_some()
+            })
+    };
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    for (i, job) in runnable.iter().enumerate() {
+        if !eligible(job) {
             continue;
         }
-        let start = Instant::now();
-        let result = catch_unwind(AssertUnwindSafe(|| {
-            #[cfg(feature = "chaos")]
-            if matches!(job.chaos, Some(FaultDecision::WorkerPanic)) {
-                panic!("injected chaos panic");
+        let ct = peek_rotate_ct(&job.body).expect("eligible");
+        match groups
+            .iter_mut()
+            .find(|g| peek_rotate_ct(&runnable[g[0]].body) == Some(ct))
+        {
+            Some(g) => g.push(i),
+            None => groups.push(vec![i]),
+        }
+    }
+    let joint: Vec<Vec<usize>> = groups.into_iter().filter(|g| g.len() >= 2).collect();
+    let in_joint: Vec<bool> = {
+        let mut v = vec![false; runnable.len()];
+        for g in &joint {
+            for &i in g {
+                v[i] = true;
             }
-            handle(state, job.op, &job.body)
-        }));
-        state.metrics.latency(job.op).observe(start.elapsed());
-        let (status, body) = match result {
-            Ok(Ok(body)) => (0u8, body),
-            Ok(Err((code, msg))) => (code as u8, msg.into_bytes()),
-            Err(_) => (ErrorCode::Internal as u8, b"operation panicked".to_vec()),
+        }
+        v
+    };
+
+    let mut slots: Vec<Option<Job>> = runnable.into_iter().map(Some).collect();
+    for g in &joint {
+        let jobs: Vec<Job> = g
+            .iter()
+            .map(|&i| slots[i].take().expect("unused"))
+            .collect();
+        let steps: Vec<i64> = jobs
+            .iter()
+            .map(|j| peek_rotate_steps(&j.body).expect("eligible"))
+            .collect();
+        let ct_bytes = peek_rotate_ct(&jobs[0].body).expect("eligible").to_vec();
+        let start = Instant::now();
+        let result = catch_unwind(AssertUnwindSafe(
+            || -> Result<Vec<Vec<u8>>, (ErrorCode, String)> {
+                let ct = read_ct(state, &ct_bytes)?;
+                // Keys were verified present; resolve through the pinned
+                // set exactly like the per-job path would.
+                let gk = assemble_galois_set(state, &steps, keys)?;
+                let outs = rotate_hoisted(&state.evaluator, &ct, &steps, &gk);
+                Ok(outs.iter().map(serialize_ciphertext).collect())
+            },
+        ));
+        let elapsed = start.elapsed();
+        state
+            .metrics
+            .batch_hoist_shared
+            .fetch_add(jobs.len() as u64 - 1, Ordering::Relaxed);
+        match result {
+            Ok(Ok(bodies)) => {
+                for (job, body) in jobs.into_iter().zip(bodies) {
+                    state.metrics.latency(job.op).observe(elapsed);
+                    let _ = job.reply.send((0u8, body));
+                }
+            }
+            Ok(Err((code, msg))) => {
+                for job in jobs {
+                    state.metrics.latency(job.op).observe(elapsed);
+                    let _ = job.reply.send((code as u8, msg.clone().into_bytes()));
+                }
+            }
+            Err(_) => {
+                for job in jobs {
+                    state.metrics.latency(job.op).observe(elapsed);
+                    let _ = job
+                        .reply
+                        .send((ErrorCode::Internal as u8, b"operation panicked".to_vec()));
+                }
+            }
+        }
+    }
+    for (i, slot) in slots.into_iter().enumerate() {
+        if let Some(job) = slot {
+            debug_assert!(!in_joint[i]);
+            execute_job(state, job, Some(keys));
+        }
+    }
+}
+
+/// Builds a Galois key set for `steps` purely from a batch's pinned
+/// expansions (joint rotations pre-verified every key is pinned).
+fn assemble_galois_set(
+    state: &ServerState,
+    steps: &[i64],
+    keys: &BatchKeys,
+) -> Result<GaloisKeys, (ErrorCode, String)> {
+    let mut gk = GaloisKeys::new();
+    for &s in steps {
+        let element = state.ctx.rotation_element(s);
+        if gk.get_shared(element).is_some() {
+            continue;
+        }
+        let key = keys.get(KeyKind::Galois(element)).ok_or_else(|| {
+            (
+                ErrorCode::MissingKey,
+                format!("rotation step {s} (element {element})"),
+            )
+        })?;
+        state
+            .metrics
+            .batch_expansions_avoided
+            .fetch_add(1, Ordering::Relaxed);
+        gk.insert_shared(element, key.clone());
+    }
+    Ok(gk)
+}
+
+/// Pending batch groups, keyed by `(session, KeyClass)`.
+struct PendingGroup {
+    jobs: Vec<Job>,
+    oldest: Instant,
+    /// `Throughput` sessions always wait out the window; `Auto` groups
+    /// flush eagerly the moment the worker pool goes idle.
+    hold: bool,
+}
+
+/// The scheduler thread: collects keyed jobs into per-`(session, class)`
+/// groups and dispatches each as one `WorkItem::Batch` when it fills,
+/// expires, or the pool idles. On channel disconnect (shutdown) every
+/// held group flushes before the thread exits, so no reply is lost.
+fn scheduler_loop(
+    state: &ServerState,
+    rx: &Receiver<Job>,
+    work: &SyncSender<WorkItem>,
+    backlog: &AtomicU64,
+    cfg: &BatchConfig,
+) {
+    let mut groups: HashMap<(u64, KeyClass), PendingGroup> = HashMap::new();
+    let dispatch = |sid: u64, class: KeyClass, mut jobs: Vec<Job>| {
+        // Restart the deadline clock: time spent held for batching is
+        // the scheduler's choice, not queue congestion.
+        let now = Instant::now();
+        for j in &mut jobs {
+            j.deadline_start = now;
+        }
+        backlog.fetch_add(1, Ordering::Relaxed);
+        if work.send(WorkItem::Batch { sid, class, jobs }).is_err() {
+            // Workers already gone (shutdown race); replies drop with
+            // the channel and readers answer Internal.
+            backlog.fetch_sub(1, Ordering::Relaxed);
+        }
+    };
+    let flush = |groups: &mut HashMap<(u64, KeyClass), PendingGroup>,
+                 pred: &dyn Fn(&PendingGroup) -> bool| {
+        let due: Vec<(u64, KeyClass)> = groups
+            .iter()
+            .filter(|(_, p)| pred(p))
+            .map(|(k, _)| *k)
+            .collect();
+        for key in due {
+            let p = groups.remove(&key).expect("listed");
+            dispatch(key.0, key.1, p.jobs);
+        }
+    };
+    loop {
+        let next_due = groups.values().map(|p| p.oldest + cfg.max_delay).min();
+        let job = match next_due {
+            None => match rx.recv() {
+                Ok(j) => Some(j),
+                Err(_) => break,
+            },
+            Some(due) => {
+                let now = Instant::now();
+                if due <= now {
+                    None
+                } else {
+                    match rx.recv_timeout(due - now) {
+                        Ok(j) => Some(j),
+                        Err(RecvTimeoutError::Timeout) => None,
+                        Err(RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+            }
         };
-        let _ = job.reply.send((status, body));
+        if let Some(job) = job {
+            admit_to_group(state, &mut groups, job, cfg, &dispatch);
+            // Coalesce the rest of an already-waiting burst before any
+            // dispatch decision.
+            while let Ok(j) = rx.try_recv() {
+                admit_to_group(state, &mut groups, j, cfg, &dispatch);
+            }
+            // An idle pool means holding buys nothing: flush every group
+            // that didn't ask to wait.
+            if backlog.load(Ordering::Relaxed) == 0 {
+                flush(&mut groups, &|p| !p.hold);
+            }
+        }
+        let now = Instant::now();
+        flush(&mut groups, &|p| p.oldest + cfg.max_delay <= now);
+    }
+    // Shutdown drain: every held job still executes and replies.
+    flush(&mut groups, &|_| true);
+}
+
+/// Files one job into its `(session, class)` group, dispatching the
+/// group if it reaches `max_batch`. `Interactive` sessions and jobs with
+/// no resolvable group dispatch immediately as singletons.
+fn admit_to_group(
+    state: &ServerState,
+    groups: &mut HashMap<(u64, KeyClass), PendingGroup>,
+    job: Job,
+    cfg: &BatchConfig,
+    dispatch: &dyn Fn(u64, KeyClass, Vec<Job>),
+) {
+    let (Some(class), Some(sid)) = (KeyClass::of(job.op), peek_session(&job.body)) else {
+        // Readers only route keyed ops here, but stay safe: run it alone.
+        dispatch(0, KeyClass::Relin, vec![job]);
+        return;
+    };
+    let hint = state
+        .sessions
+        .get(sid)
+        .map(|s| s.batch_hint())
+        .unwrap_or(BatchHint::Auto);
+    if hint == BatchHint::Interactive {
+        dispatch(sid, class, vec![job]);
+        return;
+    }
+    let p = groups.entry((sid, class)).or_insert_with(|| PendingGroup {
+        jobs: Vec::new(),
+        oldest: Instant::now(),
+        hold: hint == BatchHint::Throughput,
+    });
+    p.jobs.push(job);
+    if p.jobs.len() >= cfg.max_batch {
+        let p = groups.remove(&(sid, class)).expect("just inserted");
+        dispatch(sid, class, p.jobs);
     }
 }
 
@@ -344,7 +855,7 @@ impl Read for PatientReader<'_> {
 fn connection_loop(
     state: &ServerState,
     shutdown: &AtomicBool,
-    queue: &SyncSender<Job>,
+    sinks: &JobSinks,
     mut stream: TcpStream,
     max_frame: u32,
 ) {
@@ -432,7 +943,7 @@ fn connection_loop(
                 let job = Job {
                     op,
                     body: frame.body,
-                    enqueued: Instant::now(),
+                    deadline_start: Instant::now(),
                     reply: reply_tx,
                     #[cfg(feature = "chaos")]
                     chaos: worker_fault,
@@ -440,7 +951,7 @@ fn connection_loop(
                 // Count before sending: a worker may pop (and decrement)
                 // the instant `try_send` returns.
                 state.metrics.enqueued();
-                match queue.try_send(job) {
+                match sinks.dispatch(job) {
                     Ok(()) => {
                         let (status, body) = reply_rx.recv().unwrap_or((
                             ErrorCode::Internal as u8,
@@ -461,7 +972,7 @@ fn connection_loop(
                             break;
                         }
                     }
-                    Err(TrySendError::Full(_)) => {
+                    Err(TrySendError::Full(())) => {
                         state.metrics.retracted();
                         state
                             .metrics
@@ -475,7 +986,7 @@ fn connection_loop(
                             break;
                         }
                     }
-                    Err(TrySendError::Disconnected(_)) => {
+                    Err(TrySendError::Disconnected(())) => {
                         state.metrics.retracted();
                         break;
                     }
@@ -500,13 +1011,18 @@ fn fail<T>(code: ErrorCode, msg: impl Into<String>) -> Result<T, (ErrorCode, Str
     Err((code, msg.into()))
 }
 
-fn handle(state: &ServerState, op: Opcode, body: &[u8]) -> OpResult {
+fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>) -> OpResult {
     match op {
         Opcode::Hello => {
-            let sid = state.sessions.create();
-            // 8 LE bytes of session id, then the active kernel-backend name
-            // in UTF-8. Pre-backend clients read only the first 8 bytes.
+            // Optional leading batching-hint byte; anything else in the
+            // body (old clients, fuzzed frames) reads as Auto.
+            let hint = BatchHint::from_u8(body.first().copied().unwrap_or(0));
+            let sid = state.sessions.create_with_hint(hint);
+            // 8 LE bytes of session id, a flags byte (bit 0: batching
+            // scheduler enabled), then the active kernel-backend name in
+            // UTF-8. Pre-backend clients read only the first 8 bytes.
             let mut reply = sid.to_le_bytes().to_vec();
+            reply.push(u8::from(state.batching));
             reply.extend_from_slice(state.ctx.kernel_backend().name().as_bytes());
             Ok(reply)
         }
@@ -574,7 +1090,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8]) -> OpResult {
             if a.limb_count().min(b.limb_count()) < 2 {
                 return fail(ErrorCode::Malformed, "no level left to multiply at");
             }
-            let rlk = expand_key(state, sid, &session, KeyKind::Relin)?;
+            let rlk = expand_key(state, sid, &session, KeyKind::Relin, keys)?;
             let (a, b) = state.evaluator.align_levels(&a, &b);
             Ok(serialize_ciphertext(
                 &state.evaluator.mul_with_key(&a, &b, &rlk),
@@ -588,10 +1104,16 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8]) -> OpResult {
             if steps == 0 {
                 return Ok(serialize_ciphertext(&ct));
             }
-            let gk = assemble_galois(state, sid, &session, &[steps])?;
-            Ok(serialize_ciphertext(
-                &state.evaluator.rotate(&ct, steps, &gk),
-            ))
+            let gk = assemble_galois(state, sid, &session, &[steps], keys)?;
+            // The hoisted formulation in *both* modes: hoisted digit
+            // automorphism is only semantically — not bitwise — equal to
+            // the automorph-then-decompose order, so batch-of-k and
+            // batch-of-1 stay byte-identical only if the singleton path
+            // hoists too.
+            let out = rotate_hoisted(&state.evaluator, &ct, &[steps], &gk)
+                .pop()
+                .expect("one step in, one ciphertext out");
+            Ok(serialize_ciphertext(&out))
         }
         Opcode::Rescale => {
             let mut r = BodyReader::new(body);
@@ -628,7 +1150,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8]) -> OpResult {
             let ct = read_ct(state, r.rest())?;
             let lt = LinearTransform::from_diagonals(diagonals, slots);
             let steps = bsgs_required_steps(&lt, n1);
-            let gk = assemble_galois(state, sid, &session, &steps)?;
+            let gk = assemble_galois(state, sid, &session, &steps, keys)?;
             Ok(serialize_ciphertext(&apply_bsgs(
                 &state.evaluator,
                 &state.encoder,
@@ -660,8 +1182,8 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8]) -> OpResult {
             if weights[0].limb_count() <= fhe_apps::helr_enc::LR_STEP_DEPTH {
                 return fail(ErrorCode::Malformed, "not enough levels for a step");
             }
-            let rlk = expand_key(state, sid, &session, KeyKind::Relin)?;
-            let gk = assemble_galois(state, sid, &session, &lr_fold_steps(slots))?;
+            let rlk = expand_key(state, sid, &session, KeyKind::Relin, keys)?;
+            let gk = assemble_galois(state, sid, &session, &lr_fold_steps(slots), keys)?;
             encrypted_lr_step(
                 &state.evaluator,
                 &rlk,
@@ -705,14 +1227,23 @@ fn read_ct(state: &ServerState, bytes: &[u8]) -> Result<Ciphertext, (ErrorCode, 
     deserialize_ciphertext(&state.ctx, bytes).map_err(|e| (ErrorCode::Malformed, e.to_string()))
 }
 
-/// Fetches one expanded key via the cache, resolving the compressed bytes
-/// from the session store.
+/// Fetches one expanded key, consulting the batch's pinned set first and
+/// falling back to the shared cache, resolving the compressed bytes from
+/// the session store.
 fn expand_key(
     state: &ServerState,
     sid: u64,
     session: &Session,
     kind: KeyKind,
-) -> Result<Arc<ckks::SwitchingKey>, (ErrorCode, String)> {
+    keys: Option<&BatchKeys>,
+) -> Result<Arc<SwitchingKey>, (ErrorCode, String)> {
+    if let Some(key) = keys.and_then(|k| k.get(kind)) {
+        state
+            .metrics
+            .batch_expansions_avoided
+            .fetch_add(1, Ordering::Relaxed);
+        return Ok(key.clone());
+    }
     let bytes = session
         .key_bytes(kind)
         .map_err(|c| (c, format!("{kind:?} for session {sid}")))?;
@@ -722,14 +1253,15 @@ fn expand_key(
         .map_err(|c| (c, format!("{kind:?} failed to expand")))
 }
 
-/// Builds a per-request Galois key set for `steps` from cached shared
-/// expansions, failing with `MissingKey` *before* any evaluator call can
-/// panic on an absent key.
+/// Builds a per-request Galois key set for `steps` from the batch's
+/// pinned expansions or cached shared expansions, failing with
+/// `MissingKey` *before* any evaluator call can panic on an absent key.
 fn assemble_galois(
     state: &ServerState,
     sid: u64,
     session: &Session,
     steps: &[i64],
+    keys: Option<&BatchKeys>,
 ) -> Result<GaloisKeys, (ErrorCode, String)> {
     let mut gk = GaloisKeys::new();
     for &s in steps {
@@ -740,7 +1272,7 @@ fn assemble_galois(
         if gk.get_shared(element).is_some() {
             continue;
         }
-        let key = expand_key(state, sid, session, KeyKind::Galois(element))
+        let key = expand_key(state, sid, session, KeyKind::Galois(element), keys)
             .map_err(|(c, _)| (c, format!("rotation step {s} (element {element})")))?;
         gk.insert_shared(element, key);
     }

@@ -8,19 +8,25 @@
 //! a single server-wide knob.
 
 use crate::cache::KeyKind;
-use crate::protocol::ErrorCode;
+use crate::protocol::{BatchHint, ErrorCode};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// One tenant's uploaded keys, in compressed serialized form.
+/// One tenant's uploaded keys, in compressed serialized form, plus the
+/// batching hint it declared in Hello.
 #[derive(Default)]
 pub struct Session {
     relin: Mutex<Option<Arc<Vec<u8>>>>,
     galois: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    hint: AtomicU8,
 }
 
 impl Session {
+    /// The batching hint declared at Hello.
+    pub fn batch_hint(&self) -> BatchHint {
+        BatchHint::from_u8(self.hint.load(Ordering::Relaxed))
+    }
     /// Stores (or replaces) the relinearization key bytes.
     pub fn set_relin(&self, bytes: Vec<u8>) {
         *self.relin.lock().expect("session poisoned") = Some(Arc::new(bytes));
@@ -93,13 +99,21 @@ impl SessionManager {
         }
     }
 
-    /// Opens a session and returns its id.
+    /// Opens a session with the default [`BatchHint::Auto`] hint.
     pub fn create(&self) -> u64 {
+        self.create_with_hint(BatchHint::Auto)
+    }
+
+    /// Opens a session carrying the tenant's declared batching hint and
+    /// returns its id.
+    pub fn create_with_hint(&self, hint: BatchHint) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let session = Session::default();
+        session.hint.store(hint as u8, Ordering::Relaxed);
         self.sessions
             .lock()
             .expect("sessions poisoned")
-            .insert(id, Arc::new(Session::default()));
+            .insert(id, Arc::new(session));
         id
     }
 
@@ -182,6 +196,17 @@ mod tests {
         mgr.close(id).unwrap();
         assert!(matches!(mgr.get(id), Err(ErrorCode::NoSession)));
         assert!(matches!(mgr.close(id), Err(ErrorCode::NoSession)));
+    }
+
+    #[test]
+    fn hints_stick_to_their_session() {
+        let mgr = SessionManager::new();
+        let a = mgr.create();
+        let b = mgr.create_with_hint(BatchHint::Throughput);
+        let c = mgr.create_with_hint(BatchHint::Interactive);
+        assert_eq!(mgr.get(a).unwrap().batch_hint(), BatchHint::Auto);
+        assert_eq!(mgr.get(b).unwrap().batch_hint(), BatchHint::Throughput);
+        assert_eq!(mgr.get(c).unwrap().batch_hint(), BatchHint::Interactive);
     }
 
     #[test]

@@ -22,6 +22,7 @@
 
 #![cfg(feature = "chaos")]
 
+use ckks::hoisting::rotate_hoisted;
 use ckks::serialize::{deserialize_switching_key, serialize_ciphertext, serialize_switching_key};
 use ckks::{
     Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, Evaluator, GaloisKeys, KeyGenerator,
@@ -89,8 +90,15 @@ fn setup() -> &'static Setup {
             ("add", serialize_ciphertext(&ev.add(&a, &b))),
             ("mult", serialize_ciphertext(&ev.mul(&a, &b, &rlk))),
             ("mult_again", serialize_ciphertext(&ev.mul(&a, &b, &rlk))),
-            ("rotate_1", serialize_ciphertext(&ev.rotate(&a, 1, &gk))),
-            ("rotate_4", serialize_ciphertext(&ev.rotate(&a, 4, &gk))),
+            // The server rotates through the hoisted path; match it.
+            (
+                "rotate_1",
+                serialize_ciphertext(&rotate_hoisted(&ev, &a, &[1], &gk)[0]),
+            ),
+            (
+                "rotate_4",
+                serialize_ciphertext(&rotate_hoisted(&ev, &a, &[4], &gk)[0]),
+            ),
             ("rescale", serialize_ciphertext(&ev.rescale(&a))),
         ];
 
