@@ -469,6 +469,32 @@ pub fn trace_start() {
     }
 }
 
+/// Begins recording only if no trace is already active, so an
+/// opportunistic caller (e.g. the serving runtime's sampled deep
+/// tracing) never discards a deliberately-started trace. Returns
+/// whether recording started; the caller owns the matching
+/// [`trace_stop`] only when it did.
+///
+/// Always `false` with the feature off.
+pub fn trace_try_start() -> bool {
+    #[cfg(feature = "telemetry")]
+    {
+        use std::sync::atomic::Ordering::Relaxed;
+        let mut trace = state::TRACE.lock().expect("poisoned");
+        if trace.is_some() {
+            return false;
+        }
+        *trace = Some(state::TraceState {
+            start: std::time::Instant::now(),
+            records: Vec::new(),
+        });
+        state::TRACE_ON.store(true, Relaxed);
+        true
+    }
+    #[cfg(not(feature = "telemetry"))]
+    false
+}
+
 /// Stops recording and returns the trace in program order.
 ///
 /// Returns an empty vector if no trace was active (or the feature is off).

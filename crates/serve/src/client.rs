@@ -380,6 +380,29 @@ impl Client {
         let resp = self.call(Opcode::Metrics, &[])?;
         String::from_utf8(resp).map_err(|_| ClientError::Protocol("metrics not UTF-8".into()))
     }
+
+    /// Fetches the server's recent request timelines as Chrome
+    /// trace-event JSON (loadable in Perfetto / `chrome://tracing`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn trace_dump(&mut self) -> Result<String, ClientError> {
+        let resp = self.call(Opcode::TraceDump, &[0])?;
+        String::from_utf8(resp).map_err(|_| ClientError::Protocol("trace dump not UTF-8".into()))
+    }
+
+    /// Fetches the server's structured slow-request log (one line per
+    /// request that crossed the slow threshold, dominant stage
+    /// annotated).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`].
+    pub fn slow_log(&mut self) -> Result<String, ClientError> {
+        let resp = self.call(Opcode::TraceDump, &[1])?;
+        String::from_utf8(resp).map_err(|_| ClientError::Protocol("slow log not UTF-8".into()))
+    }
 }
 
 /// How [`RetryingClient`] paces its attempts: capped exponential backoff

@@ -24,7 +24,8 @@
 //! `MADf` serialization, a session manager ([`session`]), a key-reuse
 //! batching scheduler ([`batch`]) grouping requests that share switching
 //! keys, a bounded worker pool with backpressure and deadlines
-//! ([`server`]), and plain-text metrics ([`metrics`]). [`client::Client`]
+//! ([`server`]), plain-text metrics ([`metrics`]), and request-scoped
+//! tracing with per-stage latency attribution ([`obs`]). [`client::Client`]
 //! is the matching blocking client, and [`client::RetryingClient`] wraps
 //! it with capped exponential backoff, per-op timeouts, and transparent
 //! reconnect with session re-setup and compressed-key re-upload.
@@ -63,6 +64,7 @@ pub mod cache;
 pub mod client;
 pub mod fault;
 pub mod metrics;
+pub mod obs;
 pub mod protocol;
 pub mod server;
 pub mod session;
@@ -71,6 +73,7 @@ pub use batch::{BatchConfig, KeyClass};
 pub use cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
 pub use client::{Client, ClientError, HelloInfo, RetryPolicy, RetryStats, RetryingClient};
 pub use fault::{FaultDecision, FaultMix, FaultPlan, InjectedFault};
+pub use obs::{chrome_trace_json, FinishedTrace, ObsConfig, Stage, SubSpan};
 pub use protocol::{BatchHint, ErrorCode, Opcode, PROTOCOL_VERSION};
 pub use server::{ServeConfig, Server};
 pub use session::{Session, SessionManager};

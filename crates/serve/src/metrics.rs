@@ -8,6 +8,7 @@
 //! view ("cache miss") to the library's view ("bytes regenerated").
 
 use crate::cache::CacheStats;
+use crate::obs::Stage;
 use crate::protocol::Opcode;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -54,7 +55,49 @@ impl Histogram {
         self.sum_us.load(Ordering::Relaxed)
     }
 
-    fn dump_into(&self, out: &mut String, op: &str) {
+    /// The `[lo, hi]` µs range bucket `i` covers, with the overflow
+    /// bucket assigned a pseudo upper bound of twice its lower bound so
+    /// interpolation stays finite.
+    fn bucket_bounds(i: usize) -> (f64, f64) {
+        if i == 0 {
+            (0.0, 1.0)
+        } else {
+            let lo = (1u64 << (i - 1)) as f64;
+            (lo, lo * 2.0)
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in µs, linearly interpolated inside
+    /// the log2 bucket holding the target rank — the classic Prometheus
+    /// `histogram_quantile` estimate, bounded by the bucket resolution.
+    /// `None` when the histogram is empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * count as f64).ceil() as u64).max(1);
+        let mut cum = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            let n = b.load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if cum + n >= rank {
+                let (lo, hi) = Self::bucket_bounds(i);
+                let frac = (rank - cum) as f64 / n as f64;
+                return Some(lo + (hi - lo) * frac);
+            }
+            cum += n;
+        }
+        None
+    }
+
+    /// Emits the cumulative bucket/count/sum sample lines for family
+    /// `name`. `labels` is either empty or a `key="value"` fragment
+    /// spliced before the `le` label.
+    fn dump_into(&self, out: &mut String, name: &str, labels: &str) {
+        let sep = if labels.is_empty() { "" } else { "," };
         let mut cumulative = 0;
         // The last slot is the unlabeled overflow bucket: it is rendered
         // only through the `+Inf` line below, never with a numeric `le`
@@ -68,24 +111,36 @@ impl Histogram {
             let le = 1u64 << i;
             let _ = writeln!(
                 out,
-                "serve_op_latency_us_bucket{{op=\"{op}\",le=\"{le}\"}} {cumulative}"
+                "{name}_bucket{{{labels}{sep}le=\"{le}\"}} {cumulative}"
             );
         }
         let _ = writeln!(
             out,
-            "serve_op_latency_us_bucket{{op=\"{op}\",le=\"+Inf\"}} {}",
+            "{name}_bucket{{{labels}{sep}le=\"+Inf\"}} {}",
             self.count()
         );
-        let _ = writeln!(
-            out,
-            "serve_op_latency_us_count{{op=\"{op}\"}} {}",
-            self.count()
-        );
-        let _ = writeln!(
-            out,
-            "serve_op_latency_us_sum{{op=\"{op}\"}} {}",
-            self.sum_us()
-        );
+        let braces = |s: &str| {
+            if s.is_empty() {
+                String::new()
+            } else {
+                format!("{{{s}}}")
+            }
+        };
+        let _ = writeln!(out, "{name}_count{} {}", braces(labels), self.count());
+        let _ = writeln!(out, "{name}_sum{} {}", braces(labels), self.sum_us());
+    }
+
+    /// Emits `p50`/`p95`/`p99` gauge samples for family `name` (empty
+    /// histograms emit nothing).
+    fn dump_quantiles_into(&self, out: &mut String, name: &str, labels: &str) {
+        if self.count() == 0 {
+            return;
+        }
+        let sep = if labels.is_empty() { "" } else { "," };
+        for q in [0.5, 0.95, 0.99] {
+            let v = self.quantile(q).expect("non-empty");
+            let _ = writeln!(out, "{name}{{{labels}{sep}q=\"{q}\"}} {v:.1}");
+        }
     }
 }
 
@@ -146,6 +201,11 @@ impl CountHistogram {
 #[derive(Default)]
 pub struct Metrics {
     latency: [Histogram; Opcode::ALL.len()],
+    /// Attributed latency per lifecycle [`Stage`], fed by the tracing
+    /// layer at request finish.
+    stage_latency: [Histogram; Stage::ALL.len()],
+    /// End-to-end request latency (accept → reply written).
+    e2e_latency: Histogram,
     /// Requests accepted into the queue.
     pub requests_total: AtomicU64,
     /// Responses carrying a non-zero status.
@@ -199,6 +259,17 @@ impl Metrics {
         &self.latency[idx]
     }
 
+    /// The attributed-latency histogram for one lifecycle stage.
+    pub fn stage_latency(&self, stage: Stage) -> &Histogram {
+        let idx = Stage::ALL.iter().position(|&s| s == stage).expect("listed");
+        &self.stage_latency[idx]
+    }
+
+    /// The end-to-end request latency histogram.
+    pub fn e2e_latency(&self) -> &Histogram {
+        &self.e2e_latency
+    }
+
     /// Marks a request entering the queue.
     pub fn enqueued(&self) {
         self.requests_total.fetch_add(1, Ordering::Relaxed);
@@ -219,122 +290,276 @@ impl Metrics {
         self.queue_depth.fetch_sub(1, Ordering::Relaxed);
     }
 
-    /// Renders every counter, plus the cache's, as plain text. Lines are
-    /// `name{labels} value`, one metric per line, stable names. `backend`
-    /// is the context's active kernel backend, exported as an info-style
-    /// gauge so dashboards can attribute latency shifts to kernel changes.
+    /// Renders every counter, plus the cache's, as plain text in the
+    /// Prometheus exposition format: every family gets a `# HELP` and
+    /// `# TYPE` header immediately before its samples, families appear
+    /// in a fixed order regardless of traffic, and histogram families
+    /// additionally derive `p50`/`p95`/`p99` gauge estimates from their
+    /// log2 buckets. `backend` is the context's active kernel backend,
+    /// exported as an info-style gauge so dashboards can attribute
+    /// latency shifts to kernel changes.
     pub fn dump(&self, cache: &CacheStats, backend: &str) -> String {
         let mut out = String::new();
-        let g = |out: &mut String, name: &str, v: u64| {
+        let family = |out: &mut String, name: &str, ty: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+        };
+        let g = |out: &mut String, name: &str, ty: &str, help: &str, v: u64| {
+            family(out, name, ty, help);
             let _ = writeln!(out, "{name} {v}");
         };
+
+        family(
+            &mut out,
+            "serve_kernel_backend",
+            "gauge",
+            "Active kernel backend (info-style, value always 1).",
+        );
         let _ = writeln!(out, "serve_kernel_backend{{backend=\"{backend}\"}} 1");
-        g(
+
+        let rel = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let counters: [(&str, &str, &str, u64); 22] = [
+            (
+                "serve_requests_total",
+                "counter",
+                "Requests accepted into the queue.",
+                rel(&self.requests_total),
+            ),
+            (
+                "serve_errors_total",
+                "counter",
+                "Responses carrying a non-zero status.",
+                rel(&self.errors_total),
+            ),
+            (
+                "serve_rejected_overload_total",
+                "counter",
+                "Requests rejected because the queue was full.",
+                rel(&self.rejected_overload),
+            ),
+            (
+                "serve_rejected_deadline_total",
+                "counter",
+                "Requests dropped because their deadline passed while queued.",
+                rel(&self.rejected_deadline),
+            ),
+            (
+                "serve_bytes_read_total",
+                "counter",
+                "Frame bytes read off the wire, headers included.",
+                rel(&self.bytes_read),
+            ),
+            (
+                "serve_bytes_written_total",
+                "counter",
+                "Frame bytes written to the wire, headers included.",
+                rel(&self.bytes_written),
+            ),
+            (
+                "serve_queue_depth",
+                "gauge",
+                "Requests currently queued (enqueued, not yet picked up).",
+                rel(&self.queue_depth),
+            ),
+            (
+                "serve_queue_depth_peak",
+                "gauge",
+                "High-water mark of serve_queue_depth.",
+                rel(&self.queue_peak),
+            ),
+            (
+                "serve_connections_total",
+                "counter",
+                "Connections accepted.",
+                rel(&self.connections_total),
+            ),
+            (
+                "serve_faults_injected_total",
+                "counter",
+                "Faults deliberately injected by a chaos plan.",
+                rel(&self.faults_injected),
+            ),
+            (
+                "serve_batching_enabled",
+                "gauge",
+                "1 when the batching scheduler is active.",
+                rel(&self.batching_enabled),
+            ),
+            (
+                "serve_batches_total",
+                "counter",
+                "Batches dispatched to the worker pool, singletons included.",
+                rel(&self.batches_total),
+            ),
+            (
+                "serve_batch_jobs_total",
+                "counter",
+                "Requests that travelled inside a batch.",
+                rel(&self.batch_jobs_total),
+            ),
+            (
+                "serve_batch_keys_pinned_total",
+                "counter",
+                "Keys pinned in the cache on behalf of a batch.",
+                rel(&self.batch_keys_pinned),
+            ),
+            (
+                "serve_batch_expansions_avoided_total",
+                "counter",
+                "Cache fetches short-circuited by a batch's pinned key-set.",
+                rel(&self.batch_expansions_avoided),
+            ),
+            (
+                "serve_batch_hoist_shared_total",
+                "counter",
+                "Rotations that reused another request's hoisted decomposition.",
+                rel(&self.batch_hoist_shared),
+            ),
+            (
+                "serve_key_cache_hits_total",
+                "counter",
+                "Key-cache hits.",
+                cache.hits,
+            ),
+            (
+                "serve_key_cache_misses_total",
+                "counter",
+                "Key-cache misses (each one a seeded expansion).",
+                cache.misses,
+            ),
+            (
+                "serve_key_cache_evictions_total",
+                "counter",
+                "Expanded keys evicted under budget pressure.",
+                cache.evictions,
+            ),
+            (
+                "serve_key_cache_resident_bytes",
+                "gauge",
+                "Bytes of expanded keys currently resident.",
+                cache.resident_bytes,
+            ),
+            (
+                "serve_key_cache_resident_keys",
+                "gauge",
+                "Expanded keys currently resident.",
+                cache.resident_keys,
+            ),
+            (
+                "serve_key_cache_pinned_keys",
+                "gauge",
+                "Keys currently pinned by executing batches.",
+                cache.pinned_keys,
+            ),
+        ];
+        for (name, ty, help, v) in counters {
+            g(&mut out, name, ty, help, v);
+        }
+
+        family(
             &mut out,
-            "serve_requests_total",
-            self.requests_total.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_errors_total",
-            self.errors_total.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_rejected_overload_total",
-            self.rejected_overload.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_rejected_deadline_total",
-            self.rejected_deadline.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_bytes_read_total",
-            self.bytes_read.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_bytes_written_total",
-            self.bytes_written.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_queue_depth",
-            self.queue_depth.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_queue_depth_peak",
-            self.queue_peak.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_connections_total",
-            self.connections_total.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_faults_injected_total",
-            self.faults_injected.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_batching_enabled",
-            self.batching_enabled.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_batches_total",
-            self.batches_total.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_batch_jobs_total",
-            self.batch_jobs_total.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_batch_keys_pinned_total",
-            self.batch_keys_pinned.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_batch_expansions_avoided_total",
-            self.batch_expansions_avoided.load(Ordering::Relaxed),
-        );
-        g(
-            &mut out,
-            "serve_batch_hoist_shared_total",
-            self.batch_hoist_shared.load(Ordering::Relaxed),
+            "serve_batch_size",
+            "histogram",
+            "Distribution of dispatched batch sizes.",
         );
         if self.batch_size.count() > 0 {
             self.batch_size.dump_into(&mut out, "serve_batch_size");
         }
-        g(&mut out, "serve_key_cache_hits_total", cache.hits);
-        g(&mut out, "serve_key_cache_misses_total", cache.misses);
-        g(&mut out, "serve_key_cache_evictions_total", cache.evictions);
-        g(
-            &mut out,
-            "serve_key_cache_resident_bytes",
-            cache.resident_bytes,
-        );
-        g(
-            &mut out,
-            "serve_key_cache_resident_keys",
-            cache.resident_keys,
-        );
-        g(&mut out, "serve_key_cache_pinned_keys", cache.pinned_keys);
+
         let (expansions, expansion_bytes) = fhe_math::telemetry::key_expansion_totals();
-        g(&mut out, "serve_key_expansions_total", expansions);
-        g(&mut out, "serve_key_expansion_bytes_total", expansion_bytes);
+        g(
+            &mut out,
+            "serve_key_expansions_total",
+            "counter",
+            "Switching-key expansions performed by the math layer.",
+            expansions,
+        );
+        g(
+            &mut out,
+            "serve_key_expansion_bytes_total",
+            "counter",
+            "Bytes of switching-key material regenerated from seeds.",
+            expansion_bytes,
+        );
+
+        family(
+            &mut out,
+            "serve_op_latency_us",
+            "histogram",
+            "Handler latency per opcode, log2 µs buckets.",
+        );
         for op in Opcode::ALL {
             let h = self.latency(op);
             if h.count() > 0 {
-                h.dump_into(&mut out, op.name());
+                h.dump_into(
+                    &mut out,
+                    "serve_op_latency_us",
+                    &format!("op=\"{}\"", op.name()),
+                );
             }
         }
+        family(
+            &mut out,
+            "serve_op_latency_us_quantile",
+            "gauge",
+            "Per-opcode latency quantiles interpolated from the log2 buckets.",
+        );
+        for op in Opcode::ALL {
+            self.latency(op).dump_quantiles_into(
+                &mut out,
+                "serve_op_latency_us_quantile",
+                &format!("op=\"{}\"", op.name()),
+            );
+        }
+
+        family(
+            &mut out,
+            "serve_stage_latency_us",
+            "histogram",
+            "Attributed latency per request lifecycle stage, log2 µs buckets.",
+        );
+        for s in Stage::ALL {
+            let h = self.stage_latency(s);
+            if h.count() > 0 {
+                h.dump_into(
+                    &mut out,
+                    "serve_stage_latency_us",
+                    &format!("stage=\"{}\"", s.name()),
+                );
+            }
+        }
+        family(
+            &mut out,
+            "serve_stage_latency_us_quantile",
+            "gauge",
+            "Per-stage latency quantiles interpolated from the log2 buckets.",
+        );
+        for s in Stage::ALL {
+            self.stage_latency(s).dump_quantiles_into(
+                &mut out,
+                "serve_stage_latency_us_quantile",
+                &format!("stage=\"{}\"", s.name()),
+            );
+        }
+
+        family(
+            &mut out,
+            "serve_e2e_latency_us",
+            "histogram",
+            "End-to-end request latency (accept to reply written), log2 µs buckets.",
+        );
+        if self.e2e_latency.count() > 0 {
+            self.e2e_latency
+                .dump_into(&mut out, "serve_e2e_latency_us", "");
+        }
+        family(
+            &mut out,
+            "serve_e2e_latency_us_quantile",
+            "gauge",
+            "End-to-end latency quantiles interpolated from the log2 buckets.",
+        );
+        self.e2e_latency
+            .dump_quantiles_into(&mut out, "serve_e2e_latency_us_quantile", "");
         out
     }
 }
@@ -448,6 +673,114 @@ mod tests {
         assert!(dump.contains("serve_batch_jobs_total 9008"));
         assert!(dump.contains("serve_batching_enabled 0"));
         assert!(dump.contains("serve_key_cache_pinned_keys 0"));
+    }
+
+    #[test]
+    fn quantiles_interpolate_inside_log2_buckets() {
+        let h = Histogram::default();
+        assert_eq!(h.quantile(0.5), None, "empty histogram has no quantiles");
+        // 100 observations spread uniformly over (256, 512] land in one
+        // bucket; interpolation should place p50 near its middle and
+        // p99 near its top.
+        for i in 1..=100u64 {
+            h.observe(Duration::from_micros(256 + i * 256 / 100));
+        }
+        let p50 = h.quantile(0.5).unwrap();
+        let p95 = h.quantile(0.95).unwrap();
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p50 > 256.0 && p50 < 512.0, "p50 = {p50}");
+        assert!(p50 <= p95 && p95 <= p99, "p50 {p50} p95 {p95} p99 {p99}");
+        assert!((p50 - 384.0).abs() < 32.0, "p50 ≈ bucket midpoint: {p50}");
+        assert!(p99 > 500.0 && p99 <= 512.0, "p99 ≈ bucket top: {p99}");
+        // A bimodal distribution: quantiles pick the right bucket.
+        let h = Histogram::default();
+        for _ in 0..90 {
+            h.observe(Duration::from_micros(10));
+        }
+        for _ in 0..10 {
+            h.observe(Duration::from_micros(100_000));
+        }
+        assert!(h.quantile(0.5).unwrap() <= 16.0);
+        assert!(h.quantile(0.95).unwrap() > 65_536.0);
+    }
+
+    /// Strips a sample line down to its family name: label block and
+    /// value dropped, histogram suffixes folded into the family.
+    fn family_of(line: &str) -> String {
+        let name = line
+            .split(['{', ' '])
+            .next()
+            .expect("non-empty line")
+            .to_string();
+        for suffix in ["_bucket", "_count", "_sum"] {
+            if let Some(stripped) = name.strip_suffix(suffix) {
+                return stripped.to_string();
+            }
+        }
+        name
+    }
+
+    #[test]
+    fn dump_has_help_and_type_for_every_series_in_stable_order() {
+        let m = Metrics::new();
+        m.latency(Opcode::Rotate)
+            .observe(Duration::from_micros(700));
+        m.stage_latency(Stage::Kernel)
+            .observe(Duration::from_micros(650));
+        m.e2e_latency().observe(Duration::from_micros(800));
+        m.batch_size.observe(3);
+        m.enqueued();
+        let dump = m.dump(&CacheStats::default(), "scalar");
+
+        let mut families_in_order = Vec::new();
+        let mut typed = std::collections::HashSet::new();
+        let mut helped = std::collections::HashSet::new();
+        for line in dump.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                let (name, ty) = rest.split_once(' ').expect("TYPE name ty");
+                assert!(
+                    matches!(ty, "counter" | "gauge" | "histogram"),
+                    "unknown type: {line}"
+                );
+                assert!(typed.insert(name.to_string()), "duplicate TYPE for {name}");
+                families_in_order.push(name.to_string());
+                continue;
+            }
+            if let Some(rest) = line.strip_prefix("# HELP ") {
+                let name = rest.split(' ').next().unwrap();
+                assert!(helped.insert(name.to_string()), "duplicate HELP for {name}");
+                continue;
+            }
+            if line.is_empty() {
+                continue;
+            }
+            // Every sample line's family must have been declared above it,
+            // quantile gauges included.
+            let fam = family_of(line);
+            assert!(
+                typed.contains(&fam),
+                "sample before its TYPE header: {line} (family {fam})"
+            );
+        }
+        assert_eq!(typed, helped, "HELP and TYPE must pair up exactly");
+
+        // Ordering is structural, not traffic-dependent: a dump from a
+        // metrics instance with different traffic declares the same
+        // families in the same order.
+        let m2 = Metrics::new();
+        m2.latency(Opcode::Add).observe(Duration::from_micros(5));
+        let dump2 = m2.dump(&CacheStats::default(), "unrolled");
+        let families2: Vec<String> = dump2
+            .lines()
+            .filter_map(|l| l.strip_prefix("# TYPE "))
+            .map(|r| r.split(' ').next().unwrap().to_string())
+            .collect();
+        assert_eq!(families_in_order, families2, "family order must be stable");
+
+        // Quantile estimates honour the bucket that fed them.
+        assert!(dump.contains("serve_stage_latency_us_quantile{stage=\"kernel\",q=\"0.5\"}"));
+        assert!(dump.contains("serve_e2e_latency_us_quantile{q=\"0.99\"}"));
+        assert!(dump.contains("serve_op_latency_us_quantile{op=\"rotate\",q=\"0.95\"}"));
     }
 
     #[test]

@@ -1,0 +1,915 @@
+//! Request-scoped tracing: per-stage latency attribution, a ring buffer
+//! of recent request timelines, a slow-request log, and a Perfetto
+//! (Chrome trace-event) exporter behind the `TraceDump` opcode.
+//!
+//! Every request gets an id at frame parse and an always-on, lock-free
+//! `RequestTrace` that rides on the job through the whole lifecycle.
+//! Threads stamp stage transitions as they happen:
+//!
+//! ```text
+//! reader          scheduler        worker                      reader
+//! ──────          ─────────        ──────                      ──────
+//! parse ─ enqueue ─ [batch hold] ─ pickup ─ decode/key/kernel ─ write
+//!          └──────── queue ────────┘        └── serialize ──┘
+//! ```
+//!
+//! The taxonomy ([`Stage`]) partitions end-to-end latency: `queue` is
+//! time waiting for a worker, `batch_hold` the scheduler's deliberate
+//! key-reuse window, `decode`/`key`/`serialize` are measured inside the
+//! handler through a thread-local set for the executing job, `kernel`
+//! is the handler remainder (the FHE math itself), and `write` is the
+//! reply flush. Finished timelines land in a fixed-size ring (plus a
+//! dedicated slot that always retains the slowest request seen, so a
+//! tail outlier can never be overwritten by later traffic) and, past a
+//! configurable threshold, in a bounded structured slow-request log
+//! annotated with the dominant stage.
+//!
+//! On top of the cheap always-on recording, every Nth request (the
+//! `deep_sample_every` knob) is *deep-sampled*: when the crate is built
+//! with the `telemetry` feature, the worker bridges into
+//! `fhe_math::telemetry` span tracing for that one request, so its
+//! timeline additionally carries the kernel sub-spans (`Rotate`,
+//! `KeySwitch`, `ModUp`, `NTT`…) recorded by the math layer. Deep
+//! capture uses the math layer's single global trace, so at most one
+//! request is deep-sampled at a time and a user-initiated trace is
+//! never clobbered (`trace_try_start`).
+
+use crate::metrics::Metrics;
+use crate::protocol::Opcode;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The request lifecycle stages latency is attributed to. Together the
+/// stages partition end-to-end latency (up to scheduling gaps of a few
+/// microseconds between threads).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Waiting in the admission/worker queue for a worker to pick the
+    /// job up (excluding any deliberate batching hold).
+    Queue,
+    /// Held by the batching scheduler to form a key-sharing group — the
+    /// server's own choice, reported separately from congestion.
+    BatchHold,
+    /// Deserializing request payloads (ciphertexts, plaintexts).
+    Decode,
+    /// Switching-key access: cache lookup, seeded expansion on miss,
+    /// and this job's share of its batch's pin phase.
+    Key,
+    /// The FHE math itself — handler time not spent in decode, key
+    /// access, or serialization.
+    Kernel,
+    /// Serializing result ciphertexts.
+    Serialize,
+    /// Writing the reply frame back to the socket.
+    Write,
+}
+
+impl Stage {
+    /// Every stage, in timeline order (metrics registration order).
+    pub const ALL: [Stage; 7] = [
+        Stage::Queue,
+        Stage::BatchHold,
+        Stage::Decode,
+        Stage::Key,
+        Stage::Kernel,
+        Stage::Serialize,
+        Stage::Write,
+    ];
+
+    /// Stable lowercase name used as the metrics label and span name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Queue => "queue",
+            Stage::BatchHold => "batch_hold",
+            Stage::Decode => "decode",
+            Stage::Key => "key",
+            Stage::Kernel => "kernel",
+            Stage::Serialize => "serialize",
+            Stage::Write => "write",
+        }
+    }
+
+    fn index(self) -> usize {
+        Stage::ALL.iter().position(|&s| s == self).expect("listed")
+    }
+}
+
+/// Tracing knobs for the serving runtime, a field of
+/// [`crate::ServeConfig`]. [`ObsConfig::from_env`] (the default) reads
+/// the `MAD_SERVE_OBS`, `MAD_SERVE_TRACE_RING`, `MAD_SERVE_DEEP_EVERY`
+/// and `MAD_SERVE_SLOW_MS` environment variables.
+#[derive(Debug, Clone)]
+pub struct ObsConfig {
+    /// Master switch for per-request recording. Off, requests carry no
+    /// trace at all and `TraceDump` returns an empty timeline.
+    pub enabled: bool,
+    /// How many finished request timelines the ring retains.
+    pub ring_capacity: usize,
+    /// Deep-sample (bridge into `fhe_math::telemetry` span tracing)
+    /// every Nth request; `0` disables deep sampling. Sub-spans only
+    /// appear when the crate is built with the `telemetry` feature.
+    pub deep_sample_every: u64,
+    /// Requests slower than this end-to-end land in the slow-request
+    /// log, annotated with their dominant stage.
+    pub slow_threshold: Duration,
+}
+
+impl ObsConfig {
+    /// The hardcoded defaults: recording on, a 128-entry ring, deep
+    /// sampling every 64th request, 500 ms slow threshold.
+    pub fn baseline() -> Self {
+        Self {
+            enabled: true,
+            ring_capacity: 128,
+            deep_sample_every: 64,
+            slow_threshold: Duration::from_millis(500),
+        }
+    }
+
+    /// [`ObsConfig::baseline`] overridden by environment variables:
+    /// `MAD_SERVE_OBS` (`0`/`off`/`false` disables), `MAD_SERVE_TRACE_RING`
+    /// (entries), `MAD_SERVE_DEEP_EVERY` (N, `0` = never) and
+    /// `MAD_SERVE_SLOW_MS` (milliseconds). Unparseable values are
+    /// ignored.
+    pub fn from_env() -> Self {
+        let mut cfg = Self::baseline();
+        if let Ok(v) = std::env::var("MAD_SERVE_OBS") {
+            match v.to_ascii_lowercase().as_str() {
+                "1" | "on" | "true" => cfg.enabled = true,
+                "0" | "off" | "false" => cfg.enabled = false,
+                _ => {}
+            }
+        }
+        if let Ok(v) = std::env::var("MAD_SERVE_TRACE_RING") {
+            if let Ok(n) = v.parse::<usize>() {
+                cfg.ring_capacity = n.max(1);
+            }
+        }
+        if let Ok(v) = std::env::var("MAD_SERVE_DEEP_EVERY") {
+            if let Ok(n) = v.parse::<u64>() {
+                cfg.deep_sample_every = n;
+            }
+        }
+        if let Ok(v) = std::env::var("MAD_SERVE_SLOW_MS") {
+            if let Ok(ms) = v.parse::<u64>() {
+                cfg.slow_threshold = Duration::from_millis(ms);
+            }
+        }
+        cfg
+    }
+}
+
+/// The live, lock-free timeline of one in-flight request. Stamps and
+/// accumulators are relaxed atomics: each field is written by exactly
+/// one thread at a time (reader → scheduler → worker → reader) and read
+/// only at finish, so no ordering stronger than `Relaxed` is needed.
+pub(crate) struct RequestTrace {
+    id: u64,
+    op: Opcode,
+    /// When the frame was parsed; every offset below is relative to it.
+    start: Instant,
+    /// Chosen for deep sampling (kernel sub-span capture) at accept.
+    deep: bool,
+    /// Offset when the reader enqueued the job (timeline anchor for the
+    /// queue/hold spans).
+    enqueued_us: AtomicU64,
+    /// Where the current wait began: enqueue, restamped at batch
+    /// dispatch so hold and queue time separate cleanly.
+    wait_from_us: AtomicU64,
+    /// Offset when handler execution began.
+    exec_begin_us: AtomicU64,
+    /// Total handler execution time.
+    exec_us: AtomicU64,
+    stage_us: [AtomicU64; Stage::ALL.len()],
+    /// Kernel sub-spans captured by a deep sample, absolute offsets.
+    subspans: Mutex<Vec<SubSpan>>,
+}
+
+impl RequestTrace {
+    fn elapsed_us(&self) -> u64 {
+        self.start.elapsed().as_micros() as u64
+    }
+
+    fn add_stage(&self, stage: Stage, d: Duration) {
+        self.stage_us[stage.index()].fetch_add(d.as_micros() as u64, Relaxed);
+    }
+
+    /// Reader-side: the job is about to enter a queue.
+    pub(crate) fn mark_enqueued(&self) {
+        let now = self.elapsed_us();
+        self.enqueued_us.store(now, Relaxed);
+        self.wait_from_us.store(now, Relaxed);
+    }
+
+    /// Scheduler-side: the job's group was dispatched to the workers.
+    /// Time since the wait began was a deliberate batching hold; the
+    /// queue clock restarts here.
+    pub(crate) fn mark_batch_dispatch(&self) {
+        let now = self.elapsed_us();
+        let from = self.wait_from_us.swap(now, Relaxed);
+        self.stage_us[Stage::BatchHold.index()].fetch_add(now.saturating_sub(from), Relaxed);
+    }
+
+    /// Worker-side: the job was popped from the worker queue.
+    pub(crate) fn mark_picked(&self) {
+        let now = self.elapsed_us();
+        let from = self.wait_from_us.swap(now, Relaxed);
+        self.stage_us[Stage::Queue.index()].fetch_add(now.saturating_sub(from), Relaxed);
+    }
+
+    /// Worker-side: handler execution took `dur` and just finished. Set
+    /// directly for jointly-executed batch jobs that never run through
+    /// the per-job execution guard (their decode/key/serialize work is
+    /// shared, so the whole window attributes to the kernel stage).
+    pub(crate) fn set_exec_ending_now(&self, dur: Duration) {
+        let now = self.elapsed_us();
+        let dur_us = dur.as_micros() as u64;
+        self.exec_begin_us
+            .store(now.saturating_sub(dur_us), Relaxed);
+        self.exec_us.store(dur_us, Relaxed);
+    }
+}
+
+/// One kernel sub-span captured by a deep sample, offsets relative to
+/// the request's accept time.
+#[derive(Debug, Clone)]
+pub struct SubSpan {
+    /// Span name as recorded by `fhe_math::telemetry` (`Rotate`,
+    /// `KeySwitch`, `ModUp`, `NTT`…).
+    pub name: &'static str,
+    /// Span open, µs after the request was accepted.
+    pub begin_us: u64,
+    /// Span close, µs after the request was accepted.
+    pub end_us: u64,
+}
+
+/// A completed request timeline, as retained by the ring buffer and
+/// rendered by the Perfetto exporter.
+#[derive(Debug, Clone)]
+pub struct FinishedTrace {
+    /// Request id.
+    pub id: u64,
+    /// Opcode name.
+    pub op: &'static str,
+    /// Response status byte (0 = success).
+    pub status: u8,
+    /// Accept time, µs after the server started.
+    pub start_us: u64,
+    /// End-to-end latency in µs (accept → reply written).
+    pub total_us: u64,
+    /// Per-stage attributed µs, indexed like [`Stage::ALL`].
+    pub stages: [u64; Stage::ALL.len()],
+    /// Offset of the enqueue stamp (start of the hold/queue spans).
+    pub enqueued_us: u64,
+    /// Offset where handler execution began.
+    pub exec_begin_us: u64,
+    /// Handler execution time in µs.
+    pub exec_us: u64,
+    /// Whether this request was deep-sampled.
+    pub deep: bool,
+    /// Kernel sub-spans (non-empty only for deep samples under the
+    /// `telemetry` feature).
+    pub subspans: Vec<SubSpan>,
+}
+
+impl FinishedTrace {
+    /// Attributed µs for one stage.
+    pub fn stage_us(&self, stage: Stage) -> u64 {
+        self.stages[stage.index()]
+    }
+
+    /// The stage that accounts for the largest share of this request's
+    /// latency.
+    pub fn dominant_stage(&self) -> Stage {
+        let mut best = Stage::ALL[0];
+        let mut best_us = 0u64;
+        for s in Stage::ALL {
+            if self.stage_us(s) > best_us {
+                best_us = self.stage_us(s);
+                best = s;
+            }
+        }
+        best
+    }
+
+    /// One structured log line: `slow_request id=… op=… …` with every
+    /// stage and the dominant-stage annotation.
+    pub fn log_line(&self) -> String {
+        use std::fmt::Write as _;
+        let mut line = format!(
+            "slow_request id={} op={} status={} total_us={} dominant={}",
+            self.id,
+            self.op,
+            self.status,
+            self.total_us,
+            self.dominant_stage().name()
+        );
+        for s in Stage::ALL {
+            let _ = write!(line, " {}_us={}", s.name(), self.stage_us(s));
+        }
+        line
+    }
+}
+
+/// Fixed-capacity ring of finished timelines plus one dedicated slot
+/// that always retains the slowest request seen — a burst of fast
+/// requests can age ordinary entries out, but never the tail outlier.
+struct TraceRing {
+    slots: Vec<Mutex<Option<FinishedTrace>>>,
+    head: AtomicUsize,
+    slowest: Mutex<Option<FinishedTrace>>,
+}
+
+impl TraceRing {
+    fn new(capacity: usize) -> Self {
+        Self {
+            slots: (0..capacity.max(1)).map(|_| Mutex::new(None)).collect(),
+            head: AtomicUsize::new(0),
+            slowest: Mutex::new(None),
+        }
+    }
+
+    fn push(&self, t: FinishedTrace) {
+        {
+            let mut slowest = self.slowest.lock().expect("poisoned");
+            if slowest.as_ref().is_none_or(|s| t.total_us > s.total_us) {
+                *slowest = Some(t.clone());
+            }
+        }
+        let idx = self.head.fetch_add(1, Relaxed) % self.slots.len();
+        *self.slots[idx].lock().expect("poisoned") = Some(t);
+    }
+
+    /// Recent traces (oldest first), with the retained slowest appended
+    /// if it already aged out of the ring proper.
+    fn snapshot(&self) -> Vec<FinishedTrace> {
+        let head = self.head.load(Relaxed);
+        let n = self.slots.len();
+        let mut out: Vec<FinishedTrace> = (0..n)
+            .filter_map(|i| self.slots[(head + i) % n].lock().expect("poisoned").clone())
+            .collect();
+        if let Some(s) = self.slowest.lock().expect("poisoned").clone() {
+            if !out.iter().any(|t| t.id == s.id) {
+                out.push(s);
+            }
+        }
+        out
+    }
+
+    fn slowest(&self) -> Option<FinishedTrace> {
+        self.slowest.lock().expect("poisoned").clone()
+    }
+}
+
+thread_local! {
+    /// The trace of the request the current worker thread is executing,
+    /// letting `decode`/`key`/`serialize` helpers attribute their time
+    /// without threading a handle through every handler signature.
+    static CURRENT: RefCell<Option<Arc<RequestTrace>>> = const { RefCell::new(None) };
+}
+
+/// Times `f` against `stage` of the request the current thread is
+/// executing; a plain passthrough when no trace is active.
+pub(crate) fn time_stage<T>(stage: Stage, f: impl FnOnce() -> T) -> T {
+    let trace = CURRENT.with(|c| c.borrow().clone());
+    match trace {
+        None => f(),
+        Some(t) => {
+            let t0 = Instant::now();
+            let r = f();
+            t.add_stage(stage, t0.elapsed());
+            r
+        }
+    }
+}
+
+/// Adds an externally-measured duration to `stage` of `trace` (used for
+/// a batch's shared pin phase, which every member waited out).
+pub(crate) fn add_stage(trace: &RequestTrace, stage: Stage, d: Duration) {
+    trace.add_stage(stage, d);
+}
+
+/// The server's tracing state: id source, deep-sampling gate, the ring
+/// of finished timelines, and the slow-request log.
+pub(crate) struct Observer {
+    cfg: ObsConfig,
+    /// When the server started; `FinishedTrace::start_us` offsets are
+    /// relative to it so one dump shares a single timebase.
+    epoch: Instant,
+    next_id: AtomicU64,
+    deep_tick: AtomicU64,
+    /// At most one deep sample at a time — the math layer's trace
+    /// buffer is global.
+    deep_inflight: AtomicBool,
+    ring: TraceRing,
+    slow: Mutex<VecDeque<String>>,
+}
+
+/// Retained slow-request log lines.
+const SLOW_LOG_CAPACITY: usize = 128;
+
+impl Observer {
+    pub(crate) fn new(cfg: ObsConfig) -> Self {
+        Self {
+            epoch: Instant::now(),
+            next_id: AtomicU64::new(1),
+            deep_tick: AtomicU64::new(0),
+            deep_inflight: AtomicBool::new(false),
+            ring: TraceRing::new(cfg.ring_capacity),
+            slow: Mutex::new(VecDeque::new()),
+            cfg,
+        }
+    }
+
+    /// Opens a trace for a freshly-parsed request; `None` when recording
+    /// is disabled.
+    pub(crate) fn begin(&self, op: Opcode) -> Option<Arc<RequestTrace>> {
+        if !self.cfg.enabled {
+            return None;
+        }
+        let deep = self.cfg.deep_sample_every != 0
+            && self
+                .deep_tick
+                .fetch_add(1, Relaxed)
+                .is_multiple_of(self.cfg.deep_sample_every);
+        Some(Arc::new(RequestTrace {
+            id: self.next_id.fetch_add(1, Relaxed),
+            op,
+            start: Instant::now(),
+            deep,
+            enqueued_us: AtomicU64::new(0),
+            wait_from_us: AtomicU64::new(0),
+            exec_begin_us: AtomicU64::new(0),
+            exec_us: AtomicU64::new(0),
+            stage_us: Default::default(),
+            subspans: Mutex::new(Vec::new()),
+        }))
+    }
+
+    /// Marks handler execution for `trace` on the current thread:
+    /// stamps the execution window, installs the thread-local for stage
+    /// attribution, and — for a deep sample — bridges into the math
+    /// layer's span tracing. Drop the guard *before* sending the reply,
+    /// so the reader can never finish a trace mid-update.
+    pub(crate) fn enter_exec(&self, trace: &Arc<RequestTrace>) -> ExecGuard<'_> {
+        trace.exec_begin_us.store(trace.elapsed_us(), Relaxed);
+        CURRENT.with(|c| *c.borrow_mut() = Some(trace.clone()));
+        let deep = trace.deep
+            && self
+                .deep_inflight
+                .compare_exchange(false, true, Relaxed, Relaxed)
+                .is_ok();
+        let deep = if deep {
+            if fhe_math::telemetry::trace_try_start() {
+                true
+            } else {
+                self.deep_inflight.store(false, Relaxed);
+                false
+            }
+        } else {
+            false
+        };
+        ExecGuard {
+            obs: self,
+            trace: trace.clone(),
+            start: Instant::now(),
+            deep,
+        }
+    }
+
+    /// Commits a finished request: derives the kernel remainder,
+    /// observes the per-stage and end-to-end histograms, pushes the
+    /// timeline into the ring and (over threshold) the slow log.
+    pub(crate) fn finish(&self, metrics: &Metrics, trace: &RequestTrace, status: u8) {
+        let total_us = trace.elapsed_us();
+        let exec_us = trace.exec_us.load(Relaxed);
+        let mut stages = [0u64; Stage::ALL.len()];
+        for s in Stage::ALL {
+            stages[s.index()] = trace.stage_us[s.index()].load(Relaxed);
+        }
+        // The kernel stage is the handler remainder: execution time not
+        // attributed to decode, key access, or serialization.
+        stages[Stage::Kernel.index()] = exec_us.saturating_sub(
+            stages[Stage::Decode.index()]
+                + stages[Stage::Key.index()]
+                + stages[Stage::Serialize.index()],
+        );
+        for s in Stage::ALL {
+            metrics
+                .stage_latency(s)
+                .observe(Duration::from_micros(stages[s.index()]));
+        }
+        metrics
+            .e2e_latency()
+            .observe(Duration::from_micros(total_us));
+
+        let finished = FinishedTrace {
+            id: trace.id,
+            op: trace.op.name(),
+            status,
+            start_us: (trace.start - self.epoch).as_micros() as u64,
+            total_us,
+            stages,
+            enqueued_us: trace.enqueued_us.load(Relaxed),
+            exec_begin_us: trace.exec_begin_us.load(Relaxed),
+            exec_us,
+            deep: trace.deep,
+            subspans: trace.subspans.lock().expect("poisoned").clone(),
+        };
+        if total_us >= self.cfg.slow_threshold.as_micros() as u64 {
+            let mut slow = self.slow.lock().expect("poisoned");
+            if slow.len() == SLOW_LOG_CAPACITY {
+                slow.pop_front();
+            }
+            slow.push_back(finished.log_line());
+        }
+        self.ring.push(finished);
+    }
+
+    /// Recent finished timelines, oldest first (the retained slowest
+    /// appended if it aged out of the ring).
+    pub(crate) fn recent(&self) -> Vec<FinishedTrace> {
+        self.ring.snapshot()
+    }
+
+    /// The slowest request observed since the server started.
+    pub(crate) fn slowest(&self) -> Option<FinishedTrace> {
+        self.ring.slowest()
+    }
+
+    /// The slow-request log, one structured line per request, oldest
+    /// first.
+    pub(crate) fn slow_log(&self) -> String {
+        let slow = self.slow.lock().expect("poisoned");
+        let mut out = String::new();
+        for line in slow.iter() {
+            out.push_str(line);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Chrome trace-event JSON of every retained timeline (same format
+    /// as the simulator's exporter — loadable in Perfetto / `chrome://tracing`).
+    pub(crate) fn chrome_trace_json(&self) -> String {
+        chrome_trace_json(&self.recent())
+    }
+}
+
+/// RAII execution marker returned by [`Observer::enter_exec`].
+pub(crate) struct ExecGuard<'a> {
+    obs: &'a Observer,
+    trace: Arc<RequestTrace>,
+    start: Instant,
+    deep: bool,
+}
+
+impl Drop for ExecGuard<'_> {
+    fn drop(&mut self) {
+        self.trace
+            .exec_us
+            .store(self.start.elapsed().as_micros() as u64, Relaxed);
+        CURRENT.with(|c| *c.borrow_mut() = None);
+        if self.deep {
+            let records = fhe_math::telemetry::trace_stop();
+            self.obs.deep_inflight.store(false, Relaxed);
+            let base = self.trace.exec_begin_us.load(Relaxed);
+            *self.trace.subspans.lock().expect("poisoned") = subspans_from_records(&records, base);
+        }
+    }
+}
+
+/// Pairs `SpanBegin`/`SpanEnd` records into [`SubSpan`]s, shifting the
+/// trace-relative timestamps onto the request timeline (`base` = the
+/// request offset where the math trace started). Unclosed spans (a
+/// panic mid-kernel) are dropped.
+fn subspans_from_records(records: &[fhe_math::telemetry::TraceRecord], base: u64) -> Vec<SubSpan> {
+    use fhe_math::telemetry::TraceRecord;
+    let mut out = Vec::new();
+    let mut stack: Vec<(usize, u64, &'static str)> = Vec::new();
+    for r in records {
+        match *r {
+            TraceRecord::SpanBegin { name, ts_us } => {
+                stack.push((out.len(), ts_us, name));
+                out.push(SubSpan {
+                    name,
+                    begin_us: base + ts_us,
+                    end_us: base + ts_us,
+                });
+            }
+            TraceRecord::SpanEnd { name, ts_us } => {
+                // Spans are RAII so ends match opens LIFO; tolerate
+                // interleavings from other threads by matching by name.
+                if let Some(pos) = stack.iter().rposition(|&(_, _, n)| n == name) {
+                    let (idx, _, _) = stack.remove(pos);
+                    out[idx].end_us = base + ts_us;
+                }
+            }
+            _ => {}
+        }
+    }
+    // Drop never-closed spans (their end would lie).
+    let open: Vec<usize> = stack.iter().map(|&(idx, _, _)| idx).collect();
+    let mut i = 0;
+    out.retain(|_| {
+        let keep = !open.contains(&i);
+        i += 1;
+        keep
+    });
+    out
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders timelines as Chrome trace-event JSON, one event per line:
+/// a complete (`"ph": "X"`) slice per request, per attributed stage,
+/// and per deep kernel sub-span. Stage slices inside the execution
+/// window are an
+/// *attribution* view — decode/key/serialize/kernel time drawn as
+/// consecutive slices, since the real intervals interleave. Deep
+/// sub-spans keep their true timestamps and render on a companion
+/// `kernels` track so the two views never violate slice nesting.
+pub fn chrome_trace_json(traces: &[FinishedTrace]) -> String {
+    let mut out = String::from("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n");
+    let mut first = true;
+    let mut event = |out: &mut String, body: String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&body);
+    };
+    event(
+        &mut out,
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+         \"args\": {\"name\": \"fhe-serve\"}}"
+            .into(),
+    );
+    let slice = |name: &str, ts: u64, dur: u64, tid: u64| {
+        format!(
+            "{{\"name\": \"{}\", \"cat\": \"request\", \"ph\": \"X\", \
+             \"ts\": {ts}, \"dur\": {dur}, \"pid\": 1, \"tid\": {tid}}}",
+            json_escape(name)
+        )
+    };
+    for t in traces {
+        let tid = t.id;
+        event(
+            &mut out,
+            format!(
+                "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {tid}, \
+                 \"args\": {{\"name\": \"req {} {}\"}}}}",
+                t.id, t.op
+            ),
+        );
+        event(
+            &mut out,
+            slice(
+                &format!("request:{} (status {})", t.op, t.status),
+                t.start_us,
+                t.total_us.max(1),
+                tid,
+            ),
+        );
+        // Wait spans at their true offsets: hold begins at enqueue,
+        // queue follows it (dispatch order on the real timeline).
+        let mut cursor = t.start_us + t.enqueued_us;
+        for s in [Stage::BatchHold, Stage::Queue] {
+            let dur = t.stage_us(s);
+            if dur > 0 {
+                event(&mut out, slice(s.name(), cursor, dur, tid));
+                cursor += dur;
+            }
+        }
+        // Execution window with its attribution slices.
+        if t.exec_us > 0 {
+            let exec_start = t.start_us + t.exec_begin_us;
+            event(&mut out, slice("exec", exec_start, t.exec_us, tid));
+            let mut cursor = exec_start;
+            for s in [Stage::Decode, Stage::Key, Stage::Kernel, Stage::Serialize] {
+                let dur = t
+                    .stage_us(s)
+                    .min(t.exec_us.saturating_sub(cursor - exec_start));
+                if dur > 0 {
+                    event(&mut out, slice(s.name(), cursor, dur, tid));
+                    cursor += dur;
+                }
+            }
+        }
+        // The write stage ends when the request does.
+        let write_us = t.stage_us(Stage::Write);
+        if write_us > 0 {
+            let ts = (t.start_us + t.total_us).saturating_sub(write_us);
+            event(&mut out, slice("write", ts, write_us, tid));
+        }
+        // Deep kernel sub-spans on a companion track, true timestamps.
+        if !t.subspans.is_empty() {
+            let ktid = t.id + KERNEL_TRACK_OFFSET;
+            event(
+                &mut out,
+                format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": 1, \"tid\": {ktid}, \
+                     \"args\": {{\"name\": \"req {} kernels\"}}}}",
+                    t.id
+                ),
+            );
+            for s in &t.subspans {
+                event(
+                    &mut out,
+                    slice(
+                        s.name,
+                        t.start_us + s.begin_us,
+                        (s.end_us - s.begin_us).max(1),
+                        ktid,
+                    ),
+                );
+            }
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+/// Offset separating a request's attribution track from its deep
+/// kernel-span track in the exported trace.
+pub const KERNEL_TRACK_OFFSET: u64 = 1 << 32;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finished(id: u64, total_us: u64) -> FinishedTrace {
+        let mut stages = [0u64; Stage::ALL.len()];
+        stages[Stage::Kernel.index()] = total_us / 2;
+        stages[Stage::Queue.index()] = total_us / 4;
+        FinishedTrace {
+            id,
+            op: "rotate",
+            status: 0,
+            start_us: id * 1000,
+            total_us,
+            stages,
+            enqueued_us: 1,
+            exec_begin_us: total_us / 4,
+            exec_us: total_us / 2,
+            deep: false,
+            subspans: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ring_never_loses_the_slowest_request() {
+        let ring = TraceRing::new(4);
+        // The slowest request lands early, then a long burst of fast
+        // requests wraps the ring many times over.
+        ring.push(finished(1, 900_000));
+        for id in 2..100 {
+            ring.push(finished(id, 1_000 + id));
+        }
+        let slowest = ring.slowest().expect("retained");
+        assert_eq!(slowest.id, 1);
+        assert_eq!(slowest.total_us, 900_000);
+        // The snapshot still surfaces it even though the ring proper
+        // wrapped dozens of times.
+        let snap = ring.snapshot();
+        assert!(snap.iter().any(|t| t.id == 1));
+        // And a new, slower request replaces it.
+        ring.push(finished(200, 2_000_000));
+        assert_eq!(ring.slowest().unwrap().id, 200);
+    }
+
+    #[test]
+    fn dominant_stage_and_log_line() {
+        let t = finished(7, 1_000);
+        assert_eq!(t.dominant_stage(), Stage::Kernel);
+        let line = t.log_line();
+        assert!(line.starts_with("slow_request id=7 op=rotate status=0 total_us=1000"));
+        assert!(line.contains("dominant=kernel"));
+        for s in Stage::ALL {
+            assert!(line.contains(&format!(" {}_us=", s.name())), "{line}");
+        }
+    }
+
+    #[test]
+    fn observer_records_and_thresholds() {
+        let metrics = Metrics::new();
+        let obs = Observer::new(ObsConfig {
+            enabled: true,
+            ring_capacity: 8,
+            deep_sample_every: 0,
+            slow_threshold: Duration::ZERO,
+        });
+        let trace = obs.begin(Opcode::Add).expect("enabled");
+        trace.mark_enqueued();
+        trace.mark_picked();
+        {
+            let _g = obs.enter_exec(&trace);
+            add_stage(&trace, Stage::Decode, Duration::from_micros(5));
+        }
+        obs.finish(&metrics, &trace, 0);
+        assert_eq!(obs.recent().len(), 1);
+        assert_eq!(metrics.e2e_latency().count(), 1);
+        assert_eq!(metrics.stage_latency(Stage::Decode).count(), 1);
+        // Zero threshold: everything is a slow request.
+        assert!(obs.slow_log().starts_with("slow_request id=1 op=add"));
+
+        let off = Observer::new(ObsConfig {
+            enabled: false,
+            ..ObsConfig::baseline()
+        });
+        assert!(off.begin(Opcode::Add).is_none());
+    }
+
+    #[test]
+    fn stage_taxonomy_is_stable() {
+        let names: Vec<&str> = Stage::ALL.iter().map(|s| s.name()).collect();
+        assert_eq!(
+            names,
+            [
+                "queue",
+                "batch_hold",
+                "decode",
+                "key",
+                "kernel",
+                "serialize",
+                "write"
+            ]
+        );
+        for (i, s) in Stage::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+
+    #[test]
+    fn chrome_trace_json_is_balanced_and_ordered() {
+        let traces = vec![finished(1, 1_000), finished(2, 2_000)];
+        let json = chrome_trace_json(&traces);
+        assert!(json.starts_with("{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n"));
+        assert!(json.trim_end().ends_with("]}"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(json.contains("\"name\": \"request:rotate (status 0)\""));
+        assert!(json.contains("\"name\": \"kernel\""));
+        assert!(json.contains("\"name\": \"queue\""));
+    }
+
+    #[test]
+    fn subspan_pairing_tolerates_unclosed_spans() {
+        use fhe_math::telemetry::TraceRecord;
+        let records = [
+            TraceRecord::SpanBegin {
+                name: "Rotate",
+                ts_us: 0,
+            },
+            TraceRecord::SpanBegin {
+                name: "KeySwitch",
+                ts_us: 2,
+            },
+            TraceRecord::SpanEnd {
+                name: "KeySwitch",
+                ts_us: 9,
+            },
+            TraceRecord::SpanBegin {
+                name: "Orphan",
+                ts_us: 10,
+            },
+            TraceRecord::SpanEnd {
+                name: "Rotate",
+                ts_us: 12,
+            },
+        ];
+        let spans = subspans_from_records(&records, 100);
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].name, "Rotate");
+        assert_eq!((spans[0].begin_us, spans[0].end_us), (100, 112));
+        assert_eq!(spans[1].name, "KeySwitch");
+        assert_eq!((spans[1].begin_us, spans[1].end_us), (102, 109));
+    }
+
+    #[test]
+    fn env_config_parses_and_ignores_garbage() {
+        // Only exercise the pure parsing; the env-reading path is
+        // covered by construction (set_var in tests races other tests).
+        let cfg = ObsConfig::baseline();
+        assert!(cfg.enabled);
+        assert_eq!(cfg.ring_capacity, 128);
+        assert_eq!(cfg.deep_sample_every, 64);
+        assert_eq!(cfg.slow_threshold, Duration::from_millis(500));
+    }
+}

@@ -59,6 +59,10 @@ pub enum Opcode {
     HelrStep = 0x17,
     /// Fetch the server's plain-text metrics dump.
     Metrics = 0x20,
+    /// Fetch recent request timelines. An empty body (or a leading `0`
+    /// byte) returns Chrome trace-event JSON for Perfetto; a leading `1`
+    /// byte returns the structured slow-request log instead.
+    TraceDump = 0x21,
 }
 
 impl Opcode {
@@ -77,6 +81,7 @@ impl Opcode {
             0x16 => Opcode::Bsgs,
             0x17 => Opcode::HelrStep,
             0x20 => Opcode::Metrics,
+            0x21 => Opcode::TraceDump,
             _ => return None,
         })
     }
@@ -96,11 +101,12 @@ impl Opcode {
             Opcode::Bsgs => "bsgs",
             Opcode::HelrStep => "helr_step",
             Opcode::Metrics => "metrics",
+            Opcode::TraceDump => "trace_dump",
         }
     }
 
     /// Every opcode, for metrics registration.
-    pub const ALL: [Opcode; 12] = [
+    pub const ALL: [Opcode; 13] = [
         Opcode::Hello,
         Opcode::UploadRelin,
         Opcode::UploadGalois,
@@ -113,6 +119,7 @@ impl Opcode {
         Opcode::Bsgs,
         Opcode::HelrStep,
         Opcode::Metrics,
+        Opcode::TraceDump,
     ];
 }
 

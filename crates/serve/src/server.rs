@@ -40,6 +40,7 @@ use crate::cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
 #[cfg(feature = "chaos")]
 use crate::fault::{FaultDecision, FaultPlan};
 use crate::metrics::Metrics;
+use crate::obs::{self, FinishedTrace, ObsConfig, Observer, RequestTrace, Stage};
 use crate::protocol::{
     read_frame, write_frame, BatchHint, BodyReader, ErrorCode, FrameRead, Opcode,
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
@@ -83,6 +84,10 @@ pub struct ServeConfig {
     /// `MAD_SERVE_BATCHING` / `MAD_SERVE_BATCH_SIZE` /
     /// `MAD_SERVE_BATCH_DELAY_MS` environment variables.
     pub batch: BatchConfig,
+    /// Request-tracing knobs ([`crate::obs`]). The default reads the
+    /// `MAD_SERVE_OBS` / `MAD_SERVE_TRACE_RING` / `MAD_SERVE_DEEP_EVERY`
+    /// / `MAD_SERVE_SLOW_MS` environment variables.
+    pub obs: ObsConfig,
     /// Deterministic fault schedule threaded through the connection
     /// handler and worker pool; `None` (the default) serves faithfully.
     /// Only present when built with the `chaos` feature, so the default
@@ -101,6 +106,7 @@ impl Default for ServeConfig {
             request_deadline: Duration::from_secs(30),
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             batch: BatchConfig::from_env(),
+            obs: ObsConfig::from_env(),
             #[cfg(feature = "chaos")]
             fault_plan: None,
         }
@@ -115,6 +121,7 @@ pub(crate) struct ServerState {
     pub(crate) sessions: SessionManager,
     pub(crate) cache: KeyCache,
     pub(crate) metrics: Metrics,
+    pub(crate) obs: Observer,
     /// Whether the batching scheduler is wired in (reported in Hello).
     pub(crate) batching: bool,
     #[cfg(feature = "chaos")]
@@ -130,6 +137,10 @@ struct Job {
     /// must not be double-counted against the per-op deadline.
     deadline_start: Instant,
     reply: std::sync::mpsc::Sender<(u8, Vec<u8>)>,
+    /// The request's always-on timeline; `None` when tracing is
+    /// disabled. The reader keeps a second handle and finishes the
+    /// trace after writing the reply.
+    trace: Option<Arc<RequestTrace>>,
     /// A worker-side fault drawn for this request by the chaos plan.
     #[cfg(feature = "chaos")]
     chaos: Option<FaultDecision>,
@@ -212,6 +223,7 @@ impl Server {
             sessions: SessionManager::new(),
             cache: KeyCache::new(config.key_cache_budget, config.eviction),
             metrics: Metrics::new(),
+            obs: Observer::new(config.obs.clone()),
             batching: config.batch.enabled,
             #[cfg(feature = "chaos")]
             fault: config.fault_plan.clone(),
@@ -337,6 +349,30 @@ impl Server {
         self.state.ctx.kernel_backend().name()
     }
 
+    /// Recent finished request timelines, oldest first (the `TraceDump`
+    /// opcode renders the same data as Chrome trace-event JSON).
+    pub fn recent_traces(&self) -> Vec<FinishedTrace> {
+        self.state.obs.recent()
+    }
+
+    /// The slowest request observed since the server started, retained
+    /// even after it ages out of the trace ring.
+    pub fn slowest_trace(&self) -> Option<FinishedTrace> {
+        self.state.obs.slowest()
+    }
+
+    /// Chrome trace-event JSON of the retained request timelines —
+    /// server-side twin of the `TraceDump` opcode, loadable in Perfetto.
+    pub fn trace_json(&self) -> String {
+        self.state.obs.chrome_trace_json()
+    }
+
+    /// The structured slow-request log (requests over the configured
+    /// threshold, annotated with their dominant stage), oldest first.
+    pub fn slow_log(&self) -> String {
+        self.state.obs.slow_log()
+    }
+
     /// Graceful drain: stop accepting, let queued requests finish and
     /// their replies flush, then join every thread.
     pub fn shutdown(mut self) {
@@ -381,6 +417,9 @@ fn worker_loop(
         match item {
             WorkItem::Single(job) => {
                 state.metrics.dequeued();
+                if let Some(t) = &job.trace {
+                    t.mark_picked();
+                }
                 if admit_job(state, &job, deadline) {
                     execute_job(state, job, None);
                 }
@@ -435,13 +474,19 @@ fn admit_job(state: &ServerState, job: &Job, deadline: Duration) -> bool {
 /// delivers its reply.
 fn execute_job(state: &ServerState, job: Job, keys: Option<&BatchKeys>) {
     let start = Instant::now();
-    let result = catch_unwind(AssertUnwindSafe(|| {
-        #[cfg(feature = "chaos")]
-        if matches!(job.chaos, Some(FaultDecision::WorkerPanic)) {
-            panic!("injected chaos panic");
-        }
-        handle(state, job.op, &job.body, keys)
-    }));
+    let result = {
+        // Guard scope: exec accounting and the deep-trace bridge close
+        // before the reply is sent, so the reader can never finish the
+        // trace while the worker is still writing to it.
+        let _exec = job.trace.as_ref().map(|t| state.obs.enter_exec(t));
+        catch_unwind(AssertUnwindSafe(|| {
+            #[cfg(feature = "chaos")]
+            if matches!(job.chaos, Some(FaultDecision::WorkerPanic)) {
+                panic!("injected chaos panic");
+            }
+            handle(state, job.op, &job.body, keys)
+        }))
+    };
     state.metrics.latency(job.op).observe(start.elapsed());
     let (status, body) = match result {
         Ok(Ok(body)) => (0u8, body),
@@ -481,6 +526,9 @@ fn run_batch(state: &ServerState, sid: u64, class: KeyClass, jobs: Vec<Job>, dea
     let mut runnable = Vec::with_capacity(jobs.len());
     for job in jobs {
         state.metrics.dequeued();
+        if let Some(t) = &job.trace {
+            t.mark_picked();
+        }
         if admit_job(state, &job, deadline) {
             runnable.push(job);
         }
@@ -534,6 +582,7 @@ fn run_batch(state: &ServerState, sid: u64, class: KeyClass, jobs: Vec<Job>, dea
     }
     let mut keys = BatchKeys::default();
     let mut pinned: Vec<KeyKind> = Vec::new();
+    let pin_start = Instant::now();
     for kind in kinds {
         // A missing or corrupt key is a per-job error, surfaced with the
         // right code when the job executes; the pin phase just skips it.
@@ -550,6 +599,16 @@ fn run_batch(state: &ServerState, sid: u64, class: KeyClass, jobs: Vec<Job>, dea
                 .metrics
                 .batch_keys_pinned
                 .fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    // Every batch member waited out the shared pin phase in wall time,
+    // so each job's key stage carries the full phase duration.
+    let pin_elapsed = pin_start.elapsed();
+    if !pin_elapsed.is_zero() {
+        for job in &runnable {
+            if let Some(t) = &job.trace {
+                obs::add_stage(t, Stage::Key, pin_elapsed);
+            }
         }
     }
 
@@ -636,6 +695,11 @@ fn run_galois_batch(state: &ServerState, runnable: Vec<Job>, keys: &BatchKeys) {
             },
         ));
         let elapsed = start.elapsed();
+        for job in &jobs {
+            if let Some(t) = &job.trace {
+                t.set_exec_ending_now(elapsed);
+            }
+        }
         state
             .metrics
             .batch_hoist_shared
@@ -708,6 +772,41 @@ struct PendingGroup {
     hold: bool,
 }
 
+/// Hands one scheduler-formed group to the worker queue: restarts each
+/// job's deadline clock (time held for batching is the scheduler's
+/// choice, not congestion), stamps the hold on its trace, and — when
+/// the workers are already gone in a shutdown race — retires the
+/// dropped jobs from the queue-depth gauge. Their readers counted them
+/// `enqueued()` at admission and no worker will ever `dequeued()` them,
+/// so skipping that here would leak `serve_queue_depth` permanently.
+fn dispatch_batch(
+    metrics: &Metrics,
+    work: &SyncSender<WorkItem>,
+    backlog: &AtomicU64,
+    sid: u64,
+    class: KeyClass,
+    mut jobs: Vec<Job>,
+) {
+    let now = Instant::now();
+    for j in &mut jobs {
+        j.deadline_start = now;
+        if let Some(t) = &j.trace {
+            t.mark_batch_dispatch();
+        }
+    }
+    backlog.fetch_add(1, Ordering::Relaxed);
+    if let Err(std::sync::mpsc::SendError(item)) = work.send(WorkItem::Batch { sid, class, jobs }) {
+        // Workers already gone (shutdown race); replies drop with the
+        // channel and readers answer Internal.
+        backlog.fetch_sub(1, Ordering::Relaxed);
+        if let WorkItem::Batch { jobs, .. } = item {
+            for _ in &jobs {
+                metrics.dequeued();
+            }
+        }
+    }
+}
+
 /// The scheduler thread: collects keyed jobs into per-`(session, class)`
 /// groups and dispatches each as one `WorkItem::Batch` when it fills,
 /// expires, or the pool idles. On channel disconnect (shutdown) every
@@ -720,19 +819,8 @@ fn scheduler_loop(
     cfg: &BatchConfig,
 ) {
     let mut groups: HashMap<(u64, KeyClass), PendingGroup> = HashMap::new();
-    let dispatch = |sid: u64, class: KeyClass, mut jobs: Vec<Job>| {
-        // Restart the deadline clock: time spent held for batching is
-        // the scheduler's choice, not queue congestion.
-        let now = Instant::now();
-        for j in &mut jobs {
-            j.deadline_start = now;
-        }
-        backlog.fetch_add(1, Ordering::Relaxed);
-        if work.send(WorkItem::Batch { sid, class, jobs }).is_err() {
-            // Workers already gone (shutdown race); replies drop with
-            // the channel and readers answer Internal.
-            backlog.fetch_sub(1, Ordering::Relaxed);
-        }
+    let dispatch = |sid: u64, class: KeyClass, jobs: Vec<Job>| {
+        dispatch_batch(&state.metrics, work, backlog, sid, class, jobs);
     };
     let flush = |groups: &mut HashMap<(u64, KeyClass), PendingGroup>,
                  pred: &dyn Fn(&PendingGroup) -> bool| {
@@ -940,17 +1028,22 @@ fn connection_loop(
                     }
                 }
                 let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+                let trace = state.obs.begin(op);
                 let job = Job {
                     op,
                     body: frame.body,
                     deadline_start: Instant::now(),
                     reply: reply_tx,
+                    trace: trace.clone(),
                     #[cfg(feature = "chaos")]
                     chaos: worker_fault,
                 };
                 // Count before sending: a worker may pop (and decrement)
                 // the instant `try_send` returns.
                 state.metrics.enqueued();
+                if let Some(t) = &trace {
+                    t.mark_enqueued();
+                }
                 match sinks.dispatch(job) {
                     Ok(()) => {
                         let (status, body) = reply_rx.recv().unwrap_or((
@@ -960,7 +1053,9 @@ fn connection_loop(
                         #[cfg(feature = "chaos")]
                         if let Some(FaultDecision::WriteAbort { keep }) = write_fault {
                             // Torn frame: a strict prefix of the real
-                            // response, then the connection drops.
+                            // response, then the connection drops. The
+                            // trace is abandoned unfinished — a reply
+                            // that never made it is not timeline data.
                             use std::io::Write as _;
                             let bytes = crate::protocol::frame_bytes(status, &body);
                             let keep = keep.min(bytes.len().saturating_sub(1));
@@ -968,7 +1063,13 @@ fn connection_loop(
                             let _ = (&stream).flush();
                             break;
                         }
-                        if !respond(&mut stream, status, &body) {
+                        let write_start = Instant::now();
+                        let ok = respond(&mut stream, status, &body);
+                        if let Some(t) = &trace {
+                            obs::add_stage(t, Stage::Write, write_start.elapsed());
+                            state.obs.finish(&state.metrics, t, status);
+                        }
+                        if !ok {
                             break;
                         }
                     }
@@ -1069,7 +1170,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             let a = read_ct(state, r.blob().ok_or_else(malformed)?)?;
             let b = read_ct(state, r.blob().ok_or_else(malformed)?)?;
             let (a, b) = state.evaluator.align_levels(&a, &b);
-            Ok(serialize_ciphertext(&state.evaluator.add(&a, &b)))
+            Ok(ser_ct(&state.evaluator.add(&a, &b)))
         }
         Opcode::PtMult => {
             let mut r = BodyReader::new(body);
@@ -1080,7 +1181,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             if ct.limb_count() != pt.limb_count() || ct.limb_count() < 2 {
                 return fail(ErrorCode::Malformed, "plaintext level mismatch");
             }
-            Ok(serialize_ciphertext(&state.evaluator.mul_plain(&ct, &pt)))
+            Ok(ser_ct(&state.evaluator.mul_plain(&ct, &pt)))
         }
         Opcode::Mult => {
             let mut r = BodyReader::new(body);
@@ -1092,9 +1193,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             }
             let rlk = expand_key(state, sid, &session, KeyKind::Relin, keys)?;
             let (a, b) = state.evaluator.align_levels(&a, &b);
-            Ok(serialize_ciphertext(
-                &state.evaluator.mul_with_key(&a, &b, &rlk),
-            ))
+            Ok(ser_ct(&state.evaluator.mul_with_key(&a, &b, &rlk)))
         }
         Opcode::Rotate => {
             let mut r = BodyReader::new(body);
@@ -1102,7 +1201,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             let steps = r.i64().ok_or_else(malformed)?;
             let ct = read_ct(state, r.rest())?;
             if steps == 0 {
-                return Ok(serialize_ciphertext(&ct));
+                return Ok(ser_ct(&ct));
             }
             let gk = assemble_galois(state, sid, &session, &[steps], keys)?;
             // The hoisted formulation in *both* modes: hoisted digit
@@ -1113,7 +1212,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             let out = rotate_hoisted(&state.evaluator, &ct, &[steps], &gk)
                 .pop()
                 .expect("one step in, one ciphertext out");
-            Ok(serialize_ciphertext(&out))
+            Ok(ser_ct(&out))
         }
         Opcode::Rescale => {
             let mut r = BodyReader::new(body);
@@ -1122,7 +1221,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             if ct.limb_count() < 2 {
                 return fail(ErrorCode::Malformed, "no limb left to rescale away");
             }
-            Ok(serialize_ciphertext(&state.evaluator.rescale(&ct)))
+            Ok(ser_ct(&state.evaluator.rescale(&ct)))
         }
         Opcode::Bsgs => {
             let mut r = BodyReader::new(body);
@@ -1151,7 +1250,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             let lt = LinearTransform::from_diagonals(diagonals, slots);
             let steps = bsgs_required_steps(&lt, n1);
             let gk = assemble_galois(state, sid, &session, &steps, keys)?;
-            Ok(serialize_ciphertext(&apply_bsgs(
+            Ok(ser_ct(&apply_bsgs(
                 &state.evaluator,
                 &state.encoder,
                 &ct,
@@ -1196,7 +1295,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             );
             let mut out = crate::protocol::BodyWriter::new();
             for w in &weights {
-                out.blob(&serialize_ciphertext(w));
+                out.blob(&ser_ct(w));
             }
             Ok(out.0)
         }
@@ -1204,6 +1303,11 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             .metrics
             .dump(&state.cache.stats(), state.ctx.kernel_backend().name())
             .into_bytes()),
+        Opcode::TraceDump => match body.first().copied().unwrap_or(0) {
+            0 => Ok(state.obs.chrome_trace_json().into_bytes()),
+            1 => Ok(state.obs.slow_log().into_bytes()),
+            m => fail(ErrorCode::Malformed, format!("unknown trace-dump mode {m}")),
+        },
     }
 }
 
@@ -1224,7 +1328,15 @@ fn need_session(
 }
 
 fn read_ct(state: &ServerState, bytes: &[u8]) -> Result<Ciphertext, (ErrorCode, String)> {
-    deserialize_ciphertext(&state.ctx, bytes).map_err(|e| (ErrorCode::Malformed, e.to_string()))
+    obs::time_stage(Stage::Decode, || {
+        deserialize_ciphertext(&state.ctx, bytes).map_err(|e| (ErrorCode::Malformed, e.to_string()))
+    })
+}
+
+/// Serializes a result ciphertext, attributing the time to the
+/// executing request's serialize stage.
+fn ser_ct(ct: &Ciphertext) -> Vec<u8> {
+    obs::time_stage(Stage::Serialize, || serialize_ciphertext(ct))
 }
 
 /// Fetches one expanded key, consulting the batch's pinned set first and
@@ -1247,10 +1359,10 @@ fn expand_key(
     let bytes = session
         .key_bytes(kind)
         .map_err(|c| (c, format!("{kind:?} for session {sid}")))?;
-    state
-        .cache
-        .get_or_expand(&state.ctx, sid, kind, &bytes)
-        .map_err(|c| (c, format!("{kind:?} failed to expand")))
+    obs::time_stage(Stage::Key, || {
+        state.cache.get_or_expand(&state.ctx, sid, kind, &bytes)
+    })
+    .map_err(|c| (c, format!("{kind:?} failed to expand")))
 }
 
 /// Builds a per-request Galois key set for `steps` from the batch's
@@ -1277,4 +1389,70 @@ fn assemble_galois(
         gk.insert_shared(element, key);
     }
     Ok(gk)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Regression for the queue-depth leak: a batch dispatched into a
+    /// dead worker channel (shutdown race) must retire every member job
+    /// from the `serve_queue_depth` gauge, or depth/peak drift upward
+    /// forever.
+    #[test]
+    fn dispatch_batch_retires_depth_when_workers_are_gone() {
+        let metrics = Metrics::new();
+        let backlog = AtomicU64::new(0);
+        let (work, rx) = sync_channel::<WorkItem>(4);
+
+        let mk_job = || {
+            let (tx, _rx) = std::sync::mpsc::channel();
+            Job {
+                op: Opcode::Rotate,
+                body: Vec::new(),
+                deadline_start: Instant::now(),
+                reply: tx,
+                trace: None,
+                #[cfg(feature = "chaos")]
+                chaos: None,
+            }
+        };
+
+        // Readers counted these at admission.
+        let jobs: Vec<Job> = (0..3).map(|_| mk_job()).collect();
+        for _ in &jobs {
+            metrics.enqueued();
+        }
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 3);
+
+        // Live channel: depth stays until a worker pops and dequeues.
+        dispatch_batch(&metrics, &work, &backlog, 7, KeyClass::Relin, jobs);
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 3);
+        assert_eq!(backlog.load(Ordering::Relaxed), 1);
+        match rx.recv().unwrap() {
+            WorkItem::Batch { jobs, .. } => {
+                for _ in &jobs {
+                    metrics.dequeued();
+                }
+                backlog.fetch_sub(1, Ordering::Relaxed);
+            }
+            WorkItem::Single(_) => panic!("expected a batch"),
+        }
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 0);
+
+        // Dead channel: the dispatch itself must retire the jobs.
+        drop(rx);
+        let jobs: Vec<Job> = (0..3).map(|_| mk_job()).collect();
+        for _ in &jobs {
+            metrics.enqueued();
+        }
+        assert_eq!(metrics.queue_depth.load(Ordering::Relaxed), 3);
+        dispatch_batch(&metrics, &work, &backlog, 7, KeyClass::Relin, jobs);
+        assert_eq!(
+            metrics.queue_depth.load(Ordering::Relaxed),
+            0,
+            "shutdown race leaked depth"
+        );
+        assert_eq!(backlog.load(Ordering::Relaxed), 0);
+    }
 }

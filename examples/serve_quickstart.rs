@@ -2,7 +2,10 @@
 //! loopback socket, connect two tenants that upload seeded-compressed
 //! switching keys, evaluate remotely, and verify the results decrypt to
 //! the expected values. Ends with the server's metrics dump, including
-//! the key-cache counters that show the memory-aware trade in action.
+//! the key-cache counters that show the memory-aware trade in action,
+//! and writes the request timelines to `serve-trace.json` (open it at
+//! <https://ui.perfetto.dev>) plus the slow-request log to
+//! `serve-slow.log`.
 //!
 //! Run with: `cargo run --example serve_quickstart`
 
@@ -103,6 +106,19 @@ fn main() {
     let mut client = Client::connect(server.local_addr(), ctx.clone()).expect("connects");
     let dump = client.metrics().expect("metrics");
     println!("\n--- server metrics ---\n{dump}");
+
+    // Every request above was traced: export the timelines as Chrome
+    // trace-event JSON (drop the file on https://ui.perfetto.dev) and
+    // the structured slow-request log.
+    let trace = client.trace_dump().expect("trace dump");
+    std::fs::write("serve-trace.json", &trace).expect("write serve-trace.json");
+    let slow = client.slow_log().expect("slow log");
+    std::fs::write("serve-slow.log", &slow).expect("write serve-slow.log");
+    println!(
+        "wrote serve-trace.json ({} events) and serve-slow.log ({} slow requests)",
+        trace.lines().filter(|l| l.contains("\"ph\"")).count(),
+        slow.lines().count()
+    );
     server.shutdown();
 }
 
