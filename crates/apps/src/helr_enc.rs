@@ -12,6 +12,7 @@
 //! and each weight is a replicated scalar in its own ciphertext.
 
 use ckks::{Ciphertext, Evaluator, GaloisKeys, SwitchingKey};
+use simfhe::program::{CtDecl, Instr, Program};
 
 /// Constant term of the HELR degree-3 sigmoid `σ(x) ≈ C0 + C1·x + C3·x³`.
 pub const SIGMOID_C0: f64 = 0.5;
@@ -109,6 +110,125 @@ pub fn encrypted_lr_step(
         let update = ev.rescale(&ev.mul_scalar_no_rescale(&g_mean, learning_rate, scale));
         let (wa, ua) = ev.align_levels(w, &update);
         *w = ev.sub(&wa, &ua);
+    }
+}
+
+/// [`encrypted_lr_step`] expressed as an encrypted-program IR
+/// [`Program`]: inputs `w0..w{dim}`, `x0..x{dim}`, `y` (all at `level`
+/// limbs), outputs the updated weights `wout0..wout{dim}`.
+///
+/// The instruction stream is the *same* evaluator-call sequence as the
+/// hard-coded step (the step's explicit `align_levels` calls are
+/// byte-redundant — every binary evaluator op aligns internally), so
+/// executing this program through `fhe_program::execute` produces
+/// byte-identical weight ciphertexts; a test in the `fhe-program` crate
+/// asserts it. Requires `level ≥ LR_STEP_DEPTH + 1`.
+pub fn helr_step_program(dim: usize, slots: usize, level: usize, learning_rate: f64) -> Program {
+    assert!(dim >= 1, "at least one feature");
+    assert!(
+        level > LR_STEP_DEPTH,
+        "HELR step needs {} levels, got {level}",
+        LR_STEP_DEPTH + 1
+    );
+    let mut instrs = Vec::new();
+    let mult = |dst: &str, a: &str, b: &str| Instr::Mult {
+        dst: dst.into(),
+        a: a.into(),
+        b: b.into(),
+    };
+    let add = |dst: &str, a: &str, b: &str| Instr::Add {
+        dst: dst.into(),
+        a: a.into(),
+        b: b.into(),
+    };
+    // `value · a` then rescale — the `mul_scalar` + `rescale` idiom.
+    let scaled = |instrs: &mut Vec<Instr>, dst: &str, a: &str, value: f64| {
+        instrs.push(Instr::MulConst {
+            dst: format!("{dst}#raw"),
+            a: a.into(),
+            value,
+        });
+        instrs.push(Instr::Rescale {
+            dst: dst.into(),
+            a: format!("{dst}#raw"),
+        });
+    };
+
+    // z = Σ_d w_d ⊙ x_d
+    instrs.push(mult("z", "w0", "x0"));
+    for d in 1..dim {
+        instrs.push(mult(&format!("t{d}"), &format!("w{d}"), &format!("x{d}")));
+        instrs.push(add("z", "z", &format!("t{d}")));
+    }
+    // s = σ(z) = C0 + C1·z + C3·z³
+    instrs.push(mult("z2", "z", "z"));
+    instrs.push(mult("z3", "z2", "z"));
+    scaled(&mut instrs, "c1z", "z", SIGMOID_C1);
+    scaled(&mut instrs, "c3z3", "z3", SIGMOID_C3);
+    instrs.push(add("s", "c1z", "c3z3"));
+    instrs.push(Instr::AddConst {
+        dst: "s".into(),
+        a: "s".into(),
+        value: SIGMOID_C0,
+    });
+    // r = s − y
+    instrs.push(Instr::Sub {
+        dst: "r".into(),
+        a: "s".into(),
+        b: "y".into(),
+    });
+    // Per-feature gradient, batch mean, and weight update.
+    for d in 0..dim {
+        let g = format!("g{d}");
+        instrs.push(mult(&g, "r", &format!("x{d}")));
+        let mut step = 1i64;
+        while (step as usize) < slots {
+            instrs.push(Instr::Rotate {
+                dst: format!("{g}rot"),
+                a: g.clone(),
+                steps: step,
+            });
+            instrs.push(add(&g, &g, &format!("{g}rot")));
+            step *= 2;
+        }
+        scaled(&mut instrs, &format!("gm{d}"), &g, 1.0 / slots as f64);
+        scaled(
+            &mut instrs,
+            &format!("u{d}"),
+            &format!("gm{d}"),
+            learning_rate,
+        );
+        instrs.push(Instr::Sub {
+            dst: format!("wout{d}"),
+            a: format!("w{d}"),
+            b: format!("u{d}"),
+        });
+    }
+
+    let mut ct_inputs: Vec<CtDecl> = Vec::new();
+    for d in 0..dim {
+        ct_inputs.push(CtDecl {
+            name: format!("w{d}"),
+            level,
+        });
+    }
+    for d in 0..dim {
+        ct_inputs.push(CtDecl {
+            name: format!("x{d}"),
+            level,
+        });
+    }
+    ct_inputs.push(CtDecl {
+        name: "y".into(),
+        level,
+    });
+    Program {
+        name: "helr_step".into(),
+        ct_inputs,
+        pt_inputs: Vec::new(),
+        matrices: Vec::new(),
+        instrs,
+        outputs: (0..dim).map(|d| format!("wout{d}")).collect(),
     }
 }
 

@@ -13,6 +13,6 @@ pub mod resnet;
 
 pub use datasets::{synthetic_cifar_like, synthetic_mnist_like, BinaryDataset, Image};
 pub use figure6::{design_bars, figure6_groups, Fig6Bar, Fig6Workload};
-pub use helr_enc::{encrypted_lr_step, lr_fold_steps, plain_lr_step};
+pub use helr_enc::{encrypted_lr_step, helr_step_program, lr_fold_steps, plain_lr_step};
 pub use lr::{helr_workload, HelrShape, PlainLr};
 pub use resnet::{resnet20_layers, resnet20_workload, ConvLayer, PlainConv};

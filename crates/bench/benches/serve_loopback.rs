@@ -21,13 +21,22 @@
 //!    request tracing enabled vs disabled, interleaved rounds, median
 //!    of round means. The run *fails* if recording costs more than the
 //!    observability budget (2%; relaxed under `CRITERION_QUICK`).
+//! 6. **RunProgram throughput** — a program uploaded once per session,
+//!    then executed repeatedly as a single opcode: the dot-product
+//!    similarity search (hoisted BSGS, Galois-only manifest) and the
+//!    SHA-256-style stress round (relin + Galois). One round trip per
+//!    program run instead of one per instruction.
 
+use ckks::hoisting::LinearTransform;
 use ckks::{Ciphertext, CkksContext, CkksParams, Encoder, Encryptor, KeyGenerator};
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fhe_math::cfft::Complex;
+use fhe_program::{workloads, ExecInputs};
 use fhe_serve::{BatchConfig, BatchHint, Client, EvictionPolicy, ObsConfig, ServeConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use simfhe::program::ProgramEnv;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -465,12 +474,104 @@ fn bench_obs_overhead(_c: &mut Criterion) {
     );
 }
 
+/// RunProgram throughput: each program is uploaded once, then every
+/// measured iteration is one opcode round trip executing the whole
+/// instruction stream server-side with the manifest's keys pinned.
+fn bench_program_throughput(c: &mut Criterion) {
+    let ctx = ctx_2_13();
+    let slots = ctx.params().slots();
+    let levels = ctx.params().levels();
+    let mut group = c.benchmark_group("serve/program");
+    group.throughput(Throughput::Elements(1));
+    group.sample_size(10);
+
+    let diagonals = 8usize;
+    let dot = workloads::dot_product_program(slots, levels, diagonals);
+    let sha = workloads::sha256_stress_program(levels, 1, 4);
+    let env = ProgramEnv { levels, slots };
+    let steps: Vec<i64> = [&dot, &sha]
+        .iter()
+        .flat_map(|p| p.validate(&env).unwrap().manifest.galois_steps)
+        .collect::<BTreeSet<i64>>()
+        .into_iter()
+        .collect();
+
+    let server = Server::start(
+        ctx.clone(),
+        ServeConfig {
+            workers: 1,
+            key_cache_budget: 1 << 30,
+            ..ServeConfig::default()
+        },
+    )
+    .unwrap();
+    let mut rng = StdRng::seed_from_u64(31);
+    let kg = KeyGenerator::new(ctx.clone());
+    let sk = kg.secret_key(&mut rng);
+    let rlk = kg.relin_key_compressed(&mut rng, &sk);
+    let gk = kg.galois_keys_compressed(&mut rng, &sk, &steps, false);
+    let encoder = Encoder::new(ctx.clone());
+    let encryptor = Encryptor::new(ctx.clone());
+    let mut encrypt = |v: &[f64]| {
+        let cv: Vec<Complex> = v.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let pt = encoder.encode(&cv, levels, ctx.params().scale()).unwrap();
+        encryptor.encrypt_symmetric(&mut rng, &pt, &sk)
+    };
+
+    let mut client = Client::connect(server.local_addr(), ctx.clone()).unwrap();
+    let sid = client.hello().unwrap();
+    client.upload_relin(sid, rlk.switching_key()).unwrap();
+    client.upload_galois(sid, &gk).unwrap();
+
+    // Dot-product inputs: an 8-diagonal plaintext database, one query.
+    let mut diags = BTreeMap::new();
+    for d in 0..diagonals {
+        let diag: Vec<Complex> = (0..slots)
+            .map(|j| Complex::new(((j * 3 + d * 5) % 7) as f64 * 0.1 - 0.2, 0.0))
+            .collect();
+        diags.insert(d, diag);
+    }
+    let query: Vec<f64> = (0..slots)
+        .map(|b| ((b * 2 + 1) % 5) as f64 * 0.15)
+        .collect();
+    let mut dot_inputs = ExecInputs::default();
+    dot_inputs.cts.insert("query".into(), encrypt(&query));
+    dot_inputs
+        .mats
+        .insert("db".into(), LinearTransform::from_diagonals(diags, slots));
+
+    // SHA stress inputs: four 0/1 slot vectors.
+    let mut sha_inputs = ExecInputs::default();
+    for (seed, name) in ["x", "y", "z", "w"].iter().enumerate() {
+        let bits: Vec<f64> = (0..slots)
+            .map(|b| f64::from((b * 31 + seed * 17).is_multiple_of(3)))
+            .collect();
+        sha_inputs.cts.insert((*name).into(), encrypt(&bits));
+    }
+
+    for (label, prog, inputs) in [
+        ("run_dot_product", &dot, &dot_inputs),
+        ("run_sha_round", &sha, &sha_inputs),
+    ] {
+        let pid = client.upload_program(sid, prog).unwrap();
+        // Warm the key pins and the connection before measuring.
+        client.run_program(sid, pid, prog, inputs).unwrap();
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(client.run_program(sid, pid, prog, inputs).unwrap()))
+        });
+    }
+    client.close_session(sid).unwrap();
+    server.shutdown();
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_key_cache,
     bench_throughput_vs_workers,
     bench_batching_fanin,
     bench_tail_latency,
-    bench_obs_overhead
+    bench_obs_overhead,
+    bench_program_throughput
 );
 criterion_main!(benches);

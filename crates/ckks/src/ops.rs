@@ -208,6 +208,7 @@ impl Evaluator {
 
     /// Adds a real scalar (same value in every slot).
     pub fn add_scalar(&self, a: &Ciphertext, c: f64) -> Ciphertext {
+        let _span = telemetry::span("AddConst");
         let scaled = (c * a.scale).round() as i64;
         let basis = a.c0.basis().clone();
         // A constant slot vector encodes to the constant polynomial, whose
@@ -220,6 +221,7 @@ impl Evaluator {
                 *x = m.add(*x, v);
             }
         }
+        telemetry::record_ops(0, (out.c0.limb_count() * self.ctx.params().degree()) as u64);
         out
     }
 

@@ -48,6 +48,7 @@ pub mod matvec;
 pub mod opts;
 pub mod params;
 pub mod primitives;
+pub mod program;
 pub mod report;
 pub mod search;
 pub mod throughput;

@@ -1,0 +1,1647 @@
+//! A compact encrypted-program IR shared by the analytical cost model,
+//! the functional executor (`fhe-program`), and the serving runtime.
+//!
+//! A [`Program`] is a straight-line sequence of CKKS primitive
+//! instructions over *named ciphertext registers*, with read-only
+//! plaintext-vector and diagonal-matrix operands declared up front. The
+//! same definition serves three consumers:
+//!
+//! 1. **Pricing** — [`CostModel::program_cost`] folds the per-primitive
+//!    costs of [`crate::primitives`] over the instruction stream,
+//!    producing modular-op, DRAM, and whole-limb NTT predictions that the
+//!    `validate` binary diffs against telemetry from a real execution.
+//! 2. **Execution** — the `fhe-program` crate interprets the same
+//!    instruction stream against a `CkksContext`, sharing the hoisted
+//!    ModUp path for consecutive rotations of one register (the
+//!    [`hoisted_runs`] schedule below is the contract between the model
+//!    and the executor: both price/execute exactly these runs).
+//! 3. **Serving** — `fhe-serve` uploads a serialized program once per
+//!    session (`UploadProgram`) and runs it as a single `RunProgram`
+//!    opcode, deriving the switching keys to pin from the program's
+//!    [`KeyManifest`].
+//!
+//! # Level and scale rules
+//!
+//! [`Program::validate`] tracks, per register, the limb count (level) and
+//! the *nominal scale exponent* — the power of the scheme scale Δ the
+//! ciphertext carries. Inputs arrive at Δ¹. The checker rejects, before
+//! any ciphertext is touched:
+//!
+//! - **level underflow** — `Mult`, `Rescale`, and `BsgsMatVec` need a
+//!   limb to drop (ℓ ≥ 2); every instruction needs a defined source;
+//! - **scale mismatch** — `Add`/`Sub` require both operands at the same
+//!   exponent (the functional `Evaluator` enforces the same invariant at
+//!   runtime with a relative tolerance; the static exponent model is
+//!   exact because every scale in a valid program is a product of Δ
+//!   powers divided by rescale primes that track Δ);
+//! - **rescale of a Δ¹ ciphertext** — the result would drop below the
+//!   encoding scale and decrypt to noise.
+//!
+//! The wire format (`MADP`, [`Program::to_bytes`] / [`Program::from_bytes`])
+//! is bounded and fail-closed: truncation, bad magic, unknown opcodes, and
+//! oversized counts all surface as structured [`WireError`]s, never panics.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use crate::cost::Cost;
+use crate::matvec::MatVecShape;
+use crate::primitives::CostModel;
+
+/// Upper bound on register/operand name length (bytes).
+pub const MAX_NAME_LEN: usize = 64;
+/// Upper bound on declared inputs/outputs of each kind.
+pub const MAX_DECLS: usize = 1024;
+/// Upper bound on instruction count.
+pub const MAX_INSTRS: usize = 65_536;
+/// Upper bound on matrix slot count and diagonal offsets.
+pub const MAX_SLOTS: usize = 1 << 20;
+
+/// One CKKS primitive instruction over named registers.
+///
+/// `dst` may shadow an existing register (straight-line re-assignment);
+/// sources always read the *current* value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Instr {
+    /// `dst = a + b` (levels aligned to the minimum, scales must match).
+    Add {
+        /// Destination register.
+        dst: String,
+        /// Left source register.
+        a: String,
+        /// Right source register.
+        b: String,
+    },
+    /// `dst = a - b`.
+    Sub {
+        /// Destination register.
+        dst: String,
+        /// Left source register.
+        a: String,
+        /// Right source register.
+        b: String,
+    },
+    /// `dst = a ⊙ pt` — plaintext multiply *without* rescale; the
+    /// executor encodes the named plaintext vector at `a`'s level and the
+    /// scheme scale Δ, so the result carries one extra Δ factor.
+    PtMult {
+        /// Destination register.
+        dst: String,
+        /// Source register.
+        a: String,
+        /// Declared plaintext-vector operand.
+        pt: String,
+    },
+    /// `dst = a · value` at auxiliary scale Δ, without rescale.
+    MulConst {
+        /// Destination register.
+        dst: String,
+        /// Source register.
+        a: String,
+        /// Real scalar factor.
+        value: f64,
+    },
+    /// `dst = a + value` (same value in every slot; scale-preserving).
+    AddConst {
+        /// Destination register.
+        dst: String,
+        /// Source register.
+        a: String,
+        /// Real scalar addend.
+        value: f64,
+    },
+    /// `dst = a ⊗ b` with relinearization and the trailing rescale
+    /// (`Evaluator::mul_with_key`): one level consumed.
+    Mult {
+        /// Destination register.
+        dst: String,
+        /// Left source register.
+        a: String,
+        /// Right source register.
+        b: String,
+    },
+    /// `dst = rot(a, steps)`; `steps == 0` is an explicit copy and needs
+    /// no key. Consecutive rotations of one unmodified register form a
+    /// hoisted run sharing a single ModUp (see [`hoisted_runs`]).
+    Rotate {
+        /// Destination register.
+        dst: String,
+        /// Source register.
+        a: String,
+        /// Slot-rotation step count (0 copies).
+        steps: i64,
+    },
+    /// `dst = rescale(a)`: drop the last limb, dividing the scale by it.
+    Rescale {
+        /// Destination register.
+        dst: String,
+        /// Source register.
+        a: String,
+    },
+    /// `dst = M · a` via the BSGS diagonal schedule (`apply_bsgs`) with
+    /// `n1 = bsgs_baby_dim(diagonals)`; consumes one level (the trailing
+    /// rescale is part of the schedule).
+    BsgsMatVec {
+        /// Destination register.
+        dst: String,
+        /// Source register.
+        a: String,
+        /// Declared diagonal-matrix operand.
+        mat: String,
+    },
+    /// `dst = bootstrap(a)` to `to_level` limbs. Priced by the model's
+    /// bootstrapping pipeline; the functional executor rejects it with a
+    /// structured error (the reduced-parameter library has no functional
+    /// bootstrap).
+    Bootstrap {
+        /// Destination register.
+        dst: String,
+        /// Source register.
+        a: String,
+        /// Limb count of the refreshed output.
+        to_level: usize,
+    },
+}
+
+impl Instr {
+    /// Instruction mnemonic, used in reports and per-instruction labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Instr::Add { .. } => "Add",
+            Instr::Sub { .. } => "Sub",
+            Instr::PtMult { .. } => "PtMult",
+            Instr::MulConst { .. } => "MulConst",
+            Instr::AddConst { .. } => "AddConst",
+            Instr::Mult { .. } => "Mult",
+            Instr::Rotate { .. } => "Rotate",
+            Instr::Rescale { .. } => "Rescale",
+            Instr::BsgsMatVec { .. } => "BsgsMatVec",
+            Instr::Bootstrap { .. } => "Bootstrap",
+        }
+    }
+
+    /// Destination register name.
+    pub fn dst(&self) -> &str {
+        match self {
+            Instr::Add { dst, .. }
+            | Instr::Sub { dst, .. }
+            | Instr::PtMult { dst, .. }
+            | Instr::MulConst { dst, .. }
+            | Instr::AddConst { dst, .. }
+            | Instr::Mult { dst, .. }
+            | Instr::Rotate { dst, .. }
+            | Instr::Rescale { dst, .. }
+            | Instr::BsgsMatVec { dst, .. }
+            | Instr::Bootstrap { dst, .. } => dst,
+        }
+    }
+}
+
+/// A declared ciphertext input: name plus the limb count it arrives at
+/// (the nominal scale is always Δ — fresh encryptions).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CtDecl {
+    /// Register name.
+    pub name: String,
+    /// Limb count the ciphertext must arrive with.
+    pub level: usize,
+}
+
+/// A declared read-only plaintext-vector operand (encoded on the fly at
+/// the consuming instruction's level).
+#[derive(Clone, Debug, PartialEq)]
+pub struct PtDecl {
+    /// Operand name.
+    pub name: String,
+}
+
+/// A declared diagonal matrix for `BsgsMatVec`: the *shape* (slot count
+/// and non-zero diagonal offsets) lives in the program so the key
+/// manifest and the price are derivable statically; the diagonal values
+/// are bound at execution time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MatDecl {
+    /// Operand name.
+    pub name: String,
+    /// Slot count of the transform (must match the context).
+    pub slots: usize,
+    /// Sorted non-zero-diagonal offsets, each `< slots`.
+    pub offsets: Vec<usize>,
+}
+
+/// A straight-line encrypted program.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Program {
+    /// Human-readable program name (reported, not semantic).
+    pub name: String,
+    /// Ciphertext inputs.
+    pub ct_inputs: Vec<CtDecl>,
+    /// Plaintext-vector operands.
+    pub pt_inputs: Vec<PtDecl>,
+    /// Diagonal-matrix operands.
+    pub matrices: Vec<MatDecl>,
+    /// Instruction stream.
+    pub instrs: Vec<Instr>,
+    /// Output register names, in reply order.
+    pub outputs: Vec<String>,
+}
+
+/// Validation environment: the parameter facts the static checker needs.
+#[derive(Clone, Copy, Debug)]
+pub struct ProgramEnv {
+    /// Limb-chain length of the target context (`CkksParams::levels`).
+    pub levels: usize,
+    /// Slot count of the target context.
+    pub slots: usize,
+}
+
+/// Keys a program needs: relinearization and the exact Galois step set.
+///
+/// `BsgsMatVec` contributes the same steps `apply_bsgs` rotates by: all
+/// baby steps `1..n1` plus each distinct non-zero giant step
+/// `(offset / n1) · n1`.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct KeyManifest {
+    /// True when any `Mult` appears (relinearization key required).
+    pub relin: bool,
+    /// Sorted, de-duplicated rotation steps (step 0 never appears).
+    pub galois_steps: Vec<i64>,
+}
+
+/// Role of an instruction in the rotation-hoisting schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HoistRole {
+    /// Not part of a hoisted run (priced/executed standalone).
+    Single,
+    /// First rotation of a hoisted run of the given length (≥ 2): the
+    /// shared Decomp+ModUp is charged here.
+    Leader(usize),
+    /// Subsequent rotation of a hoisted run: inner product + ModDown
+    /// only.
+    Follower,
+}
+
+/// Per-instruction facts the validator derives for the pricer and the
+/// executor.
+#[derive(Clone, Copy, Debug)]
+pub struct InstrMeta {
+    /// Working limb count: the level the primitive's arithmetic runs at
+    /// (the minimum of the ciphertext operands at entry).
+    pub ell: usize,
+    /// Destination level after the instruction.
+    pub out_level: usize,
+    /// Destination nominal scale exponent (power of Δ).
+    pub out_scale_exp: u32,
+    /// Hoisting role of this instruction.
+    pub hoist: HoistRole,
+}
+
+/// Result of [`Program::validate`].
+#[derive(Clone, Debug)]
+pub struct ProgramInfo {
+    /// Keys the program requires.
+    pub manifest: KeyManifest,
+    /// One entry per instruction.
+    pub instrs: Vec<InstrMeta>,
+    /// `(level, scale_exp)` of each output, in `outputs` order.
+    pub outputs: Vec<(usize, u32)>,
+}
+
+/// Static-validation failure: the program would underflow a level chain,
+/// mix scales, or reference an undeclared operand.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ValidateError {
+    /// Two declarations share a name, or a name is empty/oversized.
+    BadName(String),
+    /// A declared input level is outside `1..=levels`.
+    BadInputLevel {
+        /// Offending input name.
+        name: String,
+        /// Declared level.
+        level: usize,
+    },
+    /// A matrix declaration is empty, unsorted, or out of range.
+    BadMatrix(String),
+    /// An instruction reads a register never written.
+    UnknownRegister {
+        /// Instruction index.
+        instr: usize,
+        /// Missing register name.
+        name: String,
+    },
+    /// An instruction references an undeclared plaintext operand.
+    UnknownPlaintext {
+        /// Instruction index.
+        instr: usize,
+        /// Missing operand name.
+        name: String,
+    },
+    /// An instruction references an undeclared matrix operand.
+    UnknownMatrix {
+        /// Instruction index.
+        instr: usize,
+        /// Missing operand name.
+        name: String,
+    },
+    /// An instruction needs more limbs than its operand has.
+    LevelUnderflow {
+        /// Instruction index.
+        instr: usize,
+        /// Limbs available.
+        have: usize,
+        /// Limbs required.
+        need: usize,
+    },
+    /// `Add`/`Sub` operands carry different nominal scale exponents.
+    ScaleMismatch {
+        /// Instruction index.
+        instr: usize,
+        /// Left operand's Δ exponent.
+        a: u32,
+        /// Right operand's Δ exponent.
+        b: u32,
+    },
+    /// Rescaling would drop the nominal scale below Δ.
+    ScaleUnderflow {
+        /// Instruction index.
+        instr: usize,
+    },
+    /// A scalar constant is NaN or infinite.
+    NonFiniteConst {
+        /// Instruction index.
+        instr: usize,
+    },
+    /// A `Bootstrap` target level is outside `1..=levels`.
+    BadBootstrapTarget {
+        /// Instruction index.
+        instr: usize,
+        /// Requested target level.
+        to_level: usize,
+    },
+    /// The program has no instructions or no outputs.
+    Empty,
+    /// An output names a register never written.
+    UnknownOutput(String),
+    /// A structural bound (instruction/declaration count) is exceeded.
+    TooLarge(&'static str),
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::BadName(n) => write!(f, "bad operand name `{n}`"),
+            ValidateError::BadInputLevel { name, level } => {
+                write!(f, "input `{name}` declares invalid level {level}")
+            }
+            ValidateError::BadMatrix(n) => write!(f, "matrix `{n}` has a bad shape"),
+            ValidateError::UnknownRegister { instr, name } => {
+                write!(f, "instr {instr}: unknown register `{name}`")
+            }
+            ValidateError::UnknownPlaintext { instr, name } => {
+                write!(f, "instr {instr}: unknown plaintext `{name}`")
+            }
+            ValidateError::UnknownMatrix { instr, name } => {
+                write!(f, "instr {instr}: unknown matrix `{name}`")
+            }
+            ValidateError::LevelUnderflow { instr, have, need } => {
+                write!(
+                    f,
+                    "instr {instr}: level underflow ({have} limbs, need {need})"
+                )
+            }
+            ValidateError::ScaleMismatch { instr, a, b } => {
+                write!(f, "instr {instr}: scale mismatch (Δ^{a} vs Δ^{b})")
+            }
+            ValidateError::ScaleUnderflow { instr } => {
+                write!(f, "instr {instr}: rescale would drop below Δ")
+            }
+            ValidateError::NonFiniteConst { instr } => {
+                write!(f, "instr {instr}: non-finite constant")
+            }
+            ValidateError::BadBootstrapTarget { instr, to_level } => {
+                write!(f, "instr {instr}: bad bootstrap target level {to_level}")
+            }
+            ValidateError::Empty => write!(f, "program has no instructions or no outputs"),
+            ValidateError::UnknownOutput(n) => write!(f, "output `{n}` never written"),
+            ValidateError::TooLarge(what) => write!(f, "program exceeds the {what} bound"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Baby-step dimension of the BSGS schedule for `diagonals` non-zero
+/// diagonals: the smallest power of two whose square covers the count.
+/// Mirrors [`CostModel::bsgs_baby_dim`] so the manifest, the price, and
+/// the executor agree on the schedule without a model in hand.
+pub fn bsgs_baby_dim(diagonals: usize) -> usize {
+    let mut n1 = 1usize;
+    while n1 * n1 < diagonals {
+        n1 <<= 1;
+    }
+    n1.max(1)
+}
+
+/// Galois steps `apply_bsgs` needs for a diagonal set under baby
+/// dimension `n1`: every baby step `1..n1` plus each distinct non-zero
+/// giant step, sorted.
+pub fn bsgs_galois_steps(offsets: &[usize], n1: usize) -> Vec<i64> {
+    let mut steps: BTreeSet<i64> = (1..n1 as i64).collect();
+    for &d in offsets {
+        let giant = (d / n1) * n1;
+        if giant != 0 {
+            steps.insert(giant as i64);
+        }
+    }
+    steps.into_iter().collect()
+}
+
+/// The rotation-hoisting schedule: maximal runs (start index, length ≥ 2)
+/// of consecutive `Rotate` instructions that read the same register with
+/// non-zero steps, where no rotation before the last overwrites the
+/// source. The executor shares one Decomp+ModUp per run
+/// (`rotate_hoisted`); the pricer charges the run the same way.
+pub fn hoisted_runs(instrs: &[Instr]) -> Vec<(usize, usize)> {
+    let mut runs = Vec::new();
+    let mut i = 0;
+    while i < instrs.len() {
+        let (src, dst0) = match &instrs[i] {
+            Instr::Rotate { a, steps, dst } if *steps != 0 => (a.clone(), dst.clone()),
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut len = 1;
+        let mut source_overwritten = dst0 == src;
+        while !source_overwritten {
+            match instrs.get(i + len) {
+                Some(Instr::Rotate { a, steps, dst }) if *a == src && *steps != 0 => {
+                    source_overwritten = *dst == src;
+                    len += 1;
+                }
+                _ => break,
+            }
+        }
+        if len >= 2 {
+            runs.push((i, len));
+        }
+        i += len;
+    }
+    runs
+}
+
+impl Program {
+    fn check_name(name: &str) -> Result<(), ValidateError> {
+        if name.is_empty() || name.len() > MAX_NAME_LEN {
+            return Err(ValidateError::BadName(name.to_string()));
+        }
+        Ok(())
+    }
+
+    /// Statically checks the program and derives the per-instruction
+    /// levels, scales, hoisting schedule, and key manifest.
+    pub fn validate(&self, env: &ProgramEnv) -> Result<ProgramInfo, ValidateError> {
+        if self.instrs.is_empty() || self.outputs.is_empty() {
+            return Err(ValidateError::Empty);
+        }
+        if self.instrs.len() > MAX_INSTRS {
+            return Err(ValidateError::TooLarge("instruction-count"));
+        }
+        if self.ct_inputs.len() > MAX_DECLS
+            || self.pt_inputs.len() > MAX_DECLS
+            || self.matrices.len() > MAX_DECLS
+            || self.outputs.len() > MAX_DECLS
+        {
+            return Err(ValidateError::TooLarge("declaration-count"));
+        }
+
+        // Declarations: unique names per namespace, sane shapes.
+        let mut regs: BTreeMap<String, (usize, u32)> = BTreeMap::new();
+        for d in &self.ct_inputs {
+            Self::check_name(&d.name)?;
+            if d.level == 0 || d.level > env.levels {
+                return Err(ValidateError::BadInputLevel {
+                    name: d.name.clone(),
+                    level: d.level,
+                });
+            }
+            if regs.insert(d.name.clone(), (d.level, 1)).is_some() {
+                return Err(ValidateError::BadName(d.name.clone()));
+            }
+        }
+        let mut pts = BTreeSet::new();
+        for d in &self.pt_inputs {
+            Self::check_name(&d.name)?;
+            if !pts.insert(d.name.as_str()) {
+                return Err(ValidateError::BadName(d.name.clone()));
+            }
+        }
+        let mut mats: BTreeMap<&str, &MatDecl> = BTreeMap::new();
+        for d in &self.matrices {
+            Self::check_name(&d.name)?;
+            let sorted = d.offsets.windows(2).all(|w| w[0] < w[1]);
+            if d.offsets.is_empty()
+                || !sorted
+                || d.slots == 0
+                || d.slots > MAX_SLOTS
+                || d.slots != env.slots
+                || d.offsets.iter().any(|&o| o >= d.slots)
+            {
+                return Err(ValidateError::BadMatrix(d.name.clone()));
+            }
+            if mats.insert(&d.name, d).is_some() {
+                return Err(ValidateError::BadName(d.name.clone()));
+            }
+        }
+
+        let mut manifest = KeyManifest::default();
+        let mut galois: BTreeSet<i64> = BTreeSet::new();
+        let mut metas = Vec::with_capacity(self.instrs.len());
+
+        let read = |regs: &BTreeMap<String, (usize, u32)>,
+                    idx: usize,
+                    name: &str|
+         -> Result<(usize, u32), ValidateError> {
+            regs.get(name)
+                .copied()
+                .ok_or_else(|| ValidateError::UnknownRegister {
+                    instr: idx,
+                    name: name.to_string(),
+                })
+        };
+
+        for (idx, instr) in self.instrs.iter().enumerate() {
+            Self::check_name(instr.dst())?;
+            let (ell, out_level, out_exp) = match instr {
+                Instr::Add { a, b, .. } | Instr::Sub { a, b, .. } => {
+                    let (la, ea) = read(&regs, idx, a)?;
+                    let (lb, eb) = read(&regs, idx, b)?;
+                    if ea != eb {
+                        return Err(ValidateError::ScaleMismatch {
+                            instr: idx,
+                            a: ea,
+                            b: eb,
+                        });
+                    }
+                    let ell = la.min(lb);
+                    (ell, ell, ea)
+                }
+                Instr::PtMult { a, pt, .. } => {
+                    let (la, ea) = read(&regs, idx, a)?;
+                    if !pts.contains(pt.as_str()) {
+                        return Err(ValidateError::UnknownPlaintext {
+                            instr: idx,
+                            name: pt.clone(),
+                        });
+                    }
+                    (la, la, ea + 1)
+                }
+                Instr::MulConst { a, value, .. } => {
+                    if !value.is_finite() {
+                        return Err(ValidateError::NonFiniteConst { instr: idx });
+                    }
+                    let (la, ea) = read(&regs, idx, a)?;
+                    (la, la, ea + 1)
+                }
+                Instr::AddConst { a, value, .. } => {
+                    if !value.is_finite() {
+                        return Err(ValidateError::NonFiniteConst { instr: idx });
+                    }
+                    let (la, ea) = read(&regs, idx, a)?;
+                    (la, la, ea)
+                }
+                Instr::Mult { a, b, .. } => {
+                    let (la, ea) = read(&regs, idx, a)?;
+                    let (lb, eb) = read(&regs, idx, b)?;
+                    let ell = la.min(lb);
+                    if ell < 2 {
+                        return Err(ValidateError::LevelUnderflow {
+                            instr: idx,
+                            have: ell,
+                            need: 2,
+                        });
+                    }
+                    manifest.relin = true;
+                    (ell, ell - 1, ea + eb - 1)
+                }
+                Instr::Rotate { a, steps, .. } => {
+                    let (la, ea) = read(&regs, idx, a)?;
+                    if *steps != 0 {
+                        galois.insert(*steps);
+                    }
+                    (la, la, ea)
+                }
+                Instr::Rescale { a, .. } => {
+                    let (la, ea) = read(&regs, idx, a)?;
+                    if la < 2 {
+                        return Err(ValidateError::LevelUnderflow {
+                            instr: idx,
+                            have: la,
+                            need: 2,
+                        });
+                    }
+                    if ea < 2 {
+                        return Err(ValidateError::ScaleUnderflow { instr: idx });
+                    }
+                    (la, la - 1, ea - 1)
+                }
+                Instr::BsgsMatVec { a, mat, .. } => {
+                    let (la, ea) = read(&regs, idx, a)?;
+                    let decl =
+                        *mats
+                            .get(mat.as_str())
+                            .ok_or_else(|| ValidateError::UnknownMatrix {
+                                instr: idx,
+                                name: mat.clone(),
+                            })?;
+                    if la < 2 {
+                        return Err(ValidateError::LevelUnderflow {
+                            instr: idx,
+                            have: la,
+                            need: 2,
+                        });
+                    }
+                    let n1 = bsgs_baby_dim(decl.offsets.len());
+                    galois.extend(bsgs_galois_steps(&decl.offsets, n1));
+                    (la, la - 1, ea)
+                }
+                Instr::Bootstrap { a, to_level, .. } => {
+                    let (la, _) = read(&regs, idx, a)?;
+                    if *to_level == 0 || *to_level > env.levels {
+                        return Err(ValidateError::BadBootstrapTarget {
+                            instr: idx,
+                            to_level: *to_level,
+                        });
+                    }
+                    (la, *to_level, 1)
+                }
+            };
+            regs.insert(instr.dst().to_string(), (out_level, out_exp));
+            metas.push(InstrMeta {
+                ell,
+                out_level,
+                out_scale_exp: out_exp,
+                hoist: HoistRole::Single,
+            });
+        }
+
+        for (start, len) in hoisted_runs(&self.instrs) {
+            metas[start].hoist = HoistRole::Leader(len);
+            for m in metas.iter_mut().skip(start + 1).take(len - 1) {
+                m.hoist = HoistRole::Follower;
+            }
+        }
+
+        let mut outputs = Vec::with_capacity(self.outputs.len());
+        for name in &self.outputs {
+            let state = regs
+                .get(name)
+                .copied()
+                .ok_or_else(|| ValidateError::UnknownOutput(name.clone()))?;
+            outputs.push(state);
+        }
+
+        manifest.galois_steps = galois.into_iter().collect();
+        Ok(ProgramInfo {
+            manifest,
+            instrs: metas,
+            outputs,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pricing
+// ---------------------------------------------------------------------------
+
+/// Price of one instruction.
+#[derive(Clone, Debug)]
+pub struct InstrCost {
+    /// `"<index>:<mnemonic>@<ell>"`.
+    pub label: String,
+    /// Modeled compute + DRAM cost.
+    pub cost: Cost,
+    /// Modeled whole-limb forward NTT transforms.
+    pub ntt_fwd: u64,
+    /// Modeled whole-limb inverse NTT transforms.
+    pub ntt_inv: u64,
+}
+
+/// Modeled price of a whole program: the fold of the per-primitive costs
+/// over the instruction stream, including the executor's on-the-fly
+/// plaintext encodes (each one `ell` forward limb NTTs).
+#[derive(Clone, Debug, Default)]
+pub struct ProgramCost {
+    /// Total modeled cost.
+    pub cost: Cost,
+    /// Total modeled forward transforms.
+    pub ntt_fwd: u64,
+    /// Total modeled inverse transforms.
+    pub ntt_inv: u64,
+    /// Forward limb NTTs spent encoding plaintext operands on the fly
+    /// (already included in `cost`/`ntt_fwd`; reported for visibility).
+    pub encode_limb_ntts: u64,
+    /// Per-instruction breakdown.
+    pub per_instr: Vec<InstrCost>,
+}
+
+/// Transform counts of a full key switch at `ell` limbs: β digit ModUps
+/// plus two ModDowns. (Mirrors the `validate` binary's accounting.)
+pub fn keyswitch_transforms(m: &CostModel, ell: usize) -> (u64, u64) {
+    let (fwd, inv) = modup_transforms(m, ell);
+    let (f, i) = m.mod_down_transforms(ell, m.params.special_limbs());
+    (fwd + 2 * f, inv + 2 * i)
+}
+
+/// ModUp-only transform counts (the `Decomp` + raise phase).
+pub fn modup_transforms(m: &CostModel, ell: usize) -> (u64, u64) {
+    let (mut fwd, mut inv) = (0, 0);
+    for j in 0..m.params.beta_at(ell) {
+        let (f, i) = m.mod_up_transforms(ell, m.digit_width(ell, j));
+        fwd += f;
+        inv += i;
+    }
+    (fwd, inv)
+}
+
+/// Model of the `Decomp` + `ModUp` phase (everything in a key switch
+/// before the inner product).
+pub fn modup_cost(m: &CostModel, ell: usize) -> Cost {
+    let mut c = m.decomp(ell);
+    for j in 0..m.params.beta_at(ell) {
+        c += m.mod_up_digit(ell, m.digit_width(ell, j));
+    }
+    c
+}
+
+/// Transform counts of the BSGS schedule: one shared ModUp, `n1` ModDown
+/// pairs, `n2 − 1` full rotates, one rescale.
+pub fn bsgs_transforms(m: &CostModel, shape: MatVecShape, n1: usize) -> (u64, u64) {
+    let n2 = shape.diagonals.div_ceil(n1);
+    let (mut fwd, mut inv) = modup_transforms(m, shape.ell);
+    let (f, i) = m.mod_down_transforms(shape.ell, m.params.special_limbs());
+    fwd += 2 * f * n1 as u64;
+    inv += 2 * i * n1 as u64;
+    for _ in 0..n2.saturating_sub(1) {
+        let (f, i) = keyswitch_transforms(m, shape.ell);
+        fwd += f;
+        inv += i;
+    }
+    let (f, i) = m.rescale_transforms(shape.ell);
+    (fwd + f, inv + i)
+}
+
+impl CostModel {
+    /// Prices a validated program by folding the per-primitive costs of
+    /// Table 2 over the instruction stream. Hoisted rotation runs charge
+    /// the shared Decomp+ModUp once (the leader) and only the inner
+    /// product, ModDown pair, and final addition per member — exactly the
+    /// schedule the `fhe-program` executor runs.
+    pub fn program_cost(&self, program: &Program, info: &ProgramInfo) -> ProgramCost {
+        let n = self.params.degree();
+        let limb = self.params.limb_bytes();
+        let encode = |count: u64, ell: usize| -> (Cost, u64) {
+            let transforms = count * ell as u64;
+            let mut c = self.ntt_limb_ops() * transforms;
+            c.pt_read += count * ell as u64 * limb;
+            (c, transforms)
+        };
+        let mats: BTreeMap<&str, &MatDecl> = program
+            .matrices
+            .iter()
+            .map(|d| (d.name.as_str(), d))
+            .collect();
+        let mut total = ProgramCost::default();
+        for (idx, (instr, meta)) in program.instrs.iter().zip(&info.instrs).enumerate() {
+            let ell = meta.ell;
+            let mut cost = Cost::ZERO;
+            let (mut fwd, mut inv) = (0u64, 0u64);
+            let add_t =
+                |c: &mut Cost, extra: Cost, (f, i): (u64, u64), fwd: &mut u64, inv: &mut u64| {
+                    *c += extra;
+                    *fwd += f;
+                    *inv += i;
+                };
+            match instr {
+                Instr::Add { .. } | Instr::Sub { .. } => cost += self.add(ell),
+                Instr::PtMult { .. } => {
+                    // On-the-fly encode of the plaintext operand, then the
+                    // pointwise product (no rescale).
+                    let (c, f) = encode(1, ell);
+                    cost += c;
+                    fwd += f;
+                    total.encode_limb_ntts += f;
+                    cost += self.pt_mult_no_rescale(ell);
+                }
+                Instr::MulConst { .. } => cost += self.pt_mult_no_rescale(ell),
+                Instr::AddConst { .. } => {
+                    // Scalar add touches c0 only: N·ℓ modular adds.
+                    cost += Cost {
+                        adds: n * ell as u64,
+                        ct_read: ell as u64 * limb,
+                        ct_write: ell as u64 * limb,
+                        ..Cost::ZERO
+                    };
+                }
+                Instr::Mult { .. } => {
+                    add_t(
+                        &mut cost,
+                        self.mult(ell),
+                        keyswitch_transforms(self, ell),
+                        &mut fwd,
+                        &mut inv,
+                    );
+                    add_t(
+                        &mut cost,
+                        Cost::ZERO,
+                        self.rescale_transforms(ell),
+                        &mut fwd,
+                        &mut inv,
+                    );
+                }
+                Instr::Rotate { steps, .. } => {
+                    if *steps != 0 {
+                        match meta.hoist {
+                            HoistRole::Single => {
+                                add_t(
+                                    &mut cost,
+                                    self.rotate(ell),
+                                    keyswitch_transforms(self, ell),
+                                    &mut fwd,
+                                    &mut inv,
+                                );
+                            }
+                            HoistRole::Leader(_) => {
+                                add_t(
+                                    &mut cost,
+                                    modup_cost(self, ell),
+                                    modup_transforms(self, ell),
+                                    &mut fwd,
+                                    &mut inv,
+                                );
+                                let (c, t) = self.hoisted_member_cost(ell);
+                                add_t(&mut cost, c, t, &mut fwd, &mut inv);
+                            }
+                            HoistRole::Follower => {
+                                let (c, t) = self.hoisted_member_cost(ell);
+                                add_t(&mut cost, c, t, &mut fwd, &mut inv);
+                            }
+                        }
+                    }
+                }
+                Instr::Rescale { .. } => {
+                    add_t(
+                        &mut cost,
+                        self.rescale(ell),
+                        self.rescale_transforms(ell),
+                        &mut fwd,
+                        &mut inv,
+                    );
+                }
+                Instr::BsgsMatVec { mat, .. } => {
+                    let decl = mats[mat.as_str()];
+                    let shape = MatVecShape {
+                        ell,
+                        diagonals: decl.offsets.len(),
+                    };
+                    let n1 = self.bsgs_baby_dim(shape.diagonals);
+                    add_t(
+                        &mut cost,
+                        self.pt_mat_vec_mult(shape).cost,
+                        bsgs_transforms(self, shape, n1),
+                        &mut fwd,
+                        &mut inv,
+                    );
+                    let (c, f) = encode(shape.diagonals as u64, ell);
+                    cost += c;
+                    fwd += f;
+                    total.encode_limb_ntts += f;
+                }
+                Instr::Bootstrap { .. } => {
+                    // The bootstrap pipeline needs a chain deeper than its
+                    // own depth; shallower parameter sets price it at zero
+                    // rather than panicking (the functional executor
+                    // rejects `Bootstrap` outright either way).
+                    let depth = 2 * self.params.fft_iter + 2 + crate::bootstrap::EVAL_MOD_DEPTH;
+                    if self.params.limbs > depth {
+                        cost += self.bootstrap_from(ell).cost;
+                    }
+                }
+            }
+            total.cost += cost;
+            total.ntt_fwd += fwd;
+            total.ntt_inv += inv;
+            total.per_instr.push(InstrCost {
+                label: format!("{idx}:{}@{ell}", instr.name()),
+                cost,
+                ntt_fwd: fwd,
+                ntt_inv: inv,
+            });
+        }
+        total
+    }
+
+    /// Per-rotation cost inside a hoisted run: the digit automorphism
+    /// (fused, compute-free), the KSK inner product, the ModDown pair,
+    /// and the final `σ(c0)` addition — everything in `rotate` except the
+    /// shared Decomp+ModUp.
+    fn hoisted_member_cost(&self, ell: usize) -> (Cost, (u64, u64)) {
+        let n = self.params.degree();
+        let limb = self.params.limb_bytes();
+        let beta = self.params.beta_at(ell);
+        let mut c = self.automorph(ell, false);
+        c += self.ksk_inner_product(ell, beta, true, true);
+        c += self.mod_down(ell, self.params.special_limbs()) * 2;
+        c += Cost {
+            adds: n * ell as u64,
+            ct_read: 2 * ell as u64 * limb,
+            ct_write: ell as u64 * limb,
+            ..Cost::ZERO
+        };
+        let (f, i) = self.mod_down_transforms(ell, self.params.special_limbs());
+        (c, (2 * f, 2 * i))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Wire format
+// ---------------------------------------------------------------------------
+
+/// Wire-format magic: `MADP` (program), companion to the ciphertext
+/// format's `MADf`.
+pub const WIRE_MAGIC: [u8; 4] = *b"MADP";
+/// Wire-format version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Structured decode failure. Decoding never panics: every malformed,
+/// truncated, or oversized input maps to one of these.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the structure was complete.
+    Truncated,
+    /// Leading magic was not `MADP`.
+    BadMagic,
+    /// Unknown format version.
+    Version(u16),
+    /// Unknown instruction opcode.
+    Opcode(u8),
+    /// A name was empty, oversized, or not UTF-8.
+    BadString,
+    /// A count or offset exceeded its structural bound.
+    Limit(&'static str),
+    /// Bytes remained after the complete structure.
+    TrailingBytes,
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "truncated program"),
+            WireError::BadMagic => write!(f, "bad program magic"),
+            WireError::Version(v) => write!(f, "unsupported program version {v}"),
+            WireError::Opcode(op) => write!(f, "unknown program opcode {op:#04x}"),
+            WireError::BadString => write!(f, "bad name string"),
+            WireError::Limit(what) => write!(f, "{what} bound exceeded"),
+            WireError::TrailingBytes => write!(f, "trailing bytes after program"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+const OP_ADD: u8 = 1;
+const OP_SUB: u8 = 2;
+const OP_PT_MULT: u8 = 3;
+const OP_MUL_CONST: u8 = 4;
+const OP_ADD_CONST: u8 = 5;
+const OP_MULT: u8 = 6;
+const OP_ROTATE: u8 = 7;
+const OP_RESCALE: u8 = 8;
+const OP_BSGS: u8 = 9;
+const OP_BOOTSTRAP: u8 = 10;
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    debug_assert!(!s.is_empty() && s.len() <= MAX_NAME_LEN);
+    out.push(s.len() as u8);
+    out.extend_from_slice(s.as_bytes());
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Truncated)?;
+        if end > self.buf.len() {
+            return Err(WireError::Truncated);
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        let b = self.take(8)?;
+        let mut a = [0u8; 8];
+        a.copy_from_slice(b);
+        Ok(u64::from_le_bytes(a))
+    }
+
+    fn string(&mut self) -> Result<String, WireError> {
+        let len = self.u8()? as usize;
+        if len == 0 || len > MAX_NAME_LEN {
+            return Err(WireError::BadString);
+        }
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadString)
+    }
+}
+
+impl Program {
+    /// Serializes the program (`MADP` v1, little-endian, bounded).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.instrs.len() * 16);
+        out.extend_from_slice(&WIRE_MAGIC);
+        out.extend_from_slice(&WIRE_VERSION.to_le_bytes());
+        put_str(
+            &mut out,
+            if self.name.is_empty() {
+                "p"
+            } else {
+                &self.name
+            },
+        );
+        out.extend_from_slice(&(self.ct_inputs.len() as u16).to_le_bytes());
+        for d in &self.ct_inputs {
+            put_str(&mut out, &d.name);
+            out.push(d.level as u8);
+        }
+        out.extend_from_slice(&(self.pt_inputs.len() as u16).to_le_bytes());
+        for d in &self.pt_inputs {
+            put_str(&mut out, &d.name);
+        }
+        out.extend_from_slice(&(self.matrices.len() as u16).to_le_bytes());
+        for d in &self.matrices {
+            put_str(&mut out, &d.name);
+            out.extend_from_slice(&(d.slots as u32).to_le_bytes());
+            out.extend_from_slice(&(d.offsets.len() as u16).to_le_bytes());
+            for &o in &d.offsets {
+                out.extend_from_slice(&(o as u32).to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&(self.instrs.len() as u32).to_le_bytes());
+        for instr in &self.instrs {
+            match instr {
+                Instr::Add { dst, a, b } => {
+                    out.push(OP_ADD);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    put_str(&mut out, b);
+                }
+                Instr::Sub { dst, a, b } => {
+                    out.push(OP_SUB);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    put_str(&mut out, b);
+                }
+                Instr::PtMult { dst, a, pt } => {
+                    out.push(OP_PT_MULT);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    put_str(&mut out, pt);
+                }
+                Instr::MulConst { dst, a, value } => {
+                    out.push(OP_MUL_CONST);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    out.extend_from_slice(&value.to_bits().to_le_bytes());
+                }
+                Instr::AddConst { dst, a, value } => {
+                    out.push(OP_ADD_CONST);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    out.extend_from_slice(&value.to_bits().to_le_bytes());
+                }
+                Instr::Mult { dst, a, b } => {
+                    out.push(OP_MULT);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    put_str(&mut out, b);
+                }
+                Instr::Rotate { dst, a, steps } => {
+                    out.push(OP_ROTATE);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    out.extend_from_slice(&steps.to_le_bytes());
+                }
+                Instr::Rescale { dst, a } => {
+                    out.push(OP_RESCALE);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                }
+                Instr::BsgsMatVec { dst, a, mat } => {
+                    out.push(OP_BSGS);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    put_str(&mut out, mat);
+                }
+                Instr::Bootstrap { dst, a, to_level } => {
+                    out.push(OP_BOOTSTRAP);
+                    put_str(&mut out, dst);
+                    put_str(&mut out, a);
+                    out.push(*to_level as u8);
+                }
+            }
+        }
+        out.extend_from_slice(&(self.outputs.len() as u16).to_le_bytes());
+        for o in &self.outputs {
+            put_str(&mut out, o);
+        }
+        out
+    }
+
+    /// Decodes a program, rejecting every malformed input with a
+    /// structured [`WireError`]. The decoded program is *structurally*
+    /// sound; semantic soundness (levels, scales, operand references) is
+    /// [`Program::validate`]'s job.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, WireError> {
+        let mut r = Reader { buf: bytes, pos: 0 };
+        if r.take(4)? != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u16()?;
+        if version != WIRE_VERSION {
+            return Err(WireError::Version(version));
+        }
+        let name = r.string()?;
+        let n_ct = r.u16()? as usize;
+        if n_ct > MAX_DECLS {
+            return Err(WireError::Limit("ciphertext-input count"));
+        }
+        let mut ct_inputs = Vec::with_capacity(n_ct);
+        for _ in 0..n_ct {
+            let name = r.string()?;
+            let level = r.u8()? as usize;
+            ct_inputs.push(CtDecl { name, level });
+        }
+        let n_pt = r.u16()? as usize;
+        if n_pt > MAX_DECLS {
+            return Err(WireError::Limit("plaintext-input count"));
+        }
+        let mut pt_inputs = Vec::with_capacity(n_pt);
+        for _ in 0..n_pt {
+            pt_inputs.push(PtDecl { name: r.string()? });
+        }
+        let n_mat = r.u16()? as usize;
+        if n_mat > MAX_DECLS {
+            return Err(WireError::Limit("matrix count"));
+        }
+        let mut matrices = Vec::with_capacity(n_mat);
+        for _ in 0..n_mat {
+            let name = r.string()?;
+            let slots = r.u32()? as usize;
+            if slots == 0 || slots > MAX_SLOTS {
+                return Err(WireError::Limit("matrix slot"));
+            }
+            let n_off = r.u16()? as usize;
+            if n_off > MAX_SLOTS {
+                return Err(WireError::Limit("matrix diagonal count"));
+            }
+            let mut offsets = Vec::with_capacity(n_off);
+            for _ in 0..n_off {
+                let o = r.u32()? as usize;
+                if o >= MAX_SLOTS {
+                    return Err(WireError::Limit("matrix diagonal offset"));
+                }
+                offsets.push(o);
+            }
+            matrices.push(MatDecl {
+                name,
+                slots,
+                offsets,
+            });
+        }
+        let n_instr = r.u32()? as usize;
+        if n_instr > MAX_INSTRS {
+            return Err(WireError::Limit("instruction count"));
+        }
+        let mut instrs = Vec::with_capacity(n_instr.min(4096));
+        for _ in 0..n_instr {
+            let op = r.u8()?;
+            let dst = r.string()?;
+            let a = r.string()?;
+            let instr = match op {
+                OP_ADD => Instr::Add {
+                    dst,
+                    a,
+                    b: r.string()?,
+                },
+                OP_SUB => Instr::Sub {
+                    dst,
+                    a,
+                    b: r.string()?,
+                },
+                OP_PT_MULT => Instr::PtMult {
+                    dst,
+                    a,
+                    pt: r.string()?,
+                },
+                OP_MUL_CONST => Instr::MulConst {
+                    dst,
+                    a,
+                    value: f64::from_bits(r.u64()?),
+                },
+                OP_ADD_CONST => Instr::AddConst {
+                    dst,
+                    a,
+                    value: f64::from_bits(r.u64()?),
+                },
+                OP_MULT => Instr::Mult {
+                    dst,
+                    a,
+                    b: r.string()?,
+                },
+                OP_ROTATE => Instr::Rotate {
+                    dst,
+                    a,
+                    steps: r.u64()? as i64,
+                },
+                OP_RESCALE => Instr::Rescale { dst, a },
+                OP_BSGS => Instr::BsgsMatVec {
+                    dst,
+                    a,
+                    mat: r.string()?,
+                },
+                OP_BOOTSTRAP => Instr::Bootstrap {
+                    dst,
+                    a,
+                    to_level: r.u8()? as usize,
+                },
+                other => return Err(WireError::Opcode(other)),
+            };
+            instrs.push(instr);
+        }
+        let n_out = r.u16()? as usize;
+        if n_out > MAX_DECLS {
+            return Err(WireError::Limit("output count"));
+        }
+        let mut outputs = Vec::with_capacity(n_out);
+        for _ in 0..n_out {
+            outputs.push(r.string()?);
+        }
+        if r.pos != bytes.len() {
+            return Err(WireError::TrailingBytes);
+        }
+        Ok(Program {
+            name,
+            ct_inputs,
+            pt_inputs,
+            matrices,
+            instrs,
+            outputs,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opts::{AlgoOpts, CachingLevel, MadConfig};
+    use crate::params::SchemeParams;
+
+    fn env() -> ProgramEnv {
+        ProgramEnv {
+            levels: 5,
+            slots: 32,
+        }
+    }
+
+    fn small_program() -> Program {
+        Program {
+            name: "demo".into(),
+            ct_inputs: vec![
+                CtDecl {
+                    name: "x".into(),
+                    level: 5,
+                },
+                CtDecl {
+                    name: "y".into(),
+                    level: 5,
+                },
+            ],
+            pt_inputs: vec![],
+            matrices: vec![MatDecl {
+                name: "M".into(),
+                slots: 32,
+                offsets: vec![0, 1, 5],
+            }],
+            instrs: vec![
+                Instr::Mult {
+                    dst: "p".into(),
+                    a: "x".into(),
+                    b: "y".into(),
+                },
+                Instr::Rotate {
+                    dst: "r1".into(),
+                    a: "p".into(),
+                    steps: 2,
+                },
+                Instr::Rotate {
+                    dst: "r2".into(),
+                    a: "p".into(),
+                    steps: 13,
+                },
+                Instr::Add {
+                    dst: "s".into(),
+                    a: "r1".into(),
+                    b: "r2".into(),
+                },
+                Instr::BsgsMatVec {
+                    dst: "t".into(),
+                    a: "s".into(),
+                    mat: "M".into(),
+                },
+                Instr::MulConst {
+                    dst: "u".into(),
+                    a: "t".into(),
+                    value: 0.5,
+                },
+                Instr::Rescale {
+                    dst: "out".into(),
+                    a: "u".into(),
+                },
+            ],
+            outputs: vec!["out".into()],
+        }
+    }
+
+    #[test]
+    fn validates_levels_scales_and_manifest() {
+        let p = small_program();
+        let info = p.validate(&env()).expect("valid program");
+        // Mult burns one level; BSGS another; final rescale a third.
+        assert_eq!(info.outputs, vec![(2, 1)]);
+        assert!(info.manifest.relin);
+        // Rotations 2, 13 plus BSGS (3 diagonals → n1 = 2): baby 1,
+        // giant 4 (offset 5 → (5/2)·2 = 4).
+        assert_eq!(info.manifest.galois_steps, vec![1, 2, 4, 13]);
+        // The two consecutive rotations of `p` form one hoisted run.
+        assert_eq!(info.instrs[1].hoist, HoistRole::Leader(2));
+        assert_eq!(info.instrs[2].hoist, HoistRole::Follower);
+        assert_eq!(info.instrs[0].hoist, HoistRole::Single);
+    }
+
+    #[test]
+    fn rejects_level_underflow() {
+        let mut p = small_program();
+        p.ct_inputs[0].level = 2;
+        p.ct_inputs[1].level = 2;
+        // Mult drops to 1; BSGS then underflows.
+        let err = p.validate(&env()).unwrap_err();
+        assert!(matches!(err, ValidateError::LevelUnderflow { .. }), "{err}");
+    }
+
+    #[test]
+    fn rejects_scale_mismatch() {
+        let p = Program {
+            name: "bad".into(),
+            ct_inputs: vec![
+                CtDecl {
+                    name: "x".into(),
+                    level: 5,
+                },
+                CtDecl {
+                    name: "y".into(),
+                    level: 5,
+                },
+            ],
+            instrs: vec![
+                Instr::MulConst {
+                    dst: "x2".into(),
+                    a: "x".into(),
+                    value: 2.0,
+                },
+                // x2 is at Δ², y at Δ¹: adding them is a scale bug.
+                Instr::Add {
+                    dst: "s".into(),
+                    a: "x2".into(),
+                    b: "y".into(),
+                },
+            ],
+            outputs: vec!["s".into()],
+            ..Program::default()
+        };
+        let err = p.validate(&env()).unwrap_err();
+        assert_eq!(
+            err,
+            ValidateError::ScaleMismatch {
+                instr: 1,
+                a: 2,
+                b: 1
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_rescale_below_delta() {
+        let p = Program {
+            name: "bad".into(),
+            ct_inputs: vec![CtDecl {
+                name: "x".into(),
+                level: 5,
+            }],
+            instrs: vec![Instr::Rescale {
+                dst: "y".into(),
+                a: "x".into(),
+            }],
+            outputs: vec!["y".into()],
+            ..Program::default()
+        };
+        assert_eq!(
+            p.validate(&env()).unwrap_err(),
+            ValidateError::ScaleUnderflow { instr: 0 }
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_operands() {
+        let mut p = small_program();
+        p.instrs.push(Instr::Add {
+            dst: "z".into(),
+            a: "nope".into(),
+            b: "out".into(),
+        });
+        assert!(matches!(
+            p.validate(&env()).unwrap_err(),
+            ValidateError::UnknownRegister { .. }
+        ));
+        let mut p = small_program();
+        p.outputs = vec!["missing".into()];
+        assert!(matches!(
+            p.validate(&env()).unwrap_err(),
+            ValidateError::UnknownOutput(_)
+        ));
+    }
+
+    #[test]
+    fn hoisted_runs_break_on_source_overwrite() {
+        let rot = |dst: &str, a: &str, steps: i64| Instr::Rotate {
+            dst: dst.into(),
+            a: a.into(),
+            steps,
+        };
+        // Three rotations of x, but the second overwrites x: the run is
+        // the first two only.
+        let instrs = vec![rot("a", "x", 1), rot("x", "x", 2), rot("b", "x", 4)];
+        assert_eq!(hoisted_runs(&instrs), vec![(0, 2)]);
+        // Zero steps never join a run.
+        let instrs = vec![rot("a", "x", 1), rot("b", "x", 0), rot("c", "x", 4)];
+        assert_eq!(hoisted_runs(&instrs), vec![]);
+        // Interleaving a non-rotate breaks the run.
+        let instrs = vec![
+            rot("a", "x", 1),
+            Instr::Add {
+                dst: "s".into(),
+                a: "a".into(),
+                b: "a".into(),
+            },
+            rot("b", "x", 4),
+        ];
+        assert_eq!(hoisted_runs(&instrs), vec![]);
+    }
+
+    #[test]
+    fn bsgs_step_derivation_matches_schedule() {
+        // 8 diagonals 0..8 → n1 = 4 (the nearest power of two with
+        // n1² ≥ 8 biased large): babies 1..4, giants {4} (offsets 4..8).
+        let offsets: Vec<usize> = (0..8).collect();
+        let n1 = bsgs_baby_dim(8);
+        assert_eq!(n1, 4);
+        assert_eq!(bsgs_galois_steps(&offsets, n1), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wire_round_trip() {
+        let p = small_program();
+        let bytes = p.to_bytes();
+        let back = Program::from_bytes(&bytes).expect("round-trips");
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn wire_rejects_malformed_inputs() {
+        let bytes = small_program().to_bytes();
+        // Truncation at every prefix is a structured error, never a panic.
+        for cut in 0..bytes.len() {
+            let err = Program::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    WireError::Truncated | WireError::BadString | WireError::BadMagic
+                ),
+                "cut {cut}: {err:?}"
+            );
+        }
+        // Garbage tail.
+        let mut tail = bytes.clone();
+        tail.extend_from_slice(b"junk");
+        assert_eq!(
+            Program::from_bytes(&tail).unwrap_err(),
+            WireError::TrailingBytes
+        );
+        // Bad magic / version / opcode.
+        let mut bad = bytes.clone();
+        bad[0] = b'X';
+        assert_eq!(Program::from_bytes(&bad).unwrap_err(), WireError::BadMagic);
+        let mut bad = bytes.clone();
+        bad[4] = 9;
+        assert_eq!(
+            Program::from_bytes(&bad).unwrap_err(),
+            WireError::Version(9)
+        );
+        assert!(Program::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn pricing_folds_per_primitive_costs() {
+        let p = small_program();
+        let info = p.validate(&env()).expect("valid");
+        let params = SchemeParams {
+            log_n: 6,
+            log_q: 30,
+            limbs: 5,
+            dnum: 2,
+            fft_iter: 1,
+        };
+        let m = CostModel::new(
+            params,
+            MadConfig {
+                caching: CachingLevel::OneLimb,
+                algo: AlgoOpts {
+                    modup_hoist: true,
+                    ..AlgoOpts::none()
+                },
+            },
+        );
+        let priced = m.program_cost(&p, &info);
+        assert_eq!(priced.per_instr.len(), p.instrs.len());
+        // The fold equals the sum of the per-instruction rows.
+        let sum: Cost = priced.per_instr.iter().map(|r| r.cost).sum();
+        assert_eq!(sum.ops(), priced.cost.ops());
+        // A hoisted pair prices strictly below two standalone rotates.
+        let two_rotates = m.rotate(4) * 2;
+        let pair: Cost = priced.per_instr[1..3].iter().map(|r| r.cost).sum();
+        assert!(pair.ops() < two_rotates.ops(), "hoisting must save compute");
+        // Encode NTTs are tracked: 3 BSGS diagonals at ℓ = 4.
+        assert_eq!(priced.encode_limb_ntts, 12);
+        // Bootstrap prices through the model's pipeline on a chain deep
+        // enough to cover it (and at zero on shallow chains, without
+        // panicking).
+        let pb = Program {
+            name: "boot".into(),
+            ct_inputs: vec![CtDecl {
+                name: "x".into(),
+                level: 2,
+            }],
+            instrs: vec![Instr::Bootstrap {
+                dst: "fresh".into(),
+                a: "x".into(),
+                to_level: 12,
+            }],
+            outputs: vec!["fresh".into()],
+            ..Program::default()
+        };
+        let deep_env = ProgramEnv {
+            levels: 24,
+            slots: 32,
+        };
+        let info_b = pb.validate(&deep_env).expect("valid");
+        assert_eq!(info_b.outputs, vec![(12, 1)]);
+        let deep = CostModel::new(
+            SchemeParams {
+                limbs: 24,
+                ..params
+            },
+            m.config,
+        );
+        assert!(deep.program_cost(&pb, &info_b).cost.ops() > 0);
+        assert_eq!(m.program_cost(&pb, &info_b).cost.ops(), 0);
+    }
+}

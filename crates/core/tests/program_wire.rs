@@ -1,0 +1,128 @@
+//! Property-based tests of the encrypted-program wire format (`MADP`):
+//! encode/decode round-trips exactly, and every adversarial mutation —
+//! truncation at any byte, a bit flip anywhere, garbage appended to a
+//! valid body — yields a structured [`WireError`], never a panic.
+
+use proptest::prelude::*;
+use simfhe::program::{CtDecl, Instr, MatDecl, Program, PtDecl};
+
+/// A wire-well-formed (not necessarily semantically valid) program built
+/// from a flat list of instruction seeds. The wire layer must round-trip
+/// *any* structurally sound program, including ones `validate()` would
+/// reject.
+fn program_from_seeds(seeds: &[(u8, u8, u8, i32, i32)]) -> Program {
+    let reg = |i: u8| format!("r{}", i % 6);
+    let instrs: Vec<Instr> = seeds
+        .iter()
+        .enumerate()
+        .map(|(k, &(op, a, b, steps, val))| {
+            let dst = format!("d{k}");
+            let (a, b) = (reg(a), reg(b));
+            let value = f64::from(val) / 64.0;
+            match op % 10 {
+                0 => Instr::Add { dst, a, b },
+                1 => Instr::Sub { dst, a, b },
+                2 => Instr::PtMult {
+                    dst,
+                    a,
+                    pt: "p0".into(),
+                },
+                3 => Instr::MulConst { dst, a, value },
+                4 => Instr::AddConst { dst, a, value },
+                5 => Instr::Mult { dst, a, b },
+                6 => Instr::Rotate {
+                    dst,
+                    a,
+                    steps: i64::from(steps),
+                },
+                7 => Instr::Rescale { dst, a },
+                8 => Instr::BsgsMatVec {
+                    dst,
+                    a,
+                    mat: "m0".into(),
+                },
+                _ => Instr::Bootstrap {
+                    dst,
+                    a,
+                    to_level: (steps.unsigned_abs() as usize % 40) + 1,
+                },
+            }
+        })
+        .collect();
+    Program {
+        name: "fuzz".into(),
+        ct_inputs: (0..3)
+            .map(|i| CtDecl {
+                name: format!("r{i}"),
+                level: i + 2,
+            })
+            .collect(),
+        pt_inputs: vec![PtDecl { name: "p0".into() }],
+        matrices: vec![MatDecl {
+            name: "m0".into(),
+            slots: 16,
+            offsets: vec![0, 1, 5],
+        }],
+        instrs,
+        outputs: vec!["r0".into()],
+    }
+}
+
+fn seed_strategy() -> impl Strategy<Value = Vec<(u8, u8, u8, i32, i32)>> {
+    prop::collection::vec(
+        (
+            any::<u8>(),
+            any::<u8>(),
+            any::<u8>(),
+            -64i32..=64,
+            -512i32..=512,
+        ),
+        0..12,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn wire_round_trips_exactly(seeds in seed_strategy()) {
+        let prog = program_from_seeds(&seeds);
+        let bytes = prog.to_bytes();
+        let back = Program::from_bytes(&bytes).expect("own encoding decodes");
+        prop_assert_eq!(back, prog);
+    }
+
+    #[test]
+    fn every_truncation_is_a_structured_error(seeds in seed_strategy()) {
+        let bytes = program_from_seeds(&seeds).to_bytes();
+        for cut in 0..bytes.len() {
+            prop_assert!(
+                Program::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut}/{} bytes decoded",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn bit_flips_never_panic(seeds in seed_strategy(), pos in any::<u16>(), bit in 0u8..8) {
+        let mut bytes = program_from_seeds(&seeds).to_bytes();
+        let idx = pos as usize % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        // A flip may still decode (e.g. in a scalar payload); whatever
+        // comes back must itself re-encode and round-trip byte-stably
+        // (byte comparison, since a flip can forge a NaN scalar).
+        if let Ok(mutated) = Program::from_bytes(&bytes) {
+            let re = mutated.to_bytes();
+            let back = Program::from_bytes(&re).expect("re-encoding decodes");
+            prop_assert_eq!(back.to_bytes(), re);
+        }
+    }
+
+    #[test]
+    fn garbage_tails_are_rejected(seeds in seed_strategy(), tail in prop::collection::vec(any::<u8>(), 1..32)) {
+        let mut bytes = program_from_seeds(&seeds).to_bytes();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(Program::from_bytes(&bytes).is_err());
+    }
+}

@@ -3,10 +3,15 @@
 //! Runs every CKKS primitive (and two micro application kernels modeled
 //! on HELR and ResNet-20) in the `ckks` crate at a reduced parameter set,
 //! with the `telemetry` feature counting the modular operations actually
-//! executed, then diffs those counts against this crate's `CostModel`
-//! predictions. Emits a `mad-validate-v1` JSON report on stdout and exits
-//! non-zero if any gated metric's relative error exceeds its committed
-//! tolerance (`crates/core/validate-tolerances.txt`).
+//! executed, then diffs those counts against simfhe's `CostModel`
+//! predictions. A `programs` section does the same end-to-end for the
+//! three program-IR workloads (`fhe_program::workloads`): each program is
+//! priced by `CostModel::program_cost` and executed by
+//! `fhe_program::execute` under the telemetry counters. Emits a
+//! `mad-validate-v1` JSON report on stdout and exits non-zero if any
+//! gated metric's relative error exceeds its committed tolerance
+//! (`crates/core/validate-tolerances.txt` for the primitives,
+//! `crates/core/program-tolerances.txt` for the program rows).
 //!
 //! The parameter point (`N = 2^6`, `L = 5`, `dnum = 2`) is chosen so the
 //! two crates' digit geometries coincide: the model uses `α = ⌈(L+1)/dnum⌉`
@@ -20,9 +25,11 @@ use ckks::hoisting::{apply_bsgs, LinearTransform};
 use ckks::{CkksContext, CkksParams, Encoder, Encryptor, Evaluator, KeyGenerator};
 use fhe_math::cfft::Complex;
 use fhe_math::telemetry::{self, Snapshot};
+use fhe_program::{execute, workloads, ExecInputs, ExecKeys};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use simfhe::matvec::MatVecShape;
+use simfhe::program::ProgramEnv;
 use simfhe::validate::{MetricCheck, PrimitiveCheck, Tolerances, ValidationReport};
 use simfhe::{AlgoOpts, CachingLevel, Cost, CostModel, MadConfig, SchemeParams};
 use std::process::ExitCode;
@@ -33,8 +40,10 @@ const LOG_N: u32 = 6;
 const LEVELS: usize = 5;
 const DNUM: usize = 2;
 
-/// Tolerances committed next to this crate; `--tolerances` overrides.
-const DEFAULT_TOLERANCES: &str = include_str!("../../validate-tolerances.txt");
+/// Tolerances committed next to the model crate; `--tolerances` replaces
+/// both files.
+const DEFAULT_TOLERANCES: &str = include_str!("../../../core/validate-tolerances.txt");
+const DEFAULT_PROGRAM_TOLERANCES: &str = include_str!("../../../core/program-tolerances.txt");
 
 fn main() -> ExitCode {
     let mut tol_path: Option<String> = None;
@@ -62,7 +71,7 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         },
-        None => DEFAULT_TOLERANCES.to_string(),
+        None => format!("{DEFAULT_TOLERANCES}\n{DEFAULT_PROGRAM_TOLERANCES}"),
     };
     let tol = match Tolerances::parse(&tol_text) {
         Ok(t) => t,
@@ -459,6 +468,76 @@ fn run_validation() -> ValidationReport {
     modeled.add(c, t);
     modeled.add(m_std.pt_add(ell - 2), (0, 0));
     report.primitives.push(check("ResNetMicro", snap, modeled));
+
+    // --- Program-IR workloads --------------------------------------------
+    // Each workload is one `Program`: priced by `CostModel::program_cost`
+    // (the fold of Table-2 primitive costs over the instruction stream)
+    // and executed by `fhe_program::execute` under the same telemetry
+    // counters as the primitive rows above.
+    let env = ProgramEnv {
+        levels: LEVELS,
+        slots,
+    };
+    let fill = |seed: usize| -> Vec<Complex> {
+        (0..slots)
+            .map(|i| {
+                Complex::new(
+                    ((i * 3 + seed * 7) % 11) as f64 * 0.05 + 0.1,
+                    ((i + seed * 5) % 7) as f64 * 0.02,
+                )
+            })
+            .collect()
+    };
+    let programs = [
+        (
+            "ProgAggregate",
+            workloads::aggregate_program(slots, LEVELS),
+            None,
+        ),
+        (
+            "ProgDotProduct",
+            workloads::dot_product_program(slots, LEVELS, 8),
+            Some(("db", banded_transform(slots, &[0, 1, 2, 3, 4, 5, 6, 7]))),
+        ),
+        (
+            "ProgShaStress",
+            workloads::sha256_stress_program(LEVELS, 1, 4),
+            None,
+        ),
+    ];
+    for (row, prog, mat) in programs {
+        let info = prog
+            .validate(&env)
+            .unwrap_or_else(|e| panic!("{row} fails static validation: {e}"));
+        let prog_gk = keygen.galois_keys(&mut rng, &sk, &info.manifest.galois_steps, false);
+        let mut inputs = ExecInputs::default();
+        for (i, decl) in prog.ct_inputs.iter().enumerate() {
+            let pt = encode_at(&fill(i), decl.level);
+            inputs.cts.insert(
+                decl.name.clone(),
+                encryptor.encrypt_symmetric(&mut rng, &pt, &sk),
+            );
+        }
+        if let Some((name, lt)) = mat {
+            inputs.mats.insert(name.into(), lt);
+        }
+        let keys = ExecKeys {
+            relin: Some(rlk.switching_key()),
+            galois: Some(&prog_gk),
+        };
+        let (out, snap) = measure(|| execute(&evaluator, &encoder, &prog, &inputs, keys));
+        out.unwrap_or_else(|e| panic!("{row} fails to execute: {e}"));
+        let pc = m_std.program_cost(&prog, &info);
+        report.primitives.push(check(
+            row,
+            snap,
+            Modeled {
+                cost: pc.cost,
+                fwd: pc.ntt_fwd,
+                inv: pc.ntt_inv,
+            },
+        ));
+    }
 
     report
 }

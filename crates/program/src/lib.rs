@@ -1,0 +1,335 @@
+#![warn(missing_docs)]
+//! Functional executor for the [`simfhe::program`] encrypted-program IR.
+//!
+//! [`execute`] interprets a validated [`Program`] against a
+//! [`CkksContext`], mapping each instruction onto the `ckks` crate's
+//! `Evaluator` exactly the way the hand-written application schedules do —
+//! so a workload expressed as a `Program` is *byte-identical* to its
+//! hard-coded counterpart (asserted for the HELR step in this crate's
+//! tests). Two schedule-level behaviors are shared contracts with the
+//! analytical pricer ([`simfhe::program::CostModel::program_cost`] via
+//! `CostModel`):
+//!
+//! - **Rotation hoisting** — the maximal consecutive-rotation runs
+//!   computed by [`simfhe::program::hoisted_runs`] execute through
+//!   [`ckks::hoisting::rotate_hoisted`], sharing one Decomp+ModUp across
+//!   the run. The pricer charges the same schedule.
+//! - **BSGS baby dimension** — `BsgsMatVec` uses
+//!   [`simfhe::program::bsgs_baby_dim`], the same `n1` the model's
+//!   `pt_mat_vec_mult` assumes, so the required Galois steps and the
+//!   rotation count agree between manifest, price, and execution.
+//!
+//! With the `telemetry` feature on, every instruction runs inside a
+//! `Prog.<Mnemonic>` telemetry span; the serving runtime's deep-sampling
+//! observer surfaces these as per-instruction time attribution for
+//! `RunProgram` jobs.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use ckks::hoisting::{apply_bsgs, rotate_hoisted, LinearTransform};
+use ckks::{Ciphertext, CkksContext, Encoder, Evaluator, GaloisKeys, SwitchingKey};
+use fhe_math::cfft::Complex;
+use fhe_math::telemetry;
+use simfhe::program::{
+    bsgs_baby_dim, HoistRole, Instr, KeyManifest, Program, ProgramEnv, ProgramInfo, ValidateError,
+};
+
+pub mod workloads;
+
+pub use simfhe::program;
+
+/// Relative tolerance for input-ciphertext scales against the scheme
+/// scale Δ (fresh encryptions are exact; the bound leaves room for
+/// clients that re-encode).
+pub const INPUT_SCALE_TOLERANCE: f64 = 1e-3;
+
+/// Keys available to an execution; checked against the program's
+/// [`KeyManifest`] before any instruction runs.
+#[derive(Clone, Copy)]
+pub struct ExecKeys<'a> {
+    /// Relinearization (`s² → s`) switching key, required iff the program
+    /// contains a `Mult`.
+    pub relin: Option<&'a SwitchingKey>,
+    /// Galois key set covering the manifest's rotation steps.
+    pub galois: Option<&'a GaloisKeys>,
+}
+
+/// Named operand bindings for one execution.
+#[derive(Clone, Default)]
+pub struct ExecInputs {
+    /// Ciphertext registers, one per `ct_inputs` declaration.
+    pub cts: BTreeMap<String, Ciphertext>,
+    /// Plaintext slot vectors, one per `pt_inputs` declaration (encoded
+    /// on the fly at the consuming instruction's level).
+    pub pts: BTreeMap<String, Vec<Complex>>,
+    /// Diagonal matrices, one per `matrices` declaration; the transform's
+    /// slot count and offsets must match the declaration exactly.
+    pub mats: BTreeMap<String, LinearTransform>,
+}
+
+/// Structured execution failure. The executor never panics on bad
+/// programs or bindings: everything a client could get wrong surfaces
+/// here (the serving runtime maps these onto protocol error replies).
+#[derive(Clone, Debug, PartialEq)]
+pub enum ExecError {
+    /// The program failed static validation.
+    Invalid(ValidateError),
+    /// A declared ciphertext input was not bound.
+    MissingInput(String),
+    /// A bound ciphertext arrived at the wrong level.
+    InputLevel {
+        /// Input name.
+        name: String,
+        /// Declared limb count.
+        want: usize,
+        /// Bound limb count.
+        got: usize,
+    },
+    /// A bound ciphertext's scale is not the scheme scale Δ.
+    InputScale(String),
+    /// A declared plaintext operand was not bound.
+    MissingPlaintext(String),
+    /// A declared matrix operand was not bound.
+    MissingMatrix(String),
+    /// A bound matrix disagrees with its declared slot count or offsets.
+    MatrixShape(String),
+    /// The program multiplies but no relinearization key was supplied.
+    MissingRelinKey,
+    /// A manifest rotation step has no Galois key.
+    MissingGaloisKey(i64),
+    /// The instruction is priced by the model but not executable by the
+    /// functional library (`Bootstrap`).
+    Unsupported(&'static str),
+    /// A plaintext operand failed to encode.
+    Encode(String),
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Invalid(e) => write!(f, "invalid program: {e}"),
+            ExecError::MissingInput(n) => write!(f, "ciphertext input `{n}` not bound"),
+            ExecError::InputLevel { name, want, got } => {
+                write!(f, "input `{name}` at {got} limbs, declared {want}")
+            }
+            ExecError::InputScale(n) => write!(f, "input `{n}` not at the scheme scale"),
+            ExecError::MissingPlaintext(n) => write!(f, "plaintext `{n}` not bound"),
+            ExecError::MissingMatrix(n) => write!(f, "matrix `{n}` not bound"),
+            ExecError::MatrixShape(n) => write!(f, "matrix `{n}` shape mismatch"),
+            ExecError::MissingRelinKey => write!(f, "program needs a relinearization key"),
+            ExecError::MissingGaloisKey(s) => write!(f, "missing Galois key for step {s}"),
+            ExecError::Unsupported(what) => write!(f, "{what} is not executable"),
+            ExecError::Encode(n) => write!(f, "plaintext `{n}` failed to encode"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+impl From<ValidateError> for ExecError {
+    fn from(e: ValidateError) -> Self {
+        ExecError::Invalid(e)
+    }
+}
+
+/// Checks that `keys` cover `manifest` under the given context (Galois
+/// steps resolve through `rotation_element`, matching how the serving
+/// runtime's key cache indexes them).
+pub fn check_keys(
+    ctx: &CkksContext,
+    manifest: &KeyManifest,
+    keys: &ExecKeys<'_>,
+) -> Result<(), ExecError> {
+    if manifest.relin && keys.relin.is_none() {
+        return Err(ExecError::MissingRelinKey);
+    }
+    if !manifest.galois_steps.is_empty() {
+        let gk = keys.galois.ok_or(ExecError::MissingGaloisKey(
+            *manifest.galois_steps.first().expect("non-empty"),
+        ))?;
+        for &step in &manifest.galois_steps {
+            if gk.get(ctx.rotation_element(step)).is_none() {
+                return Err(ExecError::MissingGaloisKey(step));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Static telemetry span name for one instruction (spans require
+/// `&'static str`).
+fn span_name(instr: &Instr) -> &'static str {
+    match instr {
+        Instr::Add { .. } => "Prog.Add",
+        Instr::Sub { .. } => "Prog.Sub",
+        Instr::PtMult { .. } => "Prog.PtMult",
+        Instr::MulConst { .. } => "Prog.MulConst",
+        Instr::AddConst { .. } => "Prog.AddConst",
+        Instr::Mult { .. } => "Prog.Mult",
+        Instr::Rotate { .. } => "Prog.Rotate",
+        Instr::Rescale { .. } => "Prog.Rescale",
+        Instr::BsgsMatVec { .. } => "Prog.BsgsMatVec",
+        Instr::Bootstrap { .. } => "Prog.Bootstrap",
+    }
+}
+
+/// Validates `program` against the context, checks the bindings and keys,
+/// and interprets the instruction stream. Returns the output ciphertexts
+/// in `program.outputs` order.
+///
+/// Deterministic: the same program, bindings, and keys produce
+/// byte-identical outputs on every call (the serving runtime's
+/// `RunProgram` opcode relies on this for its loopback identity
+/// guarantee).
+pub fn execute(
+    ev: &Evaluator,
+    encoder: &Encoder,
+    prog: &Program,
+    inputs: &ExecInputs,
+    keys: ExecKeys<'_>,
+) -> Result<Vec<(String, Ciphertext)>, ExecError> {
+    let ctx = ev.context();
+    let env = ProgramEnv {
+        levels: ctx.params().levels(),
+        slots: encoder.slots(),
+    };
+    let info = prog.validate(&env)?;
+    execute_validated(ev, encoder, prog, &info, inputs, keys)
+}
+
+/// [`execute`] for a program already validated against the same context
+/// (the serving runtime validates once at upload and reuses the
+/// [`ProgramInfo`] on every run).
+pub fn execute_validated(
+    ev: &Evaluator,
+    encoder: &Encoder,
+    prog: &Program,
+    info: &ProgramInfo,
+    inputs: &ExecInputs,
+    keys: ExecKeys<'_>,
+) -> Result<Vec<(String, Ciphertext)>, ExecError> {
+    let ctx = ev.context();
+    let scale = ctx.params().scale();
+
+    // Fail closed before touching any ciphertext: unsupported ops, key
+    // coverage, binding presence, levels, scales, matrix shapes.
+    if prog
+        .instrs
+        .iter()
+        .any(|i| matches!(i, Instr::Bootstrap { .. }))
+    {
+        return Err(ExecError::Unsupported("Bootstrap"));
+    }
+    check_keys(ctx, &info.manifest, &keys)?;
+    for decl in &prog.ct_inputs {
+        let ct = inputs
+            .cts
+            .get(&decl.name)
+            .ok_or_else(|| ExecError::MissingInput(decl.name.clone()))?;
+        if ct.limb_count() != decl.level {
+            return Err(ExecError::InputLevel {
+                name: decl.name.clone(),
+                want: decl.level,
+                got: ct.limb_count(),
+            });
+        }
+        if (ct.scale() / scale - 1.0).abs() > INPUT_SCALE_TOLERANCE {
+            return Err(ExecError::InputScale(decl.name.clone()));
+        }
+    }
+    for decl in &prog.pt_inputs {
+        if !inputs.pts.contains_key(&decl.name) {
+            return Err(ExecError::MissingPlaintext(decl.name.clone()));
+        }
+    }
+    for decl in &prog.matrices {
+        let lt = inputs
+            .mats
+            .get(&decl.name)
+            .ok_or_else(|| ExecError::MissingMatrix(decl.name.clone()))?;
+        if lt.slots() != decl.slots || lt.offsets() != decl.offsets {
+            return Err(ExecError::MatrixShape(decl.name.clone()));
+        }
+    }
+
+    let mut regs: BTreeMap<&str, Ciphertext> = BTreeMap::new();
+    for decl in &prog.ct_inputs {
+        regs.insert(&decl.name, inputs.cts[&decl.name].clone());
+    }
+
+    let mut idx = 0;
+    while idx < prog.instrs.len() {
+        let instr = &prog.instrs[idx];
+        let meta = &info.instrs[idx];
+
+        // A hoisted run executes as one rotate_hoisted call sharing the
+        // Decomp+ModUp; its members then fill their destinations in order.
+        if let HoistRole::Leader(len) = meta.hoist {
+            let _span = telemetry::span("Prog.RotateHoisted");
+            let src = match instr {
+                Instr::Rotate { a, .. } => a.as_str(),
+                _ => unreachable!("hoist leaders are rotations"),
+            };
+            let steps: Vec<i64> = prog.instrs[idx..idx + len]
+                .iter()
+                .map(|i| match i {
+                    Instr::Rotate { steps, .. } => *steps,
+                    _ => unreachable!("hoisted runs contain only rotations"),
+                })
+                .collect();
+            let gk = keys.galois.expect("checked against the manifest");
+            let rotated = rotate_hoisted(ev, &regs[src], &steps, gk);
+            for (member, out) in prog.instrs[idx..idx + len].iter().zip(rotated) {
+                regs.insert(member.dst(), out);
+            }
+            idx += len;
+            continue;
+        }
+
+        let _span = telemetry::span(span_name(instr));
+        let out = match instr {
+            Instr::Add { a, b, .. } => ev.add(&regs[a.as_str()], &regs[b.as_str()]),
+            Instr::Sub { a, b, .. } => ev.sub(&regs[a.as_str()], &regs[b.as_str()]),
+            Instr::PtMult { a, pt, .. } => {
+                let ct = &regs[a.as_str()];
+                let encoded = encoder
+                    .encode(&inputs.pts[pt], ct.limb_count(), scale)
+                    .map_err(|_| ExecError::Encode(pt.clone()))?;
+                ev.mul_plain_no_rescale(ct, &encoded)
+            }
+            Instr::MulConst { a, value, .. } => {
+                ev.mul_scalar_no_rescale(&regs[a.as_str()], *value, scale)
+            }
+            Instr::AddConst { a, value, .. } => ev.add_scalar(&regs[a.as_str()], *value),
+            Instr::Mult { a, b, .. } => {
+                let rlk = keys.relin.expect("checked against the manifest");
+                ev.mul_with_key(&regs[a.as_str()], &regs[b.as_str()], rlk)
+            }
+            Instr::Rotate { a, steps, .. } => {
+                if *steps == 0 {
+                    regs[a.as_str()].clone()
+                } else {
+                    let gk = keys.galois.expect("checked against the manifest");
+                    ev.rotate(&regs[a.as_str()], *steps, gk)
+                }
+            }
+            Instr::Rescale { a, .. } => ev.rescale(&regs[a.as_str()]),
+            Instr::BsgsMatVec { a, mat, .. } => {
+                let gk = keys.galois.expect("checked against the manifest");
+                let lt = &inputs.mats[mat.as_str()];
+                let n1 = bsgs_baby_dim(lt.diagonal_count());
+                apply_bsgs(ev, encoder, &regs[a.as_str()], lt, gk, n1)
+            }
+            Instr::Bootstrap { .. } => unreachable!("rejected above"),
+        };
+        regs.insert(instr.dst(), out);
+        idx += 1;
+    }
+
+    Ok(prog
+        .outputs
+        .iter()
+        .map(|name| (name.clone(), regs[name.as_str()].clone()))
+        .collect())
+}

@@ -1,0 +1,310 @@
+//! Executor/schedule identity: the HELR gradient step expressed as a
+//! program-IR `Program` must produce *byte-identical* ciphertexts to the
+//! hard-coded `fhe_apps::encrypted_lr_step` schedule, and the three
+//! shipped workloads must decrypt to their plaintext references.
+
+use ckks::hoisting::LinearTransform;
+use ckks::{
+    Ciphertext, CkksContext, CkksParams, Decryptor, Encoder, Encryptor, Evaluator, KeyGenerator,
+};
+use fhe_apps::helr_enc::{encrypted_lr_step, helr_step_program, lr_fold_steps};
+use fhe_math::cfft::Complex;
+use fhe_program::{execute, workloads, ExecInputs, ExecKeys};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+fn assert_ct_identical(label: &str, a: &Ciphertext, b: &Ciphertext) {
+    assert_eq!(
+        a.scale().to_bits(),
+        b.scale().to_bits(),
+        "{label}: scale differs"
+    );
+    for (side, pa, pb) in [("c0", a.c0(), b.c0()), ("c1", a.c1(), b.c1())] {
+        assert_eq!(
+            pa.limb_count(),
+            pb.limb_count(),
+            "{label}/{side}: limb count differs"
+        );
+        for i in 0..pa.limb_count() {
+            assert_eq!(pa.limb(i), pb.limb(i), "{label}/{side}: limb {i} differs");
+        }
+    }
+}
+
+struct Setup {
+    ctx: Arc<CkksContext>,
+    encoder: Encoder,
+    encryptor: Encryptor,
+    decryptor: Decryptor,
+    ev: Evaluator,
+    keygen: KeyGenerator,
+    rng: StdRng,
+    sk: ckks::SecretKey,
+}
+
+fn setup(levels: usize) -> Setup {
+    let ctx = CkksContext::new(
+        CkksParams::builder()
+            .log_degree(5)
+            .levels(levels)
+            .scale_bits(30)
+            .first_modulus_bits(40)
+            .special_modulus_bits(34)
+            .dnum(levels.min(5))
+            .build()
+            .unwrap(),
+    );
+    let mut rng = StdRng::seed_from_u64(41);
+    let keygen = KeyGenerator::new(ctx.clone());
+    let sk = keygen.secret_key(&mut rng);
+    Setup {
+        encoder: Encoder::new(ctx.clone()),
+        encryptor: Encryptor::new(ctx.clone()),
+        decryptor: Decryptor::new(ctx.clone()),
+        ev: Evaluator::new(ctx.clone()),
+        keygen,
+        ctx,
+        rng,
+        sk,
+    }
+}
+
+impl Setup {
+    fn encrypt(&mut self, v: &[f64], level: usize) -> Ciphertext {
+        let cv: Vec<Complex> = v.iter().map(|&x| Complex::new(x, 0.0)).collect();
+        let pt = self
+            .encoder
+            .encode(&cv, level, self.ctx.params().scale())
+            .unwrap();
+        self.encryptor
+            .encrypt_symmetric(&mut self.rng, &pt, &self.sk)
+    }
+
+    fn decrypt(&self, ct: &Ciphertext) -> Vec<f64> {
+        self.encoder
+            .decode(&self.decryptor.decrypt(ct, &self.sk))
+            .iter()
+            .map(|c| c.re)
+            .collect()
+    }
+}
+
+#[test]
+fn helr_step_program_is_byte_identical_to_the_hardcoded_schedule() {
+    let levels = 10;
+    let mut s = setup(levels);
+    let slots = s.ctx.params().slots();
+    let dim = 3;
+    let rlk = s.keygen.relin_key(&mut s.rng, &s.sk);
+    let gk = s
+        .keygen
+        .galois_keys(&mut s.rng, &s.sk, &lr_fold_steps(slots), false);
+
+    let xs_plain: Vec<Vec<f64>> = (0..dim)
+        .map(|d| {
+            (0..slots)
+                .map(|b| ((b * 7 + d * 3) % 5) as f64 * 0.2 - 0.4)
+                .collect()
+        })
+        .collect();
+    let y01: Vec<f64> = (0..slots).map(|b| ((b % 3) == 0) as u8 as f64).collect();
+    let xs: Vec<Ciphertext> = xs_plain.iter().map(|c| s.encrypt(c, levels)).collect();
+    let y_ct = s.encrypt(&y01, levels);
+    let weights: Vec<Ciphertext> = (0..dim)
+        .map(|d| s.encrypt(&vec![0.01 * d as f64; slots], levels))
+        .collect();
+
+    // Hard-coded schedule (mutates in place).
+    let mut legacy = weights.clone();
+    encrypted_lr_step(
+        &s.ev,
+        rlk.switching_key(),
+        &gk,
+        &mut legacy,
+        &xs,
+        &y_ct,
+        slots,
+        1.0,
+    );
+
+    // The same step as a program.
+    let prog = helr_step_program(dim, slots, levels, 1.0);
+    let mut inputs = ExecInputs::default();
+    for (d, w) in weights.iter().enumerate() {
+        inputs.cts.insert(format!("w{d}"), w.clone());
+    }
+    for (d, x) in xs.iter().enumerate() {
+        inputs.cts.insert(format!("x{d}"), x.clone());
+    }
+    inputs.cts.insert("y".into(), y_ct);
+    let keys = ExecKeys {
+        relin: Some(rlk.switching_key()),
+        galois: Some(&gk),
+    };
+    let out = execute(&s.ev, &s.encoder, &prog, &inputs, keys).expect("program executes");
+
+    assert_eq!(out.len(), dim);
+    for (d, (name, ct)) in out.iter().enumerate() {
+        assert_eq!(name, &format!("wout{d}"));
+        assert_ct_identical(name, ct, &legacy[d]);
+    }
+}
+
+#[test]
+fn aggregate_program_matches_plain_reference() {
+    let mut s = setup(6);
+    let slots = s.ctx.params().slots();
+    let rlk = s.keygen.relin_key(&mut s.rng, &s.sk);
+    let prog = workloads::aggregate_program(slots, 6);
+    let info = prog
+        .validate(&simfhe::program::ProgramEnv { levels: 6, slots })
+        .unwrap();
+    let gk = s
+        .keygen
+        .galois_keys(&mut s.rng, &s.sk, &info.manifest.galois_steps, false);
+
+    let vs: Vec<Vec<f64>> = (0..3)
+        .map(|d| {
+            (0..slots)
+                .map(|b| ((b * 5 + d) % 9) as f64 / 10.0)
+                .collect()
+        })
+        .collect();
+    let mut inputs = ExecInputs::default();
+    for (d, v) in vs.iter().enumerate() {
+        let ct = s.encrypt(v, 6);
+        inputs.cts.insert(format!("v{d}"), ct);
+    }
+    let keys = ExecKeys {
+        relin: Some(rlk.switching_key()),
+        galois: Some(&gk),
+    };
+    let out = execute(&s.ev, &s.encoder, &prog, &inputs, keys).expect("aggregate executes");
+    let by_name: BTreeMap<&str, &Ciphertext> = out.iter().map(|(n, c)| (n.as_str(), c)).collect();
+
+    let global_mean: f64 = vs.iter().flatten().sum::<f64>() / (3 * slots) as f64;
+    let mean = s.decrypt(by_name["mean"]);
+    for (b, &got) in mean.iter().enumerate() {
+        assert!(
+            (got - global_mean).abs() < 2e-2,
+            "mean slot {b}: {got} vs {global_mean}"
+        );
+    }
+
+    // Two smooth-max folds m ← (m+v)/2 + (m−v)²/2 in the clear.
+    let smax_ref: Vec<f64> = (0..slots)
+        .map(|b| {
+            let mut m = vs[0][b];
+            for v in [vs[1][b], vs[2][b]] {
+                m = (m + v) / 2.0 + (m - v) * (m - v) / 2.0;
+            }
+            m
+        })
+        .collect();
+    let smax = s.decrypt(by_name["smax"]);
+    for (b, (&got, &want)) in smax.iter().zip(&smax_ref).enumerate() {
+        assert!((got - want).abs() < 2e-2, "smax slot {b}: {got} vs {want}");
+    }
+}
+
+#[test]
+fn dot_product_program_matches_plain_reference() {
+    let mut s = setup(4);
+    let slots = s.ctx.params().slots();
+    let diagonals = 8;
+    let prog = workloads::dot_product_program(slots, 4, diagonals);
+    let info = prog
+        .validate(&simfhe::program::ProgramEnv { levels: 4, slots })
+        .unwrap();
+    let gk = s
+        .keygen
+        .galois_keys(&mut s.rng, &s.sk, &info.manifest.galois_steps, false);
+
+    // Database rows packed as the first `diagonals` diagonals.
+    let mut diags = BTreeMap::new();
+    for d in 0..diagonals {
+        let diag: Vec<Complex> = (0..slots)
+            .map(|j| Complex::new(((j * 3 + d * 5) % 7) as f64 * 0.1 - 0.2, 0.0))
+            .collect();
+        diags.insert(d, diag);
+    }
+    let lt = LinearTransform::from_diagonals(diags.clone(), slots);
+    let query: Vec<f64> = (0..slots)
+        .map(|b| ((b * 2 + 1) % 5) as f64 * 0.15)
+        .collect();
+
+    let mut inputs = ExecInputs::default();
+    let q_ct = s.encrypt(&query, 4);
+    inputs.cts.insert("query".into(), q_ct);
+    inputs.mats.insert("db".into(), lt);
+    let keys = ExecKeys {
+        relin: None,
+        galois: Some(&gk),
+    };
+    let out = execute(&s.ev, &s.encoder, &prog, &inputs, keys).expect("dot-product executes");
+    let scores = s.decrypt(&out[0].1);
+
+    // y[j] = Σ_d diag_d[j] · query[(j + d) mod slots], scaled by 1/8.
+    for j in 0..slots {
+        let want: f64 = (0..diagonals)
+            .map(|d| diags[&d][j].re * query[(j + d) % slots])
+            .sum::<f64>()
+            * 0.125;
+        assert!(
+            (scores[j] - want).abs() < 2e-2,
+            "score slot {j}: {} vs {want}",
+            scores[j]
+        );
+    }
+}
+
+#[test]
+fn sha_stress_program_matches_plain_gates() {
+    let mut s = setup(3);
+    let slots = s.ctx.params().slots();
+    let (rot_a, rot_b) = (1, 4);
+    let prog = workloads::sha256_stress_program(3, rot_a, rot_b);
+    let info = prog
+        .validate(&simfhe::program::ProgramEnv { levels: 3, slots })
+        .unwrap();
+    assert_eq!(info.manifest.galois_steps, vec![rot_a, rot_b]);
+    let rlk = s.keygen.relin_key(&mut s.rng, &s.sk);
+    let gk = s
+        .keygen
+        .galois_keys(&mut s.rng, &s.sk, &info.manifest.galois_steps, false);
+
+    let bits = |seed: usize| -> Vec<f64> {
+        (0..slots)
+            .map(|b| f64::from((b * 31 + seed * 17).is_multiple_of(3)))
+            .collect()
+    };
+    let (x, y, z, w) = (bits(0), bits(1), bits(2), bits(3));
+    let mut inputs = ExecInputs::default();
+    for (name, v) in [("x", &x), ("y", &y), ("z", &z), ("w", &w)] {
+        let ct = s.encrypt(v, 3);
+        inputs.cts.insert(name.into(), ct);
+    }
+    let keys = ExecKeys {
+        relin: Some(rlk.switching_key()),
+        galois: Some(&gk),
+    };
+    let out = execute(&s.ev, &s.encoder, &prog, &inputs, keys).expect("sha stress executes");
+    let digest = s.decrypt(&out[0].1);
+
+    let xor = |a: f64, b: f64| a + b - 2.0 * a * b;
+    for j in 0..slots {
+        let (ra, rb) = (
+            x[(j + rot_a as usize) % slots],
+            x[(j + rot_b as usize) % slots],
+        );
+        let want =
+            xor(ra, rb) + (w[j] + y[j] * (z[j] - w[j])) + (x[j] * y[j] + xor(x[j], y[j]) * z[j]);
+        assert!(
+            (digest[j] - want).abs() < 2e-2,
+            "digest slot {j}: {} vs {want}",
+            digest[j]
+        );
+    }
+}

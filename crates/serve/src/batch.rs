@@ -93,18 +93,24 @@ pub enum KeyClass {
     Relin,
     /// Needs Galois keys (`Rotate`, `Bsgs`).
     Galois,
-    /// Needs both (`HelrStep`: relin + the fold rotations).
+    /// Needs both (`HelrStep`: relin + the fold rotations; `RunProgram`:
+    /// whatever its key manifest names, refined at pin time).
     RelinGalois,
 }
 
 impl KeyClass {
     /// The key class of an opcode, or `None` if it holds no keys and
     /// must never be held back for batching.
+    ///
+    /// `RunProgram` is classed conservatively as [`KeyClass::RelinGalois`]
+    /// — the exact key set is per-program (its manifest), and the batch
+    /// executor resolves the actual pins from the stored program when the
+    /// group dispatches.
     pub fn of(op: Opcode) -> Option<Self> {
         match op {
             Opcode::Mult => Some(KeyClass::Relin),
             Opcode::Rotate | Opcode::Bsgs => Some(KeyClass::Galois),
-            Opcode::HelrStep => Some(KeyClass::RelinGalois),
+            Opcode::HelrStep | Opcode::RunProgram => Some(KeyClass::RelinGalois),
             _ => None,
         }
     }
@@ -120,6 +126,11 @@ pub(crate) fn peek_session(body: &[u8]) -> Option<u64> {
 /// The rotation amount of a `Rotate` body (`sid:u64, steps:i64, ct`).
 pub(crate) fn peek_rotate_steps(body: &[u8]) -> Option<i64> {
     Some(i64::from_le_bytes(body.get(8..16)?.try_into().ok()?))
+}
+
+/// The program id of a `RunProgram` body (`sid:u64, pid:u64, inputs…`).
+pub(crate) fn peek_program_id(body: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(body.get(8..16)?.try_into().ok()?))
 }
 
 /// The ciphertext bytes of a `Rotate` body — the grouping key for
@@ -178,11 +189,16 @@ mod tests {
         assert_eq!(KeyClass::of(Opcode::Rotate), Some(KeyClass::Galois));
         assert_eq!(KeyClass::of(Opcode::Bsgs), Some(KeyClass::Galois));
         assert_eq!(KeyClass::of(Opcode::HelrStep), Some(KeyClass::RelinGalois));
+        assert_eq!(
+            KeyClass::of(Opcode::RunProgram),
+            Some(KeyClass::RelinGalois)
+        );
         for op in [
             Opcode::Hello,
             Opcode::UploadRelin,
             Opcode::UploadGalois,
             Opcode::CloseSession,
+            Opcode::UploadProgram,
             Opcode::Add,
             Opcode::PtMult,
             Opcode::Rescale,
@@ -203,6 +219,10 @@ mod tests {
         assert_eq!(peek_rotate_ct(&w.0), Some(&b"ciphertext"[..]));
         assert_eq!(peek_session(&[1, 2, 3]), None);
         assert_eq!(peek_rotate_steps(&[0; 12]), None);
+        let mut p = BodyWriter::new();
+        p.u64(7).u64(11).raw(b"inputs");
+        assert_eq!(peek_program_id(&p.0), Some(11));
+        assert_eq!(peek_program_id(&[0; 12]), None);
     }
 
     #[test]

@@ -17,6 +17,8 @@ use ckks::serialize::{
     serialize_switching_key, SerializeError,
 };
 use ckks::{Ciphertext, CkksContext, GaloisKeys, Plaintext, SwitchingKey};
+use fhe_program::program::Program;
+use fhe_program::ExecInputs;
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::Duration;
@@ -371,6 +373,44 @@ impl Client {
         Ok(out)
     }
 
+    /// Uploads a serialized encrypted program; the server validates it
+    /// against its own parameters and returns the program id to pass to
+    /// [`Client::run_program`].
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`]; a program the server's parameters cannot
+    /// host fails `Malformed` with the validator's diagnostic.
+    pub fn upload_program(&mut self, session: u64, prog: &Program) -> Result<u64, ClientError> {
+        let mut w = BodyWriter::new();
+        w.u64(session).raw(&prog.to_bytes());
+        let resp = self.call(Opcode::UploadProgram, &w.0)?;
+        resp.get(..8)
+            .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+            .ok_or_else(|| ClientError::Protocol("short program id".into()))
+    }
+
+    /// Runs an uploaded program, binding `inputs` by declaration name,
+    /// and returns the output ciphertexts in the program's output order.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::call_raw`]; unbound or mis-shaped inputs fail
+    /// client-side as [`ClientError::Protocol`] before anything is sent.
+    pub fn run_program(
+        &mut self,
+        session: u64,
+        pid: u64,
+        prog: &Program,
+        inputs: &ExecInputs,
+    ) -> Result<Vec<Ciphertext>, ClientError> {
+        let payload = encode_program_inputs(prog, inputs)?;
+        let mut w = BodyWriter::new();
+        w.u64(session).u64(pid).raw(&payload);
+        let resp = self.call(Opcode::RunProgram, &w.0)?;
+        decode_program_outputs(&self.ctx, prog.outputs.len(), &resp)
+    }
+
     /// Fetches the server's plain-text metrics dump.
     ///
     /// # Errors
@@ -403,6 +443,77 @@ impl Client {
         let resp = self.call(Opcode::TraceDump, &[1])?;
         String::from_utf8(resp).map_err(|_| ClientError::Protocol("slow log not UTF-8".into()))
     }
+}
+
+/// Serializes a program's inputs in wire order — declaration order:
+/// ciphertext blobs, then plaintext vectors (`u32` count + `f64` pairs),
+/// then matrix diagonals (declared offsets, `slots` `f64` pairs each).
+/// Fails client-side if any declared input is unbound or mis-shaped.
+fn encode_program_inputs(prog: &Program, inputs: &ExecInputs) -> Result<Vec<u8>, ClientError> {
+    let missing =
+        |kind: &str, name: &str| ClientError::Protocol(format!("{kind} `{name}` not bound"));
+    let mut w = BodyWriter::new();
+    for decl in &prog.ct_inputs {
+        let ct = inputs
+            .cts
+            .get(&decl.name)
+            .ok_or_else(|| missing("ciphertext input", &decl.name))?;
+        w.blob(&serialize_ciphertext(ct));
+    }
+    for decl in &prog.pt_inputs {
+        let v = inputs
+            .pts
+            .get(&decl.name)
+            .ok_or_else(|| missing("plaintext input", &decl.name))?;
+        w.u32(v.len() as u32);
+        for c in v {
+            w.f64(c.re).f64(c.im);
+        }
+    }
+    for decl in &prog.matrices {
+        let lt = inputs
+            .mats
+            .get(&decl.name)
+            .ok_or_else(|| missing("matrix input", &decl.name))?;
+        for &offset in &decl.offsets {
+            let diag = lt.diagonal(offset).ok_or_else(|| {
+                ClientError::Protocol(format!(
+                    "matrix `{}` is missing declared diagonal {offset}",
+                    decl.name
+                ))
+            })?;
+            if diag.len() != decl.slots {
+                return Err(ClientError::Protocol(format!(
+                    "matrix `{}` diagonal {offset} has {} slots, declared {}",
+                    decl.name,
+                    diag.len(),
+                    decl.slots
+                )));
+            }
+            for c in diag {
+                w.f64(c.re).f64(c.im);
+            }
+        }
+    }
+    Ok(w.0)
+}
+
+/// Decodes a `RunProgram` response: one ciphertext blob per program
+/// output, in output order.
+fn decode_program_outputs(
+    ctx: &CkksContext,
+    n_outputs: usize,
+    resp: &[u8],
+) -> Result<Vec<Ciphertext>, ClientError> {
+    let mut r = BodyReader::new(resp);
+    let mut out = Vec::with_capacity(n_outputs);
+    for _ in 0..n_outputs {
+        let bytes = r
+            .blob()
+            .ok_or_else(|| ClientError::Protocol("short program response".into()))?;
+        out.push(deserialize_ciphertext(ctx, bytes)?);
+    }
+    Ok(out)
 }
 
 /// How [`RetryingClient`] paces its attempts: capped exponential backoff
@@ -515,8 +626,27 @@ pub struct RetryingClient {
     conn: Option<(Client, u64)>,
     relin: Option<Vec<u8>>,
     galois: Option<Vec<u8>>,
+    programs: Vec<ProgramSlot>,
     stats: RetryStats,
 }
+
+/// A program uploaded through [`RetryingClient::upload_program`],
+/// retained for re-upload: the exact wire bytes (so a recovered session
+/// holds a byte-identical program), the decoded form (to frame
+/// `run_program` inputs), and the server-side id of the *current*
+/// session incarnation.
+struct ProgramSlot {
+    wire: Vec<u8>,
+    program: Program,
+    pid: Option<u64>,
+}
+
+/// Handle to a program uploaded through
+/// [`RetryingClient::upload_program`]. Stable across reconnects: the
+/// server-side program id changes with every session incarnation, the
+/// handle does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramHandle(usize);
 
 impl RetryingClient {
     /// Connects (with retries) and opens the logical session.
@@ -560,6 +690,7 @@ impl RetryingClient {
             conn: None,
             relin: None,
             galois: None,
+            programs: Vec::new(),
             stats: RetryStats::default(),
         };
         me.with_retry(|_, _| Ok(()))?;
@@ -577,27 +708,47 @@ impl RetryingClient {
         self.stats
     }
 
-    /// (Re)establishes the connection, session, and uploaded keys.
-    fn ensure(&mut self) -> Result<(&mut Client, u64), ClientError> {
-        if self.conn.is_none() {
-            let client = Client::connect(self.addr, self.ctx.clone())?;
-            client.set_read_timeout(self.policy.op_timeout)?;
-            let mut client = client;
-            let sid = client.hello_ext(self.hint)?.session;
-            // Re-upload the stored compressed key bytes verbatim: the
-            // recovered session is byte-identical to the lost one.
-            if let Some(bytes) = &self.relin {
-                let mut w = BodyWriter::new();
-                w.u64(sid).raw(bytes);
-                client.call_raw(Opcode::UploadRelin as u8, &w.0)?;
-            }
-            if let Some(bytes) = &self.galois {
-                let mut w = BodyWriter::new();
-                w.u64(sid).raw(bytes);
-                client.call_raw(Opcode::UploadGalois as u8, &w.0)?;
-            }
-            self.conn = Some((client, sid));
+    /// (Re)establishes the connection, session, uploaded keys, and
+    /// uploaded programs, leaving the live connection in `self.conn`.
+    fn ensure_ready(&mut self) -> Result<(), ClientError> {
+        if self.conn.is_some() {
+            return Ok(());
         }
+        let client = Client::connect(self.addr, self.ctx.clone())?;
+        client.set_read_timeout(self.policy.op_timeout)?;
+        let mut client = client;
+        let sid = client.hello_ext(self.hint)?.session;
+        // Re-upload the stored compressed key bytes verbatim: the
+        // recovered session is byte-identical to the lost one.
+        if let Some(bytes) = &self.relin {
+            let mut w = BodyWriter::new();
+            w.u64(sid).raw(bytes);
+            client.call_raw(Opcode::UploadRelin as u8, &w.0)?;
+        }
+        if let Some(bytes) = &self.galois {
+            let mut w = BodyWriter::new();
+            w.u64(sid).raw(bytes);
+            client.call_raw(Opcode::UploadGalois as u8, &w.0)?;
+        }
+        // Re-upload stored program wire bytes, re-learning each slot's
+        // server-side id under the new session.
+        for slot in &mut self.programs {
+            let mut w = BodyWriter::new();
+            w.u64(sid).raw(&slot.wire);
+            let resp = client.call_raw(Opcode::UploadProgram as u8, &w.0)?;
+            let pid = resp
+                .get(..8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or_else(|| ClientError::Protocol("short program id".into()))?;
+            slot.pid = Some(pid);
+        }
+        self.conn = Some((client, sid));
+        Ok(())
+    }
+
+    /// (Re)establishes the connection, session, and uploaded state.
+    fn ensure(&mut self) -> Result<(&mut Client, u64), ClientError> {
+        self.ensure_ready()?;
         let (client, sid) = self.conn.as_mut().expect("just ensured");
         Ok((client, *sid))
     }
@@ -616,6 +767,51 @@ impl RetryingClient {
             self.stats.attempts += 1;
             let result = match self.ensure() {
                 Ok((client, sid)) => f(client, sid),
+                Err(e) => Err(e),
+            };
+            let err = match result {
+                Ok(v) => return Ok(v),
+                Err(e) => e,
+            };
+            let class = classify(&err);
+            if matches!(class, RetryClass::Fatal) || attempt >= self.policy.max_attempts.max(1) {
+                if !matches!(class, RetryClass::Fatal) {
+                    self.stats.gave_up += 1;
+                }
+                return Err(err);
+            }
+            if matches!(class, RetryClass::Reconnect) {
+                self.conn = None;
+                self.stats.reconnects += 1;
+            }
+            self.stats.retries += 1;
+            std::thread::sleep(self.policy.backoff(attempt - 1, &mut self.rng));
+        }
+    }
+
+    /// [`RetryingClient::with_retry`], but `f` also receives the
+    /// program's server-side id under the *current* session incarnation —
+    /// which a reconnect inside the loop re-learns before the next
+    /// attempt, so a retried `run_program` always names a live program.
+    fn with_retry_program<T>(
+        &mut self,
+        handle: ProgramHandle,
+        f: impl Fn(&mut Client, u64, u64) -> Result<T, ClientError>,
+    ) -> Result<T, ClientError> {
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            self.stats.attempts += 1;
+            let result = match self.ensure_ready() {
+                Ok(()) => {
+                    let pid = self.programs[handle.0].pid;
+                    let (client, sid) = self.conn.as_mut().expect("just ensured");
+                    let sid = *sid;
+                    match pid {
+                        Some(pid) => f(client, sid, pid),
+                        None => Err(ClientError::Protocol("program id never learned".into())),
+                    }
+                }
                 Err(e) => Err(e),
             };
             let err = match result {
@@ -668,6 +864,60 @@ impl RetryingClient {
                 .call_raw(Opcode::UploadGalois as u8, &w.0)
                 .map(|_| ())
         })
+    }
+
+    /// Uploads a program (and stores its wire bytes for re-upload on
+    /// reconnect). The returned handle is stable across reconnects —
+    /// every retry or recovery re-learns the server-side id under the
+    /// current session, so callers never see a stale program id.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`].
+    pub fn upload_program(&mut self, prog: &Program) -> Result<ProgramHandle, ClientError> {
+        let wire = prog.to_bytes();
+        let wire_up = wire.clone();
+        let pid = self.with_retry(move |client, sid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).raw(&wire_up);
+            let resp = client.call_raw(Opcode::UploadProgram as u8, &w.0)?;
+            resp.get(..8)
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+                .ok_or_else(|| ClientError::Protocol("short program id".into()))
+        })?;
+        self.programs.push(ProgramSlot {
+            wire,
+            program: prog.clone(),
+            pid: Some(pid),
+        });
+        Ok(ProgramHandle(self.programs.len() - 1))
+    }
+
+    /// Runs an uploaded program with retries, binding `inputs` by
+    /// declaration name; returns the outputs in program output order.
+    ///
+    /// # Errors
+    ///
+    /// See [`RetryingClient::connect`]; unbound or mis-shaped inputs
+    /// fail immediately as [`ClientError::Protocol`].
+    pub fn run_program(
+        &mut self,
+        handle: ProgramHandle,
+        inputs: &ExecInputs,
+    ) -> Result<Vec<Ciphertext>, ClientError> {
+        let slot = self
+            .programs
+            .get(handle.0)
+            .ok_or_else(|| ClientError::Protocol("unknown program handle".into()))?;
+        let payload = encode_program_inputs(&slot.program, inputs)?;
+        let n_outputs = slot.program.outputs.len();
+        let ctx = self.ctx.clone();
+        let resp = self.with_retry_program(handle, move |client, sid, pid| {
+            let mut w = BodyWriter::new();
+            w.u64(sid).u64(pid).raw(&payload);
+            client.call_raw(Opcode::RunProgram as u8, &w.0)
+        })?;
+        decode_program_outputs(&ctx, n_outputs, &resp)
     }
 
     fn call_ct(

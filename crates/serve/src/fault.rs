@@ -332,6 +332,7 @@ fn is_setup(op: Opcode) -> bool {
             | Opcode::UploadRelin
             | Opcode::UploadGalois
             | Opcode::CloseSession
+            | Opcode::UploadProgram
             | Opcode::Metrics
     )
 }

@@ -71,9 +71,11 @@ pub mod session;
 
 pub use batch::{BatchConfig, KeyClass};
 pub use cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
-pub use client::{Client, ClientError, HelloInfo, RetryPolicy, RetryStats, RetryingClient};
+pub use client::{
+    Client, ClientError, HelloInfo, ProgramHandle, RetryPolicy, RetryStats, RetryingClient,
+};
 pub use fault::{FaultDecision, FaultMix, FaultPlan, InjectedFault};
 pub use obs::{chrome_trace_json, FinishedTrace, ObsConfig, Stage, SubSpan};
 pub use protocol::{BatchHint, ErrorCode, Opcode, PROTOCOL_VERSION};
 pub use server::{ServeConfig, Server};
-pub use session::{Session, SessionManager};
+pub use session::{Session, SessionManager, StoredProgram};

@@ -43,6 +43,11 @@ pub enum Opcode {
     UploadGalois = 0x03,
     /// Close a session and drop its keys from store and cache.
     CloseSession = 0x04,
+    /// Upload a serialized encrypted-program (`MADP` wire form). The body
+    /// is the `u64` session id followed by the raw program bytes; the
+    /// server validates the program against its own parameters and
+    /// replies with the `u64` program id to pass to [`Opcode::RunProgram`].
+    UploadProgram = 0x05,
     /// Homomorphic addition of two ciphertexts.
     Add = 0x10,
     /// Ciphertext × plaintext multiplication (with rescale).
@@ -57,6 +62,12 @@ pub enum Opcode {
     Bsgs = 0x16,
     /// One encrypted HELR logistic-regression training step.
     HelrStep = 0x17,
+    /// Execute a previously uploaded program: `u64` session id, `u64`
+    /// program id, then the program's declared inputs in declaration
+    /// order (ciphertexts as blobs, plaintext vectors and matrix
+    /// diagonals as `f64` pairs). The response carries one ciphertext
+    /// blob per program output, in output order.
+    RunProgram = 0x18,
     /// Fetch the server's plain-text metrics dump.
     Metrics = 0x20,
     /// Fetch recent request timelines. An empty body (or a leading `0`
@@ -73,6 +84,7 @@ impl Opcode {
             0x02 => Opcode::UploadRelin,
             0x03 => Opcode::UploadGalois,
             0x04 => Opcode::CloseSession,
+            0x05 => Opcode::UploadProgram,
             0x10 => Opcode::Add,
             0x12 => Opcode::PtMult,
             0x13 => Opcode::Mult,
@@ -80,6 +92,7 @@ impl Opcode {
             0x15 => Opcode::Rescale,
             0x16 => Opcode::Bsgs,
             0x17 => Opcode::HelrStep,
+            0x18 => Opcode::RunProgram,
             0x20 => Opcode::Metrics,
             0x21 => Opcode::TraceDump,
             _ => return None,
@@ -93,6 +106,7 @@ impl Opcode {
             Opcode::UploadRelin => "upload_relin",
             Opcode::UploadGalois => "upload_galois",
             Opcode::CloseSession => "close_session",
+            Opcode::UploadProgram => "upload_program",
             Opcode::Add => "add",
             Opcode::PtMult => "pt_mult",
             Opcode::Mult => "mult",
@@ -100,17 +114,19 @@ impl Opcode {
             Opcode::Rescale => "rescale",
             Opcode::Bsgs => "bsgs",
             Opcode::HelrStep => "helr_step",
+            Opcode::RunProgram => "run_program",
             Opcode::Metrics => "metrics",
             Opcode::TraceDump => "trace_dump",
         }
     }
 
     /// Every opcode, for metrics registration.
-    pub const ALL: [Opcode; 13] = [
+    pub const ALL: [Opcode; 15] = [
         Opcode::Hello,
         Opcode::UploadRelin,
         Opcode::UploadGalois,
         Opcode::CloseSession,
+        Opcode::UploadProgram,
         Opcode::Add,
         Opcode::PtMult,
         Opcode::Mult,
@@ -118,6 +134,7 @@ impl Opcode {
         Opcode::Rescale,
         Opcode::Bsgs,
         Opcode::HelrStep,
+        Opcode::RunProgram,
         Opcode::Metrics,
         Opcode::TraceDump,
     ];

@@ -34,7 +34,8 @@
 //! replies are delivered, then every thread is joined.
 
 use crate::batch::{
-    peek_bsgs_steps, peek_rotate_ct, peek_rotate_steps, peek_session, BatchConfig, KeyClass,
+    peek_bsgs_steps, peek_program_id, peek_rotate_ct, peek_rotate_steps, peek_session, BatchConfig,
+    KeyClass,
 };
 use crate::cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
 #[cfg(feature = "chaos")]
@@ -45,7 +46,7 @@ use crate::protocol::{
     read_frame, write_frame, BatchHint, BodyReader, ErrorCode, FrameRead, Opcode,
     DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
-use crate::session::{Session, SessionManager};
+use crate::session::{Session, SessionManager, StoredProgram};
 use ckks::hoisting::{apply_bsgs, bsgs_required_steps, rotate_hoisted, LinearTransform};
 use ckks::serialize::{
     deserialize_ciphertext, deserialize_plaintext, deserialize_switching_key,
@@ -54,6 +55,8 @@ use ckks::serialize::{
 use ckks::{Ciphertext, CkksContext, Encoder, Evaluator, GaloisKeys, SwitchingKey};
 use fhe_apps::{encrypted_lr_step, lr_fold_steps};
 use fhe_math::cfft::Complex;
+use fhe_program::program::{Instr, Program, ProgramEnv};
+use fhe_program::{execute_validated, ExecError, ExecInputs, ExecKeys};
 use std::collections::{BTreeMap, HashMap};
 use std::io::Read;
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -574,6 +577,22 @@ fn run_batch(state: &ServerState, sid: u64, class: KeyClass, jobs: Vec<Job>, dea
                 for s in lr_fold_steps(slots) {
                     if s != 0 {
                         want(&mut kinds, KeyKind::Galois(state.ctx.rotation_element(s)));
+                    }
+                }
+            }
+            // The program's own key manifest names the exact pins — the
+            // opcode's static RelinGalois class is only the grouping key.
+            Opcode::RunProgram => {
+                if let Some(sp) =
+                    peek_program_id(&job.body).and_then(|pid| session.program(pid).ok())
+                {
+                    if sp.info.manifest.relin {
+                        want(&mut kinds, KeyKind::Relin);
+                    }
+                    for &s in &sp.info.manifest.galois_steps {
+                        if s != 0 {
+                            want(&mut kinds, KeyKind::Galois(state.ctx.rotation_element(s)));
+                        }
                     }
                 }
             }
@@ -1164,6 +1183,39 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             state.cache.purge_session(sid);
             Ok(Vec::new())
         }
+        Opcode::UploadProgram => {
+            let mut r = BodyReader::new(body);
+            let (_sid, session) = need_session(state, &mut r)?;
+            let wire = r.rest();
+            let program = Program::from_bytes(wire)
+                .map_err(|e| (ErrorCode::Malformed, format!("program rejected: {e}")))?;
+            // Validate against *this server's* parameters once at upload,
+            // so every RunProgram skips straight to execution and a
+            // mis-parameterized program fails loudly up front.
+            let env = ProgramEnv {
+                levels: state.ctx.params().levels(),
+                slots: state.ctx.params().slots(),
+            };
+            let info = program
+                .validate(&env)
+                .map_err(|e| (ErrorCode::Malformed, format!("program rejected: {e}")))?;
+            if program
+                .instrs
+                .iter()
+                .any(|i| matches!(i, Instr::Bootstrap { .. }))
+            {
+                return fail(
+                    ErrorCode::Malformed,
+                    "program uses Bootstrap, which the serving runtime cannot execute",
+                );
+            }
+            let pid = session.store_program(StoredProgram {
+                wire_len: wire.len(),
+                info,
+                program,
+            });
+            Ok(pid.to_le_bytes().to_vec())
+        }
         Opcode::Add => {
             let mut r = BodyReader::new(body);
             let (_sid, _session) = need_session(state, &mut r)?;
@@ -1299,6 +1351,82 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             }
             Ok(out.0)
         }
+        Opcode::RunProgram => {
+            let mut r = BodyReader::new(body);
+            let (sid, session) = need_session(state, &mut r)?;
+            let pid = r.u64().ok_or_else(malformed)?;
+            let sp = session
+                .program(pid)
+                .map_err(|c| (c, format!("program {pid} not uploaded to session {sid}")))?;
+            let prog = &sp.program;
+            // Inputs arrive in declaration order: ciphertext blobs, then
+            // plaintext vectors, then matrix diagonals (declared offsets,
+            // `slots` complex values each).
+            let mut inputs = ExecInputs::default();
+            for decl in &prog.ct_inputs {
+                let ct = read_ct(state, r.blob().ok_or_else(malformed)?)?;
+                inputs.cts.insert(decl.name.clone(), ct);
+            }
+            for decl in &prog.pt_inputs {
+                let n = r.u32().ok_or_else(malformed)? as usize;
+                if n > state.ctx.params().slots() {
+                    return fail(ErrorCode::Malformed, "plaintext vector exceeds slot count");
+                }
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    let re = r.f64().ok_or_else(malformed)?;
+                    let im = r.f64().ok_or_else(malformed)?;
+                    v.push(Complex::new(re, im));
+                }
+                inputs.pts.insert(decl.name.clone(), v);
+            }
+            for decl in &prog.matrices {
+                let mut diagonals = BTreeMap::new();
+                for &offset in &decl.offsets {
+                    let mut diag = Vec::with_capacity(decl.slots);
+                    for _ in 0..decl.slots {
+                        let re = r.f64().ok_or_else(malformed)?;
+                        let im = r.f64().ok_or_else(malformed)?;
+                        diag.push(Complex::new(re, im));
+                    }
+                    diagonals.insert(offset, diag);
+                }
+                inputs.mats.insert(
+                    decl.name.clone(),
+                    LinearTransform::from_diagonals(diagonals, decl.slots),
+                );
+            }
+            if !r.is_empty() {
+                return fail(ErrorCode::Malformed, "trailing bytes after program inputs");
+            }
+            // The manifest names exactly the keys the program touches;
+            // resolve them through the batch's pinned set first, the
+            // shared cache second — same path as the scalar opcodes.
+            let rlk = if sp.info.manifest.relin {
+                Some(expand_key(state, sid, &session, KeyKind::Relin, keys)?)
+            } else {
+                None
+            };
+            let gk = assemble_galois(state, sid, &session, &sp.info.manifest.galois_steps, keys)?;
+            let exec_keys = ExecKeys {
+                relin: rlk.as_deref(),
+                galois: Some(&gk),
+            };
+            let outs = execute_validated(
+                &state.evaluator,
+                &state.encoder,
+                prog,
+                &sp.info,
+                &inputs,
+                exec_keys,
+            )
+            .map_err(exec_error)?;
+            let mut out = crate::protocol::BodyWriter::new();
+            for (_name, ct) in &outs {
+                out.blob(&ser_ct(ct));
+            }
+            Ok(out.0)
+        }
         Opcode::Metrics => Ok(state
             .metrics
             .dump(&state.cache.stats(), state.ctx.kernel_backend().name())
@@ -1313,6 +1441,17 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
 
 fn malformed() -> (ErrorCode, String) {
     (ErrorCode::Malformed, "truncated request body".into())
+}
+
+/// Maps an executor failure onto the protocol's error codes: absent keys
+/// surface as [`ErrorCode::MissingKey`] (upload and retry), everything
+/// else is a client-side [`ErrorCode::Malformed`].
+fn exec_error(e: ExecError) -> (ErrorCode, String) {
+    let code = match e {
+        ExecError::MissingRelinKey | ExecError::MissingGaloisKey(_) => ErrorCode::MissingKey,
+        _ => ErrorCode::Malformed,
+    };
+    (code, e.to_string())
 }
 
 fn need_session(

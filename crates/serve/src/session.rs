@@ -9,16 +9,32 @@
 
 use crate::cache::KeyKind;
 use crate::protocol::{BatchHint, ErrorCode};
+use fhe_program::program::{Program, ProgramInfo};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 
+/// A validated encrypted program uploaded to a session: the decoded IR,
+/// its static-analysis summary (levels, scales, key manifest), and the
+/// wire size it occupies for the stored-bytes accounting.
+pub struct StoredProgram {
+    /// The decoded program.
+    pub program: Program,
+    /// `validate()` output: per-instruction metadata plus the key
+    /// manifest the batching scheduler pins from.
+    pub info: ProgramInfo,
+    /// Size of the `MADP` wire form as uploaded.
+    pub wire_len: usize,
+}
+
 /// One tenant's uploaded keys, in compressed serialized form, plus the
-/// batching hint it declared in Hello.
+/// batching hint it declared in Hello and any uploaded programs.
 #[derive(Default)]
 pub struct Session {
     relin: Mutex<Option<Arc<Vec<u8>>>>,
     galois: Mutex<HashMap<u64, Arc<Vec<u8>>>>,
+    programs: Mutex<HashMap<u64, Arc<StoredProgram>>>,
+    next_program: AtomicU64,
     hint: AtomicU8,
 }
 
@@ -59,7 +75,29 @@ impl Session {
         }
     }
 
-    /// Total compressed key bytes this session stores.
+    /// Stores a validated program and returns its id (ids start at 1 so
+    /// 0 never names a program).
+    pub fn store_program(&self, stored: StoredProgram) -> u64 {
+        let id = 1 + self.next_program.fetch_add(1, Ordering::Relaxed);
+        self.programs
+            .lock()
+            .expect("session poisoned")
+            .insert(id, Arc::new(stored));
+        id
+    }
+
+    /// Resolves a program id, or [`ErrorCode::Malformed`] (running a
+    /// never-uploaded program is a client mistake, not a transient).
+    pub fn program(&self, id: u64) -> Result<Arc<StoredProgram>, ErrorCode> {
+        self.programs
+            .lock()
+            .expect("session poisoned")
+            .get(&id)
+            .cloned()
+            .ok_or(ErrorCode::Malformed)
+    }
+
+    /// Total compressed key + program wire bytes this session stores.
     pub fn stored_bytes(&self) -> u64 {
         let relin = self
             .relin
@@ -74,7 +112,14 @@ impl Session {
             .values()
             .map(|b| b.len() as u64)
             .sum();
-        relin + galois
+        let programs: u64 = self
+            .programs
+            .lock()
+            .expect("session poisoned")
+            .values()
+            .map(|p| p.wire_len as u64)
+            .sum();
+        relin + galois + programs
     }
 }
 
@@ -196,6 +241,28 @@ mod tests {
         mgr.close(id).unwrap();
         assert!(matches!(mgr.get(id), Err(ErrorCode::NoSession)));
         assert!(matches!(mgr.close(id), Err(ErrorCode::NoSession)));
+    }
+
+    #[test]
+    fn programs_are_stored_per_session_and_counted() {
+        use fhe_program::program::KeyManifest;
+        let mgr = SessionManager::new();
+        let s = mgr.get(mgr.create()).unwrap();
+        assert!(matches!(s.program(1), Err(ErrorCode::Malformed)));
+        let stored = StoredProgram {
+            program: Program::default(),
+            info: ProgramInfo {
+                manifest: KeyManifest::default(),
+                instrs: Vec::new(),
+                outputs: Vec::new(),
+            },
+            wire_len: 42,
+        };
+        let id = s.store_program(stored);
+        assert_ne!(id, 0);
+        assert_eq!(s.program(id).unwrap().wire_len, 42);
+        assert_eq!(s.stored_bytes(), 42);
+        assert_eq!(mgr.stored_bytes(), 42);
     }
 
     #[test]

@@ -29,6 +29,8 @@ use ckks::{
     RelinKey,
 };
 use fhe_math::cfft::Complex;
+use fhe_program::program::Program;
+use fhe_program::{execute, workloads, ExecInputs, ExecKeys};
 use fhe_serve::{
     EvictionPolicy, FaultDecision, FaultMix, FaultPlan, RetryPolicy, RetryingClient, ServeConfig,
     Server,
@@ -45,6 +47,10 @@ struct Setup {
     gk: GaloisKeys,
     a: Ciphertext,
     b: Ciphertext,
+    /// The program the cells upload and run (sha stress: relin + the
+    /// same {1, 4} Galois steps the direct ops use).
+    prog: Program,
+    prog_inputs: ExecInputs,
     /// (label, expected response bytes) for each op the cells replay.
     expected: Vec<(&'static str, Vec<u8>)>,
     /// Bytes of one expanded switching key, for budget sizing.
@@ -84,8 +90,33 @@ fn setup() -> &'static Setup {
         let a = encrypt(&mut rng, &va);
         let b = encrypt(&mut rng, &vb);
 
+        // A whole program as one opcode: the sha stress round's manifest
+        // (relin + Galois {1, 4}) matches the keys the cells upload.
+        let prog = workloads::sha256_stress_program(ctx.params().levels(), 1, 4);
+        let bits = |seed: usize| -> Vec<f64> {
+            (0..slots)
+                .map(|b| f64::from((b * 31 + seed * 17).is_multiple_of(3)))
+                .collect()
+        };
+        let mut prog_inputs = ExecInputs::default();
+        for (seed, name) in ["x", "y", "z", "w"].iter().enumerate() {
+            let ct = encrypt(&mut rng, &bits(seed));
+            prog_inputs.cts.insert((*name).into(), ct);
+        }
+
         // The fault-free ground truth, straight from the library.
         let ev = Evaluator::new(ctx.clone());
+        let prog_out = execute(
+            &ev,
+            &encoder,
+            &prog,
+            &prog_inputs,
+            ExecKeys {
+                relin: Some(rlk.switching_key()),
+                galois: Some(&gk),
+            },
+        )
+        .expect("sha stress executes fault-free");
         let expected = vec![
             ("add", serialize_ciphertext(&ev.add(&a, &b))),
             ("mult", serialize_ciphertext(&ev.mul(&a, &b, &rlk))),
@@ -100,6 +131,7 @@ fn setup() -> &'static Setup {
                 serialize_ciphertext(&rotate_hoisted(&ev, &a, &[4], &gk)[0]),
             ),
             ("rescale", serialize_ciphertext(&ev.rescale(&a))),
+            ("run_program", serialize_ciphertext(&prog_out[0].1)),
         ];
 
         let wire = serialize_switching_key(rlk.switching_key());
@@ -110,6 +142,8 @@ fn setup() -> &'static Setup {
             gk,
             a,
             b,
+            prog,
+            prog_inputs,
             expected,
             key_bytes,
         }
@@ -170,6 +204,9 @@ fn run_cell(seed: u64, mix_name: &str, mix: FaultMix) -> CellReport {
     client
         .upload_galois(&s.gk)
         .unwrap_or_else(|e| fail(seed, mix_name, &plan, &format!("upload_galois: {e}")));
+    let ph = client
+        .upload_program(&s.prog)
+        .unwrap_or_else(|e| fail(seed, mix_name, &plan, &format!("upload_program: {e}")));
 
     for (label, want) in &s.expected {
         let got = match *label {
@@ -178,6 +215,9 @@ fn run_cell(seed: u64, mix_name: &str, mix: FaultMix) -> CellReport {
             "rotate_1" => client.rotate(&s.a, 1),
             "rotate_4" => client.rotate(&s.a, 4),
             "rescale" => client.rescale(&s.a),
+            "run_program" => client
+                .run_program(ph, &s.prog_inputs)
+                .map(|mut outs| outs.pop().expect("one digest output")),
             other => unreachable!("unknown op label {other}"),
         };
         let got = got.unwrap_or_else(|e| fail(seed, mix_name, &plan, &format!("{label}: {e}")));
@@ -223,19 +263,30 @@ fn run_cell(seed: u64, mix_name: &str, mix: FaultMix) -> CellReport {
     }
 
     // Cache invariants after the storm: byte accounting consistent and
-    // the budget respected.
-    let stats = server.assert_cache_consistent();
+    // the budget respected. A batch delivers its replies before it
+    // retires its pins, so the last response can race the final unpin —
+    // wait (bounded) for in-flight pins to drain before judging the
+    // budget, since pinned overage is documented transient behavior.
+    let mut stats = server.assert_cache_consistent();
+    let pin_drain = Instant::now() + Duration::from_secs(5);
+    while stats.pinned_keys > 0 && Instant::now() < pin_drain {
+        std::thread::sleep(Duration::from_millis(2));
+        stats = server.assert_cache_consistent();
+    }
     if stats.resident_bytes > budget {
         fail::<()>(
             seed,
             mix_name,
             &plan,
-            &format!("cache overran budget: {} > {budget}", stats.resident_bytes),
+            &format!(
+                "cache overran budget: {} > {budget} ({} keys, {} pinned)",
+                stats.resident_bytes, stats.resident_keys, stats.pinned_keys
+            ),
         );
     }
 
     // Nothing may outlive its deadline by more than the injected latency:
-    // the whole cell (8 round-trips plus bounded retries on a loopback
+    // the whole cell (10 round-trips plus bounded retries on a loopback
     // socket) must finish within the injected delays plus a fixed slack.
     let injected_delay: Duration = plan
         .injected()

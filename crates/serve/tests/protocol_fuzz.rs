@@ -112,6 +112,21 @@ fn base_frame(which: usize, garbage: &[u8]) -> Vec<u8> {
         1 => frame_bytes(Opcode::Add as u8, garbage),
         2 => frame_bytes(Opcode::Metrics as u8, &[]),
         3 => frame_bytes(Opcode::UploadRelin as u8, garbage),
+        4 => {
+            // UploadProgram: a session id followed by garbage where the
+            // MADP program bytes belong.
+            let mut body = 1u64.to_le_bytes().to_vec();
+            body.extend_from_slice(garbage);
+            frame_bytes(Opcode::UploadProgram as u8, &body)
+        }
+        5 => {
+            // RunProgram: session + program ids (the latter almost
+            // certainly unknown) followed by garbage inputs.
+            let mut body = 1u64.to_le_bytes().to_vec();
+            body.extend_from_slice(&7u64.to_le_bytes());
+            body.extend_from_slice(garbage);
+            frame_bytes(Opcode::RunProgram as u8, &body)
+        }
         _ => frame_bytes(0xEE, garbage), // unknown opcode
     }
 }
@@ -132,7 +147,7 @@ proptest! {
     /// network or a buggy client actually produces.
     #[test]
     fn mutated_frames_yield_structured_errors_or_clean_close(
-        which in 0usize..5,
+        which in 0usize..7,
         mode in 0usize..3,
         cut in any::<u16>(),
         flip in any::<u16>(),

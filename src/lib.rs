@@ -13,6 +13,9 @@
 //!   hardware designs, throughput metric and parameter search.
 //! - [`apps`] (`fhe-apps`): HELR logistic regression and ResNet-20
 //!   workloads.
+//! - [`program`] (`fhe-program`): the encrypted-program IR executor and
+//!   workload library (the IR itself lives in [`sim`]'s `program`
+//!   module).
 //! - [`serve`] (`fhe-serve`): the multi-tenant serving runtime with its
 //!   byte-budgeted switching-key cache.
 //!
@@ -32,5 +35,6 @@
 pub use ckks as scheme;
 pub use fhe_apps as apps;
 pub use fhe_math as math;
+pub use fhe_program as program;
 pub use fhe_serve as serve;
 pub use simfhe as sim;
