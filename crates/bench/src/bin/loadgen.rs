@@ -1,0 +1,176 @@
+//! Scale-out serving sweep: the closed-loop load generator driven over
+//! shard count × connection count × worker count, printing a scaling
+//! table and appending one JSON row per cell to `$CRITERION_JSON` for
+//! the bench-trajectory gate.
+//!
+//! The headline cells run the `cached_rotate` mix with four tenants on
+//! a one-key global cache budget: one shard thrashes the LRU (nearly
+//! every rotation pays a seeded full-chain key expansion), four shards
+//! hold each tenant's key resident on its own slice. The run *fails*
+//! if four shards do not beat one shard on throughput for every swept
+//! connection count — the scaling claim is asserted, not eyeballed.
+//!
+//! `CRITERION_QUICK=1` shrinks the per-connection request counts ~3×
+//! for CI; the cell set (and so the gated row names) stays identical.
+
+use ckks::{CkksContext, CkksParams};
+use mad_bench::loadgen::{run_cell, run_cell_worst, CellResult, CellSpec, OpMix};
+use std::io::Write as _;
+use std::sync::Arc;
+
+fn quick_mode() -> bool {
+    std::env::var("CRITERION_QUICK").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Appends one cell row to `$CRITERION_JSON` (JSON-lines, the
+/// bench-guard schema).
+fn emit(result: &CellResult) {
+    let Ok(path) = std::env::var("CRITERION_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        let _ = f.write_all(format!("{}\n", result.json_line()).as_bytes());
+    }
+}
+
+fn main() {
+    // A deep modulus chain with the driven ciphertext rescaled to the
+    // bottom of it: switching keys span all 12 levels, so a cache miss
+    // regenerates the full-chain key while a hit rotates only the
+    // ciphertext's single live limb — the paper's key-byte asymmetry,
+    // and the widest honest gap between a resident and a thrashing
+    // shard on one core.
+    let ctx: Arc<CkksContext> = CkksContext::new(
+        CkksParams::builder()
+            .log_degree(12)
+            .levels(12)
+            .scale_bits(40)
+            .first_modulus_bits(50)
+            .special_modulus_bits(50)
+            .dnum(4)
+            .build()
+            .unwrap(),
+    );
+    let levels = ctx.params().levels();
+    let quick = quick_mode();
+    let per_conn = |connections: usize| {
+        let total = if quick { 96 } else { 320 };
+        // Enough requests per connection that connect cost and the
+        // one-time migration to the owning shard amortize away.
+        (total / connections).max(if quick { 3 } else { 8 })
+    };
+
+    let cell = |shards: usize, workers: usize, connections: usize, mix: OpMix| CellSpec {
+        shards,
+        workers,
+        connections,
+        tenants: 4,
+        requests_per_conn: per_conn(connections),
+        seed: 0xC0FF_EE00 + (shards * 100 + workers * 10 + connections) as u64,
+        mix,
+        // One key of global budget against four tenant keys: a single
+        // shard thrashes (the cache can hold only the most recent
+        // tenant), while each of four shards keeps its one tenant's key
+        // resident inside its slice. The blended mix is not a residency
+        // experiment — it gets an unbounded budget so its trajectory
+        // row tracks op cost, not eviction luck.
+        cache_keys: if mix.name == "cached_rotate" {
+            Some(1)
+        } else {
+            None
+        },
+        // Rotations drive a bottom-of-chain ciphertext (cheap hit,
+        // expensive miss); the blended mix needs mult/BSGS headroom and
+        // runs at the top.
+        ct_level: if mix.name == "cached_rotate" {
+            1
+        } else {
+            levels
+        },
+    };
+
+    // One unrecorded warmup cell absorbs first-run costs (allocator,
+    // page cache, socket stack) so the first measured cell is not the
+    // one paying them.
+    run_cell(
+        &ctx,
+        &CellSpec {
+            shards: 2,
+            workers: 1,
+            connections: 4,
+            tenants: 4,
+            requests_per_conn: 2,
+            seed: 1,
+            mix: OpMix::cached_rotate(),
+            cache_keys: Some(1),
+            ct_level: 1,
+        },
+    );
+
+    let mut specs = Vec::new();
+    // The shard scaling curve, both fan-in widths.
+    for shards in [1usize, 2, 4] {
+        for connections in [8usize, 32] {
+            specs.push(cell(shards, 1, connections, OpMix::cached_rotate()));
+        }
+    }
+    // The worker axis: more workers per shard cannot buy back what key
+    // thrash costs, and must not regress the sharded cell.
+    specs.push(cell(1, 2, 8, OpMix::cached_rotate()));
+    specs.push(cell(4, 2, 8, OpMix::cached_rotate()));
+    // The production-shaped mix at the sweep's endpoints.
+    for shards in [1usize, 4] {
+        specs.push(cell(shards, 1, 8, OpMix::mixed()));
+    }
+
+    println!(
+        "{:<34} {:>8} {:>10} {:>10} {:>10} {:>10} {:>12}",
+        "cell", "reqs", "req/s", "p50 ms", "p95 ms", "p99 ms", "hit/miss"
+    );
+    let mut results = Vec::new();
+    for spec in &specs {
+        let r = run_cell_worst(&ctx, spec, 3);
+        println!(
+            "{:<34} {:>8} {:>10.1} {:>10.2} {:>10.2} {:>10.2} {:>12}",
+            r.name,
+            r.requests,
+            r.rps,
+            r.p50_ns as f64 / 1e6,
+            r.p95_ns as f64 / 1e6,
+            r.p99_ns as f64 / 1e6,
+            format!("{}/{}", r.cache_hits, r.cache_misses),
+        );
+        emit(&r);
+        results.push(r);
+    }
+
+    // The scaling claim: four shards strictly beat one shard on the
+    // residency mix at every connection count, single worker.
+    let rps_of = |name: &str| {
+        results
+            .iter()
+            .find(|r| r.name == name)
+            .unwrap_or_else(|| panic!("cell {name} missing"))
+            .rps
+    };
+    for connections in [8usize, 32] {
+        let one = rps_of(&format!("loadgen/cached_rotate/s1w1c{connections}"));
+        let four = rps_of(&format!("loadgen/cached_rotate/s4w1c{connections}"));
+        assert!(
+            four > one,
+            "4 shards must out-serve 1 shard on cached rotations at {connections} connections \
+             (got {four:.1} vs {one:.1} req/s) — key residency did not materialize"
+        );
+        println!(
+            "scaling c{connections}: 1 shard {one:.1} req/s -> 4 shards {four:.1} req/s ({:.2}x)",
+            four / one
+        );
+    }
+}

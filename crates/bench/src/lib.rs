@@ -7,6 +7,8 @@
 //! side; the binaries in `src/bin/` print them, the Criterion benches in
 //! `benches/` time them, and `EXPERIMENTS.md` records the comparison.
 
+pub mod loadgen;
+
 use fhe_apps::{figure6_groups, Fig6Workload};
 use simfhe::bootstrap::BootstrapCost;
 use simfhe::report::{sig3, Table};

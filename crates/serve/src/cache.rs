@@ -65,6 +65,10 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that had to expand from the compressed form.
     pub misses: u64,
+    /// Total lookups. Always `hits + misses`; kept as its own counter so
+    /// the per-shard invariant check can assert the partition instead of
+    /// assuming it.
+    pub accesses: u64,
     /// Expansions evicted to fit the budget.
     pub evictions: u64,
     /// Expanded bytes currently resident.
@@ -73,6 +77,22 @@ pub struct CacheStats {
     pub resident_keys: u64,
     /// Resident expansions currently pinned by an executing batch.
     pub pinned_keys: u64,
+}
+
+impl CacheStats {
+    /// Folds another shard's counters into this one. Monotone counters
+    /// (`hits`/`misses`/`accesses`/`evictions`) and residency gauges
+    /// (`resident_bytes`/`resident_keys`/`pinned_keys`) all sum: the
+    /// aggregate reads as one fleet-wide cache.
+    pub fn accumulate(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.accesses += other.accesses;
+        self.evictions += other.evictions;
+        self.resident_bytes += other.resident_bytes;
+        self.resident_keys += other.resident_keys;
+        self.pinned_keys += other.pinned_keys;
+    }
 }
 
 /// A byte-budgeted cache of expanded switching keys, shared by every
@@ -165,6 +185,7 @@ impl KeyCache {
             let key = inner.entries[&(session, kind)].key.clone();
             let mut stats = self.stats.lock().expect("stats poisoned");
             stats.hits += 1;
+            stats.accesses += 1;
             stats.pinned_keys = pinned;
             return Ok(key);
         }
@@ -188,6 +209,7 @@ impl KeyCache {
         let evicted = self.evict_to_budget(&mut inner, Some((session, kind)));
         let mut stats = self.stats.lock().expect("stats poisoned");
         stats.misses += 1;
+        stats.accesses += 1;
         stats.evictions += evicted;
         stats.resident_bytes = inner.bytes;
         stats.resident_keys = inner.entries.len() as u64;
@@ -288,6 +310,11 @@ impl KeyCache {
             "byte ledger diverged from resident entries"
         );
         let stats = *self.stats.lock().expect("stats poisoned");
+        assert_eq!(
+            stats.hits + stats.misses,
+            stats.accesses,
+            "lookups must partition into hits and misses"
+        );
         assert_eq!(
             stats.resident_bytes, inner.bytes,
             "stats byte mirror diverged"
@@ -506,6 +533,96 @@ mod tests {
         // Unpinning a purged entry is a harmless no-op.
         cache.unpin(1, KeyKind::Galois(2));
         cache.check_invariants();
+    }
+
+    #[test]
+    fn check_invariants_fails_on_a_deliberately_overfull_shard() {
+        let (ctx, blobs) = setup();
+        let one_key = deserialize_switching_key(&ctx, &blobs[0])
+            .unwrap()
+            .size_bytes();
+        // A shard whose budget slice fits one key, force-fed three
+        // expansions behind the eviction logic's back — the state an
+        // eviction bug would leave behind. The per-shard invariant
+        // check must refuse it (two or more unpinned entries over
+        // budget is never legal; only a single oversized in-flight
+        // key is excused).
+        let cache = KeyCache::new(one_key, EvictionPolicy::Lru);
+        {
+            let mut inner = cache.inner.lock().unwrap();
+            for (i, b) in blobs.iter().enumerate() {
+                let key = Arc::new(deserialize_switching_key(&ctx, b).unwrap());
+                let bytes = key.size_bytes();
+                inner.entries.insert(
+                    (1, KeyKind::Galois(i as u64)),
+                    Entry {
+                        key,
+                        bytes,
+                        last_used: i as u64,
+                        hits: 0,
+                        pins: 0,
+                    },
+                );
+                inner.bytes += bytes;
+            }
+            let mut stats = cache.stats.lock().unwrap();
+            stats.resident_bytes = inner.bytes;
+            stats.resident_keys = inner.entries.len() as u64;
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            cache.check_invariants();
+        }))
+        .expect_err("overfull shard must fail the invariant check");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(
+            msg.contains("budget exceeded"),
+            "panic names the violated invariant: {msg}"
+        );
+    }
+
+    #[test]
+    fn check_invariants_fails_when_accesses_diverge_from_hits_plus_misses() {
+        let (ctx, blobs) = setup();
+        let cache = KeyCache::new(u64::MAX, EvictionPolicy::Lru);
+        cache
+            .get_or_expand(&ctx, 1, KeyKind::Galois(0), &blobs[0])
+            .unwrap();
+        cache.stats.lock().unwrap().accesses += 1;
+        assert!(
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                cache.check_invariants();
+            }))
+            .is_err(),
+            "a torn access counter must fail the partition invariant"
+        );
+    }
+
+    #[test]
+    fn stats_accumulate_sums_every_counter() {
+        let a = CacheStats {
+            hits: 1,
+            misses: 2,
+            accesses: 3,
+            evictions: 4,
+            resident_bytes: 100,
+            resident_keys: 5,
+            pinned_keys: 1,
+        };
+        let mut total = CacheStats::default();
+        total.accumulate(&a);
+        total.accumulate(&a);
+        assert_eq!(
+            total,
+            CacheStats {
+                hits: 2,
+                misses: 4,
+                accesses: 6,
+                evictions: 8,
+                resident_bytes: 200,
+                resident_keys: 10,
+                pinned_keys: 2,
+            }
+        );
     }
 
     #[test]

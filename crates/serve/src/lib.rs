@@ -23,9 +23,14 @@
 //! The stack is std-only: a framed TCP protocol ([`protocol`]) over the
 //! `MADf` serialization, a session manager ([`session`]), a key-reuse
 //! batching scheduler ([`batch`]) grouping requests that share switching
-//! keys, a bounded worker pool with backpressure and deadlines
-//! ([`server`]), plain-text metrics ([`metrics`]), and request-scoped
-//! tracing with per-stage latency attribution ([`obs`]). [`client::Client`]
+//! keys, and a scale-out server ([`server`]) of N independent shard
+//! loops driving nonblocking sockets — sessions are placed on shards by
+//! consistent hashing of the session id ([`shard`]), so a tenant's
+//! compressed keys, cache slice, batching groups, and programs live on
+//! exactly one shard. Plain-text metrics ([`metrics`]) aggregate across
+//! shards with per-shard labels, and request-scoped tracing attributes
+//! per-stage latency with the owning shard stamped on every timeline
+//! ([`obs`]). [`client::Client`]
 //! is the matching blocking client, and [`client::RetryingClient`] wraps
 //! it with capped exponential backoff, per-op timeouts, and transparent
 //! reconnect with session re-setup and compressed-key re-upload.
@@ -68,6 +73,7 @@ pub mod obs;
 pub mod protocol;
 pub mod server;
 pub mod session;
+pub mod shard;
 
 pub use batch::{BatchConfig, KeyClass};
 pub use cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
@@ -79,3 +85,4 @@ pub use obs::{chrome_trace_json, FinishedTrace, ObsConfig, Stage, SubSpan};
 pub use protocol::{BatchHint, ErrorCode, Opcode, PROTOCOL_VERSION};
 pub use server::{ServeConfig, Server};
 pub use session::{Session, SessionManager, StoredProgram};
+pub use shard::{shard_of, shards_from_env, MAX_SHARDS};

@@ -197,6 +197,33 @@ impl CountHistogram {
     }
 }
 
+/// One shard's contribution to the sharded metrics dump: its request
+/// count, open sessions, and key-cache slice, captured together so the
+/// per-shard lines in [`Metrics::dump_sharded`] describe one moment.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ShardSnapshot {
+    /// The shard index (the `shard="i"` label value).
+    pub shard: usize,
+    /// Requests this shard has accepted into its queue.
+    pub requests: u64,
+    /// Sessions currently open on this shard.
+    pub sessions: u64,
+    /// This shard's key-cache counters.
+    pub cache: CacheStats,
+    /// This shard's slice of the global cache byte budget.
+    pub budget_bytes: u64,
+}
+
+/// One row of the per-shard family table in
+/// [`Metrics::dump_sharded`]: family name, Prometheus type, help text,
+/// and the [`ShardSnapshot`] field it reads.
+type ShardFamily = (
+    &'static str,
+    &'static str,
+    &'static str,
+    fn(&ShardSnapshot) -> u64,
+);
+
 /// All server-side counters; one instance shared by every thread.
 #[derive(Default)]
 pub struct Metrics {
@@ -562,6 +589,84 @@ impl Metrics {
             .dump_quantiles_into(&mut out, "serve_e2e_latency_us_quantile", "");
         out
     }
+
+    /// [`Metrics::dump`] plus the per-shard families of a sharded
+    /// server: the shard count, then per-shard request counters, open
+    /// sessions, and each shard's key-cache slice (`shard="i"` labels).
+    /// `cache` must be the *aggregate* of every shard's stats so the
+    /// global families keep reading as one fleet-wide cache; family
+    /// order is fixed and traffic-independent, exactly like
+    /// [`Metrics::dump`].
+    pub fn dump_sharded(
+        &self,
+        cache: &CacheStats,
+        backend: &str,
+        shards: &[ShardSnapshot],
+    ) -> String {
+        let mut out = self.dump(cache, backend);
+        let family = |out: &mut String, name: &str, ty: &str, help: &str| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} {ty}");
+        };
+        family(
+            &mut out,
+            "serve_shards",
+            "gauge",
+            "Number of independent shard loops.",
+        );
+        let _ = writeln!(out, "serve_shards {}", shards.len());
+        let labeled: [ShardFamily; 7] = [
+            (
+                "serve_shard_requests_total",
+                "counter",
+                "Requests accepted by this shard's loop.",
+                |s| s.requests,
+            ),
+            (
+                "serve_shard_sessions",
+                "gauge",
+                "Sessions currently open on this shard.",
+                |s| s.sessions,
+            ),
+            (
+                "serve_shard_key_cache_hits_total",
+                "counter",
+                "Key-cache hits on this shard's slice.",
+                |s| s.cache.hits,
+            ),
+            (
+                "serve_shard_key_cache_misses_total",
+                "counter",
+                "Key-cache misses on this shard's slice.",
+                |s| s.cache.misses,
+            ),
+            (
+                "serve_shard_key_cache_resident_bytes",
+                "gauge",
+                "Expanded-key bytes resident on this shard's slice.",
+                |s| s.cache.resident_bytes,
+            ),
+            (
+                "serve_shard_key_cache_budget_bytes",
+                "gauge",
+                "This shard's slice of the global cache byte budget.",
+                |s| s.budget_bytes,
+            ),
+            (
+                "serve_shard_key_cache_evictions_total",
+                "counter",
+                "Expanded keys evicted from this shard's slice.",
+                |s| s.cache.evictions,
+            ),
+        ];
+        for (name, ty, help, get) in labeled {
+            family(&mut out, name, ty, help);
+            for s in shards {
+                let _ = writeln!(out, "{name}{{shard=\"{}\"}} {}", s.shard, get(s));
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -781,6 +886,66 @@ mod tests {
         assert!(dump.contains("serve_stage_latency_us_quantile{stage=\"kernel\",q=\"0.5\"}"));
         assert!(dump.contains("serve_e2e_latency_us_quantile{q=\"0.99\"}"));
         assert!(dump.contains("serve_op_latency_us_quantile{op=\"rotate\",q=\"0.95\"}"));
+    }
+
+    #[test]
+    fn sharded_dump_appends_per_shard_families_after_the_global_ones() {
+        let m = Metrics::new();
+        m.enqueued();
+        let agg = CacheStats {
+            hits: 3,
+            misses: 2,
+            accesses: 5,
+            ..CacheStats::default()
+        };
+        let shards = [
+            ShardSnapshot {
+                shard: 0,
+                requests: 1,
+                sessions: 2,
+                cache: CacheStats {
+                    hits: 3,
+                    misses: 1,
+                    accesses: 4,
+                    ..CacheStats::default()
+                },
+                budget_bytes: 512,
+            },
+            ShardSnapshot {
+                shard: 1,
+                requests: 0,
+                sessions: 0,
+                cache: CacheStats {
+                    misses: 1,
+                    accesses: 1,
+                    ..CacheStats::default()
+                },
+                budget_bytes: 512,
+            },
+        ];
+        let dump = m.dump_sharded(&agg, "scalar", &shards);
+        // The global families are the plain dump, byte for byte.
+        assert!(dump.starts_with(&m.dump(&agg, "scalar")));
+        assert!(dump.contains("serve_shards 2"));
+        assert!(dump.contains("serve_shard_requests_total{shard=\"0\"} 1"));
+        assert!(dump.contains("serve_shard_requests_total{shard=\"1\"} 0"));
+        assert!(dump.contains("serve_shard_sessions{shard=\"0\"} 2"));
+        assert!(dump.contains("serve_shard_key_cache_hits_total{shard=\"0\"} 3"));
+        assert!(dump.contains("serve_shard_key_cache_budget_bytes{shard=\"1\"} 512"));
+        // Every appended family is declared before its samples.
+        for name in [
+            "serve_shards",
+            "serve_shard_requests_total",
+            "serve_shard_sessions",
+            "serve_shard_key_cache_hits_total",
+            "serve_shard_key_cache_misses_total",
+            "serve_shard_key_cache_resident_bytes",
+            "serve_shard_key_cache_budget_bytes",
+            "serve_shard_key_cache_evictions_total",
+        ] {
+            assert!(dump.contains(&format!("# HELP {name} ")), "{name}");
+            assert!(dump.contains(&format!("# TYPE {name} ")), "{name}");
+        }
     }
 
     #[test]

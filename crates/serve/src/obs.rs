@@ -169,6 +169,8 @@ impl ObsConfig {
 pub(crate) struct RequestTrace {
     id: u64,
     op: Opcode,
+    /// The shard loop that parsed (and owns) this request.
+    shard: u32,
     /// When the frame was parsed; every offset below is relative to it.
     start: Instant,
     /// Chosen for deep sampling (kernel sub-span capture) at accept.
@@ -256,6 +258,8 @@ pub struct FinishedTrace {
     pub op: &'static str,
     /// Response status byte (0 = success).
     pub status: u8,
+    /// The shard that served the request (always 0 pre-sharding).
+    pub shard: u32,
     /// Accept time, µs after the server started.
     pub start_us: u64,
     /// End-to-end latency in µs (accept → reply written).
@@ -300,11 +304,12 @@ impl FinishedTrace {
     pub fn log_line(&self) -> String {
         use std::fmt::Write as _;
         let mut line = format!(
-            "slow_request id={} op={} status={} total_us={} dominant={}",
+            "slow_request id={} op={} status={} total_us={} shard={} dominant={}",
             self.id,
             self.op,
             self.status,
             self.total_us,
+            self.shard,
             self.dominant_stage().name()
         );
         for s in Stage::ALL {
@@ -424,9 +429,9 @@ impl Observer {
         }
     }
 
-    /// Opens a trace for a freshly-parsed request; `None` when recording
-    /// is disabled.
-    pub(crate) fn begin(&self, op: Opcode) -> Option<Arc<RequestTrace>> {
+    /// Opens a trace for a freshly-parsed request on `shard`; `None`
+    /// when recording is disabled.
+    pub(crate) fn begin(&self, op: Opcode, shard: u32) -> Option<Arc<RequestTrace>> {
         if !self.cfg.enabled {
             return None;
         }
@@ -438,6 +443,7 @@ impl Observer {
         Some(Arc::new(RequestTrace {
             id: self.next_id.fetch_add(1, Relaxed),
             op,
+            shard,
             start: Instant::now(),
             deep,
             enqueued_us: AtomicU64::new(0),
@@ -510,6 +516,7 @@ impl Observer {
             id: trace.id,
             op: trace.op.name(),
             status,
+            shard: trace.shard,
             start_us: (trace.start - self.epoch).as_micros() as u64,
             total_us,
             stages,
@@ -763,6 +770,7 @@ mod tests {
             id,
             op: "rotate",
             status: 0,
+            shard: 0,
             start_us: id * 1000,
             total_us,
             stages,
@@ -816,7 +824,7 @@ mod tests {
             deep_sample_every: 0,
             slow_threshold: Duration::ZERO,
         });
-        let trace = obs.begin(Opcode::Add).expect("enabled");
+        let trace = obs.begin(Opcode::Add, 0).expect("enabled");
         trace.mark_enqueued();
         trace.mark_picked();
         {
@@ -834,7 +842,7 @@ mod tests {
             enabled: false,
             ..ObsConfig::baseline()
         });
-        assert!(off.begin(Opcode::Add).is_none());
+        assert!(off.begin(Opcode::Add, 0).is_none());
     }
 
     #[test]

@@ -337,6 +337,67 @@ pub fn read_frame<R: Read>(r: &mut R, max_len: u32) -> std::io::Result<FrameRead
     }))
 }
 
+/// What a read buffer holds at a frame boundary — the nonblocking
+/// analogue of [`FrameRead`], computed without consuming anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameStatus {
+    /// Not enough buffered bytes for a verdict or a full frame yet.
+    Incomplete,
+    /// One complete frame is buffered; its total wire size (4-byte
+    /// length prefix included) is `wire_len`. [`take_frame`] detaches it.
+    Ready {
+        /// Bytes the frame occupies at the front of the buffer.
+        wire_len: usize,
+    },
+    /// The length field exceeds the ceiling; the stream is out of sync
+    /// and must be closed after an error response, mirroring
+    /// [`FrameRead::TooLarge`].
+    TooLarge(u32),
+    /// The length field is below the 2-byte header minimum — the same
+    /// condition [`read_frame`] reports as an `InvalidData` error.
+    Corrupt,
+}
+
+/// Classifies the front of `buf` without consuming it. `max_len` bounds
+/// the length field exactly as in [`read_frame`], so a byte stream fed
+/// through a buffer yields the same verdicts as the blocking reader.
+pub fn peek_frame(buf: &[u8], max_len: u32) -> FrameStatus {
+    let Some(len_bytes) = buf.get(..4) else {
+        return FrameStatus::Incomplete;
+    };
+    let len = u32::from_le_bytes(len_bytes.try_into().expect("4 bytes"));
+    if len < 2 {
+        return FrameStatus::Corrupt;
+    }
+    if len > max_len {
+        return FrameStatus::TooLarge(len);
+    }
+    let wire_len = 4 + len as usize;
+    if buf.len() < wire_len {
+        return FrameStatus::Incomplete;
+    }
+    FrameStatus::Ready { wire_len }
+}
+
+/// Detaches the complete frame at the front of `buf`, which
+/// [`peek_frame`] must have reported [`FrameStatus::Ready`] for.
+///
+/// # Panics
+///
+/// Panics if the buffer does not start with a complete frame.
+pub fn take_frame(buf: &mut Vec<u8>) -> Frame {
+    let FrameStatus::Ready { wire_len } = peek_frame(buf, u32::MAX) else {
+        panic!("take_frame without a Ready peek");
+    };
+    let mut wire: Vec<u8> = buf.drain(..wire_len).collect();
+    let body = wire.split_off(6);
+    Frame {
+        version: wire[4],
+        tag: wire[5],
+        body,
+    }
+}
+
 /// Incremental little-endian body writer for multi-payload requests.
 #[derive(Default)]
 pub struct BodyWriter(pub Vec<u8>);
@@ -511,6 +572,49 @@ mod tests {
             );
             assert_eq!(code.is_retryable(), transient, "{code:?}");
         }
+    }
+
+    #[test]
+    fn peek_take_mirror_the_blocking_reader() {
+        let mut buf = frame_bytes(Opcode::Rotate as u8, b"body bytes");
+        buf.extend_from_slice(&frame_bytes(Opcode::Add as u8, b"x"));
+
+        // Every prefix short of the first frame is Incomplete.
+        let first_len = 6 + b"body bytes".len();
+        for cut in 0..first_len {
+            assert_eq!(
+                peek_frame(&buf[..cut], 1024),
+                FrameStatus::Incomplete,
+                "cut {cut}"
+            );
+        }
+        assert_eq!(
+            peek_frame(&buf, 1024),
+            FrameStatus::Ready {
+                wire_len: first_len
+            }
+        );
+        let f = take_frame(&mut buf);
+        assert_eq!(f.version, PROTOCOL_VERSION);
+        assert_eq!(f.tag, Opcode::Rotate as u8);
+        assert_eq!(f.body, b"body bytes");
+        // The second frame is now at the front, intact.
+        let f = take_frame(&mut buf);
+        assert_eq!(f.tag, Opcode::Add as u8);
+        assert_eq!(f.body, b"x");
+        assert!(buf.is_empty());
+        assert_eq!(peek_frame(&buf, 1024), FrameStatus::Incomplete);
+    }
+
+    #[test]
+    fn peek_flags_oversize_and_corrupt_lengths() {
+        let mut oversize = Vec::new();
+        oversize.extend_from_slice(&u32::MAX.to_le_bytes());
+        oversize.extend_from_slice(&[PROTOCOL_VERSION, 0x10]);
+        assert_eq!(peek_frame(&oversize, 1024), FrameStatus::TooLarge(u32::MAX));
+        // A length below the 2-byte header can never frame anything.
+        let corrupt = 1u32.to_le_bytes();
+        assert_eq!(peek_frame(&corrupt, 1024), FrameStatus::Corrupt);
     }
 
     #[test]

@@ -1,37 +1,50 @@
-//! The server: an acceptor, per-connection reader threads, a key-reuse
-//! batching scheduler, and a bounded worker pool executing FHE ops
-//! against shared session/cache state.
+//! The server: a nonblocking acceptor feeding N independent shard
+//! loops, each with its own session table, key-cache slice, key-reuse
+//! batching scheduler, and bounded worker pool.
 //!
 //! Threading model (all `std::thread`, no async runtime):
 //!
-//! - The **acceptor** owns the listener and spawns one reader thread per
-//!   connection.
-//! - A **reader** parses frames and enqueues jobs on a bounded
-//!   [`sync_channel`]; a full queue is answered immediately with
-//!   [`ErrorCode::Overloaded`] (backpressure), never buffered. The reader
-//!   then blocks for that job's reply and writes it, so each connection
-//!   sees strict request/response ordering. Keyed ops (Mult / Rotate /
-//!   Bsgs / HelrStep) go to the **scheduler**'s admission channel when
-//!   batching is enabled; everything else goes straight to the workers.
-//! - The **scheduler** groups keyed jobs by `(session, KeyClass)` and
-//!   dispatches a group as one `WorkItem::Batch` when it fills
-//!   (`max_batch`), when its window expires (`max_delay`), or eagerly
-//!   when the worker pool is idle (holding would buy nothing). A held
-//!   job's deadline clock restarts at dispatch — the batching window is
-//!   the scheduler's choice, not queue congestion, so it must not count
-//!   against the per-request deadline.
+//! - The **acceptor** owns a nonblocking listener and deals fresh
+//!   connections round-robin across the shard loops.
+//! - Each **shard loop** drives all of its connections from one thread
+//!   with readiness-based nonblocking I/O: buffer bytes as they arrive,
+//!   parse at most one frame per connection per tick, enqueue the job on
+//!   the shard's bounded [`sync_channel`] (a full queue is answered
+//!   immediately with [`ErrorCode::Overloaded`] — backpressure, never
+//!   buffering), then flush the reply when the worker delivers it. Each
+//!   connection still sees strict request/response ordering. A parked
+//!   loop sleeps on a condvar the workers ping after every completed
+//!   item, so replies flush without polling latency.
+//! - **Shard placement** is consistent hashing of the session id
+//!   ([`crate::shard::shard_of`]): `Hello` mints an id that hashes to
+//!   the shard that accepted the connection, and every keyed frame whose
+//!   session lives elsewhere migrates its connection to the owning shard
+//!   at a frame boundary. A tenant's compressed keys, expanded-key cache
+//!   entries, batching groups, and programs therefore live on exactly
+//!   one shard; each shard's [`KeyCache`] owns `1/N` of the global byte
+//!   budget.
+//! - The per-shard **scheduler** groups keyed jobs by
+//!   `(session, KeyClass)` and dispatches a group as one
+//!   `WorkItem::Batch` when it fills (`max_batch`), when its window
+//!   expires (`max_delay`), or eagerly when the shard's pool is idle. A
+//!   held job's deadline clock restarts at dispatch — the batching
+//!   window is the scheduler's choice, not queue congestion.
 //! - **Workers** pop work items, drop any job whose deadline passed
-//!   while queued, and run ops under `catch_unwind` so a panic (e.g. a
-//!   scale mismatch assertion deep in the evaluator) becomes a
+//!   while queued, and run ops under `catch_unwind` so a panic becomes a
 //!   structured [`ErrorCode::Internal`] instead of a dead worker. A
-//!   batch pins its whole expanded key-set in the [`KeyCache`] first,
-//!   executes its jobs back-to-back against the pinned `Arc`s, and
-//!   shares one hoisted ModUp decomposition across rotations of the
+//!   batch pins its whole expanded key-set in the shard's [`KeyCache`]
+//!   first, executes its jobs back-to-back against the pinned `Arc`s,
+//!   and shares one hoisted ModUp decomposition across rotations of the
 //!   same ciphertext.
 //!
-//! Shutdown is a graceful drain: readers stop accepting new frames, the
-//! scheduler flushes held groups, in-queue jobs still execute and their
-//! replies are delivered, then every thread is joined.
+//! Metrics and tracing stay global: one [`Metrics`] registry aggregates
+//! across shards (the dump appends per-shard labeled families), and the
+//! [`Observer`] stamps the owning shard into every request timeline.
+//!
+//! Shutdown is a graceful drain: the acceptor exits (closing the
+//! listening port), each shard loop drains pending replies and flushes
+//! them, the schedulers flush held groups, in-queue jobs still execute,
+//! then every thread is joined.
 
 use crate::batch::{
     peek_bsgs_steps, peek_program_id, peek_rotate_ct, peek_rotate_steps, peek_session, BatchConfig,
@@ -40,11 +53,11 @@ use crate::batch::{
 use crate::cache::{CacheStats, EvictionPolicy, KeyCache, KeyKind};
 #[cfg(feature = "chaos")]
 use crate::fault::{FaultDecision, FaultPlan};
-use crate::metrics::Metrics;
+use crate::metrics::{Metrics, ShardSnapshot};
 use crate::obs::{self, FinishedTrace, ObsConfig, Observer, RequestTrace, Stage};
 use crate::protocol::{
-    read_frame, write_frame, BatchHint, BodyReader, ErrorCode, FrameRead, Opcode,
-    DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
+    frame_bytes, peek_frame, take_frame, BatchHint, BodyReader, ErrorCode, Frame, FrameStatus,
+    Opcode, DEFAULT_MAX_FRAME_BYTES, PROTOCOL_VERSION,
 };
 use crate::session::{Session, SessionManager, StoredProgram};
 use ckks::hoisting::{apply_bsgs, bsgs_required_steps, rotate_hoisted, LinearTransform};
@@ -58,23 +71,31 @@ use fhe_math::cfft::Complex;
 use fhe_program::program::{Instr, Program, ProgramEnv};
 use fhe_program::{execute_validated, ExecError, ExecInputs, ExecKeys};
 use std::collections::{BTreeMap, HashMap};
-use std::io::Read;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Tuning knobs for [`Server::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
-    /// Worker threads executing FHE ops.
+    /// Independent shard loops; sessions are placed by consistent
+    /// hashing of the session id, and each shard owns its own session
+    /// table, key-cache slice (`key_cache_budget / shards`), scheduler,
+    /// and worker pool. The default reads `MAD_SERVE_SHARDS` (clamped to
+    /// `1..=`[`crate::shard::MAX_SHARDS`], default 1).
+    pub shards: usize,
+    /// Worker threads executing FHE ops, **per shard**.
     pub workers: usize,
-    /// Bounded queue length; a full queue rejects with `Overloaded`.
+    /// Bounded queue length per shard; a full queue rejects with
+    /// `Overloaded`.
     pub queue_capacity: usize,
-    /// Byte budget for expanded switching keys ([`KeyCache`]).
+    /// Global byte budget for expanded switching keys, split evenly
+    /// across the per-shard [`KeyCache`]s.
     pub key_cache_budget: u64,
     /// Cache eviction policy.
     pub eviction: EvictionPolicy,
@@ -83,16 +104,17 @@ pub struct ServeConfig {
     pub request_deadline: Duration,
     /// Ceiling on a single frame.
     pub max_frame_bytes: u32,
-    /// Key-reuse batching scheduler knobs. The default reads the
-    /// `MAD_SERVE_BATCHING` / `MAD_SERVE_BATCH_SIZE` /
-    /// `MAD_SERVE_BATCH_DELAY_MS` environment variables.
+    /// Key-reuse batching scheduler knobs (each shard runs its own
+    /// scheduler). The default reads the `MAD_SERVE_BATCHING` /
+    /// `MAD_SERVE_BATCH_SIZE` / `MAD_SERVE_BATCH_DELAY_MS` environment
+    /// variables.
     pub batch: BatchConfig,
     /// Request-tracing knobs ([`crate::obs`]). The default reads the
     /// `MAD_SERVE_OBS` / `MAD_SERVE_TRACE_RING` / `MAD_SERVE_DEEP_EVERY`
     /// / `MAD_SERVE_SLOW_MS` environment variables.
     pub obs: ObsConfig,
-    /// Deterministic fault schedule threaded through the connection
-    /// handler and worker pool; `None` (the default) serves faithfully.
+    /// Deterministic fault schedule threaded through the shard loops
+    /// and worker pools; `None` (the default) serves faithfully.
     /// Only present when built with the `chaos` feature, so the default
     /// build carries no injection branches.
     #[cfg(feature = "chaos")]
@@ -102,6 +124,7 @@ pub struct ServeConfig {
 impl Default for ServeConfig {
     fn default() -> Self {
         Self {
+            shards: crate::shard::shards_from_env(),
             workers: 2,
             queue_capacity: 32,
             key_cache_budget: 64 << 20,
@@ -116,33 +139,93 @@ impl Default for ServeConfig {
     }
 }
 
-/// State shared by every thread.
-pub(crate) struct ServerState {
+/// State every shard sees: the crypto context, the global metrics and
+/// tracing registries, and a window onto every shard's tenant-owning
+/// structures (for aggregation — shards never execute against another
+/// shard's slice).
+pub(crate) struct SharedState {
     pub(crate) ctx: Arc<CkksContext>,
     pub(crate) evaluator: Evaluator,
     pub(crate) encoder: Encoder,
-    pub(crate) sessions: SessionManager,
-    pub(crate) cache: KeyCache,
     pub(crate) metrics: Metrics,
     pub(crate) obs: Observer,
     /// Whether the batching scheduler is wired in (reported in Hello).
     pub(crate) batching: bool,
+    /// Every shard's tenant-owning state, indexed by shard id.
+    pub(crate) shards: Vec<ShardPublic>,
     #[cfg(feature = "chaos")]
     pub(crate) fault: Option<Arc<FaultPlan>>,
+}
+
+/// One shard's tenant-owning structures, visible to every thread for
+/// metrics aggregation.
+pub(crate) struct ShardPublic {
+    pub(crate) sessions: Arc<SessionManager>,
+    pub(crate) cache: Arc<KeyCache>,
+    /// Requests this shard dispatched to its worker pool.
+    pub(crate) requests: AtomicU64,
+}
+
+impl SharedState {
+    /// Aggregated cache stats plus one snapshot per shard.
+    fn shard_snapshots(&self) -> (CacheStats, Vec<ShardSnapshot>) {
+        let mut agg = CacheStats::default();
+        let mut snaps = Vec::with_capacity(self.shards.len());
+        for (i, s) in self.shards.iter().enumerate() {
+            let stats = s.cache.stats();
+            agg.accumulate(&stats);
+            snaps.push(ShardSnapshot {
+                shard: i,
+                requests: s.requests.load(Ordering::Relaxed),
+                sessions: s.sessions.len() as u64,
+                cache: stats,
+                budget_bytes: s.cache.budget_bytes(),
+            });
+        }
+        (agg, snaps)
+    }
+
+    /// The full metrics dump: global families over aggregated cache
+    /// stats, then the per-shard labeled families.
+    fn metrics_text(&self) -> String {
+        let (agg, snaps) = self.shard_snapshots();
+        self.metrics
+            .dump_sharded(&agg, self.ctx.kernel_backend().name(), &snaps)
+    }
+}
+
+/// One shard's view of the world: the shared state plus its own session
+/// table and cache slice. `Deref` makes the shared fields read naturally
+/// (`state.metrics`, `state.ctx`) while `state.sessions` / `state.cache`
+/// resolve shard-locally — the handler code cannot accidentally touch
+/// another shard's slice.
+pub(crate) struct ServerState {
+    pub(crate) shared: Arc<SharedState>,
+    pub(crate) shard: usize,
+    pub(crate) sessions: Arc<SessionManager>,
+    pub(crate) cache: Arc<KeyCache>,
+}
+
+impl std::ops::Deref for ServerState {
+    type Target = SharedState;
+    fn deref(&self) -> &SharedState {
+        &self.shared
+    }
 }
 
 struct Job {
     op: Opcode,
     body: Vec<u8>,
-    /// When this request's deadline clock started. Readers stamp it at
-    /// enqueue; the scheduler re-stamps it at batch dispatch, because a
-    /// hold inside the batching window is the server's own choice and
-    /// must not be double-counted against the per-op deadline.
+    /// When this request's deadline clock started. The shard loop stamps
+    /// it at enqueue; the scheduler re-stamps it at batch dispatch,
+    /// because a hold inside the batching window is the server's own
+    /// choice and must not be double-counted against the per-op
+    /// deadline.
     deadline_start: Instant,
     reply: std::sync::mpsc::Sender<(u8, Vec<u8>)>,
     /// The request's always-on timeline; `None` when tracing is
-    /// disabled. The reader keeps a second handle and finishes the
-    /// trace after writing the reply.
+    /// disabled. The shard loop keeps a second handle and finishes the
+    /// trace after flushing the reply.
     trace: Option<Arc<RequestTrace>>,
     /// A worker-side fault drawn for this request by the chaos plan.
     #[cfg(feature = "chaos")]
@@ -160,10 +243,11 @@ enum WorkItem {
     },
 }
 
-/// Where readers drop parsed jobs: keyed ops into the scheduler's
-/// admission channel (when batching is on), everything else straight to
-/// the worker queue. `backlog` counts work items sent to the workers but
-/// not yet finished — the scheduler's "is the pool idle" signal.
+/// Where the shard loop drops parsed jobs: keyed ops into the
+/// scheduler's admission channel (when batching is on), everything else
+/// straight to the worker queue. `backlog` counts work items sent to the
+/// workers but not yet finished — the scheduler's "is the pool idle"
+/// signal.
 struct JobSinks {
     direct: SyncSender<WorkItem>,
     batched: Option<SyncSender<Job>>,
@@ -195,112 +279,269 @@ impl JobSinks {
     }
 }
 
-/// A running server; dropping without [`Server::shutdown`] aborts
-/// non-gracefully (threads are detached), so call `shutdown`.
-pub struct Server {
-    addr: SocketAddr,
-    state: Arc<ServerState>,
-    shutdown: Arc<AtomicBool>,
-    acceptor: Option<JoinHandle<()>>,
+/// A connection in flight between threads: the acceptor hands fresh
+/// sockets to a shard, and a shard migrates a connection (with any bytes
+/// it already buffered) to the shard that owns its session.
+struct RoutedConn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+}
+
+/// The wake-up channel between a shard's workers and its loop: workers
+/// bump the sequence number after every completed work item, and the
+/// loop sleeps on the condvar only while the sequence is unchanged —
+/// a reply can never slip between "checked the channel" and "went to
+/// sleep".
+#[derive(Default)]
+struct ReplySignal {
+    seq: Mutex<u64>,
+    cv: Condvar,
+}
+
+impl ReplySignal {
+    fn notify(&self) {
+        *self.seq.lock().expect("signal poisoned") += 1;
+        self.cv.notify_all();
+    }
+
+    /// Sleeps until the sequence moves past `last_seen` or `timeout`
+    /// elapses, then records the current sequence in `last_seen`.
+    fn wait_if_unchanged(&self, last_seen: &mut u64, timeout: Duration) {
+        let mut seq = self.seq.lock().expect("signal poisoned");
+        if *seq == *last_seen {
+            seq = self
+                .cv
+                .wait_timeout(seq, timeout)
+                .expect("signal poisoned")
+                .0;
+        }
+        *last_seen = *seq;
+    }
+}
+
+/// A reply the shard loop is waiting on from the worker pool.
+struct PendingReply {
+    rx: std::sync::mpsc::Receiver<(u8, Vec<u8>)>,
+    trace: Option<Arc<RequestTrace>>,
+    /// A write-abort fault drawn for this request, applied when the
+    /// reply comes back.
+    #[cfg(feature = "chaos")]
+    write_fault: Option<FaultDecision>,
+}
+
+/// Per-connection state machine driven by the owning shard loop.
+struct Conn {
+    stream: TcpStream,
+    read_buf: Vec<u8>,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    /// When the reply entered the write buffer — the write stage runs
+    /// from reply pickup to flush completion.
+    write_started: Option<Instant>,
+    pending: Option<PendingReply>,
+    /// A trace to finish (with its status) once the reply flushes.
+    finishing: Option<(Arc<RequestTrace>, u8)>,
+    /// Close once the write buffer drains (oversize frames, torn-write
+    /// faults).
+    close_after_flush: bool,
+    /// The peer half-closed its sending side; drain what's owed, then
+    /// drop.
+    peer_closed: bool,
+}
+
+impl Conn {
+    fn new(routed: RoutedConn) -> Self {
+        Conn {
+            stream: routed.stream,
+            read_buf: routed.read_buf,
+            write_buf: Vec::new(),
+            write_pos: 0,
+            write_started: None,
+            pending: None,
+            finishing: None,
+            close_after_flush: false,
+            peer_closed: false,
+        }
+    }
+}
+
+/// What one tick of [`step_conn`] decided about a connection.
+enum ConnVerdict {
+    /// Still alive; `progressed` is whether anything moved this tick.
+    Keep { progressed: bool },
+    /// Close the socket.
+    Drop,
+    /// Migrate the connection to the shard owning its session.
+    Route(usize),
+}
+
+/// One shard's runtime threads and queues, torn down in
+/// [`Server::shutdown`].
+struct ShardRuntime {
+    loop_handle: Option<JoinHandle<()>>,
     scheduler: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
-    conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>>,
     queue: Option<SyncSender<WorkItem>>,
     batch_queue: Option<SyncSender<Job>>,
 }
 
+/// A running server; dropping without [`Server::shutdown`] aborts
+/// non-gracefully (threads are detached), so call `shutdown`.
+pub struct Server {
+    addr: SocketAddr,
+    state: Arc<SharedState>,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    shards: Vec<ShardRuntime>,
+}
+
 impl Server {
     /// Binds a loopback listener on an OS-assigned port and starts the
-    /// acceptor and worker threads.
+    /// acceptor and the per-shard loops, schedulers, and worker pools.
     ///
     /// # Errors
     ///
     /// Propagates listener-creation I/O errors.
     pub fn start(ctx: Arc<CkksContext>, config: ServeConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind("127.0.0.1:0")?;
+        listener.set_nonblocking(true)?;
         let addr = listener.local_addr()?;
-        let state = Arc::new(ServerState {
+        let shard_count = config.shards.clamp(1, crate::shard::MAX_SHARDS);
+        let per_shard_budget = config.key_cache_budget / shard_count as u64;
+        let shard_public: Vec<ShardPublic> = (0..shard_count)
+            .map(|i| ShardPublic {
+                sessions: Arc::new(SessionManager::new_for_shard(i, shard_count)),
+                cache: Arc::new(KeyCache::new(per_shard_budget, config.eviction)),
+                requests: AtomicU64::new(0),
+            })
+            .collect();
+        let shared = Arc::new(SharedState {
             evaluator: Evaluator::new(ctx.clone()),
             encoder: Encoder::new(ctx.clone()),
             ctx,
-            sessions: SessionManager::new(),
-            cache: KeyCache::new(config.key_cache_budget, config.eviction),
             metrics: Metrics::new(),
             obs: Observer::new(config.obs.clone()),
             batching: config.batch.enabled,
+            shards: shard_public,
             #[cfg(feature = "chaos")]
             fault: config.fault_plan.clone(),
         });
-        state
+        shared
             .metrics
             .batching_enabled
             .store(u64::from(config.batch.enabled), Ordering::Relaxed);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let backlog = Arc::new(AtomicU64::new(0));
-        let (work_tx, work_rx) = sync_channel::<WorkItem>(config.queue_capacity);
-        let work_rx = Arc::new(Mutex::new(work_rx));
 
-        let workers = (0..config.workers.max(1))
-            .map(|i| {
-                let state = state.clone();
-                let rx = work_rx.clone();
-                let backlog = backlog.clone();
-                let deadline = config.request_deadline;
-                std::thread::Builder::new()
-                    .name(format!("serve-worker-{i}"))
-                    .spawn(move || worker_loop(&state, &rx, &backlog, deadline))
-                    .expect("spawn worker")
-            })
-            .collect();
+        // The connection-migration fabric: every shard (and the
+        // acceptor) can hand a connection to any shard.
+        let mut conn_txs: Vec<Sender<RoutedConn>> = Vec::with_capacity(shard_count);
+        let mut conn_rxs: Vec<Receiver<RoutedConn>> = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            let (tx, rx) = std::sync::mpsc::channel();
+            conn_txs.push(tx);
+            conn_rxs.push(rx);
+        }
 
-        let (batch_tx, scheduler) = if config.batch.enabled {
-            let (batch_tx, batch_rx) = sync_channel::<Job>(config.queue_capacity);
-            let state = state.clone();
-            let work_tx = work_tx.clone();
-            let backlog = backlog.clone();
-            let batch_cfg = config.batch.clone();
-            let handle = std::thread::Builder::new()
-                .name("serve-scheduler".into())
-                .spawn(move || scheduler_loop(&state, &batch_rx, &work_tx, &backlog, &batch_cfg))
-                .expect("spawn scheduler");
-            (Some(batch_tx), Some(handle))
-        } else {
-            (None, None)
-        };
-
-        let conn_handles: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::default();
-        let acceptor = {
-            let state = state.clone();
-            let shutdown = shutdown.clone();
-            let conn_handles = conn_handles.clone();
-            let sinks = Arc::new(JobSinks {
-                direct: work_tx.clone(),
-                batched: batch_tx.clone(),
-                backlog,
+        let mut shards = Vec::with_capacity(shard_count);
+        for (i, conn_rx) in conn_rxs.into_iter().enumerate() {
+            let public = &shared.shards[i];
+            let state = Arc::new(ServerState {
+                shared: shared.clone(),
+                shard: i,
+                sessions: public.sessions.clone(),
+                cache: public.cache.clone(),
             });
-            let max_frame = config.max_frame_bytes;
+            let backlog = Arc::new(AtomicU64::new(0));
+            let signal = Arc::new(ReplySignal::default());
+            let (work_tx, work_rx) = sync_channel::<WorkItem>(config.queue_capacity);
+            let work_rx = Arc::new(Mutex::new(work_rx));
+
+            let workers: Vec<JoinHandle<()>> = (0..config.workers.max(1))
+                .map(|w| {
+                    let state = state.clone();
+                    let rx = work_rx.clone();
+                    let backlog = backlog.clone();
+                    let signal = signal.clone();
+                    let deadline = config.request_deadline;
+                    std::thread::Builder::new()
+                        .name(format!("serve-w{i}-{w}"))
+                        .spawn(move || worker_loop(&state, &rx, &backlog, deadline, &signal))
+                        .expect("spawn worker")
+                })
+                .collect();
+
+            let (batch_tx, scheduler) = if config.batch.enabled {
+                let (batch_tx, batch_rx) = sync_channel::<Job>(config.queue_capacity);
+                let state = state.clone();
+                let work_tx = work_tx.clone();
+                let backlog = backlog.clone();
+                let batch_cfg = config.batch.clone();
+                let handle = std::thread::Builder::new()
+                    .name(format!("serve-sched-{i}"))
+                    .spawn(move || {
+                        scheduler_loop(&state, &batch_rx, &work_tx, &backlog, &batch_cfg)
+                    })
+                    .expect("spawn scheduler");
+                (Some(batch_tx), Some(handle))
+            } else {
+                (None, None)
+            };
+
+            let loop_handle = {
+                let state = state.clone();
+                let shutdown = shutdown.clone();
+                let sinks = JobSinks {
+                    direct: work_tx.clone(),
+                    batched: batch_tx.clone(),
+                    backlog,
+                };
+                let conn_txs = conn_txs.clone();
+                let signal = signal.clone();
+                let max_frame = config.max_frame_bytes;
+                std::thread::Builder::new()
+                    .name(format!("serve-shard-{i}"))
+                    .spawn(move || {
+                        shard_loop(
+                            &state, &shutdown, &sinks, &conn_rx, &conn_txs, &signal, max_frame,
+                        );
+                    })
+                    .expect("spawn shard loop")
+            };
+
+            shards.push(ShardRuntime {
+                loop_handle: Some(loop_handle),
+                scheduler,
+                workers,
+                queue: Some(work_tx),
+                batch_queue: batch_tx,
+            });
+        }
+
+        let acceptor = {
+            let shared = shared.clone();
+            let shutdown = shutdown.clone();
             std::thread::Builder::new()
                 .name("serve-acceptor".into())
                 .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
+                    let mut next = 0usize;
+                    while !shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _peer)) => {
+                                shared
+                                    .metrics
+                                    .connections_total
+                                    .fetch_add(1, Ordering::Relaxed);
+                                let routed = RoutedConn {
+                                    stream,
+                                    read_buf: Vec::new(),
+                                };
+                                let _ = conn_txs[next % conn_txs.len()].send(routed);
+                                next = next.wrapping_add(1);
+                            }
+                            // Nothing to accept (or a transient accept
+                            // error): nap and poll the shutdown flag.
+                            Err(_) => std::thread::sleep(Duration::from_millis(2)),
                         }
-                        let Ok(stream) = stream else { continue };
-                        state
-                            .metrics
-                            .connections_total
-                            .fetch_add(1, Ordering::Relaxed);
-                        let state = state.clone();
-                        let shutdown = shutdown.clone();
-                        let sinks = sinks.clone();
-                        let handle = std::thread::Builder::new()
-                            .name("serve-conn".into())
-                            .spawn(move || {
-                                connection_loop(&state, &shutdown, &sinks, stream, max_frame)
-                            })
-                            .expect("spawn connection thread");
-                        conn_handles.lock().expect("handles poisoned").push(handle);
                     }
                 })
                 .expect("spawn acceptor")
@@ -308,14 +549,10 @@ impl Server {
 
         Ok(Server {
             addr,
-            state,
+            state: shared,
             shutdown,
             acceptor: Some(acceptor),
-            scheduler,
-            workers,
-            conn_handles,
-            queue: Some(work_tx),
-            batch_queue: batch_tx,
+            shards,
         })
     }
 
@@ -324,25 +561,40 @@ impl Server {
         self.addr
     }
 
-    /// Key-cache counters (also part of the metrics dump).
-    pub fn cache_stats(&self) -> CacheStats {
-        self.state.cache.stats()
+    /// The number of shard loops this server runs.
+    pub fn shard_count(&self) -> usize {
+        self.state.shards.len()
     }
 
-    /// Asserts the key cache's internal invariants (byte ledger, stats
-    /// mirror, budget) and returns a consistent snapshot. Panics on
-    /// violation — used by the chaos and stress suites, safe to call on
-    /// a live server.
+    /// Key-cache counters summed across every shard's slice (also part
+    /// of the metrics dump).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.state.shard_snapshots().0
+    }
+
+    /// Asserts every shard's key-cache invariants (byte ledger, stats
+    /// mirror, per-shard budget, hit/miss partition of the lookup
+    /// count), then cross-checks the aggregated ledger, and returns the
+    /// summed snapshot. Panics on violation — used by the chaos and
+    /// stress suites, safe to call on a live server.
     pub fn assert_cache_consistent(&self) -> CacheStats {
-        self.state.cache.check_invariants()
+        let mut agg = CacheStats::default();
+        for shard in &self.state.shards {
+            agg.accumulate(&shard.cache.check_invariants());
+        }
+        assert_eq!(
+            agg.hits + agg.misses,
+            agg.accesses,
+            "cross-shard lookup ledger out of balance"
+        );
+        agg
     }
 
     /// The current metrics dump, server-side (the `Metrics` opcode
-    /// returns the same text over the wire).
+    /// returns the same text over the wire): global families over
+    /// aggregated cache stats, then per-shard labeled families.
     pub fn metrics_dump(&self) -> String {
-        self.state
-            .metrics
-            .dump(&self.state.cache.stats(), self.kernel_backend_name())
+        self.state.metrics_text()
     }
 
     /// The name of the kernel backend the serving context dispatches its
@@ -376,31 +628,456 @@ impl Server {
         self.state.obs.slow_log()
     }
 
-    /// Graceful drain: stop accepting, let queued requests finish and
-    /// their replies flush, then join every thread.
+    /// Graceful drain: stop accepting (the listening port closes with
+    /// the acceptor), let every shard drain pending replies and flush
+    /// them, let queued requests finish, then join every thread.
     pub fn shutdown(mut self) {
         self.shutdown.store(true, Ordering::SeqCst);
-        // Unblock the acceptor's blocking `accept`.
-        let _ = TcpStream::connect(self.addr);
+        // The acceptor wakes on its poll tick and exits, dropping the
+        // listener — new connects are refused from here on.
         if let Some(h) = self.acceptor.take() {
             let _ = h.join();
         }
-        let handles = std::mem::take(&mut *self.conn_handles.lock().expect("handles poisoned"));
-        for h in handles {
-            let _ = h.join();
+        // Shard loops drain: each exits once its connections are gone
+        // (idle ones close immediately; ones owed a reply first collect
+        // and flush it). Workers are still up, so those replies arrive.
+        for shard in &mut self.shards {
+            if let Some(h) = shard.loop_handle.take() {
+                let _ = h.join();
+            }
         }
-        // All reader-held sink clones are gone. Dropping ours disconnects
-        // the scheduler's admission channel; it flushes held groups to
-        // the workers and exits.
-        drop(self.batch_queue.take());
-        if let Some(h) = self.scheduler.take() {
-            let _ = h.join();
+        for shard in &mut self.shards {
+            // The loop's sink clones are gone. Dropping ours disconnects
+            // the scheduler's admission channel; it flushes held groups
+            // to the workers and exits.
+            drop(shard.batch_queue.take());
+            if let Some(h) = shard.scheduler.take() {
+                let _ = h.join();
+            }
+            // Now the last worker-queue sender goes away; workers drain
+            // the remaining items and exit.
+            drop(shard.queue.take());
+            for h in std::mem::take(&mut shard.workers) {
+                let _ = h.join();
+            }
         }
-        // Now the last worker-queue sender goes away; workers drain the
-        // remaining items and exit.
-        drop(self.queue.take());
-        for h in std::mem::take(&mut self.workers) {
-            let _ = h.join();
+    }
+}
+
+/// One shard's event loop: adopt incoming connections, drive each one a
+/// step, migrate mis-placed connections, and park on the reply condvar
+/// when nothing moved.
+fn shard_loop(
+    state: &Arc<ServerState>,
+    shutdown: &AtomicBool,
+    sinks: &JobSinks,
+    conn_rx: &Receiver<RoutedConn>,
+    conn_txs: &[Sender<RoutedConn>],
+    signal: &ReplySignal,
+    max_frame: u32,
+) {
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut last_seq = 0u64;
+    let mut last_active = Instant::now();
+    loop {
+        let shutting_down = shutdown.load(Ordering::SeqCst);
+        while let Ok(routed) = conn_rx.try_recv() {
+            let _ = routed.stream.set_nonblocking(true);
+            let _ = routed.stream.set_nodelay(true);
+            conns.push(Conn::new(routed));
+        }
+        if shutting_down && conns.is_empty() {
+            break;
+        }
+        let mut progressed = false;
+        let mut any_pending = false;
+        let mut i = 0;
+        while i < conns.len() {
+            match step_conn(state, sinks, &mut conns[i], shutting_down, max_frame) {
+                ConnVerdict::Keep { progressed: p } => {
+                    progressed |= p;
+                    any_pending |= conns[i].pending.is_some() || !conns[i].write_buf.is_empty();
+                    i += 1;
+                }
+                ConnVerdict::Drop => {
+                    conns.swap_remove(i);
+                    progressed = true;
+                }
+                ConnVerdict::Route(target) => {
+                    let conn = conns.swap_remove(i);
+                    // A failed send means the target loop is gone
+                    // (shutdown race); the connection drops with it.
+                    let _ = conn_txs[target].send(RoutedConn {
+                        stream: conn.stream,
+                        read_buf: conn.read_buf,
+                    });
+                    progressed = true;
+                }
+            }
+        }
+        if progressed {
+            last_active = Instant::now();
+            continue;
+        }
+        // Nothing moved. With a reply in flight the condvar ping is the
+        // real wake signal and the timeout only a fallback; right after
+        // activity, stay hot for the closed-loop turnaround; otherwise
+        // settle into a lazy poll for new connections.
+        let timeout = if any_pending {
+            Duration::from_micros(500)
+        } else if last_active.elapsed() < Duration::from_millis(5) {
+            Duration::from_micros(50)
+        } else {
+            Duration::from_millis(2)
+        };
+        signal.wait_if_unchanged(&mut last_seq, timeout);
+    }
+}
+
+/// Advances one connection as far as it will go without blocking:
+/// collect a finished reply, flush the write buffer, then (only when the
+/// reply pipeline is empty) read and act on the next frame.
+fn step_conn(
+    state: &ServerState,
+    sinks: &JobSinks,
+    conn: &mut Conn,
+    shutting_down: bool,
+    max_frame: u32,
+) -> ConnVerdict {
+    let mut progressed = false;
+
+    // 1. Reply pickup: the worker finished, adopt its reply into the
+    //    write buffer.
+    if let Some(pending) = &conn.pending {
+        use std::sync::mpsc::TryRecvError;
+        match pending.rx.try_recv() {
+            Ok((status, body)) => {
+                let pending = conn.pending.take().expect("just checked");
+                adopt_reply(state, conn, pending, status, body);
+                progressed = true;
+            }
+            Err(TryRecvError::Empty) => {}
+            Err(TryRecvError::Disconnected) => {
+                let pending = conn.pending.take().expect("just checked");
+                adopt_reply(
+                    state,
+                    conn,
+                    pending,
+                    ErrorCode::Internal as u8,
+                    b"worker dropped the request".to_vec(),
+                );
+                progressed = true;
+            }
+        }
+    }
+
+    // 2. Flush whatever the socket will take.
+    while conn.write_pos < conn.write_buf.len() {
+        match (&conn.stream).write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => return write_failed(state, conn),
+            Ok(n) => {
+                conn.write_pos += n;
+                progressed = true;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                return ConnVerdict::Keep { progressed };
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return write_failed(state, conn),
+        }
+    }
+    if !conn.write_buf.is_empty() {
+        // Fully flushed: the write stage ends here, and only now is the
+        // request's timeline complete.
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        if let Some((trace, status)) = conn.finishing.take() {
+            if let Some(start) = conn.write_started.take() {
+                obs::add_stage(&trace, Stage::Write, start.elapsed());
+            }
+            state.obs.finish(&state.metrics, &trace, status);
+        }
+        conn.write_started = None;
+        if conn.close_after_flush {
+            return ConnVerdict::Drop;
+        }
+        progressed = true;
+    }
+
+    // 3. Strict request/response order: no new frame while a reply is
+    //    owed.
+    if conn.pending.is_some() {
+        return ConnVerdict::Keep { progressed };
+    }
+    if shutting_down {
+        return ConnVerdict::Drop;
+    }
+
+    // 4. Pull in ready bytes, but only while we still need a frame —
+    //    never buffer ahead of the one-frame-per-tick parse.
+    if !conn.peer_closed
+        && matches!(
+            peek_frame(&conn.read_buf, max_frame),
+            FrameStatus::Incomplete
+        )
+    {
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            match (&conn.stream).read(&mut buf) {
+                Ok(0) => {
+                    conn.peer_closed = true;
+                    break;
+                }
+                Ok(n) => {
+                    conn.read_buf.extend_from_slice(&buf[..n]);
+                    progressed = true;
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => return ConnVerdict::Drop,
+            }
+        }
+    }
+
+    // 5. Act on the frame boundary.
+    match peek_frame(&conn.read_buf, max_frame) {
+        FrameStatus::Incomplete => {
+            if conn.peer_closed {
+                // Clean EOF or a torn partial frame: either way the
+                // conversation is over.
+                return ConnVerdict::Drop;
+            }
+            ConnVerdict::Keep { progressed }
+        }
+        FrameStatus::Corrupt => ConnVerdict::Drop,
+        FrameStatus::TooLarge(len) => {
+            // The unread body leaves the stream out of sync: answer,
+            // then drop the connection once the reply flushes.
+            let msg = format!("frame of {len} bytes exceeds limit {max_frame}");
+            queue_reply(
+                state,
+                conn,
+                ErrorCode::FrameTooLarge as u8,
+                msg.into_bytes(),
+            );
+            conn.close_after_flush = true;
+            ConnVerdict::Keep { progressed: true }
+        }
+        FrameStatus::Ready { .. } => {
+            // Frame boundaries are the only safe migration points: no
+            // reply owed, nothing half-written, nothing half-read beyond
+            // buffered bytes that travel with the connection.
+            if let Some(target) = route_target(state, &conn.read_buf) {
+                return ConnVerdict::Route(target);
+            }
+            let frame = take_frame(&mut conn.read_buf);
+            process_frame(state, sinks, conn, frame)
+        }
+    }
+}
+
+/// A reply write failed mid-flush: close the books on the trace exactly
+/// like a successful write would (the reply *was* produced), then drop.
+fn write_failed(state: &ServerState, conn: &mut Conn) -> ConnVerdict {
+    if let Some((trace, status)) = conn.finishing.take() {
+        if let Some(start) = conn.write_started.take() {
+            obs::add_stage(&trace, Stage::Write, start.elapsed());
+        }
+        state.obs.finish(&state.metrics, &trace, status);
+    }
+    ConnVerdict::Drop
+}
+
+/// Queues a locally-generated reply frame (protocol errors, overload
+/// pushback) for flushing. Error and byte accounting happen here — at
+/// queue time, mirroring the blocking server which counted before the
+/// write.
+fn queue_reply(state: &ServerState, conn: &mut Conn, status: u8, body: Vec<u8>) {
+    if status != 0 {
+        state.metrics.errors_total.fetch_add(1, Ordering::Relaxed);
+    }
+    state
+        .metrics
+        .bytes_written
+        .fetch_add(6 + body.len() as u64, Ordering::Relaxed);
+    conn.write_buf = frame_bytes(status, &body);
+    conn.write_pos = 0;
+}
+
+/// Adopts a worker reply into the connection's write buffer, arming the
+/// write-stage clock and the trace hand-off (or the torn-write fault,
+/// which abandons the trace — a reply that never made it is not timeline
+/// data).
+fn adopt_reply(
+    state: &ServerState,
+    conn: &mut Conn,
+    pending: PendingReply,
+    status: u8,
+    body: Vec<u8>,
+) {
+    #[cfg(feature = "chaos")]
+    if let Some(FaultDecision::WriteAbort { keep }) = pending.write_fault {
+        // Torn frame: a strict prefix of the real response, then the
+        // connection drops. No error/byte accounting — the blocking
+        // server's abort path skipped its `respond` helper entirely.
+        let bytes = frame_bytes(status, &body);
+        let keep = keep.min(bytes.len().saturating_sub(1));
+        conn.write_buf = bytes[..keep].to_vec();
+        conn.write_pos = 0;
+        conn.close_after_flush = true;
+        return;
+    }
+    queue_reply(state, conn, status, body);
+    conn.write_started = Some(Instant::now());
+    if let Some(trace) = pending.trace {
+        conn.finishing = Some((trace, status));
+    }
+}
+
+/// Decides whether the buffered (complete) frame belongs to another
+/// shard: keyed ops carry their session id in the first 8 body bytes,
+/// and the id's consistent hash names the owner. Session-less ops
+/// (Hello, Metrics, TraceDump) and malformed-looking frames stay local —
+/// the local handler produces the correct structured error.
+fn route_target(state: &ServerState, buf: &[u8]) -> Option<usize> {
+    if state.shards.len() <= 1 {
+        return None;
+    }
+    if buf[4] != PROTOCOL_VERSION {
+        return None;
+    }
+    let op = Opcode::from_u8(buf[5])?;
+    if matches!(op, Opcode::Hello | Opcode::Metrics | Opcode::TraceDump) {
+        return None;
+    }
+    let len = u32::from_le_bytes(buf[0..4].try_into().expect("peeked Ready")) as usize;
+    if len < 10 {
+        // Body shorter than a session id: rejected locally as malformed.
+        return None;
+    }
+    let sid = u64::from_le_bytes(buf[6..14].try_into().expect("length checked"));
+    let target = crate::shard::shard_of(sid, state.shards.len());
+    (target != state.shard).then_some(target)
+}
+
+/// Parses and dispatches one frame on the owning shard: protocol errors
+/// answer locally, chaos draws exactly one decision, everything else
+/// becomes a job for this shard's scheduler or worker queue.
+fn process_frame(
+    state: &ServerState,
+    sinks: &JobSinks,
+    conn: &mut Conn,
+    frame: Frame,
+) -> ConnVerdict {
+    state
+        .metrics
+        .bytes_read
+        .fetch_add(6 + frame.body.len() as u64, Ordering::Relaxed);
+    if frame.version != PROTOCOL_VERSION {
+        let msg = format!("version {} unsupported", frame.version);
+        queue_reply(
+            state,
+            conn,
+            ErrorCode::UnsupportedVersion as u8,
+            msg.into_bytes(),
+        );
+        return ConnVerdict::Keep { progressed: true };
+    }
+    let Some(op) = Opcode::from_u8(frame.tag) else {
+        let msg = format!("opcode {:#04x}", frame.tag);
+        queue_reply(
+            state,
+            conn,
+            ErrorCode::UnknownOpcode as u8,
+            msg.into_bytes(),
+        );
+        return ConnVerdict::Keep { progressed: true };
+    };
+    // Chaos: exactly one plan decision per parsed frame, drawn on the
+    // owning shard (routing happens before the frame is "read").
+    // Loop-side faults act right here; worker-side faults ride on the
+    // job; write aborts fire when the reply comes back.
+    #[cfg(feature = "chaos")]
+    let mut worker_fault = None;
+    #[cfg(feature = "chaos")]
+    let mut write_fault = None;
+    #[cfg(feature = "chaos")]
+    if let Some(plan) = &state.fault {
+        if let Some(fault) = plan.decide(op) {
+            state
+                .metrics
+                .faults_injected
+                .fetch_add(1, Ordering::Relaxed);
+            match fault {
+                // A failed socket read: the connection dies with no
+                // reply at all.
+                FaultDecision::ReadError => return ConnVerdict::Drop,
+                // Synthetic admission-control pushback.
+                FaultDecision::Overloaded => {
+                    state
+                        .metrics
+                        .rejected_overload
+                        .fetch_add(1, Ordering::Relaxed);
+                    queue_reply(
+                        state,
+                        conn,
+                        ErrorCode::Overloaded as u8,
+                        b"injected overload, retry later".to_vec(),
+                    );
+                    return ConnVerdict::Keep { progressed: true };
+                }
+                FaultDecision::WriteAbort { .. } => write_fault = Some(fault),
+                other => worker_fault = Some(other),
+            }
+        }
+    }
+    let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+    let trace = state.obs.begin(op, state.shard as u32);
+    let job = Job {
+        op,
+        body: frame.body,
+        deadline_start: Instant::now(),
+        reply: reply_tx,
+        trace: trace.clone(),
+        #[cfg(feature = "chaos")]
+        chaos: worker_fault,
+    };
+    // Count before sending: a worker may pop (and decrement) the
+    // instant `try_send` returns.
+    state.metrics.enqueued();
+    if let Some(t) = &trace {
+        t.mark_enqueued();
+    }
+    match sinks.dispatch(job) {
+        Ok(()) => {
+            state.shards[state.shard]
+                .requests
+                .fetch_add(1, Ordering::Relaxed);
+            conn.pending = Some(PendingReply {
+                rx: reply_rx,
+                trace,
+                #[cfg(feature = "chaos")]
+                write_fault,
+            });
+            ConnVerdict::Keep { progressed: true }
+        }
+        Err(TrySendError::Full(())) => {
+            state.metrics.retracted();
+            state
+                .metrics
+                .rejected_overload
+                .fetch_add(1, Ordering::Relaxed);
+            queue_reply(
+                state,
+                conn,
+                ErrorCode::Overloaded as u8,
+                b"queue full, retry later".to_vec(),
+            );
+            ConnVerdict::Keep { progressed: true }
+        }
+        Err(TrySendError::Disconnected(())) => {
+            state.metrics.retracted();
+            ConnVerdict::Drop
         }
     }
 }
@@ -410,6 +1087,7 @@ fn worker_loop(
     rx: &Arc<Mutex<Receiver<WorkItem>>>,
     backlog: &AtomicU64,
     deadline: Duration,
+    signal: &ReplySignal,
 ) {
     loop {
         let item = {
@@ -433,6 +1111,9 @@ fn worker_loop(
         // pool is truly idle, which is the scheduler's eager-dispatch
         // signal.
         backlog.fetch_sub(1, Ordering::Relaxed);
+        // Wake the shard loop: a reply (or several, for a batch) is
+        // ready for pickup.
+        signal.notify();
     }
 }
 
@@ -455,7 +1136,7 @@ fn admit_job(state: &ServerState, job: &Job, deadline: Duration) -> bool {
                 state.cache.evict_all();
             }
             // WorkerPanic fires inside catch_unwind during execution;
-            // reader-side faults never reach the queue.
+            // loop-side faults never reach the queue.
             _ => {}
         }
     }
@@ -479,8 +1160,8 @@ fn execute_job(state: &ServerState, job: Job, keys: Option<&BatchKeys>) {
     let start = Instant::now();
     let result = {
         // Guard scope: exec accounting and the deep-trace bridge close
-        // before the reply is sent, so the reader can never finish the
-        // trace while the worker is still writing to it.
+        // before the reply is sent, so the shard loop can never finish
+        // the trace while the worker is still writing to it.
         let _exec = job.trace.as_ref().map(|t| state.obs.enter_exec(t));
         catch_unwind(AssertUnwindSafe(|| {
             #[cfg(feature = "chaos")]
@@ -500,7 +1181,7 @@ fn execute_job(state: &ServerState, job: Job, keys: Option<&BatchKeys>) {
 }
 
 /// The expanded keys a batch pinned up front, consulted by the handler
-/// before it ever touches the shared cache. Every hit here is a cache
+/// before it ever touches the shard's cache. Every hit here is a cache
 /// round-trip (and, under budget pressure, a potential re-expansion)
 /// avoided.
 #[derive(Default)]
@@ -795,9 +1476,10 @@ struct PendingGroup {
 /// job's deadline clock (time held for batching is the scheduler's
 /// choice, not congestion), stamps the hold on its trace, and — when
 /// the workers are already gone in a shutdown race — retires the
-/// dropped jobs from the queue-depth gauge. Their readers counted them
-/// `enqueued()` at admission and no worker will ever `dequeued()` them,
-/// so skipping that here would leak `serve_queue_depth` permanently.
+/// dropped jobs from the queue-depth gauge. Their shard loop counted
+/// them `enqueued()` at admission and no worker will ever `dequeued()`
+/// them, so skipping that here would leak `serve_queue_depth`
+/// permanently.
 fn dispatch_batch(
     metrics: &Metrics,
     work: &SyncSender<WorkItem>,
@@ -816,7 +1498,7 @@ fn dispatch_batch(
     backlog.fetch_add(1, Ordering::Relaxed);
     if let Err(std::sync::mpsc::SendError(item)) = work.send(WorkItem::Batch { sid, class, jobs }) {
         // Workers already gone (shutdown race); replies drop with the
-        // channel and readers answer Internal.
+        // channel and the shard loop answers Internal.
         backlog.fetch_sub(1, Ordering::Relaxed);
         if let WorkItem::Batch { jobs, .. } = item {
             for _ in &jobs {
@@ -904,7 +1586,8 @@ fn admit_to_group(
     dispatch: &dyn Fn(u64, KeyClass, Vec<Job>),
 ) {
     let (Some(class), Some(sid)) = (KeyClass::of(job.op), peek_session(&job.body)) else {
-        // Readers only route keyed ops here, but stay safe: run it alone.
+        // The loop only routes keyed ops here, but stay safe: run it
+        // alone.
         dispatch(0, KeyClass::Relin, vec![job]);
         return;
     };
@@ -929,202 +1612,6 @@ fn admit_to_group(
     }
 }
 
-/// Blocks through read timeouts, polling the shutdown flag, so an idle
-/// connection wakes up promptly at shutdown while a slow frame mid-body
-/// still completes.
-struct PatientReader<'a> {
-    stream: &'a TcpStream,
-    shutdown: &'a AtomicBool,
-}
-
-impl Read for PatientReader<'_> {
-    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
-        loop {
-            let mut stream = self.stream;
-            match stream.read(buf) {
-                Err(e)
-                    if e.kind() == std::io::ErrorKind::WouldBlock
-                        || e.kind() == std::io::ErrorKind::TimedOut =>
-                {
-                    if self.shutdown.load(Ordering::SeqCst) {
-                        return Err(std::io::Error::new(
-                            std::io::ErrorKind::TimedOut,
-                            "server shutting down",
-                        ));
-                    }
-                }
-                r => return r,
-            }
-        }
-    }
-}
-
-fn connection_loop(
-    state: &ServerState,
-    shutdown: &AtomicBool,
-    sinks: &JobSinks,
-    mut stream: TcpStream,
-    max_frame: u32,
-) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let _ = stream.set_nodelay(true);
-    let respond = |stream: &mut TcpStream, status: u8, body: &[u8]| {
-        if status != 0 {
-            state.metrics.errors_total.fetch_add(1, Ordering::Relaxed);
-        }
-        state
-            .metrics
-            .bytes_written
-            .fetch_add(6 + body.len() as u64, Ordering::Relaxed);
-        write_frame(stream, status, body).is_ok()
-    };
-    loop {
-        let mut reader = PatientReader {
-            stream: &stream,
-            shutdown,
-        };
-        match read_frame(&mut reader, max_frame) {
-            Ok(FrameRead::Frame(frame)) => {
-                state
-                    .metrics
-                    .bytes_read
-                    .fetch_add(6 + frame.body.len() as u64, Ordering::Relaxed);
-                if frame.version != PROTOCOL_VERSION {
-                    let msg = format!("version {} unsupported", frame.version);
-                    if !respond(
-                        &mut stream,
-                        ErrorCode::UnsupportedVersion as u8,
-                        msg.as_bytes(),
-                    ) {
-                        break;
-                    }
-                    continue;
-                }
-                let Some(op) = Opcode::from_u8(frame.tag) else {
-                    let msg = format!("opcode {:#04x}", frame.tag);
-                    if !respond(&mut stream, ErrorCode::UnknownOpcode as u8, msg.as_bytes()) {
-                        break;
-                    }
-                    continue;
-                };
-                // Chaos: exactly one plan decision per parsed frame.
-                // Reader-side faults act right here; worker-side faults
-                // ride on the job; write aborts fire when the reply comes
-                // back.
-                #[cfg(feature = "chaos")]
-                let mut worker_fault = None;
-                #[cfg(feature = "chaos")]
-                let mut write_fault = None;
-                #[cfg(feature = "chaos")]
-                if let Some(plan) = &state.fault {
-                    if let Some(fault) = plan.decide(op) {
-                        state
-                            .metrics
-                            .faults_injected
-                            .fetch_add(1, Ordering::Relaxed);
-                        match fault {
-                            // A failed socket read: the connection dies
-                            // with no reply at all.
-                            FaultDecision::ReadError => break,
-                            // Synthetic admission-control pushback.
-                            FaultDecision::Overloaded => {
-                                state
-                                    .metrics
-                                    .rejected_overload
-                                    .fetch_add(1, Ordering::Relaxed);
-                                if !respond(
-                                    &mut stream,
-                                    ErrorCode::Overloaded as u8,
-                                    b"injected overload, retry later",
-                                ) {
-                                    break;
-                                }
-                                continue;
-                            }
-                            FaultDecision::WriteAbort { .. } => write_fault = Some(fault),
-                            other => worker_fault = Some(other),
-                        }
-                    }
-                }
-                let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-                let trace = state.obs.begin(op);
-                let job = Job {
-                    op,
-                    body: frame.body,
-                    deadline_start: Instant::now(),
-                    reply: reply_tx,
-                    trace: trace.clone(),
-                    #[cfg(feature = "chaos")]
-                    chaos: worker_fault,
-                };
-                // Count before sending: a worker may pop (and decrement)
-                // the instant `try_send` returns.
-                state.metrics.enqueued();
-                if let Some(t) = &trace {
-                    t.mark_enqueued();
-                }
-                match sinks.dispatch(job) {
-                    Ok(()) => {
-                        let (status, body) = reply_rx.recv().unwrap_or((
-                            ErrorCode::Internal as u8,
-                            b"worker dropped the request".to_vec(),
-                        ));
-                        #[cfg(feature = "chaos")]
-                        if let Some(FaultDecision::WriteAbort { keep }) = write_fault {
-                            // Torn frame: a strict prefix of the real
-                            // response, then the connection drops. The
-                            // trace is abandoned unfinished — a reply
-                            // that never made it is not timeline data.
-                            use std::io::Write as _;
-                            let bytes = crate::protocol::frame_bytes(status, &body);
-                            let keep = keep.min(bytes.len().saturating_sub(1));
-                            let _ = (&stream).write_all(&bytes[..keep]);
-                            let _ = (&stream).flush();
-                            break;
-                        }
-                        let write_start = Instant::now();
-                        let ok = respond(&mut stream, status, &body);
-                        if let Some(t) = &trace {
-                            obs::add_stage(t, Stage::Write, write_start.elapsed());
-                            state.obs.finish(&state.metrics, t, status);
-                        }
-                        if !ok {
-                            break;
-                        }
-                    }
-                    Err(TrySendError::Full(())) => {
-                        state.metrics.retracted();
-                        state
-                            .metrics
-                            .rejected_overload
-                            .fetch_add(1, Ordering::Relaxed);
-                        if !respond(
-                            &mut stream,
-                            ErrorCode::Overloaded as u8,
-                            b"queue full, retry later",
-                        ) {
-                            break;
-                        }
-                    }
-                    Err(TrySendError::Disconnected(())) => {
-                        state.metrics.retracted();
-                        break;
-                    }
-                }
-            }
-            Ok(FrameRead::Eof) => break,
-            Ok(FrameRead::TooLarge(len)) => {
-                // The unread body leaves the stream out of sync: answer,
-                // then drop the connection.
-                let msg = format!("frame of {len} bytes exceeds limit {max_frame}");
-                respond(&mut stream, ErrorCode::FrameTooLarge as u8, msg.as_bytes());
-                break;
-            }
-            Err(_) => break,
-        }
-    }
-}
-
 type OpResult = Result<Vec<u8>, (ErrorCode, String)>;
 
 fn fail<T>(code: ErrorCode, msg: impl Into<String>) -> Result<T, (ErrorCode, String)> {
@@ -1137,6 +1624,8 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             // Optional leading batching-hint byte; anything else in the
             // body (old clients, fuzzed frames) reads as Auto.
             let hint = BatchHint::from_u8(body.first().copied().unwrap_or(0));
+            // The shard-local manager mints an id that hashes back to
+            // this shard, so the session's keyed traffic never migrates.
             let sid = state.sessions.create_with_hint(hint);
             // 8 LE bytes of session id, a flags byte (bit 0: batching
             // scheduler enabled), then the active kernel-backend name in
@@ -1401,7 +1890,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             }
             // The manifest names exactly the keys the program touches;
             // resolve them through the batch's pinned set first, the
-            // shared cache second — same path as the scalar opcodes.
+            // shard's cache second — same path as the scalar opcodes.
             let rlk = if sp.info.manifest.relin {
                 Some(expand_key(state, sid, &session, KeyKind::Relin, keys)?)
             } else {
@@ -1427,10 +1916,7 @@ fn handle(state: &ServerState, op: Opcode, body: &[u8], keys: Option<&BatchKeys>
             }
             Ok(out.0)
         }
-        Opcode::Metrics => Ok(state
-            .metrics
-            .dump(&state.cache.stats(), state.ctx.kernel_backend().name())
-            .into_bytes()),
+        Opcode::Metrics => Ok(state.metrics_text().into_bytes()),
         Opcode::TraceDump => match body.first().copied().unwrap_or(0) {
             0 => Ok(state.obs.chrome_trace_json().into_bytes()),
             1 => Ok(state.obs.slow_log().into_bytes()),
@@ -1479,8 +1965,8 @@ fn ser_ct(ct: &Ciphertext) -> Vec<u8> {
 }
 
 /// Fetches one expanded key, consulting the batch's pinned set first and
-/// falling back to the shared cache, resolving the compressed bytes from
-/// the session store.
+/// falling back to the shard's cache, resolving the compressed bytes
+/// from the session store.
 fn expand_key(
     state: &ServerState,
     sid: u64,
@@ -1557,7 +2043,7 @@ mod tests {
             }
         };
 
-        // Readers counted these at admission.
+        // The shard loop counted these at admission.
         let jobs: Vec<Job> = (0..3).map(|_| mk_job()).collect();
         for _ in &jobs {
             metrics.enqueued();

@@ -124,9 +124,20 @@ impl Session {
 }
 
 /// Allocates session ids and resolves them to sessions.
+///
+/// In a sharded server every shard runs its own manager over a shared
+/// id counter discipline: a manager built with
+/// [`SessionManager::new_for_shard`] only ever *mints* ids that
+/// [`crate::shard::shard_of`] maps back to its shard, so a session's
+/// placement is decided at Hello and every later frame naming that id
+/// hashes to the owning shard. Managers for different shards of the
+/// same count mint disjoint id sets by construction.
 pub struct SessionManager {
     next_id: AtomicU64,
     sessions: Mutex<HashMap<u64, Arc<Session>>>,
+    /// The shard this manager mints ids for, of `shards` total.
+    shard: usize,
+    shards: usize,
 }
 
 impl Default for SessionManager {
@@ -137,10 +148,31 @@ impl Default for SessionManager {
 
 impl SessionManager {
     /// An empty manager; ids start at 1 so 0 never names a session.
+    /// Equivalent to [`SessionManager::new_for_shard`]`(0, 1)` — the
+    /// single-shard topology where every id is local.
     pub fn new() -> Self {
+        Self::new_for_shard(0, 1)
+    }
+
+    /// An empty manager minting only ids that
+    /// [`crate::shard::shard_of`] places on `shard` (of `shards`).
+    /// Shards of one server share no state but mint from the same
+    /// global sequence shape: each skips candidates owned elsewhere,
+    /// so ids stay unique *and* self-locating across the fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shard >= shards`.
+    pub fn new_for_shard(shard: usize, shards: usize) -> Self {
+        assert!(shard < shards, "shard {shard} out of range 0..{shards}");
+        // Stagger the counters so concurrent shards don't scan the same
+        // candidate prefix; any starting point works, the filter below
+        // is what enforces placement.
         Self {
-            next_id: AtomicU64::new(1),
+            next_id: AtomicU64::new(1 + shard as u64),
             sessions: Mutex::new(HashMap::new()),
+            shard,
+            shards,
         }
     }
 
@@ -150,9 +182,16 @@ impl SessionManager {
     }
 
     /// Opens a session carrying the tenant's declared batching hint and
-    /// returns its id.
+    /// returns its id. The id is drawn from the candidate sequence
+    /// until one hashes to this manager's shard — with one shard every
+    /// candidate matches, reproducing the historical dense sequence.
     pub fn create_with_hint(&self, hint: BatchHint) -> u64 {
-        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let id = loop {
+            let candidate = self.next_id.fetch_add(1, Ordering::Relaxed);
+            if crate::shard::shard_of(candidate, self.shards) == self.shard {
+                break candidate;
+            }
+        };
         let session = Session::default();
         session.hint.store(hint as u8, Ordering::Relaxed);
         self.sessions
@@ -274,6 +313,26 @@ mod tests {
         assert_eq!(mgr.get(a).unwrap().batch_hint(), BatchHint::Auto);
         assert_eq!(mgr.get(b).unwrap().batch_hint(), BatchHint::Throughput);
         assert_eq!(mgr.get(c).unwrap().batch_hint(), BatchHint::Interactive);
+    }
+
+    #[test]
+    fn sharded_managers_mint_self_locating_disjoint_ids() {
+        let shards = 4;
+        let managers: Vec<SessionManager> = (0..shards)
+            .map(|s| SessionManager::new_for_shard(s, shards))
+            .collect();
+        let mut seen = std::collections::HashSet::new();
+        for (shard, mgr) in managers.iter().enumerate() {
+            for _ in 0..16 {
+                let id = mgr.create();
+                assert_eq!(
+                    crate::shard::shard_of(id, shards),
+                    shard,
+                    "id {id} minted by shard {shard} hashes elsewhere"
+                );
+                assert!(seen.insert(id), "id {id} minted twice across shards");
+            }
+        }
     }
 
     #[test]

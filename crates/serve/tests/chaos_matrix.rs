@@ -168,13 +168,15 @@ struct CellReport {
     elapsed: Duration,
 }
 
-/// Runs one (seed, mix) cell and panics with the seed on any divergence.
-fn run_cell(seed: u64, mix_name: &str, mix: FaultMix) -> CellReport {
+/// Runs one (seed, mix, shards) cell and panics with the seed on any
+/// divergence.
+fn run_cell(seed: u64, mix_name: &str, mix: FaultMix, shards: usize) -> CellReport {
     let s = setup();
     let plan = Arc::new(FaultPlan::new(seed, mix, 6));
     let server = Server::start(
         s.ctx.clone(),
         ServeConfig {
+            shards,
             workers: 2,
             queue_capacity: 8,
             key_cache_budget: 2 * s.key_bytes,
@@ -273,13 +275,23 @@ fn run_cell(seed: u64, mix_name: &str, mix: FaultMix) -> CellReport {
         std::thread::sleep(Duration::from_millis(2));
         stats = server.assert_cache_consistent();
     }
-    if stats.resident_bytes > budget {
+    // One shard: the global budget is one cache's budget, enforced
+    // exactly. Sharded: each slice gets budget/shards and keeps its most
+    // recent key resident even when the slice is smaller than one key
+    // (keep-1 residency), so the aggregate may exceed the global budget
+    // by up to one key per shard — but never more.
+    let budget_bound = if shards == 1 {
+        budget
+    } else {
+        budget + shards as u64 * s.key_bytes
+    };
+    if stats.resident_bytes > budget_bound {
         fail::<()>(
             seed,
             mix_name,
             &plan,
             &format!(
-                "cache overran budget: {} > {budget} ({} keys, {} pinned)",
+                "cache overran budget: {} > {budget_bound} ({} keys, {} pinned, {shards} shards)",
                 stats.resident_bytes, stats.resident_keys, stats.pinned_keys
             ),
         );
@@ -348,35 +360,40 @@ fn chaos_matrix_converges_on_every_seed() {
         ("havoc", FaultMix::havoc),
     ];
     let mut total_faults = 0u64;
-    for &seed in &seeds {
-        for (mix_name, mix) in mixes {
-            // Each cell runs under a watchdog: a hang (lost wakeup,
-            // deadlocked retry loop) fails the suite instead of wedging
-            // CI until the job timeout.
-            let (tx, rx) = mpsc::channel();
-            let name = mix_name.to_string();
-            let handle = std::thread::spawn(move || {
-                let report = run_cell(seed, &name, mix());
-                let _ = tx.send(report);
-            });
-            match rx.recv_timeout(Duration::from_secs(120)) {
-                Ok(report) => {
-                    total_faults += report.faults;
-                    assert!(
-                        report.elapsed < Duration::from_secs(120),
-                        "watchdog arithmetic: {:?}",
-                        report.injected_delay
-                    );
-                    handle.join().expect("cell thread exited uncleanly");
-                }
-                Err(mpsc::RecvTimeoutError::Disconnected) => {
-                    // The cell panicked: join propagates the seed-naming
-                    // panic message.
-                    handle.join().expect("chaos cell failed");
-                    unreachable!("disconnected sender without panic");
-                }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    panic!("[chaos seed {seed}, mix {mix_name}] cell hung past 120s watchdog");
+    for shards in [1usize, 4] {
+        for &seed in &seeds {
+            for (mix_name, mix) in mixes {
+                // Each cell runs under a watchdog: a hang (lost wakeup,
+                // deadlocked retry loop) fails the suite instead of
+                // wedging CI until the job timeout.
+                let (tx, rx) = mpsc::channel();
+                let name = format!("{mix_name}-s{shards}");
+                let handle = std::thread::spawn(move || {
+                    let report = run_cell(seed, &name, mix(), shards);
+                    let _ = tx.send(report);
+                });
+                match rx.recv_timeout(Duration::from_secs(120)) {
+                    Ok(report) => {
+                        total_faults += report.faults;
+                        assert!(
+                            report.elapsed < Duration::from_secs(120),
+                            "watchdog arithmetic: {:?}",
+                            report.injected_delay
+                        );
+                        handle.join().expect("cell thread exited uncleanly");
+                    }
+                    Err(mpsc::RecvTimeoutError::Disconnected) => {
+                        // The cell panicked: join propagates the
+                        // seed-naming panic message.
+                        handle.join().expect("chaos cell failed");
+                        unreachable!("disconnected sender without panic");
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {
+                        panic!(
+                            "[chaos seed {seed}, mix {mix_name}, shards {shards}] \
+                             cell hung past 120s watchdog"
+                        );
+                    }
                 }
             }
         }
@@ -385,18 +402,21 @@ fn chaos_matrix_converges_on_every_seed() {
     assert!(
         total_faults > 0,
         "no faults injected across {} cells — plan or weights broken",
-        seeds.len() * mixes.len()
+        seeds.len() * mixes.len() * 2
     );
 }
 
 /// Replaying one seed twice must inject the identical fault sequence and
-/// converge both times — the determinism claim, end to end.
+/// converge both times — the determinism claim, end to end, on both the
+/// single-shard and the sharded server.
 #[test]
 fn chaos_cell_replays_bit_for_bit() {
-    let first = {
-        let plan_probe = run_cell(777, "havoc-replay-a", FaultMix::havoc());
-        plan_probe.faults
-    };
-    let second = run_cell(777, "havoc-replay-b", FaultMix::havoc()).faults;
-    assert_eq!(first, second, "same seed must inject the same fault count");
+    for shards in [1usize, 4] {
+        let first = run_cell(777, "havoc-replay-a", FaultMix::havoc(), shards).faults;
+        let second = run_cell(777, "havoc-replay-b", FaultMix::havoc(), shards).faults;
+        assert_eq!(
+            first, second,
+            "same seed must inject the same fault count ({shards} shards)"
+        );
+    }
 }
